@@ -1,0 +1,344 @@
+// Benchmarks regenerating the paper's efficiency claims:
+//
+//   - BenchmarkLaw*/lhs vs /rhs: evaluation cost of each law's two
+//     sides (the paper's per-law optimization argument, §5).
+//   - BenchmarkSmallDivideAlgos: the physical algorithm ablation the
+//     paper cites from Graefe [14] and Graefe & Cole [16].
+//   - BenchmarkGreatDivideDefs: Theorem 1's three definitions plus
+//     the hash operator.
+//   - BenchmarkFirstClassVsSimulated: the quadratic-intermediate
+//     result of Leinders & Van den Bussche [25].
+//   - BenchmarkQ1DivideVsQ3NotExists: the §4 SQL comparison.
+//   - BenchmarkFIM: the §3 frequent itemset application.
+package divlaws
+
+import (
+	"fmt"
+	"testing"
+
+	"divlaws/internal/datagen"
+	"divlaws/internal/division"
+	"divlaws/internal/exec"
+	"divlaws/internal/fim"
+	"divlaws/internal/laws"
+	"divlaws/internal/optimizer"
+	"divlaws/internal/parallel"
+	"divlaws/internal/plan"
+	"divlaws/internal/relation"
+	"divlaws/internal/scenarios"
+	"divlaws/internal/sql"
+)
+
+// benchScale keeps the default `go test -bench=.` run fast; use
+// -benchtime and the cmd/lawbench tool for larger sweeps.
+const benchScale = 2000
+
+// BenchmarkLaws times both sides of every law over the shared
+// scenario workloads.
+func BenchmarkLaws(b *testing.B) {
+	for _, s := range scenarios.All() {
+		lhs := s.Build(benchScale, 1)
+		rhs := s.MustApply(lhs)
+		b.Run(s.Name+"/lhs", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan.Eval(lhs)
+			}
+		})
+		b.Run(s.Name+"/rhs", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan.Eval(rhs)
+			}
+		})
+	}
+}
+
+// BenchmarkSmallDivideAlgos ablates the physical small-divide
+// algorithms across group counts.
+func BenchmarkSmallDivideAlgos(b *testing.B) {
+	for _, groups := range []int{100, 1000} {
+		r1, r2 := datagen.DividePair{
+			Groups: groups, GroupSize: 10, DivisorSize: 10,
+			Domain: 100, HitRate: 0.3, Seed: 1,
+		}.Generate()
+		for _, algo := range division.Algorithms() {
+			b.Run(fmt.Sprintf("%s/groups=%d", algo, groups), func(b *testing.B) {
+				b.ReportMetric(float64(r1.Len()), "dividend-rows")
+				for i := 0; i < b.N; i++ {
+					division.DivideWith(algo, r1, r2)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGreatDivideDefs times the three equivalent definitions of
+// Theorem 1 and the hash operator.
+func BenchmarkGreatDivideDefs(b *testing.B) {
+	r1, r2 := datagen.GreatDividePair{
+		Groups: 400, GroupSize: 8,
+		DivisorGroups: 10, DivisorGroupSize: 5,
+		Domain: 80, HitRate: 0.3, Seed: 1,
+	}.Generate()
+	for _, algo := range division.GreatAlgorithms() {
+		b.Run(string(algo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				division.GreatDivideWith(algo, r1, r2)
+			}
+		})
+	}
+}
+
+// BenchmarkFirstClassVsSimulated contrasts the first-class operator
+// with Healy's basic-algebra simulation as the dividend grows; the
+// simulation's intermediate is quadratic in |quotient candidates| ×
+// |divisor|.
+func BenchmarkFirstClassVsSimulated(b *testing.B) {
+	for _, groups := range []int{100, 400, 1600} {
+		r1, r2 := datagen.DividePair{
+			Groups: groups, GroupSize: 6, DivisorSize: 8,
+			Domain: 64, HitRate: 0.3, Seed: 1,
+		}.Generate()
+		direct := &plan.Divide{Dividend: plan.NewScan("r1", r1), Divisor: plan.NewScan("r2", r2)}
+		simulated := exec.SimulatedDividePlan("r1", r1, "r2", r2)
+		b.Run(fmt.Sprintf("first-class/groups=%d", groups), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Run(exec.Compile(direct, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("simulated/groups=%d", groups), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Run(exec.Compile(simulated, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQ1DivideVsQ3NotExists reproduces the §4 comparison: the
+// DIVIDE BY formulation against the double-NOT-EXISTS simulation.
+func BenchmarkQ1DivideVsQ3NotExists(b *testing.B) {
+	supplies, parts := datagen.SuppliersParts{
+		Suppliers: 15, Parts: 12, Colors: 3, AvgSupplied: 6, Seed: 1,
+	}.Generate()
+	db := sql.NewDB()
+	db.Register("supplies", supplies)
+	db.Register("parts", parts)
+	const q1 = `SELECT s#, color
+FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#`
+	const q3 = `SELECT DISTINCT s#, color
+FROM supplies AS s1, parts AS p1
+WHERE NOT EXISTS (
+  SELECT * FROM parts AS p2
+  WHERE p2.color = p1.color AND NOT EXISTS (
+    SELECT * FROM supplies AS s2
+    WHERE s2.p# = p2.p# AND s2.s# = s1.s#))`
+
+	var want *relation.Relation
+	b.Run("q1-divide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := db.Query(q1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want = res
+		}
+	})
+	b.Run("q3-not-exists", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := db.Query(q3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if want != nil && !res.EquivalentTo(want) {
+				b.Fatal("Q3 disagrees with Q1")
+			}
+		}
+	})
+}
+
+// BenchmarkFIM compares the great-divide Apriori against the
+// classical hash-counting baseline (§3).
+func BenchmarkFIM(b *testing.B) {
+	gen := datagen.Baskets{
+		Transactions: 400, Items: 30, AvgSize: 5, Skew: 0.8, Seed: 1,
+	}
+	lists := make(map[int64][]int64)
+	for _, tx := range gen.Generate() {
+		lists[tx.ID] = tx.Items
+	}
+	trans := fim.FromLists(lists)
+	const minSupport = 60
+	b.Run("apriori-great-divide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fim.DivideMiner{}.Mine(trans, minSupport)
+		}
+	})
+	b.Run("apriori-hash-count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fim.HashMiner{}.Mine(trans, minSupport)
+		}
+	})
+}
+
+// BenchmarkMergeGroupPipelining contrasts the blocking hash-division
+// with the group-preserving merge operator on a pre-grouped
+// dividend, the execution property behind Law 1's pipeline argument.
+func BenchmarkMergeGroupPipelining(b *testing.B) {
+	r1, r2 := datagen.DividePair{
+		Groups: 2000, GroupSize: 8, DivisorSize: 8,
+		Domain: 64, HitRate: 0.3, Seed: 1,
+	}.Generate()
+	for _, algo := range []division.Algorithm{division.AlgoHash, division.AlgoMergeSort} {
+		node := &plan.Divide{
+			Dividend: plan.NewScan("r1", r1),
+			Divisor:  plan.NewScan("r2", r2),
+			Algo:     algo,
+		}
+		b.Run(string(algo), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Run(exec.Compile(node, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNotExistsDetection measures the §4 detection win: the
+// same Q3 text executed via nested iteration (fallback) vs the
+// detected first-class division plan.
+func BenchmarkNotExistsDetection(b *testing.B) {
+	supplies, parts := datagen.SuppliersParts{
+		Suppliers: 15, Parts: 12, Colors: 3, AvgSupplied: 6, Seed: 1,
+	}.Generate()
+	db := sql.NewDB()
+	db.Register("supplies", supplies)
+	db.Register("parts", parts)
+	const q3 = `SELECT DISTINCT s#, color
+FROM supplies AS s1, parts AS p1
+WHERE NOT EXISTS (
+  SELECT * FROM parts AS p2
+  WHERE p2.color = p1.color AND NOT EXISTS (
+    SELECT * FROM supplies AS s2
+    WHERE s2.p# = p2.p# AND s2.s# = s1.s#))`
+
+	detected, wasDetected, err := db.PlanWithDetection(q3)
+	if err != nil || !wasDetected {
+		b.Fatalf("detection failed: %v", err)
+	}
+	fallback, err := db.Plan(q3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := plan.Eval(fallback)
+	if !plan.Eval(detected).EquivalentTo(want) {
+		b.Fatal("detected plan wrong")
+	}
+	b.Run("detected-divide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan.Eval(detected)
+		}
+	})
+	b.Run("nested-iteration", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan.Eval(fallback)
+		}
+	})
+}
+
+// BenchmarkParallelDivide measures the Law 2 parallel strategy
+// across worker counts, with two per-partition operators: the
+// already-linear hash-division (where the paper's §5.2.1 proviso —
+// the division must dominate the partition/merge cost — fails, so
+// overhead wins) and the per-divisor-scan Maier evaluation (where
+// parallelism pays off).
+func BenchmarkParallelDivide(b *testing.B) {
+	r1, r2 := datagen.DividePair{
+		Groups: 4000, GroupSize: 10, DivisorSize: 12,
+		Domain: 200, HitRate: 0.25, Seed: 1,
+	}.Generate()
+	for _, algo := range []division.Algorithm{division.AlgoHash, division.AlgoMaier} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					parallel.DivideWith(algo, r1, r2, workers)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelGreatDivide measures the Law 13 strategy. Each
+// worker scans the replicated dividend against its divisor
+// partition, so total CPU grows with workers; wall-clock gains
+// require the per-group work to dominate, as the paper's proviso
+// states.
+func BenchmarkParallelGreatDivide(b *testing.B) {
+	g1, g2 := datagen.GreatDividePair{
+		Groups: 1500, GroupSize: 10,
+		DivisorGroups: 32, DivisorGroupSize: 6,
+		Domain: 200, HitRate: 0.25, Seed: 1,
+	}.Generate()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parallel.GreatDivide(g1, g2, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkPreconditionC1VsC2 quantifies §5.1.1's remark that
+// "testing condition c1 can be expensive, an RDBMS may use a
+// stricter condition c2": the cost of deciding Law 2's two
+// preconditions as the partitions grow.
+func BenchmarkPreconditionC1VsC2(b *testing.B) {
+	for _, groups := range []int{500, 5000} {
+		r1, r2 := datagen.DividePair{
+			Groups: groups, GroupSize: 8, DivisorSize: 8,
+			Domain: 64, HitRate: 0.25, Seed: 1,
+		}.Generate()
+		// Split with a shared boundary group so c2 fails and c1 must
+		// do real work.
+		sorted := r1.Sorted()
+		half := len(sorted) / 2
+		lo := relation.New(r1.Schema())
+		hi := relation.New(r1.Schema())
+		for i, t := range sorted {
+			if i <= half {
+				lo.Insert(t)
+			}
+			if i >= half {
+				hi.Insert(t)
+			}
+		}
+		b.Run(fmt.Sprintf("c2/groups=%d", groups), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				laws.C2(lo, hi, r2)
+			}
+		})
+		b.Run(fmt.Sprintf("c1/groups=%d", groups), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				laws.C1(lo, hi, r2)
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizer measures the rewriter itself: plan traversal
+// with schema-only rules vs with data-dependent preconditions
+// enabled.
+func BenchmarkOptimizer(b *testing.B) {
+	s, _ := scenarios.ByName("Law 9")
+	inner := s.Build(4000, 3)
+	for name, allow := range map[string]bool{"catalog-only": false, "data-dependent": true} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				optimizer.Optimize(inner, optimizer.Options{AllowDataDependent: allow})
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+// Command divsql runs SQL queries — including the paper's DIVIDE BY
+// syntax — against a generated suppliers-and-parts database, with
+// optional law-based optimization and plan explanation.
+//
+// Usage:
+//
+//	divsql -builtin q1              # run the paper's Q1
+//	divsql -builtin q3 -explain     # show Q3's plan
+//	divsql -query "SELECT ..."      # run arbitrary SQL
+//	divsql -suppliers 100 -parts 50 # scale the database
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"divlaws/internal/datagen"
+	"divlaws/internal/optimizer"
+	"divlaws/internal/plan"
+	"divlaws/internal/sql"
+	"divlaws/internal/texttab"
+)
+
+// The paper's three example queries (§4).
+var builtins = map[string]string{
+	"q1": `SELECT s#, color
+FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#`,
+	"q2": `SELECT s#
+FROM supplies AS s DIVIDE BY (
+  SELECT p# FROM parts WHERE color = 'color0') AS p
+ON s.p# = p.p#`,
+	"q3": `SELECT DISTINCT s#, color
+FROM supplies AS s1, parts AS p1
+WHERE NOT EXISTS (
+  SELECT * FROM parts AS p2
+  WHERE p2.color = p1.color AND NOT EXISTS (
+    SELECT * FROM supplies AS s2
+    WHERE s2.p# = p2.p# AND s2.s# = s1.s#))`,
+}
+
+func main() {
+	var (
+		builtin   = flag.String("builtin", "", "run a built-in query: q1, q2, or q3")
+		query     = flag.String("query", "", "run an arbitrary SQL query")
+		explain   = flag.Bool("explain", false, "print the logical plan instead of rows")
+		optimize  = flag.Bool("optimize", true, "apply the division rewrite laws")
+		detect    = flag.Bool("detect", true, "rewrite NOT EXISTS universal quantification to divisions")
+		suppliers = flag.Int("suppliers", 30, "number of suppliers to generate")
+		parts     = flag.Int("parts", 20, "number of parts to generate")
+		colors    = flag.Int("colors", 3, "number of colors to generate")
+		seed      = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	text := *query
+	if *builtin != "" {
+		var ok bool
+		text, ok = builtins[*builtin]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown builtin %q (have q1, q2, q3)\n", *builtin)
+			os.Exit(1)
+		}
+	}
+	if text == "" {
+		fmt.Fprintln(os.Stderr, "nothing to run; use -builtin or -query")
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	supplies, partsRel := datagen.SuppliersParts{
+		Suppliers: *suppliers, Parts: *parts, Colors: *colors,
+		AvgSupplied: *parts / 2, Seed: *seed,
+	}.Generate()
+	db := sql.NewDB()
+	db.Register("supplies", supplies)
+	db.Register("parts", partsRel)
+
+	var node plan.Node
+	var err error
+	if *detect {
+		var detected bool
+		node, detected, err = db.PlanWithDetection(text)
+		if err == nil && detected {
+			fmt.Println("-- NOT EXISTS pattern rewritten to a division --")
+		}
+	} else {
+		node, err = db.Plan(text)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "plan error: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("-- query --\n%s\n\n", text)
+	if *explain {
+		fmt.Printf("-- logical plan --\n%s\n\n", plan.Format(node))
+	}
+	if *optimize {
+		res := optimizer.Optimize(node, optimizer.Options{AllowDataDependent: true})
+		if *explain {
+			fmt.Printf("-- optimized plan (cost %.0f -> %.0f) --\n%s\n\n",
+				res.Initial, res.Final, plan.Format(res.Plan))
+			for _, a := range res.Trace {
+				fmt.Printf("   applied %s at %s (gain %.0f)\n", a.Rule, a.Before, a.Gain)
+			}
+			fmt.Println()
+		}
+		node = res.Plan
+	}
+
+	start := time.Now()
+	result := plan.Eval(node)
+	elapsed := time.Since(start)
+
+	fmt.Print(texttab.Table(result))
+	fmt.Printf("\n%d row(s) in %v\n", result.Len(), elapsed.Round(time.Microsecond))
+}

@@ -1,0 +1,40 @@
+// Command figures regenerates every figure of the paper (Figures
+// 1-11) from the library's operators and prints them in the paper's
+// layout.
+//
+// Usage:
+//
+//	figures            # print all figures
+//	figures figure-7   # print one figure
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"divlaws/internal/figures"
+)
+
+func main() {
+	if len(os.Args) > 1 {
+		f, ok := figures.ByID(os.Args[1])
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; available:\n", os.Args[1])
+			for _, g := range figures.All() {
+				fmt.Fprintf(os.Stderr, "  %s\n", g.ID)
+			}
+			os.Exit(1)
+		}
+		printFigure(f)
+		return
+	}
+	for _, f := range figures.All() {
+		printFigure(f)
+		fmt.Println()
+	}
+}
+
+func printFigure(f figures.Figure) {
+	fmt.Printf("==== %s: %s ====\n\n", f.ID, f.Title)
+	fmt.Print(f.Render())
+}

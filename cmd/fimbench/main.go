@@ -1,0 +1,93 @@
+// Command fimbench compares the paper's §3 frequent itemset
+// discovery strategy (support counting via great divide) with the
+// classical hash-counting Apriori baseline across a parameter sweep
+// of transaction counts and minimum supports.
+//
+// Usage:
+//
+//	fimbench
+//	fimbench -transactions 2000 -items 60 -support 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"time"
+
+	"divlaws/internal/datagen"
+	"divlaws/internal/fim"
+)
+
+func main() {
+	var (
+		transactions = flag.Int("transactions", 1000, "number of transactions")
+		items        = flag.Int("items", 40, "item universe size")
+		avgSize      = flag.Int("avgsize", 6, "mean basket size")
+		skew         = flag.Float64("skew", 0.8, "item popularity skew")
+		support      = flag.Float64("support", 0.1, "minimum support fraction")
+		seed         = flag.Int64("seed", 1, "generator seed")
+		sweep        = flag.Bool("sweep", false, "sweep transactions x support grid")
+	)
+	flag.Parse()
+
+	if *sweep {
+		fmt.Printf("%-8s %-8s %-14s %-14s %-8s %s\n",
+			"txs", "minsup", "divide", "hash", "ratio", "itemsets")
+		for _, txs := range []int{250, 500, 1000, 2000} {
+			for _, sup := range []float64{0.2, 0.1, 0.05} {
+				runOnce(txs, *items, *avgSize, *skew, sup, *seed, true)
+			}
+		}
+		return
+	}
+	runOnce(*transactions, *items, *avgSize, *skew, *support, *seed, false)
+}
+
+func runOnce(transactions, items, avgSize int, skew, support float64, seed int64, terse bool) {
+	gen := datagen.Baskets{
+		Transactions: transactions, Items: items,
+		AvgSize: avgSize, Skew: skew, Seed: seed,
+	}
+	lists := make(map[int64][]int64, transactions)
+	for _, tx := range gen.Generate() {
+		lists[tx.ID] = tx.Items
+	}
+	trans := fim.FromLists(lists)
+	minSup := int(support * float64(transactions))
+	if minSup < 1 {
+		minSup = 1
+	}
+
+	divideTime, divideRes := mine(fim.DivideMiner{}, trans, minSup)
+	hashTime, hashRes := mine(fim.HashMiner{}, trans, minSup)
+	if !reflect.DeepEqual(divideRes, hashRes) {
+		fmt.Fprintln(os.Stderr, "MINERS DISAGREE")
+		os.Exit(1)
+	}
+	if terse {
+		fmt.Printf("%-8d %-8d %-14v %-14v %-8.2f %d\n",
+			transactions, minSup,
+			divideTime.Round(time.Microsecond), hashTime.Round(time.Microsecond),
+			float64(divideTime)/float64(hashTime), len(divideRes))
+		return
+	}
+	fmt.Printf("transactions=%d items=%d avgSize=%d skew=%.2f minSupport=%d\n",
+		transactions, items, avgSize, skew, minSup)
+	fmt.Printf("  %-24s %12v  (%d frequent itemsets)\n", "apriori-great-divide", divideTime.Round(time.Microsecond), len(divideRes))
+	fmt.Printf("  %-24s %12v\n", "apriori-hash-count", hashTime.Round(time.Microsecond))
+	max := 0
+	for _, r := range divideRes {
+		if len(r.Items) > max {
+			max = len(r.Items)
+		}
+	}
+	fmt.Printf("  largest frequent itemset: %d items\n", max)
+}
+
+func mine(m fim.Miner, t *fim.Transactions, minSup int) (time.Duration, []fim.Result) {
+	start := time.Now()
+	res := m.Mine(t, minSup)
+	return time.Since(start), res
+}

@@ -1,0 +1,70 @@
+// Command lawbench measures, for every rewrite law, the evaluation
+// time of the left-hand-side plan versus the rewritten right-hand-
+// side plan over synthetic workloads — the per-law optimization
+// effect the paper argues for qualitatively.
+//
+// Usage:
+//
+//	lawbench                  # all laws at the default scale
+//	lawbench -scale 20000     # bigger workload
+//	lawbench -law "Law 9"     # one law
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"divlaws/internal/plan"
+	"divlaws/internal/scenarios"
+)
+
+func main() {
+	var (
+		scale = flag.Int("scale", 8000, "approximate dividend size")
+		law   = flag.String("law", "", "benchmark a single law by name")
+		reps  = flag.Int("reps", 3, "repetitions (minimum taken)")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	list := scenarios.All()
+	if *law != "" {
+		s, ok := scenarios.ByName(*law)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown law %q\n", *law)
+			os.Exit(1)
+		}
+		list = []scenarios.Scenario{s}
+	}
+
+	fmt.Printf("%-12s %12s %12s %8s  %s\n", "law", "lhs", "rhs", "speedup", "result-rows")
+	for _, s := range list {
+		lhs := s.Build(*scale, *seed)
+		rhs := s.MustApply(lhs)
+		lhsTime, rows := timeEval(lhs, *reps)
+		rhsTime, rhsRows := timeEval(rhs, *reps)
+		if rows != rhsRows {
+			fmt.Fprintf(os.Stderr, "%s: REWRITE CHANGED RESULT (%d vs %d rows)\n", s.Name, rows, rhsRows)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s %12v %12v %7.2fx  %d\n",
+			s.Name, lhsTime.Round(time.Microsecond), rhsTime.Round(time.Microsecond),
+			float64(lhsTime)/float64(rhsTime), rows)
+	}
+}
+
+func timeEval(n plan.Node, reps int) (time.Duration, int) {
+	best := time.Duration(1<<62 - 1)
+	rows := 0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		out := plan.Eval(n)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		rows = out.Len()
+	}
+	return best, rows
+}

@@ -1,0 +1,11 @@
+// Package divlaws reproduces Rantzau & Mangold, "Laws for Rewriting
+// Queries Containing Division Operators" (ICDE 2006): the small and
+// great divide operators, their seventeen rewrite laws, a rule-based
+// optimizer, a SQL front end with the paper's DIVIDE BY syntax, and
+// the frequent itemset discovery application.
+//
+// The implementation lives in internal/ packages; the runnable
+// entry points are the commands under cmd/ and the programs under
+// examples/. The benchmark suite in bench_test.go regenerates the
+// paper's per-law efficiency comparisons.
+package divlaws

@@ -1,0 +1,62 @@
+// Optimizer walkthrough: build a plan with a selection stacked on a
+// division over a Cartesian product, let the law-based rewriter
+// transform it (Law 3 pushes the selection, Law 9 eliminates the
+// product), and show the execution-engine statistics proving the
+// point of Leinders & Van den Bussche [25]: the basic-algebra
+// simulation of division moves quadratically many tuples where the
+// first-class operator stays linear.
+package main
+
+import (
+	"fmt"
+
+	"divlaws/internal/datagen"
+	"divlaws/internal/exec"
+	"divlaws/internal/optimizer"
+	"divlaws/internal/plan"
+	"divlaws/internal/pred"
+	"divlaws/internal/scenarios"
+)
+
+func main() {
+	// Part 1: the rewriter at work on a Law 9 shape wrapped in a
+	// selection.
+	s, _ := scenarios.ByName("Law 9")
+	inner := s.Build(2000, 3)
+	lhs := &plan.Select{
+		Input: inner,
+		Pred:  pred.Compare(pred.Attr("a"), pred.Lt, pred.ConstInt(50)),
+	}
+	fmt.Printf("original plan (cost %.0f):\n%s\n\n", optimizer.Cost(lhs), plan.Format(lhs))
+
+	res := optimizer.Optimize(lhs, optimizer.Options{AllowDataDependent: true})
+	fmt.Printf("optimized plan (cost %.0f):\n%s\n\n", res.Final, plan.Format(res.Plan))
+	fmt.Println("applied rules:")
+	for _, a := range res.Trace {
+		fmt.Printf("  %-10s at %-28s gain %.0f\n", a.Rule, a.Before, a.Gain)
+	}
+	optimizer.MustEquivalent(lhs, res.Plan)
+	fmt.Println("rewrite verified: identical results")
+
+	// Part 2: first-class divide vs basic-algebra simulation.
+	r1, r2 := datagen.DividePair{
+		Groups: 300, GroupSize: 6, DivisorSize: 8, Domain: 64, HitRate: 0.3, Seed: 5,
+	}.Generate()
+
+	direct := &plan.Divide{Dividend: plan.NewScan("r1", r1), Divisor: plan.NewScan("r2", r2)}
+	directStats := exec.NewStats()
+	if _, err := exec.Run(exec.Compile(direct, directStats)); err != nil {
+		panic(err)
+	}
+
+	simulated := exec.SimulatedDividePlan("r1", r1, "r2", r2)
+	simStats := exec.NewStats()
+	if _, err := exec.Run(exec.Compile(simulated, simStats)); err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\nfirst-class divide vs simulation (|r1|=%d, |r2|=%d):\n", r1.Len(), r2.Len())
+	fmt.Printf("  %-22s %8d tuples moved\n", "hash-division:", directStats.Total())
+	fmt.Printf("  %-22s %8d tuples moved (quadratic intermediate)\n",
+		"algebra simulation:", simStats.Total())
+}

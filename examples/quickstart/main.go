@@ -1,0 +1,43 @@
+// Quickstart: build two relations, compute the paper's Figure 1
+// small divide and Figure 2 great divide, and print the results.
+package main
+
+import (
+	"fmt"
+
+	"divlaws/internal/division"
+	"divlaws/internal/relation"
+	"divlaws/internal/texttab"
+)
+
+func main() {
+	// The dividend r1(a, b): three groups of elements (Figure 1a).
+	r1 := relation.Ints([]string{"a", "b"}, [][]int64{
+		{1, 1}, {1, 4},
+		{2, 1}, {2, 2}, {2, 3}, {2, 4},
+		{3, 1}, {3, 3}, {3, 4},
+	})
+
+	// Small divide: which groups contain both 1 and 3?
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}, {3}})
+	quotient := division.Divide(r1, r2)
+	fmt.Println("small divide r1 ÷ r2 (groups containing {1, 3}):")
+	fmt.Print(texttab.Table(quotient))
+
+	// Great divide: the divisor itself has groups, keyed by c.
+	r2g := relation.Ints([]string{"b", "c"}, [][]int64{
+		{1, 1}, {2, 1}, {4, 1}, // group c=1 is {1, 2, 4}
+		{1, 2}, {3, 2}, // group c=2 is {1, 3}
+	})
+	great := division.GreatDivide(r1, r2g)
+	fmt.Println("\ngreat divide r1 ÷* r2 (which group ⊇ which divisor group):")
+	fmt.Print(texttab.Table(great))
+
+	// Every registered small-divide algorithm computes the same
+	// quotient; pick by workload.
+	fmt.Println("\nalgorithms:")
+	for _, algo := range division.Algorithms() {
+		q := division.DivideWith(algo, r1, r2)
+		fmt.Printf("  %-10s -> %d quotient tuple(s)\n", algo, q.Len())
+	}
+}

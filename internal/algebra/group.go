@@ -1,0 +1,174 @@
+package algebra
+
+import (
+	"fmt"
+
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+// AggFunc identifies an aggregation function for the grouping
+// operator GγF (paper Appendix A).
+type AggFunc uint8
+
+// The supported aggregation functions.
+const (
+	Count AggFunc = iota // count of tuples in the group
+	Sum
+	Min
+	Max
+	Avg
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Avg:
+		return "avg"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(f))
+	}
+}
+
+// AggSpec is one entry of the aggregation list F: Func applied to
+// input attribute Attr, producing output attribute As. Count ignores
+// Attr (it counts tuples; the paper writes count(B) but relations are
+// sets so the count of tuples equals the count of attribute values).
+type AggSpec struct {
+	Func AggFunc
+	Attr string // input attribute; unused for Count
+	As   string // output attribute name
+}
+
+// String renders the spec like the paper: sum(x)→b.
+func (a AggSpec) String() string {
+	in := a.Attr
+	if a.Func == Count && in == "" {
+		in = "*"
+	}
+	return fmt.Sprintf("%s(%s)->%s", a.Func, in, a.As)
+}
+
+type aggState struct {
+	count int64
+	sum   value.Value
+	min   value.Value
+	max   value.Value
+	init  bool
+}
+
+func (s *aggState) add(v value.Value) {
+	s.count++
+	if !s.init {
+		s.sum, s.min, s.max, s.init = v, v, v, true
+		return
+	}
+	if v.IsNumeric() && s.sum.IsNumeric() {
+		s.sum = value.Add(s.sum, v)
+	}
+	s.min = value.Min(s.min, v)
+	s.max = value.Max(s.max, v)
+}
+
+func (s *aggState) result(f AggFunc) value.Value {
+	switch f {
+	case Count:
+		return value.Int(s.count)
+	case Sum:
+		if !s.init || !s.sum.IsNumeric() {
+			// SUM over non-numeric values is NULL, like SQL engines
+			// that reject it at runtime rather than crash.
+			return value.Null
+		}
+		return s.sum
+	case Min:
+		if !s.init {
+			return value.Null
+		}
+		return s.min
+	case Max:
+		if !s.init {
+			return value.Null
+		}
+		return s.max
+	case Avg:
+		if !s.init || s.count == 0 || !s.sum.IsNumeric() {
+			return value.Null
+		}
+		return value.Float(s.sum.AsFloat() / float64(s.count))
+	default:
+		panic(fmt.Sprintf("algebra: unknown aggregate %d", uint8(f)))
+	}
+}
+
+// Group implements the grouping operator GγF(r): group r's tuples by
+// the attributes in by and evaluate each AggSpec within each group.
+// The result schema is by ∪ the output names, in that order. With an
+// empty by list it produces a single tuple over the whole relation
+// (global aggregation), even for an empty input.
+func Group(r *relation.Relation, by []string, aggs []AggSpec) *relation.Relation {
+	outAttrs := append(append([]string(nil), by...), make([]string, 0, len(aggs))...)
+	for _, a := range aggs {
+		outAttrs = append(outAttrs, a.As)
+	}
+	out := relation.New(schema.New(outAttrs...))
+
+	byPos := r.Schema().Positions(by)
+	inPos := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Func == Count && a.Attr == "" {
+			inPos[i] = -1
+			continue
+		}
+		inPos[i] = r.Schema().MustIndex(a.Attr)
+	}
+
+	type group struct {
+		key    relation.Tuple
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string // deterministic output order
+	for _, t := range r.Tuples() {
+		keyTuple := t.Project(byPos)
+		k := keyTuple.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: keyTuple, states: make([]aggState, len(aggs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i := range aggs {
+			if inPos[i] < 0 {
+				g.states[i].count++
+				continue
+			}
+			g.states[i].add(t[inPos[i]])
+		}
+	}
+	if len(by) == 0 && len(groups) == 0 {
+		// Global aggregation over an empty relation yields one tuple
+		// of aggregate identities (count = 0, others NULL).
+		g := &group{states: make([]aggState, len(aggs))}
+		groups[""] = g
+		order = append(order, "")
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := g.key.Clone()
+		for i, a := range aggs {
+			row = append(row, g.states[i].result(a.Func))
+		}
+		out.Insert(row)
+	}
+	return out
+}

@@ -1,0 +1,343 @@
+package division
+
+import (
+	"math/rand"
+	"testing"
+
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+// fig1Dividend is relation r1 from the paper's Figure 1 (reused in
+// Figure 2).
+func fig1Dividend() *relation.Relation {
+	return relation.Ints([]string{"a", "b"}, [][]int64{
+		{1, 1}, {1, 4},
+		{2, 1}, {2, 2}, {2, 3}, {2, 4},
+		{3, 1}, {3, 3}, {3, 4},
+	})
+}
+
+func TestFigure1SmallDivide(t *testing.T) {
+	// Paper Figure 1: r1 ÷ r2 = r3 with r2 = {1, 3}, r3 = {2, 3}.
+	r1 := fig1Dividend()
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}, {3}})
+	want := relation.Ints([]string{"a"}, [][]int64{{2}, {3}})
+	for _, algo := range Algorithms() {
+		got := DivideWith(algo, r1, r2)
+		if !got.Equal(want) {
+			t.Errorf("%s: r1 ÷ r2 = %v, want %v", algo, got, want)
+		}
+	}
+}
+
+func TestFigure2GreatDivide(t *testing.T) {
+	// Paper Figure 2: r1 ÷* r2 = r3.
+	r1 := fig1Dividend()
+	r2 := relation.Ints([]string{"b", "c"}, [][]int64{
+		{1, 1}, {2, 1}, {4, 1},
+		{1, 2}, {3, 2},
+	})
+	want := relation.Ints([]string{"a", "c"}, [][]int64{{2, 1}, {2, 2}, {3, 2}})
+	for _, algo := range GreatAlgorithms() {
+		got := GreatDivideWith(algo, r1, r2)
+		if !got.EquivalentTo(want) {
+			t.Errorf("%s: r1 ÷* r2 = %v, want %v", algo, got, want)
+		}
+	}
+}
+
+func TestSmallSplit(t *testing.T) {
+	s, err := SmallSplit(schema.New("a", "b", "c"), schema.New("b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.A.Equal(schema.New("a")) || !s.B.Equal(schema.New("b", "c")) {
+		t.Errorf("split = %+v", s)
+	}
+	if _, err := SmallSplit(schema.New("a"), schema.New()); err == nil {
+		t.Error("empty divisor schema should fail")
+	}
+	if _, err := SmallSplit(schema.New("a", "b"), schema.New("z")); err == nil {
+		t.Error("non-subset divisor should fail")
+	}
+	if _, err := SmallSplit(schema.New("b"), schema.New("b")); err == nil {
+		t.Error("empty quotient attribute set should fail")
+	}
+}
+
+func TestGreatSplit(t *testing.T) {
+	s, err := GreatSplit(schema.New("a", "b"), schema.New("b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.A.Equal(schema.New("a")) || !s.B.Equal(schema.New("b")) || !s.C.Equal(schema.New("c")) {
+		t.Errorf("split = %+v", s)
+	}
+	if _, err := GreatSplit(schema.New("a"), schema.New("c")); err == nil {
+		t.Error("disjoint schemas should fail")
+	}
+	if _, err := GreatSplit(schema.New("b"), schema.New("b", "c")); err == nil {
+		t.Error("no quotient attributes should fail")
+	}
+	if _, err := GreatSplit(schema.New("a", "b"), schema.New("b")); err == nil {
+		t.Error("no group attributes should fail (that is a small divide)")
+	}
+}
+
+func TestDivideEmptyDivisor(t *testing.T) {
+	// r1 ÷ ∅ = πA(r1): every group trivially contains the empty set.
+	r1 := fig1Dividend()
+	r2 := relation.New(schema.New("b"))
+	want := relation.Ints([]string{"a"}, [][]int64{{1}, {2}, {3}})
+	for _, algo := range Algorithms() {
+		if got := DivideWith(algo, r1, r2); !got.Equal(want) {
+			t.Errorf("%s: r1 ÷ ∅ = %v, want %v", algo, got, want)
+		}
+	}
+}
+
+func TestDivideEmptyDividend(t *testing.T) {
+	r1 := relation.New(schema.New("a", "b"))
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}})
+	for _, algo := range Algorithms() {
+		if got := DivideWith(algo, r1, r2); !got.Empty() {
+			t.Errorf("%s: ∅ ÷ r2 = %v, want empty", algo, got)
+		}
+	}
+}
+
+func TestDivideNoQualifyingGroup(t *testing.T) {
+	r1 := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}, {2, 2}})
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}, {2}})
+	for _, algo := range Algorithms() {
+		if got := DivideWith(algo, r1, r2); !got.Empty() {
+			t.Errorf("%s: expected empty quotient, got %v", algo, got)
+		}
+	}
+}
+
+func TestDivideDivisorValueAbsentFromDividend(t *testing.T) {
+	r1 := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}, {1, 2}})
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}, {99}})
+	for _, algo := range Algorithms() {
+		if got := DivideWith(algo, r1, r2); !got.Empty() {
+			t.Errorf("%s: divisor value outside dividend should empty the quotient, got %v", algo, got)
+		}
+	}
+}
+
+func TestDivideMultiAttributeB(t *testing.T) {
+	// B = {b1, b2}: containment over composite elements.
+	r1 := relation.Ints([]string{"a", "b1", "b2"}, [][]int64{
+		{1, 1, 1}, {1, 2, 2},
+		{2, 1, 1}, {2, 2, 2}, {2, 3, 3},
+	})
+	r2 := relation.Ints([]string{"b1", "b2"}, [][]int64{{1, 1}, {2, 2}})
+	want := relation.Ints([]string{"a"}, [][]int64{{1}, {2}})
+	for _, algo := range Algorithms() {
+		if got := DivideWith(algo, r1, r2); !got.Equal(want) {
+			t.Errorf("%s: composite-B divide = %v", algo, got)
+		}
+	}
+	// Divisor column order must not matter.
+	r2swapped := relation.Ints([]string{"b2", "b1"}, [][]int64{{1, 1}, {2, 2}})
+	for _, algo := range Algorithms() {
+		if got := DivideWith(algo, r1, r2swapped); !got.Equal(want) {
+			t.Errorf("%s: swapped divisor columns = %v", algo, got)
+		}
+	}
+}
+
+func TestDivideMultiAttributeA(t *testing.T) {
+	r1 := relation.Ints([]string{"a1", "a2", "b"}, [][]int64{
+		{1, 1, 1}, {1, 1, 2},
+		{1, 2, 1},
+	})
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}, {2}})
+	want := relation.Ints([]string{"a1", "a2"}, [][]int64{{1, 1}})
+	for _, algo := range Algorithms() {
+		if got := DivideWith(algo, r1, r2); !got.Equal(want) {
+			t.Errorf("%s: composite-A divide = %v", algo, got)
+		}
+	}
+}
+
+func TestDivideWithUnknownAlgoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DivideWith("nope", fig1Dividend(), relation.Ints([]string{"b"}, [][]int64{{1}}))
+}
+
+func TestGreatDivideWithUnknownAlgoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	GreatDivideWith("nope", fig1Dividend(), relation.Ints([]string{"b", "c"}, [][]int64{{1, 1}}))
+}
+
+func TestDivideSchemaViolationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid schemas")
+		}
+	}()
+	Divide(relation.Ints([]string{"a"}, nil), relation.Ints([]string{"b"}, nil))
+}
+
+func TestGreatDivideEmptyDivisor(t *testing.T) {
+	r1 := fig1Dividend()
+	r2 := relation.New(schema.New("b", "c"))
+	for _, algo := range GreatAlgorithms() {
+		if got := GreatDivideWith(algo, r1, r2); !got.Empty() {
+			t.Errorf("%s: r1 ÷* ∅ = %v, want empty (no divisor groups)", algo, got)
+		}
+	}
+}
+
+func TestGreatDivideEmptyDividend(t *testing.T) {
+	r1 := relation.New(schema.New("a", "b"))
+	r2 := relation.Ints([]string{"b", "c"}, [][]int64{{1, 1}})
+	for _, algo := range GreatAlgorithms() {
+		if got := GreatDivideWith(algo, r1, r2); !got.Empty() {
+			t.Errorf("%s: ∅ ÷* r2 = %v, want empty", algo, got)
+		}
+	}
+}
+
+func TestGreatDivideMultiAttributeC(t *testing.T) {
+	r1 := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}, {1, 2}, {2, 1}})
+	r2 := relation.Ints([]string{"b", "c1", "c2"}, [][]int64{
+		{1, 10, 100},
+		{2, 10, 100},
+		{1, 20, 200},
+	})
+	want := relation.Ints([]string{"a", "c1", "c2"}, [][]int64{
+		{1, 10, 100}, {1, 20, 200}, {2, 20, 200},
+	})
+	for _, algo := range GreatAlgorithms() {
+		if got := GreatDivideWith(algo, r1, r2); !got.EquivalentTo(want) {
+			t.Errorf("%s: multi-C great divide = %v, want %v", algo, got, want)
+		}
+	}
+}
+
+// randDatabase builds a random dividend/divisor pair with small
+// domains so containment happens often.
+func randDatabase(rng *rand.Rand, nDividend, nDivisor, aDom, bDom, cDom int) (r1, r2 *relation.Relation) {
+	r1 = relation.New(schema.New("a", "b"))
+	for i := 0; i < nDividend; i++ {
+		r1.Insert(relation.Tuple{
+			value.Int(int64(rng.Intn(aDom))),
+			value.Int(int64(rng.Intn(bDom))),
+		})
+	}
+	r2 = relation.New(schema.New("b", "c"))
+	for i := 0; i < nDivisor; i++ {
+		r2.Insert(relation.Tuple{
+			value.Int(int64(rng.Intn(bDom))),
+			value.Int(int64(rng.Intn(cDom))),
+		})
+	}
+	return r1, r2
+}
+
+func TestAllSmallDivideAlgorithmsAgreeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		r1, r2full := randDatabase(rng, rng.Intn(30), rng.Intn(8), 5, 6, 1)
+		r2 := relation.New(schema.New("b"))
+		for _, tpl := range r2full.Tuples() {
+			r2.Insert(tpl[:1])
+		}
+		ref := NaiveDivide(r1, r2)
+		for _, algo := range Algorithms() {
+			if got := DivideWith(algo, r1, r2); !got.Equal(ref) {
+				t.Fatalf("trial %d: %s disagrees with naive:\nr1:\n%v\nr2:\n%v\nnaive:\n%v\n%s:\n%v",
+					trial, algo, r1, r2, ref, algo, got)
+			}
+		}
+	}
+}
+
+func TestTheorem1GreatDivideDefinitionsEquivalentProperty(t *testing.T) {
+	// Theorem 1: ÷*1 (group loop), ÷*2 (Demolombe), ÷*3 (Todd) are
+	// equivalent; the hash operator must agree as well.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		r1, r2 := randDatabase(rng, rng.Intn(30), rng.Intn(12), 4, 5, 3)
+		ref := GroupLoopGreatDivide(r1, r2)
+		for _, algo := range GreatAlgorithms() {
+			got := GreatDivideWith(algo, r1, r2)
+			if !got.EquivalentTo(ref) {
+				t.Fatalf("trial %d: %s disagrees with group-loop:\nr1:\n%v\nr2:\n%v\ngroup-loop:\n%v\n%s:\n%v",
+					trial, algo, r1, r2, ref, algo, got)
+			}
+		}
+	}
+}
+
+func TestTheorem2NonCommutativity(t *testing.T) {
+	// Theorem 2: r2 ÷ r1 is schema-invalid when r1 ÷ r2 is valid
+	// (the divisor must have strictly fewer attributes).
+	r1sch, r2sch := schema.New("a", "b"), schema.New("b")
+	if _, err := SmallSplit(r1sch, r2sch); err != nil {
+		t.Fatalf("forward direction should be valid: %v", err)
+	}
+	if _, err := SmallSplit(r2sch, r1sch); err == nil {
+		t.Error("r2 ÷ r1 must be an invalid expression")
+	}
+}
+
+func TestTheorem3NonAssociativity(t *testing.T) {
+	// Theorem 3: schemas cannot satisfy both r1 ÷ (r2 ÷ r3) and
+	// (r1 ÷ r2) ÷ r3 with equal results in general. We exhibit the
+	// schema-level contradiction: with A1 ⊇ A2 ⊇ A3 the left form
+	// has schema A1 − (A2 − A3) and the right A1 − A2 − A3, which
+	// differ whenever A3 ∩ A2 ≠ ∅.
+	a1 := schema.New("x", "y", "z")
+	a2 := schema.New("y", "z")
+	a3 := schema.New("z")
+	inner, err := SmallSplit(a2, a3) // r2 ÷ r3 : schema {y}
+	if err != nil {
+		t.Fatal(err)
+	}
+	leftOuter, err := SmallSplit(a1, inner.A) // r1 ÷ (r2 ÷ r3) : schema {x, z}
+	if err != nil {
+		t.Fatal(err)
+	}
+	right1, err := SmallSplit(a1, a2) // r1 ÷ r2 : schema {x}
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (r1 ÷ r2) ÷ r3 is invalid: {z} is not a subset of {x}.
+	if _, err := SmallSplit(right1.A, a3); err == nil {
+		t.Error("(r1 ÷ r2) ÷ r3 should be schema-invalid here")
+	}
+	if leftOuter.A.Equal(right1.A) {
+		t.Error("result schemas must differ, illustrating non-associativity")
+	}
+}
+
+func TestGreatDivideDegeneratesToSmallDivide(t *testing.T) {
+	// Darwen & Date: with a single divisor group, great divide's
+	// quotient restricted to A equals the small divide by that group.
+	r1 := fig1Dividend()
+	r2 := relation.Ints([]string{"b", "c"}, [][]int64{{1, 7}, {3, 7}})
+	small := Divide(r1, relation.Ints([]string{"b"}, [][]int64{{1}, {3}}))
+	great := GreatDivide(r1, r2)
+	if great.Len() != small.Len() {
+		t.Fatalf("degenerate great divide size %d vs small %d", great.Len(), small.Len())
+	}
+	for _, q := range small.Tuples() {
+		if !great.Contains(q.Concat(relation.Tuple{value.Int(7)})) {
+			t.Errorf("quotient %v missing from great divide", q)
+		}
+	}
+}

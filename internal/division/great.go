@@ -1,0 +1,164 @@
+package division
+
+import (
+	"divlaws/internal/algebra"
+	"divlaws/internal/relation"
+)
+
+// GroupLoopGreatDivide evaluates Definition 4 (set containment
+// division):
+//
+//	r1 ÷*1 r2 = ⋃_{t∈πC(r2)} (r1 ÷ πB(σ_{C=t}(r2))) × (t)
+//
+// iterating over the divisor groups and dividing by each.
+func GroupLoopGreatDivide(r1, r2 *relation.Relation) *relation.Relation {
+	split := mustGreatSplit(r1, r2)
+	cPos := r2.Schema().Positions(split.C.Attrs())
+	bPos := r2.Schema().Positions(split.B.Attrs())
+
+	// Partition the divisor into groups by C.
+	type group struct {
+		c relation.Tuple
+		b *relation.Relation
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, t := range r2.Tuples() {
+		ct := t.Project(cPos)
+		k := ct.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{c: ct, b: relation.New(split.B)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.b.Insert(t.Project(bPos))
+	}
+
+	out := relation.New(split.A.Concat(split.C))
+	for _, k := range order {
+		g := groups[k]
+		for _, q := range Divide(r1, g.b).Tuples() {
+			out.Insert(q.Concat(g.c))
+		}
+	}
+	return out
+}
+
+// DemolombeGreatDivide evaluates Definition 5 (generalized division):
+//
+//	r1 ÷*2 r2 = (πA(r1) × πC(r2)) −
+//	            π_{A∪C}((πA(r1) × r2) − (r1 × πC(r2)))
+func DemolombeGreatDivide(r1, r2 *relation.Relation) *relation.Relation {
+	split := mustGreatSplit(r1, r2)
+	a, b, c := split.A.Attrs(), split.B.Attrs(), split.C.Attrs()
+
+	piA := algebra.Project(r1, a...)
+	piC := algebra.Project(r2, c...)
+	universe := algebra.Product(piA, piC) // schema A ∪ C
+
+	// (πA(r1) × r2) has schema A ∪ B ∪ C (divisor order B then C).
+	left := algebra.Product(piA, r2.Reorder(append(append([]string(nil), b...), c...)))
+	// (r1 × πC(r2)) has schema A ∪ B ∪ C as well after reordering r1.
+	right := algebra.Product(r1.Reorder(append(append([]string(nil), a...), b...)), piC)
+
+	missing := algebra.Project(algebra.Diff(left, right), append(append([]string(nil), a...), c...)...)
+	return algebra.Diff(universe, missing)
+}
+
+// ToddGreatDivide evaluates Definition 6 (Todd's great divide):
+//
+//	r1 ÷*3 r2 = (πA(r1) × πC(r2)) −
+//	            π_{A∪C}((πA(r1) × r2) − (r1 ⋈ r2))
+//
+// differing from Definition 5 only in the join replacing the product.
+func ToddGreatDivide(r1, r2 *relation.Relation) *relation.Relation {
+	split := mustGreatSplit(r1, r2)
+	a, b, c := split.A.Attrs(), split.B.Attrs(), split.C.Attrs()
+
+	piA := algebra.Project(r1, a...)
+	piC := algebra.Project(r2, c...)
+	universe := algebra.Product(piA, piC)
+
+	left := algebra.Product(piA, r2.Reorder(append(append([]string(nil), b...), c...)))
+	joined := algebra.NaturalJoin(r1, r2) // schema A ∪ B ∪ C
+
+	missing := algebra.Project(algebra.Diff(left, joined.Reorder(left.Schema().Attrs())),
+		append(append([]string(nil), a...), c...)...)
+	return algebra.Diff(universe, missing)
+}
+
+// HashGreatDivide is the counting set-containment division: hash
+// every distinct B value, represent each divisor group as a set of
+// B ids, index dividend groups by the B ids they contain, and count
+// per (dividend group, divisor group) matches. A pair qualifies when
+// the count reaches the divisor group's size. Expected time
+// O(|r1| + |r2| + matches).
+func HashGreatDivide(r1, r2 *relation.Relation) *relation.Relation {
+	split := mustGreatSplit(r1, r2)
+	aPos := r1.Schema().Positions(split.A.Attrs())
+	b1Pos := r1.Schema().Positions(split.B.Attrs())
+	b2Pos := r2.Schema().Positions(split.B.Attrs())
+	cPos := r2.Schema().Positions(split.C.Attrs())
+
+	// Divisor groups and their sizes.
+	type divGroup struct {
+		c    relation.Tuple
+		size int
+	}
+	divGroups := make(map[string]int) // C-key -> index
+	var divs []divGroup
+	// members[bKey] = divisor group indexes containing that B value.
+	members := make(map[string][]int)
+	for _, t := range r2.Tuples() {
+		ct := t.Project(cPos)
+		ck := ct.Key()
+		gi, ok := divGroups[ck]
+		if !ok {
+			gi = len(divs)
+			divGroups[ck] = gi
+			divs = append(divs, divGroup{c: ct})
+		}
+		divs[gi].size++
+		bk := t.Project(b2Pos).Key()
+		members[bk] = append(members[bk], gi)
+	}
+
+	// Dividend groups: count distinct B hits per divisor group.
+	type candidate struct {
+		a    relation.Tuple
+		hits []int
+	}
+	cands := make(map[string]*candidate)
+	var order []string
+	for _, t := range r1.Tuples() {
+		gis, ok := members[t.Project(b1Pos).Key()]
+		if !ok {
+			continue
+		}
+		at := t.Project(aPos)
+		ak := at.Key()
+		c, ok := cands[ak]
+		if !ok {
+			c = &candidate{a: at, hits: make([]int, len(divs))}
+			cands[ak] = c
+			order = append(order, ak)
+		}
+		// Each (A,B) pair is unique (set semantics over A∪B), so each
+		// B id is counted at most once per dividend group.
+		for _, gi := range gis {
+			c.hits[gi]++
+		}
+	}
+
+	out := relation.New(split.A.Concat(split.C))
+	for _, ak := range order {
+		c := cands[ak]
+		for gi, d := range divs {
+			if c.hits[gi] == d.size {
+				out.Insert(c.a.Concat(d.c))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package division
+
+import (
+	"sort"
+
+	"divlaws/internal/relation"
+)
+
+// MergeGreatDivide is a sort-based set-containment division in the
+// style of the merge-sort division of Graefe & Cole lifted to the
+// many-to-many case (cf. Rantzau et al. [36]): both inputs are
+// sorted — the dividend on (A, B), the divisor on (C, B) — and each
+// dividend group is merged against each divisor group. Sorting makes
+// group boundaries free and the per-pair containment test a linear
+// merge, at the price of the two sorts; on inputs already grouped on
+// A and C the sorts are no-ops in a real system (the paper's
+// "group-preserving" argument).
+func MergeGreatDivide(r1, r2 *relation.Relation) *relation.Relation {
+	split := mustGreatSplit(r1, r2)
+	aPos := r1.Schema().Positions(split.A.Attrs())
+	b1Pos := r1.Schema().Positions(split.B.Attrs())
+	b2Pos := r2.Schema().Positions(split.B.Attrs())
+	cPos := r2.Schema().Positions(split.C.Attrs())
+
+	// Dividend rows sorted by (A, B).
+	dividend := make([]sortedRow, 0, r1.Len())
+	for _, t := range r1.Tuples() {
+		dividend = append(dividend, sortedRow{key: t.Project(aPos), b: t.Project(b1Pos)})
+	}
+	sort.Slice(dividend, func(i, j int) bool {
+		if c := dividend[i].key.Compare(dividend[j].key); c != 0 {
+			return c < 0
+		}
+		return dividend[i].b.Compare(dividend[j].b) < 0
+	})
+
+	// Divisor rows sorted by (C, B).
+	divisor := make([]sortedRow, 0, r2.Len())
+	for _, t := range r2.Tuples() {
+		divisor = append(divisor, sortedRow{key: t.Project(cPos), b: t.Project(b2Pos)})
+	}
+	sort.Slice(divisor, func(i, j int) bool {
+		if c := divisor[i].key.Compare(divisor[j].key); c != 0 {
+			return c < 0
+		}
+		return divisor[i].b.Compare(divisor[j].b) < 0
+	})
+
+	// Divisor group boundaries.
+	type span struct{ lo, hi int } // divisor[lo:hi] is one C group
+	var groups []span
+	for i := 0; i < len(divisor); {
+		j := i + 1
+		for j < len(divisor) && divisor[j].key.Compare(divisor[i].key) == 0 {
+			j++
+		}
+		groups = append(groups, span{lo: i, hi: j})
+		i = j
+	}
+
+	out := relation.New(split.A.Concat(split.C))
+	for i := 0; i < len(dividend); {
+		j := i + 1
+		for j < len(dividend) && dividend[j].key.Compare(dividend[i].key) == 0 {
+			j++
+		}
+		// Merge the group dividend[i:j] against every divisor group.
+		for _, g := range groups {
+			if containsSortedRows(dividend[i:j], divisor[g.lo:g.hi]) {
+				out.Insert(dividend[i].key.Concat(divisor[g.lo].key))
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// sortedRow pairs a group key with one element value for the
+// sort-based merge.
+type sortedRow struct{ key, b relation.Tuple }
+
+// containsSortedRows reports whether the B values of group (sorted)
+// contain all B values of want (sorted): a single linear merge.
+func containsSortedRows(group, want []sortedRow) bool {
+	gi := 0
+	for _, w := range want {
+		for gi < len(group) && group[gi].b.Compare(w.b) < 0 {
+			gi++
+		}
+		if gi >= len(group) || group[gi].b.Compare(w.b) != 0 {
+			return false
+		}
+		gi++
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"fmt"
+
+	"divlaws/internal/division"
+	"divlaws/internal/plan"
+	"divlaws/internal/relation"
+)
+
+// Compile lowers a logical plan to a physical iterator tree. Every
+// operator is labelled by its position so Stats exposes per-operator
+// tuple counts. stats may be nil.
+func Compile(n plan.Node, stats *Stats) Iterator {
+	return compile(n, stats, "root")
+}
+
+func compile(n plan.Node, stats *Stats, label string) Iterator {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return &ScanIter{Label: label + "/scan(" + t.Name + ")", Rel: t.Rel, Stats: stats}
+	case *plan.Select:
+		return &FilterIter{
+			Label: label + "/filter",
+			Input: compile(t.Input, stats, label+".0"),
+			Pred:  t.Pred,
+			Stats: stats,
+		}
+	case *plan.Project:
+		return &ProjectIter{
+			Label: label + "/project",
+			Input: compile(t.Input, stats, label+".0"),
+			Attrs: t.Attrs,
+			Stats: stats,
+		}
+	case *plan.Set:
+		l := compile(t.Left, stats, label+".0")
+		r := compile(t.Right, stats, label+".1")
+		switch t.Op {
+		case plan.UnionOp:
+			return &UnionIter{Label: label + "/union", Left: l, Right: r, Stats: stats}
+		case plan.IntersectOp:
+			return &HashSetOpIter{Label: label + "/intersect", Left: l, Right: r, Keep: true, Stats: stats}
+		default:
+			return &HashSetOpIter{Label: label + "/diff", Left: l, Right: r, Keep: false, Stats: stats}
+		}
+	case *plan.Product:
+		return &ProductIter{
+			Label: label + "/product",
+			Left:  compile(t.Left, stats, label+".0"),
+			Right: compile(t.Right, stats, label+".1"),
+			Stats: stats,
+		}
+	case *plan.Join:
+		return &HashJoinIter{
+			Label: label + "/hashjoin",
+			Left:  compile(t.Left, stats, label+".0"),
+			Right: compile(t.Right, stats, label+".1"),
+			Stats: stats,
+		}
+	case *plan.ThetaJoin:
+		return &ThetaJoinIter{
+			Label: label + "/thetajoin",
+			Left:  compile(t.Left, stats, label+".0"),
+			Right: compile(t.Right, stats, label+".1"),
+			Pred:  t.Pred,
+			Stats: stats,
+		}
+	case *plan.SemiJoin:
+		return &SemiJoinIter{
+			Label: label + "/semijoin",
+			Left:  compile(t.Left, stats, label+".0"),
+			Right: compile(t.Right, stats, label+".1"),
+			Keep:  true,
+			Stats: stats,
+		}
+	case *plan.AntiSemiJoin:
+		return &SemiJoinIter{
+			Label: label + "/antisemijoin",
+			Left:  compile(t.Left, stats, label+".0"),
+			Right: compile(t.Right, stats, label+".1"),
+			Keep:  false,
+			Stats: stats,
+		}
+	case *plan.Divide:
+		dividend := compile(t.Dividend, stats, label+".0")
+		divisor := compile(t.Divisor, stats, label+".1")
+		if t.Algo == division.AlgoMergeSort {
+			// Sort the dividend on A so the group-preserving
+			// pipelined operator applies.
+			split, err := division.SmallSplit(t.Dividend.Schema(), t.Divisor.Schema())
+			if err == nil {
+				sorted := &SortIter{
+					Label: label + "/sort",
+					Input: dividend,
+					ByPos: t.Dividend.Schema().Positions(split.A.Attrs()),
+					Stats: stats,
+				}
+				return &MergeGroupDivideIter{
+					Label:    label + "/mergedivide",
+					Dividend: sorted,
+					Divisor:  divisor,
+					Stats:    stats,
+				}
+			}
+		}
+		return &HashDivideIter{
+			Label:    label + "/hashdivide",
+			Dividend: dividend,
+			Divisor:  divisor,
+			Stats:    stats,
+		}
+	case *plan.GreatDivide:
+		return &GreatDivideIter{
+			Label:    label + "/greatdivide",
+			Dividend: compile(t.Dividend, stats, label+".0"),
+			Divisor:  compile(t.Divisor, stats, label+".1"),
+			Stats:    stats,
+		}
+	case *plan.Group:
+		return &GroupIter{
+			Label: label + "/group",
+			Input: compile(t.Input, stats, label+".0"),
+			By:    t.By,
+			Aggs:  t.Aggs,
+			Stats: stats,
+		}
+	case *plan.Rename:
+		return &RenameIter{
+			Input: compile(t.Input, stats, label+".0"),
+			From:  t.From,
+			To:    t.To,
+		}
+	default:
+		panic(fmt.Sprintf("exec: cannot compile %T", n))
+	}
+}
+
+// SimulatedDividePlan builds the basic-algebra simulation of
+// r1 ÷ r2 (Healy's Definition 2) as a logical plan:
+//
+//	πA(r1) − πA((πA(r1) × r2) − r1)
+//
+// Compiling and running it through the engine demonstrates the
+// quadratic intermediate result πA(r1) × r2 that Leinders & Van den
+// Bussche proved unavoidable for basic-algebra expressions [25];
+// compare its Stats against a first-class Divide node.
+func SimulatedDividePlan(r1Name string, r1 *relation.Relation, r2Name string, r2 *relation.Relation) plan.Node {
+	split, err := division.SmallSplit(r1.Schema(), r2.Schema())
+	if err != nil {
+		panic(err)
+	}
+	a := split.A.Attrs()
+	r1Scan := plan.NewScan(r1Name, r1)
+	// The product emits columns A then B; align r1 to that order so
+	// the difference is positional-compatible.
+	aligned := append(append([]string(nil), a...), split.B.Attrs()...)
+	r1Aligned := plan.NewScan(r1Name+"(aligned)", r1.Reorder(aligned))
+	piA := &plan.Project{Input: r1Scan, Attrs: a}
+	candidates := &plan.Product{Left: piA, Right: plan.NewScan(r2Name, r2)}
+	missing := &plan.Project{Input: plan.Diff(candidates, r1Aligned), Attrs: a}
+	return plan.Diff(piA, missing)
+}

@@ -1,0 +1,398 @@
+package exec
+
+import (
+	"divlaws/internal/division"
+	"divlaws/internal/pred"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+)
+
+// ThetaJoinIter is a nested-loop join with an arbitrary predicate
+// over the concatenated schemas (which must be disjoint).
+type ThetaJoinIter struct {
+	Label       string
+	Left, Right Iterator
+	Pred        pred.Predicate
+	Stats       *Stats
+	inner       *ProductIter
+	out         schema.Schema
+}
+
+// Open implements Iterator.
+func (j *ThetaJoinIter) Open() error {
+	j.inner = &ProductIter{Label: j.Label + ".product", Left: j.Left, Right: j.Right, Stats: nil}
+	j.out = j.Left.Schema().Concat(j.Right.Schema())
+	return j.inner.Open()
+}
+
+// Next implements Iterator.
+func (j *ThetaJoinIter) Next() (relation.Tuple, bool, error) {
+	if j.inner == nil {
+		return nil, false, errNotOpen("ThetaJoinIter")
+	}
+	for {
+		t, ok, err := j.inner.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if j.Pred.Eval(t, j.out) {
+			j.Stats.count(j.Label, 1)
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (j *ThetaJoinIter) Close() error { return j.inner.Close() }
+
+// Schema implements Iterator.
+func (j *ThetaJoinIter) Schema() schema.Schema {
+	if j.out.Len() == 0 {
+		j.out = j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.out
+}
+
+// HashDivideIter is the physical hash-division operator (Graefe):
+// the divisor is loaded into a bit-numbering table on Open, the
+// dividend consumed in one pass, and qualifying quotient groups
+// emitted afterwards. It is blocking on the dividend but needs no
+// sorted inputs.
+type HashDivideIter struct {
+	Label             string
+	Dividend, Divisor Iterator
+	Stats             *Stats
+	out               schema.Schema
+	results           []relation.Tuple
+	pos               int
+	opened            bool
+}
+
+// Open implements Iterator.
+func (h *HashDivideIter) Open() error {
+	if _, err := division.SmallSplit(h.Dividend.Schema(), h.Divisor.Schema()); err != nil {
+		return err
+	}
+	if err := h.Dividend.Open(); err != nil {
+		return err
+	}
+	if err := h.Divisor.Open(); err != nil {
+		return err
+	}
+	dividend := relation.New(h.Dividend.Schema())
+	for {
+		t, ok, err := h.Dividend.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		dividend.Insert(t)
+	}
+	divisor := relation.New(h.Divisor.Schema())
+	for {
+		t, ok, err := h.Divisor.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		divisor.Insert(t)
+	}
+	h.results = division.HashDivide(dividend, divisor).Tuples()
+	h.pos = 0
+	h.opened = true
+	return nil
+}
+
+// Next implements Iterator.
+func (h *HashDivideIter) Next() (relation.Tuple, bool, error) {
+	if !h.opened {
+		return nil, false, errNotOpen("HashDivideIter")
+	}
+	if h.pos >= len(h.results) {
+		return nil, false, nil
+	}
+	t := h.results[h.pos]
+	h.pos++
+	h.Stats.count(h.Label, 1)
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (h *HashDivideIter) Close() error {
+	h.results, h.opened = nil, false
+	err1 := h.Dividend.Close()
+	err2 := h.Divisor.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator. It is derived from the children's
+// schemas so parents may call it before Open.
+func (h *HashDivideIter) Schema() schema.Schema {
+	if h.out.Len() == 0 {
+		split, err := division.SmallSplit(h.Dividend.Schema(), h.Divisor.Schema())
+		if err != nil {
+			panic(err)
+		}
+		h.out = split.A
+	}
+	return h.out
+}
+
+// MergeGroupDivideIter is the group-preserving pipelined division of
+// §5.1.1: it requires its dividend sorted (grouped) on the quotient
+// attributes A and emits each qualifying quotient as soon as its
+// group ends, holding only the divisor table and the current group's
+// progress in memory. This is the operator shape that makes Law 1's
+// pipeline parallelism possible.
+type MergeGroupDivideIter struct {
+	Label             string
+	Dividend, Divisor Iterator
+	Stats             *Stats
+
+	out      schema.Schema
+	aPos     []int
+	bPos     []int
+	divisor  map[string]int
+	nDivisor int
+
+	curA    relation.Tuple
+	curBits bitset
+	curSeen int
+	srcDone bool
+	opened  bool
+}
+
+// Open implements Iterator.
+func (m *MergeGroupDivideIter) Open() error {
+	split, err := division.SmallSplit(m.Dividend.Schema(), m.Divisor.Schema())
+	if err != nil {
+		return err
+	}
+	m.aPos = m.Dividend.Schema().Positions(split.A.Attrs())
+	m.bPos = m.Dividend.Schema().Positions(split.B.Attrs())
+	bOrder := m.Divisor.Schema().Positions(split.B.Attrs())
+
+	if err := m.Divisor.Open(); err != nil {
+		return err
+	}
+	m.divisor = make(map[string]int)
+	for {
+		t, ok, err := m.Divisor.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := t.Project(bOrder).Key()
+		if _, dup := m.divisor[k]; !dup {
+			m.divisor[k] = len(m.divisor)
+		}
+	}
+	m.nDivisor = len(m.divisor)
+
+	if err := m.Dividend.Open(); err != nil {
+		return err
+	}
+	m.curA, m.curBits, m.curSeen = nil, nil, 0
+	m.srcDone = false
+	m.opened = true
+	return nil
+}
+
+// Next implements Iterator.
+func (m *MergeGroupDivideIter) Next() (relation.Tuple, bool, error) {
+	if !m.opened {
+		return nil, false, errNotOpen("MergeGroupDivideIter")
+	}
+	for {
+		if m.srcDone {
+			// Flush the final group, once.
+			if m.curA != nil {
+				q, qualifies := m.finishGroup()
+				m.curA = nil
+				if qualifies {
+					m.Stats.count(m.Label, 1)
+					return q, true, nil
+				}
+			}
+			return nil, false, nil
+		}
+		t, ok, err := m.Dividend.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			m.srcDone = true
+			continue
+		}
+		at := t.Project(m.aPos)
+		if m.curA == nil {
+			m.startGroup(at)
+		} else if at.Compare(m.curA) != 0 {
+			// Group boundary: finish current, stash the tuple.
+			q, qualifies := m.finishGroup()
+			m.startGroup(at)
+			m.absorb(t)
+			if qualifies {
+				m.Stats.count(m.Label, 1)
+				return q, true, nil
+			}
+			continue
+		}
+		m.absorb(t)
+	}
+}
+
+func (m *MergeGroupDivideIter) startGroup(a relation.Tuple) {
+	m.curA = a
+	m.curBits = newBitset(m.nDivisor)
+	m.curSeen = 0
+}
+
+func (m *MergeGroupDivideIter) absorb(t relation.Tuple) {
+	if bit, ok := m.divisor[t.Project(m.bPos).Key()]; ok {
+		if m.curBits.set(bit) {
+			m.curSeen++
+		}
+	}
+}
+
+func (m *MergeGroupDivideIter) finishGroup() (relation.Tuple, bool) {
+	return m.curA, m.curSeen == m.nDivisor
+}
+
+// Close implements Iterator.
+func (m *MergeGroupDivideIter) Close() error {
+	m.divisor, m.opened = nil, false
+	err1 := m.Dividend.Close()
+	err2 := m.Divisor.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator. It is derived from the children's
+// schemas so parents may call it before Open.
+func (m *MergeGroupDivideIter) Schema() schema.Schema {
+	if m.out.Len() == 0 {
+		split, err := division.SmallSplit(m.Dividend.Schema(), m.Divisor.Schema())
+		if err != nil {
+			panic(err)
+		}
+		m.out = split.A
+	}
+	return m.out
+}
+
+// GreatDivideIter is the physical set-containment-division operator:
+// blocking on both inputs, hash-based counting.
+type GreatDivideIter struct {
+	Label             string
+	Dividend, Divisor Iterator
+	Stats             *Stats
+	out               schema.Schema
+	results           []relation.Tuple
+	pos               int
+	opened            bool
+}
+
+// Open implements Iterator.
+func (g *GreatDivideIter) Open() error {
+	if _, err := division.GreatSplit(g.Dividend.Schema(), g.Divisor.Schema()); err != nil {
+		return err
+	}
+	if err := g.Dividend.Open(); err != nil {
+		return err
+	}
+	if err := g.Divisor.Open(); err != nil {
+		return err
+	}
+	dividend := relation.New(g.Dividend.Schema())
+	for {
+		t, ok, err := g.Dividend.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		dividend.Insert(t)
+	}
+	divisor := relation.New(g.Divisor.Schema())
+	for {
+		t, ok, err := g.Divisor.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		divisor.Insert(t)
+	}
+	g.results = division.HashGreatDivide(dividend, divisor).Tuples()
+	g.pos = 0
+	g.opened = true
+	return nil
+}
+
+// Next implements Iterator.
+func (g *GreatDivideIter) Next() (relation.Tuple, bool, error) {
+	if !g.opened {
+		return nil, false, errNotOpen("GreatDivideIter")
+	}
+	if g.pos >= len(g.results) {
+		return nil, false, nil
+	}
+	t := g.results[g.pos]
+	g.pos++
+	g.Stats.count(g.Label, 1)
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (g *GreatDivideIter) Close() error {
+	g.results, g.opened = nil, false
+	err1 := g.Dividend.Close()
+	err2 := g.Divisor.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator. It is derived from the children's
+// schemas so parents may call it before Open.
+func (g *GreatDivideIter) Schema() schema.Schema {
+	if g.out.Len() == 0 {
+		split, err := division.GreatSplit(g.Dividend.Schema(), g.Divisor.Schema())
+		if err != nil {
+			panic(err)
+		}
+		g.out = split.A.Concat(split.C)
+	}
+	return g.out
+}
+
+// bitset mirrors the hash-division bitmap for the merge-group
+// operator.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	if b[w]&m != 0 {
+		return false
+	}
+	b[w] |= m
+	return true
+}

@@ -1,0 +1,102 @@
+// Package exec is a Volcano-style physical execution engine: every
+// operator is an Iterator with Open/Next/Close, tuples flow through
+// pipelines without materializing intermediate relations unless an
+// operator is inherently blocking.
+//
+// The engine exists to make the paper's execution-level arguments
+// measurable: hash-division consumes its dividend in one pass
+// (Graefe), merge-group division preserves dividend grouping and
+// pipelines quotient tuples out per group (the Law 1 discussion in
+// §5.1.1), and the basic-algebra simulation of division materializes
+// a quadratic intermediate (Leinders & Van den Bussche [25]), which
+// the Stats counters expose.
+package exec
+
+import (
+	"fmt"
+
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+)
+
+// Iterator is the physical operator interface.
+type Iterator interface {
+	// Open prepares the operator (allocating hash tables, opening
+	// children). It must be called before Next.
+	Open() error
+	// Next produces the next tuple. ok is false at end of stream.
+	Next() (t relation.Tuple, ok bool, err error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+	// Schema describes the produced tuples.
+	Schema() schema.Schema
+}
+
+// Stats counts tuples emitted per operator label, making
+// intermediate-result sizes observable (the quadratic-intermediate
+// measurement of [25] relies on this).
+type Stats struct {
+	Emitted map[string]int64
+}
+
+// NewStats returns an empty Stats collector.
+func NewStats() *Stats { return &Stats{Emitted: make(map[string]int64)} }
+
+// count records n tuples emitted by the labelled operator.
+func (s *Stats) count(label string, n int64) {
+	if s != nil {
+		s.Emitted[label] += n
+	}
+}
+
+// Total returns the total number of tuples emitted by all operators,
+// the engine's measure of intermediate-result volume.
+func (s *Stats) Total() int64 {
+	var t int64
+	for _, n := range s.Emitted {
+		t += n
+	}
+	return t
+}
+
+// Run drains the iterator into a set-semantics relation.
+func Run(it Iterator) (*relation.Relation, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	out := relation.New(it.Schema())
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Insert(t)
+	}
+}
+
+// Drain consumes the iterator, returning only the tuple count; used
+// by benchmarks that do not need the result.
+func Drain(it Iterator) (int64, error) {
+	if err := it.Open(); err != nil {
+		return 0, err
+	}
+	defer it.Close()
+	var n int64
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// errNotOpen guards against protocol misuse.
+func errNotOpen(op string) error { return fmt.Errorf("exec: %s.Next before Open", op) }

@@ -1,0 +1,702 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"divlaws/internal/algebra"
+	"divlaws/internal/pred"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+)
+
+// ScanIter streams a materialized relation.
+type ScanIter struct {
+	Label string
+	Rel   *relation.Relation
+	Stats *Stats
+	pos   int
+	open  bool
+}
+
+// Open implements Iterator.
+func (s *ScanIter) Open() error { s.pos, s.open = 0, true; return nil }
+
+// Next implements Iterator.
+func (s *ScanIter) Next() (relation.Tuple, bool, error) {
+	if !s.open {
+		return nil, false, errNotOpen("ScanIter")
+	}
+	if s.pos >= s.Rel.Len() {
+		return nil, false, nil
+	}
+	t := s.Rel.Tuples()[s.pos]
+	s.pos++
+	s.Stats.count(s.Label, 1)
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (s *ScanIter) Close() error { s.open = false; return nil }
+
+// Schema implements Iterator.
+func (s *ScanIter) Schema() schema.Schema { return s.Rel.Schema() }
+
+// FilterIter applies a predicate, fully pipelined.
+type FilterIter struct {
+	Label string
+	Input Iterator
+	Pred  pred.Predicate
+	Stats *Stats
+}
+
+// Open implements Iterator.
+func (f *FilterIter) Open() error { return f.Input.Open() }
+
+// Next implements Iterator.
+func (f *FilterIter) Next() (relation.Tuple, bool, error) {
+	for {
+		t, ok, err := f.Input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.Pred.Eval(t, f.Input.Schema()) {
+			f.Stats.count(f.Label, 1)
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (f *FilterIter) Close() error { return f.Input.Close() }
+
+// Schema implements Iterator.
+func (f *FilterIter) Schema() schema.Schema { return f.Input.Schema() }
+
+// ProjectIter projects attributes and eliminates duplicates with a
+// streaming hash set (set semantics).
+type ProjectIter struct {
+	Label string
+	Input Iterator
+	Attrs []string
+	Stats *Stats
+	pos   []int
+	out   schema.Schema
+	seen  map[string]struct{}
+}
+
+// Open implements Iterator.
+func (p *ProjectIter) Open() error {
+	p.out, p.pos = p.Input.Schema().Project(p.Attrs)
+	p.seen = make(map[string]struct{})
+	return p.Input.Open()
+}
+
+// Next implements Iterator.
+func (p *ProjectIter) Next() (relation.Tuple, bool, error) {
+	if p.seen == nil {
+		return nil, false, errNotOpen("ProjectIter")
+	}
+	for {
+		t, ok, err := p.Input.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		proj := t.Project(p.pos)
+		k := proj.Key()
+		if _, dup := p.seen[k]; dup {
+			continue
+		}
+		p.seen[k] = struct{}{}
+		p.Stats.count(p.Label, 1)
+		return proj, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (p *ProjectIter) Close() error { p.seen = nil; return p.Input.Close() }
+
+// Schema implements Iterator.
+func (p *ProjectIter) Schema() schema.Schema {
+	if p.out.Len() == 0 {
+		p.out, p.pos = p.Input.Schema().Project(p.Attrs)
+	}
+	return p.out
+}
+
+// UnionIter streams left then right, deduplicating.
+type UnionIter struct {
+	Label       string
+	Left, Right Iterator
+	Stats       *Stats
+	seen        map[string]struct{}
+	onRight     bool
+	rightPos    []int
+}
+
+// Open implements Iterator.
+func (u *UnionIter) Open() error {
+	u.seen = make(map[string]struct{})
+	u.onRight = false
+	if !u.Left.Schema().EqualSet(u.Right.Schema()) {
+		return schemaErr("Union", u.Left.Schema(), u.Right.Schema())
+	}
+	u.rightPos = u.Right.Schema().Positions(u.Left.Schema().Attrs())
+	if err := u.Left.Open(); err != nil {
+		return err
+	}
+	return u.Right.Open()
+}
+
+// Next implements Iterator.
+func (u *UnionIter) Next() (relation.Tuple, bool, error) {
+	if u.seen == nil {
+		return nil, false, errNotOpen("UnionIter")
+	}
+	for {
+		var t relation.Tuple
+		var ok bool
+		var err error
+		if !u.onRight {
+			t, ok, err = u.Left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				u.onRight = true
+				continue
+			}
+		} else {
+			t, ok, err = u.Right.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			t = t.Project(u.rightPos)
+		}
+		k := t.Key()
+		if _, dup := u.seen[k]; dup {
+			continue
+		}
+		u.seen[k] = struct{}{}
+		u.Stats.count(u.Label, 1)
+		return t, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (u *UnionIter) Close() error {
+	u.seen = nil
+	err1 := u.Left.Close()
+	err2 := u.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator.
+func (u *UnionIter) Schema() schema.Schema { return u.Left.Schema() }
+
+// HashSetOpIter implements intersection and difference by building a
+// hash set over the right input, then streaming the left.
+type HashSetOpIter struct {
+	Label       string
+	Left, Right Iterator
+	Keep        bool // true: intersect (keep hits); false: diff (keep misses)
+	Stats       *Stats
+	rightKeys   map[string]struct{}
+	emitted     map[string]struct{}
+}
+
+// Open implements Iterator.
+func (h *HashSetOpIter) Open() error {
+	if !h.Left.Schema().EqualSet(h.Right.Schema()) {
+		return schemaErr("set operator", h.Left.Schema(), h.Right.Schema())
+	}
+	if err := h.Left.Open(); err != nil {
+		return err
+	}
+	if err := h.Right.Open(); err != nil {
+		return err
+	}
+	pos := h.Right.Schema().Positions(h.Left.Schema().Attrs())
+	h.rightKeys = make(map[string]struct{})
+	for {
+		t, ok, err := h.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h.rightKeys[t.Project(pos).Key()] = struct{}{}
+	}
+	h.emitted = make(map[string]struct{})
+	return nil
+}
+
+// Next implements Iterator.
+func (h *HashSetOpIter) Next() (relation.Tuple, bool, error) {
+	if h.rightKeys == nil {
+		return nil, false, errNotOpen("HashSetOpIter")
+	}
+	for {
+		t, ok, err := h.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := t.Key()
+		if _, dup := h.emitted[k]; dup {
+			continue
+		}
+		_, hit := h.rightKeys[k]
+		if hit != h.Keep {
+			continue
+		}
+		h.emitted[k] = struct{}{}
+		h.Stats.count(h.Label, 1)
+		return t, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (h *HashSetOpIter) Close() error {
+	h.rightKeys, h.emitted = nil, nil
+	err1 := h.Left.Close()
+	err2 := h.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator.
+func (h *HashSetOpIter) Schema() schema.Schema { return h.Left.Schema() }
+
+// ProductIter is a blocking nested-loop Cartesian product: the right
+// input is materialized, the left streamed.
+type ProductIter struct {
+	Label       string
+	Left, Right Iterator
+	Stats       *Stats
+	right       []relation.Tuple
+	cur         relation.Tuple
+	idx         int
+	done        bool
+}
+
+// Open implements Iterator.
+func (p *ProductIter) Open() error {
+	if err := p.Left.Open(); err != nil {
+		return err
+	}
+	if err := p.Right.Open(); err != nil {
+		return err
+	}
+	p.right = nil
+	for {
+		t, ok, err := p.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		p.right = append(p.right, t)
+	}
+	p.cur, p.idx, p.done = nil, 0, false
+	return nil
+}
+
+// Next implements Iterator.
+func (p *ProductIter) Next() (relation.Tuple, bool, error) {
+	if p.done {
+		return nil, false, nil
+	}
+	for {
+		if p.cur == nil || p.idx >= len(p.right) {
+			t, ok, err := p.Left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				p.done = true
+				return nil, false, nil
+			}
+			p.cur, p.idx = t, 0
+		}
+		if len(p.right) == 0 {
+			p.done = true
+			return nil, false, nil
+		}
+		out := p.cur.Concat(p.right[p.idx])
+		p.idx++
+		p.Stats.count(p.Label, 1)
+		return out, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (p *ProductIter) Close() error {
+	p.right = nil
+	err1 := p.Left.Close()
+	err2 := p.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator.
+func (p *ProductIter) Schema() schema.Schema {
+	return p.Left.Schema().Concat(p.Right.Schema())
+}
+
+// HashJoinIter is a natural hash join: build on the right input's
+// common-attribute key, probe with the left.
+type HashJoinIter struct {
+	Label       string
+	Left, Right Iterator
+	Stats       *Stats
+
+	out       schema.Schema
+	leftPos   []int
+	extraPos  []int
+	table     map[string][]relation.Tuple
+	cur       relation.Tuple
+	matches   []relation.Tuple
+	mIdx      int
+	dedup     map[string]struct{}
+	isProduct bool
+	prod      *ProductIter
+}
+
+// Open implements Iterator.
+func (j *HashJoinIter) Open() error {
+	common := j.Left.Schema().Intersect(j.Right.Schema())
+	if common.Len() == 0 {
+		// Degenerate to a product, as the logical definition does.
+		j.isProduct = true
+		j.prod = &ProductIter{Label: j.Label, Left: j.Left, Right: j.Right, Stats: j.Stats}
+		j.out = j.Left.Schema().Concat(j.Right.Schema())
+		return j.prod.Open()
+	}
+	j.isProduct = false
+	j.leftPos = j.Left.Schema().Positions(common.Attrs())
+	rightPos := j.Right.Schema().Positions(common.Attrs())
+	extra := j.Right.Schema().Minus(common)
+	j.extraPos = j.Right.Schema().Positions(extra.Attrs())
+	j.out = j.Left.Schema().Union(extra)
+
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]relation.Tuple)
+	for {
+		t, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := t.Project(rightPos).Key()
+		j.table[k] = append(j.table[k], t.Project(j.extraPos))
+	}
+	j.cur, j.matches, j.mIdx = nil, nil, 0
+	j.dedup = make(map[string]struct{})
+	return nil
+}
+
+// Next implements Iterator.
+func (j *HashJoinIter) Next() (relation.Tuple, bool, error) {
+	if j.isProduct {
+		return j.prod.Next()
+	}
+	if j.table == nil {
+		return nil, false, errNotOpen("HashJoinIter")
+	}
+	for {
+		if j.mIdx >= len(j.matches) {
+			t, ok, err := j.Left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = t
+			j.matches = j.table[t.Project(j.leftPos).Key()]
+			j.mIdx = 0
+			continue
+		}
+		out := j.cur.Concat(j.matches[j.mIdx])
+		j.mIdx++
+		k := out.Key()
+		if _, dup := j.dedup[k]; dup {
+			continue
+		}
+		j.dedup[k] = struct{}{}
+		j.Stats.count(j.Label, 1)
+		return out, true, nil
+	}
+}
+
+// Close implements Iterator.
+func (j *HashJoinIter) Close() error {
+	if j.isProduct {
+		return j.prod.Close()
+	}
+	j.table, j.dedup = nil, nil
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator.
+func (j *HashJoinIter) Schema() schema.Schema {
+	if j.out.Len() == 0 {
+		common := j.Left.Schema().Intersect(j.Right.Schema())
+		j.out = j.Left.Schema().Union(j.Right.Schema().Minus(common))
+	}
+	return j.out
+}
+
+// SemiJoinIter streams left tuples that have a partner in the right
+// input on the common attributes. Keep=false turns it into the
+// anti-semi-join.
+type SemiJoinIter struct {
+	Label       string
+	Left, Right Iterator
+	Keep        bool
+	Stats       *Stats
+	keys        map[string]struct{}
+	leftPos     []int
+	degenerate  bool // no common attributes
+	rightAny    bool
+}
+
+// Open implements Iterator.
+func (s *SemiJoinIter) Open() error {
+	common := s.Left.Schema().Intersect(s.Right.Schema())
+	if err := s.Left.Open(); err != nil {
+		return err
+	}
+	if err := s.Right.Open(); err != nil {
+		return err
+	}
+	s.keys = make(map[string]struct{})
+	if common.Len() == 0 {
+		s.degenerate = true
+		_, ok, err := s.Right.Next()
+		if err != nil {
+			return err
+		}
+		s.rightAny = ok
+		return nil
+	}
+	s.degenerate = false
+	s.leftPos = s.Left.Schema().Positions(common.Attrs())
+	rightPos := s.Right.Schema().Positions(common.Attrs())
+	for {
+		t, ok, err := s.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.keys[t.Project(rightPos).Key()] = struct{}{}
+	}
+	return nil
+}
+
+// Next implements Iterator.
+func (s *SemiJoinIter) Next() (relation.Tuple, bool, error) {
+	if s.keys == nil {
+		return nil, false, errNotOpen("SemiJoinIter")
+	}
+	for {
+		t, ok, err := s.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		var hit bool
+		if s.degenerate {
+			hit = s.rightAny
+		} else {
+			_, hit = s.keys[t.Project(s.leftPos).Key()]
+		}
+		if hit == s.Keep {
+			s.Stats.count(s.Label, 1)
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Iterator.
+func (s *SemiJoinIter) Close() error {
+	s.keys = nil
+	err1 := s.Left.Close()
+	err2 := s.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator.
+func (s *SemiJoinIter) Schema() schema.Schema { return s.Left.Schema() }
+
+// GroupIter is the blocking grouping operator; it materializes its
+// input and delegates to algebra.Group.
+type GroupIter struct {
+	Label string
+	Input Iterator
+	By    []string
+	Aggs  []algebra.AggSpec
+	Stats *Stats
+	rows  []relation.Tuple
+	pos   int
+	outSc schema.Schema
+}
+
+// Open implements Iterator.
+func (g *GroupIter) Open() error {
+	if err := g.Input.Open(); err != nil {
+		return err
+	}
+	in := relation.New(g.Input.Schema())
+	for {
+		t, ok, err := g.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		in.Insert(t)
+	}
+	out := algebra.Group(in, g.By, g.Aggs)
+	g.rows = out.Tuples()
+	g.outSc = out.Schema()
+	g.pos = 0
+	return nil
+}
+
+// Next implements Iterator.
+func (g *GroupIter) Next() (relation.Tuple, bool, error) {
+	if g.outSc.Len() == 0 && g.rows == nil {
+		return nil, false, errNotOpen("GroupIter")
+	}
+	if g.pos >= len(g.rows) {
+		return nil, false, nil
+	}
+	t := g.rows[g.pos]
+	g.pos++
+	g.Stats.count(g.Label, 1)
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (g *GroupIter) Close() error { g.rows = nil; return g.Input.Close() }
+
+// Schema implements Iterator.
+func (g *GroupIter) Schema() schema.Schema {
+	if g.outSc.Len() > 0 {
+		return g.outSc
+	}
+	attrs := append([]string(nil), g.By...)
+	for _, a := range g.Aggs {
+		attrs = append(attrs, a.As)
+	}
+	return schema.New(attrs...)
+}
+
+// SortIter materializes and sorts its input in canonical tuple
+// order; it feeds the merge-group division.
+type SortIter struct {
+	Label string
+	Input Iterator
+	// ByPos optionally sorts by specific column positions first.
+	ByPos []int
+	Stats *Stats
+	rows  []relation.Tuple
+	pos   int
+	open  bool
+}
+
+// Open implements Iterator.
+func (s *SortIter) Open() error {
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	s.rows = nil
+	s.open = true
+	for {
+		t, ok, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, t)
+	}
+	sort.Slice(s.rows, func(i, j int) bool {
+		a, b := s.rows[i], s.rows[j]
+		for _, p := range s.ByPos {
+			if c := a[p : p+1].Compare(b[p : p+1]); c != 0 {
+				return c < 0
+			}
+		}
+		return a.Compare(b) < 0
+	})
+	s.pos = 0
+	return nil
+}
+
+// Next implements Iterator.
+func (s *SortIter) Next() (relation.Tuple, bool, error) {
+	if !s.open {
+		return nil, false, errNotOpen("SortIter")
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	s.Stats.count(s.Label, 1)
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (s *SortIter) Close() error { s.rows, s.open = nil, false; return s.Input.Close() }
+
+// Schema implements Iterator.
+func (s *SortIter) Schema() schema.Schema { return s.Input.Schema() }
+
+// RenameIter relabels attributes without touching tuples.
+type RenameIter struct {
+	Input    Iterator
+	From, To string
+}
+
+// Open implements Iterator.
+func (r *RenameIter) Open() error { return r.Input.Open() }
+
+// Next implements Iterator.
+func (r *RenameIter) Next() (relation.Tuple, bool, error) { return r.Input.Next() }
+
+// Close implements Iterator.
+func (r *RenameIter) Close() error { return r.Input.Close() }
+
+// Schema implements Iterator.
+func (r *RenameIter) Schema() schema.Schema { return r.Input.Schema().Rename(r.From, r.To) }
+
+func schemaErr(op string, a, b schema.Schema) error {
+	return fmt.Errorf("exec: %s over incompatible schemas %v and %v", op, a, b)
+}

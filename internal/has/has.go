@@ -1,0 +1,158 @@
+// Package has implements Carlis's HAS operator, the generalization
+// of division the paper discusses in its related work (§6): given
+// entities r1, qualification entities r2, and a relationship table
+// r3, HAS qualifies each r1 entity by comparing its related set
+// S(e) = { y | (e, y) ∈ r3 } against the qualification set Q = r2
+// using a disjunction of six mutually exclusive "associations"
+// (adverbs). Small divide is the special case
+//
+//	r1 VIA r3 HAS (exactly OR strictly more than) OF r2
+//
+// i.e. the "at least" adverb, which the tests verify against the
+// division package.
+package has
+
+import (
+	"fmt"
+	"strings"
+
+	"divlaws/internal/relation"
+)
+
+// Association is one of Carlis's six adverbs describing how an
+// entity's related set S compares with the qualification set Q.
+type Association uint8
+
+// The six associations. They partition all possible (S, Q)
+// relationships: every entity falls under exactly one.
+const (
+	// StrictlyMoreThan: S ⊋ Q.
+	StrictlyMoreThan Association = 1 << iota
+	// StrictlyLessThan: S ⊊ Q (including S = ∅ only when Q ≠ ∅ is
+	// handled by NoneAtAll first; see Classify).
+	StrictlyLessThan
+	// SomeButNotAllPlusElse: S shares some but not all of Q and has
+	// extra elements outside Q.
+	SomeButNotAllPlusElse
+	// Exactly: S = Q.
+	Exactly
+	// NoneOfPlusElse: S ∩ Q = ∅ and S ≠ ∅.
+	NoneOfPlusElse
+	// NoneAtAll: S = ∅.
+	NoneAtAll
+)
+
+// AtLeast is the combination equivalent to relational division:
+// "exactly or strictly more than".
+const AtLeast = Exactly | StrictlyMoreThan
+
+// All is the disjunction of every association; HAS with All returns
+// every entity of r1.
+const All = StrictlyMoreThan | StrictlyLessThan | SomeButNotAllPlusElse |
+	Exactly | NoneOfPlusElse | NoneAtAll
+
+// String names the association combination.
+func (a Association) String() string {
+	names := []struct {
+		bit  Association
+		name string
+	}{
+		{StrictlyMoreThan, "strictly more than"},
+		{StrictlyLessThan, "strictly less than"},
+		{SomeButNotAllPlusElse, "some but not all plus else"},
+		{Exactly, "exactly"},
+		{NoneOfPlusElse, "none of plus else"},
+		{NoneAtAll, "none at all"},
+	}
+	var parts []string
+	for _, n := range names {
+		if a&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "(no association)"
+	}
+	return strings.Join(parts, " or ")
+}
+
+// Classify determines the unique association between a related set
+// S and a qualification set Q, both given as key sets.
+func Classify(s, q map[string]struct{}) Association {
+	if len(s) == 0 {
+		return NoneAtAll
+	}
+	common := 0
+	for k := range s {
+		if _, ok := q[k]; ok {
+			common++
+		}
+	}
+	extra := len(s) - common
+	// Coverage of Q is checked before disjointness so an empty Q
+	// classifies nonempty S as "strictly more than" (S ⊋ ∅), keeping
+	// the division correspondence exact for empty divisors.
+	switch {
+	case common == len(q) && extra == 0:
+		return Exactly
+	case common == len(q):
+		return StrictlyMoreThan
+	case common == 0:
+		return NoneOfPlusElse
+	case extra == 0:
+		return StrictlyLessThan
+	default:
+		return SomeButNotAllPlusElse
+	}
+}
+
+// HAS evaluates r1 VIA r3 HAS assocs OF r2.
+//
+// r1 holds the candidate entities (schema A), r2 the qualification
+// entities (schema B), and r3 the relationships (schema A ∪ B).
+// The result has schema A: the entities whose association with Q is
+// among assocs. Entities of r1 without any relationship in r3
+// classify as NoneAtAll.
+func HAS(r1, r3, r2 *relation.Relation, assocs Association) *relation.Relation {
+	a := r1.Schema()
+	b := r2.Schema()
+	if !a.Union(b).EqualSet(r3.Schema()) {
+		panic(fmt.Sprintf("has: relationship schema %v must be %v ∪ %v",
+			r3.Schema(), a, b))
+	}
+	if !a.DisjointFrom(b) {
+		panic(fmt.Sprintf("has: entity schemas %v and %v must be disjoint", a, b))
+	}
+	aPos := r3.Schema().Positions(a.Attrs())
+	bPos := r3.Schema().Positions(b.Attrs())
+
+	q := make(map[string]struct{}, r2.Len())
+	for _, t := range r2.Tuples() {
+		q[t.Key()] = struct{}{}
+	}
+
+	related := make(map[string]map[string]struct{})
+	for _, t := range r3.Tuples() {
+		ak := t.Project(aPos).Key()
+		s, ok := related[ak]
+		if !ok {
+			s = make(map[string]struct{})
+			related[ak] = s
+		}
+		// bPos lists r3's B columns in r2's attribute order, so the
+		// projected key aligns with Q's keys directly.
+		s[t.Project(bPos).Key()] = struct{}{}
+	}
+
+	out := relation.New(a)
+	for _, e := range r1.Tuples() {
+		s := related[e.Key()]
+		if s == nil {
+			s = map[string]struct{}{}
+		}
+		if Classify(s, q)&assocs != 0 {
+			out.Insert(e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package laws_test
+
+import (
+	"fmt"
+
+	"divlaws/internal/laws"
+	"divlaws/internal/plan"
+	"divlaws/internal/pred"
+	"divlaws/internal/relation"
+)
+
+// ExampleLaw3 pushes a quotient-attribute selection through a
+// division, the paper's §5.1.2 push-down.
+func ExampleLaw3() {
+	r1 := plan.NewScan("r1", relation.Ints([]string{"a", "b"},
+		[][]int64{{1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 1}}))
+	r2 := plan.NewScan("r2", relation.Ints([]string{"b"}, [][]int64{{1}, {2}}))
+
+	lhs := &plan.Select{
+		Input: &plan.Divide{Dividend: r1, Divisor: r2},
+		Pred:  pred.Compare(pred.Attr("a"), pred.Lt, pred.ConstInt(2)),
+	}
+	rhs, _ := laws.Law3().Apply(lhs)
+	fmt.Println(plan.Format(rhs))
+	fmt.Println(plan.Eval(rhs))
+	// Output:
+	// Divide
+	//   Select[a < 2]
+	//     Scan(r1)
+	//   Scan(r2)
+	// a
+	// 1
+}
+
+// ExampleLaw9 eliminates a Cartesian product whose factor is covered
+// by the divisor (§5.1.5, Figure 8).
+func ExampleLaw9() {
+	r1s := plan.NewScan("r1s", relation.Ints([]string{"a", "b1"},
+		[][]int64{{1, 1}, {1, 3}, {2, 3}}))
+	r1ss := plan.NewScan("r1ss", relation.Ints([]string{"b2"}, [][]int64{{1}, {2}}))
+	r2 := plan.NewScan("r2", relation.Ints([]string{"b1", "b2"},
+		[][]int64{{1, 2}, {3, 1}, {3, 2}}))
+
+	lhs := &plan.Divide{
+		Dividend: &plan.Product{Left: r1s, Right: r1ss},
+		Divisor:  r2,
+	}
+	rhs, ok := laws.Law9().Apply(lhs)
+	fmt.Println("rewritten:", ok)
+	fmt.Println(plan.Format(rhs))
+	// Output:
+	// rewritten: true
+	// Divide
+	//   Scan(r1s)
+	//   Project[b1]
+	//     Scan(r2)
+}
+
+// ExampleC2 checks the cheap partition-disjointness precondition of
+// Law 2.
+func ExampleC2() {
+	lo := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}})
+	hi := relation.Ints([]string{"a", "b"}, [][]int64{{2, 1}})
+	shared := relation.Ints([]string{"a", "b"}, [][]int64{{1, 2}})
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}})
+	fmt.Println(laws.C2(lo, hi, r2))
+	fmt.Println(laws.C2(lo, shared, r2))
+	// Output:
+	// true
+	// false
+}

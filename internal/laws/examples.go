@@ -1,0 +1,141 @@
+package laws
+
+import (
+	"divlaws/internal/division"
+	"divlaws/internal/plan"
+	"divlaws/internal/pred"
+)
+
+// Example1Rule implements the paper's Example 1: a dividend-only
+// restriction on element attributes B,
+//
+//	σp(B)(r1) ÷ r2 = (σp(B)(r1) ÷ σp(B)(r2)) −
+//	                 πA(πA(r1) × σ¬p(B)(r2))
+//
+// The subtrahend "switches the quotient off" whenever the divisor
+// has any tuple violating p, because such a tuple can never be
+// matched by the restricted dividend.
+func Example1Rule() Rule {
+	return Rule{
+		Name:        "Example 1",
+		Description: "σp(B)(r1) ÷ r2 = (σp(B)(r1) ÷ σp(B)(r2)) − πA(πA(r1) × σ¬p(B)(r2))",
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			sel, ok := d.Dividend.(*plan.Select)
+			if !ok {
+				return nil, false
+			}
+			s, ok := smallSplit(d)
+			if !ok || !pred.OnlyOver(sel.Pred, s.B) {
+				return nil, false
+			}
+			a := s.A.Attrs()
+			positive := &plan.Divide{
+				Dividend: d.Dividend,
+				Divisor:  &plan.Select{Input: d.Divisor, Pred: sel.Pred},
+				Algo:     d.Algo,
+			}
+			kill := &plan.Project{
+				Input: &plan.Product{
+					Left:  &plan.Project{Input: sel.Input, Attrs: a},
+					Right: &plan.Select{Input: d.Divisor, Pred: pred.Negate(sel.Pred)},
+				},
+				Attrs: a,
+			}
+			return plan.Diff(positive, kill), true
+		},
+	}
+}
+
+// Example2Rule implements the paper's Example 2, a consequence of
+// Law 9: dividing out a common factor,
+//
+//	(r1 × s) ÷ (r2 × s) = r1 ÷ r2
+//
+// valid when s is nonempty (an empty common factor empties the
+// dividend while r1 ÷ r2 need not be empty).
+func Example2Rule() Rule {
+	return Rule{
+		Name:          "Example 2",
+		Description:   "(r1 × s) ÷ (r2 × s) = r1 ÷ r2 for nonempty s",
+		DataDependent: true,
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			dp, ok := d.Dividend.(*plan.Product)
+			if !ok {
+				return nil, false
+			}
+			vp, ok := d.Divisor.(*plan.Product)
+			if !ok || !plan.Equal(dp.Right, vp.Right) {
+				return nil, false
+			}
+			// Residual division r1 ÷ r2 must be well-formed: r2's
+			// schema strictly inside r1's.
+			if _, err := division.SmallSplit(dp.Left.Schema(), vp.Left.Schema()); err != nil {
+				return nil, false
+			}
+			if plan.Eval(dp.Right).Empty() {
+				return nil, false
+			}
+			return &plan.Divide{Dividend: dp.Left, Divisor: vp.Left, Algo: d.Algo}, true
+		},
+	}
+}
+
+// Example3 builds the paper's Example 3 as a pair of equivalent
+// plans over the given scans:
+//
+//	lhs = (r1* ⋈_{b1<b2} r1**) ÷ r2
+//	rhs = (r1* ÷ πb1(σ_{b1<b2}(r2))) − πa(πa(r1*) × σ_{b1≥b2}(r2))
+//
+// where r1*(a, b1), r1**(b2), r2(b1, b2) and r2.b2 is a foreign key
+// into r1**. The rhs avoids the theta-join entirely.
+func Example3(r1s, r1ss, r2 plan.Node) (lhs, rhs plan.Node) {
+	lt := pred.Compare(pred.Attr("b1"), pred.Lt, pred.Attr("b2"))
+	ge := pred.Compare(pred.Attr("b1"), pred.Ge, pred.Attr("b2"))
+	lhs = &plan.Divide{
+		Dividend: &plan.ThetaJoin{Left: r1s, Right: r1ss, Pred: lt},
+		Divisor:  r2,
+	}
+	rhs = plan.Diff(
+		&plan.Divide{
+			Dividend: r1s,
+			Divisor:  &plan.Project{Input: &plan.Select{Input: r2, Pred: lt}, Attrs: []string{"b1"}},
+		},
+		&plan.Project{
+			Input: &plan.Product{
+				Left:  &plan.Project{Input: r1s, Attrs: []string{"a"}},
+				Right: &plan.Select{Input: r2, Pred: ge},
+			},
+			Attrs: []string{"a"},
+		},
+	)
+	return lhs, rhs
+}
+
+// Example4 builds the paper's Example 4 as a pair of equivalent
+// plans: pushing an equi-join below a great divide,
+//
+//	lhs = r1* ⋈_{a1=a2} (r1** ÷* r2)
+//	rhs = (r1* ⋈_{a1=a2} r1**) ÷* r2
+//
+// where r1*(a1), r1**(a2, b1), r2(b1, b2).
+func Example4(r1s, r1ss, r2 plan.Node) (lhs, rhs plan.Node) {
+	eq := pred.Compare(pred.Attr("a1"), pred.Eq, pred.Attr("a2"))
+	lhs = &plan.ThetaJoin{
+		Left:  r1s,
+		Right: &plan.GreatDivide{Dividend: r1ss, Divisor: r2},
+		Pred:  eq,
+	}
+	rhs = &plan.GreatDivide{
+		Dividend: &plan.ThetaJoin{Left: r1s, Right: r1ss, Pred: eq},
+		Divisor:  r2,
+	}
+	return lhs, rhs
+}

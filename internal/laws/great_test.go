@@ -1,0 +1,215 @@
+package laws
+
+import (
+	"math/rand"
+	"testing"
+
+	"divlaws/internal/plan"
+	"divlaws/internal/pred"
+	"divlaws/internal/relation"
+)
+
+// greatFixture returns the Figure 2 dividend/divisor pair.
+func greatFixture() (r1, r2 *relation.Relation) {
+	r1 = relation.Ints([]string{"a", "b"}, [][]int64{
+		{1, 1}, {1, 4}, {2, 1}, {2, 2}, {2, 3}, {2, 4}, {3, 1}, {3, 3}, {3, 4},
+	})
+	r2 = relation.Ints([]string{"b", "c"}, [][]int64{
+		{1, 1}, {2, 1}, {4, 1}, {1, 2}, {3, 2},
+	})
+	return r1, r2
+}
+
+func TestLaw13PartitionedDivisor(t *testing.T) {
+	r1, r2 := greatFixture()
+	// Partition the Figure 2 divisor by group: c=1 vs c=2 — the
+	// hash-partitioning on C the paper describes for parallelism.
+	r2a := relation.Ints([]string{"b", "c"}, [][]int64{{1, 1}, {2, 1}, {4, 1}})
+	r2b := relation.Ints([]string{"b", "c"}, [][]int64{{1, 2}, {3, 2}})
+	lhs := &plan.GreatDivide{
+		Dividend: scan("r1", r1),
+		Divisor:  plan.Union(scan("r2a", r2a), scan("r2b", r2b)),
+	}
+	rhs := checkEquivalence(t, Law13(), lhs)
+	if u, ok := rhs.(*plan.Set); !ok || u.Op != plan.UnionOp {
+		t.Fatalf("Law 13 should produce a union of great divides:\n%s", plan.Format(rhs))
+	}
+	// The result must still be Figure 2(c).
+	want := relation.Ints([]string{"a", "c"}, [][]int64{{2, 1}, {2, 2}, {3, 2}})
+	if got := plan.Eval(rhs); !got.EquivalentTo(want) {
+		t.Errorf("partitioned great divide = %v, want %v", got, want)
+	}
+	_ = r2
+}
+
+func TestLaw13RejectsOverlappingGroups(t *testing.T) {
+	r1, _ := greatFixture()
+	// Both partitions contain tuples of group c=1; dividing
+	// separately would lose elements of the group, so the rule must
+	// reject.
+	r2a := relation.Ints([]string{"b", "c"}, [][]int64{{1, 1}, {2, 1}})
+	r2b := relation.Ints([]string{"b", "c"}, [][]int64{{4, 1}})
+	lhs := &plan.GreatDivide{
+		Dividend: scan("r1", r1),
+		Divisor:  plan.Union(scan("r2a", r2a), scan("r2b", r2b)),
+	}
+	mustReject(t, Law13(), lhs)
+}
+
+func TestLaw13Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	fired := 0
+	for trial := 0; trial < 150; trial++ {
+		r1 := randRelation(rng, []string{"a", "b"}, 2+rng.Intn(20), 5)
+		r2a := randRelation(rng, []string{"b", "c"}, rng.Intn(6), 5)
+		r2b := randRelation(rng, []string{"b", "c"}, rng.Intn(6), 5)
+		lhs := &plan.GreatDivide{
+			Dividend: scan("r1", r1),
+			Divisor:  plan.Union(scan("r2a", r2a), scan("r2b", r2b)),
+		}
+		if _, ok := Law13().Apply(lhs); ok {
+			checkEquivalence(t, Law13(), lhs)
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("Law 13 never fired; generator too adversarial")
+	}
+}
+
+func TestLaw14PushesQuotientSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 100; trial++ {
+		r1 := randRelation(rng, []string{"a", "b"}, 2+rng.Intn(20), 5)
+		r2 := randRelation(rng, []string{"b", "c"}, 1+rng.Intn(8), 5)
+		p := pred.Compare(pred.Attr("a"), pred.Gt, pred.ConstInt(int64(rng.Intn(4))))
+		lhs := &plan.Select{
+			Input: &plan.GreatDivide{Dividend: scan("r1", r1), Divisor: scan("r2", r2)},
+			Pred:  p,
+		}
+		rhs := checkEquivalence(t, Law14(), lhs)
+		gd, ok := rhs.(*plan.GreatDivide)
+		if !ok {
+			t.Fatalf("Law 14 should produce a GreatDivide root:\n%s", plan.Format(rhs))
+		}
+		back := checkEquivalence(t, Law14Reverse(), gd)
+		if _, ok := back.(*plan.Select); !ok {
+			t.Fatalf("Law 14 (reverse) should produce a Select root:\n%s", plan.Format(back))
+		}
+	}
+}
+
+func TestLaw14RejectsSelectionOverC(t *testing.T) {
+	r1, r2 := greatFixture()
+	overC := pred.Compare(pred.Attr("c"), pred.Eq, pred.ConstInt(1))
+	lhs := &plan.Select{
+		Input: &plan.GreatDivide{Dividend: scan("r1", r1), Divisor: scan("r2", r2)},
+		Pred:  overC,
+	}
+	mustReject(t, Law14(), lhs)
+}
+
+func TestLaw15PushesGroupSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 100; trial++ {
+		r1 := randRelation(rng, []string{"a", "b"}, 2+rng.Intn(20), 5)
+		r2 := randRelation(rng, []string{"b", "c"}, 1+rng.Intn(8), 5)
+		p := pred.Compare(pred.Attr("c"), pred.Le, pred.ConstInt(int64(rng.Intn(4))))
+		lhs := &plan.Select{
+			Input: &plan.GreatDivide{Dividend: scan("r1", r1), Divisor: scan("r2", r2)},
+			Pred:  p,
+		}
+		rhs := checkEquivalence(t, Law15(), lhs)
+		gd, ok := rhs.(*plan.GreatDivide)
+		if !ok {
+			t.Fatalf("Law 15 should produce a GreatDivide root:\n%s", plan.Format(rhs))
+		}
+		if _, ok := gd.Divisor.(*plan.Select); !ok {
+			t.Fatalf("Law 15 should select on the divisor:\n%s", plan.Format(rhs))
+		}
+		back := checkEquivalence(t, Law15Reverse(), gd)
+		if _, ok := back.(*plan.Select); !ok {
+			t.Fatalf("Law 15 (reverse) should produce a Select root:\n%s", plan.Format(back))
+		}
+	}
+}
+
+func TestLaw15RejectsSelectionOverA(t *testing.T) {
+	r1, r2 := greatFixture()
+	overA := pred.Compare(pred.Attr("a"), pred.Eq, pred.ConstInt(2))
+	lhs := &plan.Select{
+		Input: &plan.GreatDivide{Dividend: scan("r1", r1), Divisor: scan("r2", r2)},
+		Pred:  overA,
+	}
+	mustReject(t, Law15(), lhs)
+}
+
+func TestLaw16ReplicatesElementSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 100; trial++ {
+		r1 := randRelation(rng, []string{"a", "b"}, 2+rng.Intn(20), 5)
+		r2 := randRelation(rng, []string{"b", "c"}, 1+rng.Intn(8), 5)
+		p := pred.Compare(pred.Attr("b"), pred.Lt, pred.ConstInt(int64(1+rng.Intn(5))))
+		lhs := &plan.GreatDivide{
+			Dividend: scan("r1", r1),
+			Divisor:  &plan.Select{Input: scan("r2", r2), Pred: p},
+		}
+		rhs := checkEquivalence(t, Law16(), lhs)
+		gd := rhs.(*plan.GreatDivide)
+		if _, ok := gd.Dividend.(*plan.Select); !ok {
+			t.Fatalf("Law 16 should replicate the selection onto the dividend:\n%s", plan.Format(rhs))
+		}
+		back := checkEquivalence(t, Law16Reverse(), gd)
+		if plan.CountDivides(back) != 1 {
+			t.Fatalf("Law 16 (reverse) malformed:\n%s", plan.Format(back))
+		}
+	}
+}
+
+func TestLaw16EmptyRestrictedDivisorStillSound(t *testing.T) {
+	// Unlike Law 4, the great divide union over zero divisor groups
+	// is empty on both sides, so Law 16 needs no nonemptiness guard.
+	r1, r2 := greatFixture()
+	never := pred.Compare(pred.Attr("b"), pred.Lt, pred.ConstInt(-1))
+	lhs := &plan.GreatDivide{
+		Dividend: scan("r1", r1),
+		Divisor:  &plan.Select{Input: scan("r2", r2), Pred: never},
+	}
+	rhs := checkEquivalence(t, Law16(), lhs)
+	if got := plan.Eval(rhs); !got.Empty() {
+		t.Errorf("expected empty result, got %v", got)
+	}
+}
+
+func TestLaw17ProductFactorsOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		r1s := randRelation(rng, []string{"a1"}, 1+rng.Intn(4), 4)
+		r1ss := randRelation(rng, []string{"a2", "b"}, 1+rng.Intn(15), 4)
+		r2 := randRelation(rng, []string{"b", "c"}, 1+rng.Intn(6), 4)
+		lhs := &plan.GreatDivide{
+			Dividend: &plan.Product{Left: scan("r1s", r1s), Right: scan("r1ss", r1ss)},
+			Divisor:  scan("r2", r2),
+		}
+		rhs := checkEquivalence(t, Law17(), lhs)
+		prod, ok := rhs.(*plan.Product)
+		if !ok {
+			t.Fatalf("Law 17 should produce a Product root:\n%s", plan.Format(rhs))
+		}
+		back := checkEquivalence(t, Law17Reverse(), prod)
+		if _, ok := back.(*plan.GreatDivide); !ok {
+			t.Fatalf("Law 17 (reverse) should produce a GreatDivide root:\n%s", plan.Format(back))
+		}
+	}
+}
+
+func TestLaw17RejectsWhenLeftTouchesDivisor(t *testing.T) {
+	r1s := relation.Ints([]string{"b"}, [][]int64{{1}})
+	r1ss := relation.Ints([]string{"a2", "x"}, [][]int64{{1, 1}})
+	r2 := relation.Ints([]string{"b", "c"}, [][]int64{{1, 1}})
+	lhs := &plan.GreatDivide{
+		Dividend: &plan.Product{Left: scan("r1s", r1s), Right: scan("r1ss", r1ss)},
+		Divisor:  scan("r2", r2),
+	}
+	mustReject(t, Law17(), lhs)
+}

@@ -1,0 +1,119 @@
+// Package laws implements the paper's seventeen algebraic laws for
+// small and great divide as rewrite rules over logical plans, plus
+// the preconditions c1 and c2 of Law 2 and the worked Examples 1-4.
+//
+// Each Rule recognizes the left-hand side of one law and produces
+// the right-hand side (or vice versa for the *Reverse rules, since
+// an algebraic law is a bidirectional logical equivalence; we
+// register the directions that are useful as optimizer transforms).
+//
+// Preconditions come in two flavours, mirroring §5.1.1:
+//
+//   - schema-only checks (attribute disjointness, predicate scope),
+//     which are free, and
+//   - data-dependent checks such as c1, πA-disjointness (Law 7) or
+//     the foreign-key premise of Law 12, which require inspecting
+//     relation contents. The rules evaluate the relevant subplans to
+//     decide; the paper notes exactly this trade-off ("testing
+//     condition c1 can be expensive, an RDBMS may use the stricter
+//     condition c2").
+package laws
+
+import (
+	"divlaws/internal/division"
+	"divlaws/internal/plan"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+)
+
+// Rule is one rewrite rule derived from a law.
+type Rule struct {
+	// Name is the paper's identifier, e.g. "Law 3" or
+	// "Law 3 (reverse)".
+	Name string
+	// Description summarizes the transformation.
+	Description string
+	// DataDependent reports whether the precondition inspects
+	// relation contents (c1-style) rather than only schemas
+	// (c2-style).
+	DataDependent bool
+	// Apply attempts the rewrite on the root of n. It returns the
+	// rewritten plan and true, or nil and false when the pattern or
+	// precondition does not match.
+	Apply func(n plan.Node) (plan.Node, bool)
+}
+
+// All returns every registered rule in a stable order.
+func All() []Rule {
+	return []Rule{
+		Law1(), Law2(), Law2C1(), Law3(), Law3Reverse(), Law4(), Law4Reverse(),
+		Law5(), Law5Reverse(), Law6(), Law7(), Law8(), Law8Reverse(), Law9(),
+		Law10(), Law10Reverse(), Law11(), Law12(),
+		Law13(), Law14(), Law14Reverse(), Law15(), Law15Reverse(),
+		Law16(), Law16Reverse(), Law17(), Law17Reverse(),
+		Example1Rule(), Example2Rule(),
+	}
+}
+
+// ByName returns the rule with the given name, or false.
+func ByName(name string) (Rule, bool) {
+	for _, r := range All() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// smallSplit computes the A/B split of a small divide node from its
+// children's schemas, returning false on schema violations.
+func smallSplit(d *plan.Divide) (division.Split, bool) {
+	s, err := division.SmallSplit(d.Dividend.Schema(), d.Divisor.Schema())
+	return s, err == nil
+}
+
+// greatSplit computes the A/B/C split of a great divide node.
+func greatSplit(d *plan.GreatDivide) (division.Split, bool) {
+	s, err := division.GreatSplit(d.Dividend.Schema(), d.Divisor.Schema())
+	return s, err == nil
+}
+
+// projectionsDisjoint evaluates πX(a) ∩ πX(b) = ∅, the data-
+// dependent disjointness premise shared by Laws 7 and 13 and by
+// condition c2.
+func projectionsDisjoint(a, b plan.Node, attrs []string) bool {
+	ra := plan.Eval(&plan.Project{Input: a, Attrs: attrs})
+	rb := plan.Eval(&plan.Project{Input: b, Attrs: attrs})
+	small, big := ra, rb
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	for _, t := range small.Tuples() {
+		if big.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetOf evaluates whether every tuple of a is in b, aligning
+// column order.
+func subsetOf(a, b *relation.Relation) bool {
+	if !a.Schema().EqualSet(b.Schema()) {
+		return false
+	}
+	if !a.Schema().Equal(b.Schema()) {
+		a = a.Reorder(b.Schema().Attrs())
+	}
+	for _, t := range a.Tuples() {
+		if !b.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameSet reports whether two attribute lists denote the same set.
+func sameSet(xs []string, s schema.Schema) bool {
+	return schema.New(xs...).EqualSet(s)
+}

@@ -1,0 +1,119 @@
+package laws
+
+import (
+	"math/rand"
+	"testing"
+
+	"divlaws/internal/plan"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+// checkEquivalence applies the rule to lhs and verifies that both
+// plans evaluate to the same relation. It returns the rewritten plan
+// for further structural assertions.
+func checkEquivalence(t *testing.T, r Rule, lhs plan.Node) plan.Node {
+	t.Helper()
+	rhs, ok := r.Apply(lhs)
+	if !ok {
+		t.Fatalf("%s did not match plan:\n%s", r.Name, plan.Format(lhs))
+	}
+	want := plan.Eval(lhs)
+	got := plan.Eval(rhs)
+	if !got.EquivalentTo(want) {
+		t.Fatalf("%s broke equivalence:\nlhs plan:\n%s\nrhs plan:\n%s\nlhs result:\n%v\nrhs result:\n%v",
+			r.Name, plan.Format(lhs), plan.Format(rhs), want, got)
+	}
+	return rhs
+}
+
+// mustReject asserts the rule does not fire on the plan.
+func mustReject(t *testing.T, r Rule, lhs plan.Node) {
+	t.Helper()
+	if rhs, ok := r.Apply(lhs); ok {
+		t.Fatalf("%s should not have matched plan:\n%s\nrewrote to:\n%s",
+			r.Name, plan.Format(lhs), plan.Format(rhs))
+	}
+}
+
+// randRelation builds a relation over the given attributes with
+// values drawn from a small domain.
+func randRelation(rng *rand.Rand, attrs []string, n, dom int) *relation.Relation {
+	r := relation.New(schema.New(attrs...))
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, len(attrs))
+		for j := range attrs {
+			t[j] = value.Int(int64(rng.Intn(dom)))
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+func scan(name string, r *relation.Relation) *plan.Scan { return plan.NewScan(name, r) }
+
+func TestAllRegistersEveryLaw(t *testing.T) {
+	rules := All()
+	names := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		if names[r.Name] {
+			t.Errorf("duplicate rule name %q", r.Name)
+		}
+		names[r.Name] = true
+		if r.Description == "" {
+			t.Errorf("rule %q lacks a description", r.Name)
+		}
+		if r.Apply == nil {
+			t.Errorf("rule %q lacks an Apply", r.Name)
+		}
+	}
+	for _, want := range []string{
+		"Law 1", "Law 2", "Law 2 (c1)", "Law 3", "Law 4", "Law 5", "Law 6",
+		"Law 7", "Law 8", "Law 9", "Law 10", "Law 11", "Law 12",
+		"Law 13", "Law 14", "Law 15", "Law 16", "Law 17",
+		"Example 1", "Example 2",
+	} {
+		if !names[want] {
+			t.Errorf("rule %q not registered", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if r, ok := ByName("Law 9"); !ok || r.Name != "Law 9" {
+		t.Error("ByName(Law 9) failed")
+	}
+	if _, ok := ByName("Law 99"); ok {
+		t.Error("ByName should miss unknown rules")
+	}
+}
+
+func TestRulesRejectUnrelatedPlans(t *testing.T) {
+	// No rule may fire on a bare scan or a simple projection.
+	rng := rand.New(rand.NewSource(1))
+	base := scan("r", randRelation(rng, []string{"a", "b"}, 10, 4))
+	pi := &plan.Project{Input: base, Attrs: []string{"a"}}
+	for _, r := range All() {
+		if _, ok := r.Apply(base); ok {
+			t.Errorf("%s fired on a bare Scan", r.Name)
+		}
+		if _, ok := r.Apply(pi); ok {
+			t.Errorf("%s fired on a bare Project", r.Name)
+		}
+	}
+}
+
+func TestDataDependentFlags(t *testing.T) {
+	wantData := map[string]bool{
+		"Law 2": true, "Law 2 (c1)": true, "Law 4": true, "Law 4 (reverse)": true,
+		"Law 6": true, "Law 7": true,
+		"Law 9": true, "Law 11": true, "Law 12": true, "Law 13": true,
+		"Example 2": true,
+	}
+	for _, r := range All() {
+		if want := wantData[r.Name]; r.DataDependent != want {
+			t.Errorf("%s DataDependent = %t, want %t", r.Name, r.DataDependent, want)
+		}
+	}
+}

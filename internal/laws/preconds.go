@@ -1,0 +1,107 @@
+package laws
+
+import (
+	"divlaws/internal/division"
+	"divlaws/internal/relation"
+)
+
+// C1 evaluates the paper's precondition c1(r1', r1”) for Law 2 with
+// divisor r2: for every quotient-candidate value a present in both
+// dividend partitions, either one partition's group already contains
+// the whole divisor, or even the union of the two groups does not.
+// This rules out the Figure 5 situation where a group's divisor
+// coverage is dispersed across the partitions.
+//
+// The relations must share a schema A ∪ B with B = r2's schema.
+func C1(r1a, r1b, r2 *relation.Relation) bool {
+	split, err := smallSplitRels(r1a, r2)
+	if err != nil {
+		return false
+	}
+	aPosA := r1a.Schema().Positions(split.A.Attrs())
+	bPosA := r1a.Schema().Positions(split.B.Attrs())
+	aPosB := r1b.Schema().Positions(split.A.Attrs())
+	bPosB := r1b.Schema().Positions(split.B.Attrs())
+	bOrder := r2.Schema().Positions(split.B.Attrs())
+
+	// Group both partitions' image sets by A.
+	imageA := imagesByGroup(r1a, aPosA, bPosA)
+	imageB := imagesByGroup(r1b, aPosB, bPosB)
+
+	divisor := make([]string, 0, r2.Len())
+	for _, d := range r2.Tuples() {
+		divisor = append(divisor, d.Project(bOrder).Key())
+	}
+
+	for ak, imgA := range imageA {
+		imgB, shared := imageB[ak]
+		if !shared {
+			continue
+		}
+		if coversAll(imgA, divisor) || coversAll(imgB, divisor) {
+			continue
+		}
+		// Neither group alone contains the divisor; the union must
+		// not either.
+		union := make(map[string]struct{}, len(imgA)+len(imgB))
+		for k := range imgA {
+			union[k] = struct{}{}
+		}
+		for k := range imgB {
+			union[k] = struct{}{}
+		}
+		if coversAll(union, divisor) {
+			return false
+		}
+	}
+	return true
+}
+
+// C2 evaluates the paper's stricter, cheaper precondition
+// c2(r1', r1”) ≡ πA(r1') ∩ πA(r1”) = ∅ for Law 2 with divisor
+// schema B = r2's schema. C2 implies C1.
+func C2(r1a, r1b, r2 *relation.Relation) bool {
+	split, err := smallSplitRels(r1a, r2)
+	if err != nil {
+		return false
+	}
+	aPosA := r1a.Schema().Positions(split.A.Attrs())
+	aPosB := r1b.Schema().Positions(split.A.Attrs())
+	seen := make(map[string]struct{}, r1a.Len())
+	for _, t := range r1a.Tuples() {
+		seen[t.Project(aPosA).Key()] = struct{}{}
+	}
+	for _, t := range r1b.Tuples() {
+		if _, hit := seen[t.Project(aPosB).Key()]; hit {
+			return false
+		}
+	}
+	return true
+}
+
+func imagesByGroup(r *relation.Relation, aPos, bPos []int) map[string]map[string]struct{} {
+	out := make(map[string]map[string]struct{})
+	for _, t := range r.Tuples() {
+		ak := t.Project(aPos).Key()
+		img, ok := out[ak]
+		if !ok {
+			img = make(map[string]struct{})
+			out[ak] = img
+		}
+		img[t.Project(bPos).Key()] = struct{}{}
+	}
+	return out
+}
+
+func coversAll(img map[string]struct{}, divisor []string) bool {
+	for _, d := range divisor {
+		if _, ok := img[d]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func smallSplitRels(r1, r2 *relation.Relation) (division.Split, error) {
+	return division.SmallSplit(r1.Schema(), r2.Schema())
+}

@@ -1,0 +1,115 @@
+package laws
+
+import (
+	"math/rand"
+	"testing"
+
+	"divlaws/internal/algebra"
+	"divlaws/internal/division"
+	"divlaws/internal/relation"
+)
+
+func TestC2Figure5(t *testing.T) {
+	r1a, r1b, r2 := figure5Relations()
+	if C2(r1a, r1b, r2) {
+		t.Error("Figure 5 partitions share a=1; c2 must fail")
+	}
+	if C1(r1a, r1b, r2) {
+		t.Error("Figure 5 is the paper's c1 counterexample; c1 must fail")
+	}
+}
+
+func TestC2DisjointPartitions(t *testing.T) {
+	r1a := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}})
+	r1b := relation.Ints([]string{"a", "b"}, [][]int64{{2, 1}})
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}})
+	if !C2(r1a, r1b, r2) || !C1(r1a, r1b, r2) {
+		t.Error("disjoint partitions must satisfy both c1 and c2")
+	}
+}
+
+func TestC1HoldsWhenOneSideCovers(t *testing.T) {
+	// Shared group a=1, fully covered within the first partition.
+	r1a := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}, {1, 2}})
+	r1b := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}})
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}, {2}})
+	if C2(r1a, r1b, r2) {
+		t.Error("shared candidate should fail c2")
+	}
+	if !C1(r1a, r1b, r2) {
+		t.Error("coverage within one partition should satisfy c1")
+	}
+}
+
+func TestC1HoldsWhenUnionDoesNotCover(t *testing.T) {
+	// Shared group a=1 missing b=9 even in the union: the third
+	// disjunct of c1.
+	r1a := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}})
+	r1b := relation.Ints([]string{"a", "b"}, [][]int64{{1, 2}})
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}, {2}, {9}})
+	if !C1(r1a, r1b, r2) {
+		t.Error("union not covering the divisor should satisfy c1")
+	}
+}
+
+func TestC1RejectsDispersedCoverage(t *testing.T) {
+	// Neither side covers alone, but the union does: exactly the
+	// Figure 5 pathology.
+	r1a := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}})
+	r1b := relation.Ints([]string{"a", "b"}, [][]int64{{1, 2}})
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}, {2}})
+	if C1(r1a, r1b, r2) {
+		t.Error("dispersed coverage must fail c1")
+	}
+}
+
+func TestBadSchemasFailPreconditions(t *testing.T) {
+	r1 := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}})
+	bad := relation.Ints([]string{"z"}, [][]int64{{1}})
+	if C1(r1, r1, bad) || C2(r1, r1, bad) {
+		t.Error("schema-invalid inputs must fail the preconditions")
+	}
+}
+
+func TestC2ImpliesC1Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		r1a := randRelation(rng, []string{"a", "b"}, rng.Intn(10), 5)
+		r1b := randRelation(rng, []string{"a", "b"}, rng.Intn(10), 5)
+		r2 := randRelation(rng, []string{"b"}, 1+rng.Intn(4), 5)
+		if C2(r1a, r1b, r2) && !C1(r1a, r1b, r2) {
+			t.Fatalf("c2 held but c1 failed:\nr1a:\n%v\nr1b:\n%v\nr2:\n%v", r1a, r1b, r2)
+		}
+	}
+}
+
+func TestC1ExactlyCharacterizesLaw2Property(t *testing.T) {
+	// Soundness: when c1 holds, the distributed form equals the
+	// union form. (c1 is sufficient; it may also hold vacuously.)
+	rng := rand.New(rand.NewSource(100))
+	holds, fails := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		r1a := randRelation(rng, []string{"a", "b"}, rng.Intn(8), 4)
+		r1b := randRelation(rng, []string{"a", "b"}, rng.Intn(8), 4)
+		r2 := randRelation(rng, []string{"b"}, 1+rng.Intn(3), 4)
+		union := division.Divide(algebra.Union(r1a, r1b), r2)
+		distributed := algebra.Union(division.Divide(r1a, r2), division.Divide(r1b, r2))
+		if C1(r1a, r1b, r2) {
+			holds++
+			if !union.Equal(distributed) {
+				t.Fatalf("c1 held but Law 2 broke:\nr1a:\n%v\nr1b:\n%v\nr2:\n%v\nunion:\n%v\ndistributed:\n%v",
+					r1a, r1b, r2, union, distributed)
+			}
+		} else {
+			fails++
+			// When c1 fails the sides must actually differ — c1 is
+			// also necessary for this dividend decomposition.
+			if union.Equal(distributed) {
+				t.Fatalf("c1 failed but the sides agree:\nr1a:\n%v\nr1b:\n%v\nr2:\n%v", r1a, r1b, r2)
+			}
+		}
+	}
+	if holds == 0 || fails == 0 {
+		t.Fatalf("degenerate sampling: holds=%d fails=%d", holds, fails)
+	}
+}

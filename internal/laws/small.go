@@ -1,0 +1,659 @@
+package laws
+
+import (
+	"divlaws/internal/division"
+	"divlaws/internal/plan"
+	"divlaws/internal/pred"
+)
+
+// Law1 rewrites r1 ÷ (r2' ∪ r2”) into (r1 ⋉ (r1 ÷ r2')) ÷ r2”
+// (§5.1.1). It holds for arbitrary, even overlapping, divisor
+// partitions and enables pipeline parallelism on grouped dividends.
+func Law1() Rule {
+	return Rule{
+		Name:        "Law 1",
+		Description: "r1 ÷ (r2' ∪ r2'') = (r1 ⋉ (r1 ÷ r2')) ÷ r2''",
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			u, ok := d.Divisor.(*plan.Set)
+			if !ok || u.Op != plan.UnionOp {
+				return nil, false
+			}
+			if _, ok := smallSplit(d); !ok {
+				return nil, false
+			}
+			inner := &plan.Divide{Dividend: d.Dividend, Divisor: u.Left, Algo: d.Algo}
+			return &plan.Divide{
+				Dividend: &plan.SemiJoin{Left: d.Dividend, Right: inner},
+				Divisor:  u.Right,
+				Algo:     d.Algo,
+			}, true
+		},
+	}
+}
+
+// Law2 rewrites (r1' ∪ r1”) ÷ r2 into (r1' ÷ r2) ∪ (r1” ÷ r2)
+// under the stricter schema-cheap precondition c2: the partitions'
+// quotient-candidate projections must be disjoint (§5.1.1). C2 is
+// data-dependent but needs only the A projections, not the divisor.
+func Law2() Rule {
+	return Rule{
+		Name:          "Law 2",
+		Description:   "(r1' ∪ r1'') ÷ r2 = (r1' ÷ r2) ∪ (r1'' ÷ r2) under c2",
+		DataDependent: true,
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, u, split, ok := matchDividendUnion(n)
+			if !ok {
+				return nil, false
+			}
+			if !projectionsDisjoint(u.Left, u.Right, split.A.Attrs()) {
+				return nil, false
+			}
+			return plan.Union(
+				&plan.Divide{Dividend: u.Left, Divisor: d.Divisor, Algo: d.Algo},
+				&plan.Divide{Dividend: u.Right, Divisor: d.Divisor, Algo: d.Algo},
+			), true
+		},
+	}
+}
+
+// Law2C1 is Law 2 under the weakest precondition c1, which must
+// inspect the divisor as well (§5.1.1, Figure 5). It fires in cases
+// c2 rejects, at a higher checking cost.
+func Law2C1() Rule {
+	return Rule{
+		Name:          "Law 2 (c1)",
+		Description:   "(r1' ∪ r1'') ÷ r2 = (r1' ÷ r2) ∪ (r1'' ÷ r2) under c1",
+		DataDependent: true,
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, u, _, ok := matchDividendUnion(n)
+			if !ok {
+				return nil, false
+			}
+			if !C1(plan.Eval(u.Left), plan.Eval(u.Right), plan.Eval(d.Divisor)) {
+				return nil, false
+			}
+			return plan.Union(
+				&plan.Divide{Dividend: u.Left, Divisor: d.Divisor, Algo: d.Algo},
+				&plan.Divide{Dividend: u.Right, Divisor: d.Divisor, Algo: d.Algo},
+			), true
+		},
+	}
+}
+
+func matchDividendUnion(n plan.Node) (*plan.Divide, *plan.Set, division.Split, bool) {
+	d, ok := n.(*plan.Divide)
+	if !ok {
+		return nil, nil, division.Split{}, false
+	}
+	u, ok := d.Dividend.(*plan.Set)
+	if !ok || u.Op != plan.UnionOp {
+		return nil, nil, division.Split{}, false
+	}
+	s, ok := smallSplit(d)
+	if !ok {
+		return nil, nil, division.Split{}, false
+	}
+	return d, u, s, true
+}
+
+// Law3 pushes a selection over quotient attributes through the
+// division: σp(A)(r1 ÷ r2) = σp(A)(r1) ÷ r2 (§5.1.2). Any predicate
+// over the quotient references only A, so the push-down direction is
+// unconditional.
+func Law3() Rule {
+	return Rule{
+		Name:        "Law 3",
+		Description: "σp(A)(r1 ÷ r2) = σp(A)(r1) ÷ r2 (push selection into dividend)",
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			s, ok := n.(*plan.Select)
+			if !ok {
+				return nil, false
+			}
+			d, ok := s.Input.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			if _, ok := smallSplit(d); !ok {
+				return nil, false
+			}
+			return &plan.Divide{
+				Dividend: &plan.Select{Input: d.Dividend, Pred: s.Pred},
+				Divisor:  d.Divisor,
+				Algo:     d.Algo,
+			}, true
+		},
+	}
+}
+
+// Law3Reverse pulls a dividend selection over A above the division.
+func Law3Reverse() Rule {
+	return Rule{
+		Name:        "Law 3 (reverse)",
+		Description: "σp(A)(r1) ÷ r2 = σp(A)(r1 ÷ r2) (pull selection above divide)",
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			sel, ok := d.Dividend.(*plan.Select)
+			if !ok {
+				return nil, false
+			}
+			s, ok := smallSplit(d)
+			if !ok || !pred.OnlyOver(sel.Pred, s.A) {
+				return nil, false
+			}
+			return &plan.Select{
+				Input: &plan.Divide{Dividend: sel.Input, Divisor: d.Divisor, Algo: d.Algo},
+				Pred:  sel.Pred,
+			}, true
+		},
+	}
+}
+
+// Law4 replicates a divisor selection over B onto the dividend:
+// r1 ÷ σp(B)(r2) = σp(B)(r1) ÷ σp(B)(r2) (§5.1.2). A divisor
+// predicate references only B, which is part of the dividend schema.
+//
+// Boundary condition the paper leaves implicit: the law requires
+// σp(B)(r2) ≠ ∅. With an empty restricted divisor, r ÷ ∅ = πA(r)
+// under Codd's definition, so the left side keeps every dividend
+// group while the right side keeps only groups satisfying p. The
+// rule therefore verifies nonemptiness on the data.
+func Law4() Rule {
+	return Rule{
+		Name:          "Law 4",
+		Description:   "r1 ÷ σp(B)(r2) = σp(B)(r1) ÷ σp(B)(r2) (replicate selection)",
+		DataDependent: true,
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			sel, ok := d.Divisor.(*plan.Select)
+			if !ok {
+				return nil, false
+			}
+			if _, ok := smallSplit(d); !ok {
+				return nil, false
+			}
+			if plan.Eval(d.Divisor).Empty() {
+				return nil, false
+			}
+			return &plan.Divide{
+				Dividend: &plan.Select{Input: d.Dividend, Pred: sel.Pred},
+				Divisor:  d.Divisor,
+				Algo:     d.Algo,
+			}, true
+		},
+	}
+}
+
+// Law4Reverse removes a replicated dividend selection when the same
+// predicate already restricts the divisor. Like Law4 it requires the
+// restricted divisor to be nonempty.
+func Law4Reverse() Rule {
+	return Rule{
+		Name:          "Law 4 (reverse)",
+		Description:   "σp(B)(r1) ÷ σp(B)(r2) = r1 ÷ σp(B)(r2) (drop replicated selection)",
+		DataDependent: true,
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			ds, ok := d.Dividend.(*plan.Select)
+			if !ok {
+				return nil, false
+			}
+			vs, ok := d.Divisor.(*plan.Select)
+			if !ok || ds.Pred.String() != vs.Pred.String() {
+				return nil, false
+			}
+			s, ok := smallSplit(d)
+			if !ok || !pred.OnlyOver(ds.Pred, s.B) {
+				return nil, false
+			}
+			if plan.Eval(d.Divisor).Empty() {
+				return nil, false
+			}
+			return &plan.Divide{Dividend: ds.Input, Divisor: d.Divisor, Algo: d.Algo}, true
+		},
+	}
+}
+
+// Law5 distributes division over a dividend intersection:
+// (r1' ∩ r1”) ÷ r2 = (r1' ÷ r2) ∩ (r1” ÷ r2) (§5.1.3).
+func Law5() Rule {
+	return Rule{
+		Name:        "Law 5",
+		Description: "(r1' ∩ r1'') ÷ r2 = (r1' ÷ r2) ∩ (r1'' ÷ r2)",
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			in, ok := d.Dividend.(*plan.Set)
+			if !ok || in.Op != plan.IntersectOp {
+				return nil, false
+			}
+			if _, ok := smallSplit(d); !ok {
+				return nil, false
+			}
+			return plan.Intersect(
+				&plan.Divide{Dividend: in.Left, Divisor: d.Divisor, Algo: d.Algo},
+				&plan.Divide{Dividend: in.Right, Divisor: d.Divisor, Algo: d.Algo},
+			), true
+		},
+	}
+}
+
+// Law5Reverse merges two divisions by the same divisor under an
+// intersection back into one division.
+func Law5Reverse() Rule {
+	return Rule{
+		Name:        "Law 5 (reverse)",
+		Description: "(r1' ÷ r2) ∩ (r1'' ÷ r2) = (r1' ∩ r1'') ÷ r2",
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			in, ok := n.(*plan.Set)
+			if !ok || in.Op != plan.IntersectOp {
+				return nil, false
+			}
+			dl, ok := in.Left.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			dr, ok := in.Right.(*plan.Divide)
+			if !ok || !plan.Equal(dl.Divisor, dr.Divisor) {
+				return nil, false
+			}
+			if !dl.Dividend.Schema().Equal(dr.Dividend.Schema()) {
+				return nil, false
+			}
+			return &plan.Divide{
+				Dividend: plan.Intersect(dl.Dividend, dr.Dividend),
+				Divisor:  dl.Divisor,
+				Algo:     dl.Algo,
+			}, true
+		},
+	}
+}
+
+// Law6 distributes division over a dividend difference of two
+// restrictions of the same relation, σp'(A)(r) ⊇ σp”(A)(r):
+// (r1' − r1”) ÷ r2 = (r1' ÷ r2) − (r1” ÷ r2) (§5.1.4). The
+// containment premise is verified on the data.
+func Law6() Rule {
+	return Rule{
+		Name:          "Law 6",
+		Description:   "(σp'(A)(r) − σp''(A)(r)) ÷ r2 = (σp'(A)(r) ÷ r2) − (σp''(A)(r) ÷ r2), r1' ⊇ r1''",
+		DataDependent: true,
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			diff, ok := d.Dividend.(*plan.Set)
+			if !ok || diff.Op != plan.DiffOp {
+				return nil, false
+			}
+			ls, ok := diff.Left.(*plan.Select)
+			if !ok {
+				return nil, false
+			}
+			rs, ok := diff.Right.(*plan.Select)
+			if !ok || !plan.Equal(ls.Input, rs.Input) {
+				return nil, false
+			}
+			s, ok := smallSplit(d)
+			if !ok || !pred.OnlyOver(ls.Pred, s.A) || !pred.OnlyOver(rs.Pred, s.A) {
+				return nil, false
+			}
+			if !subsetOf(plan.Eval(diff.Right), plan.Eval(diff.Left)) {
+				return nil, false
+			}
+			return plan.Diff(
+				&plan.Divide{Dividend: diff.Left, Divisor: d.Divisor, Algo: d.Algo},
+				&plan.Divide{Dividend: diff.Right, Divisor: d.Divisor, Algo: d.Algo},
+			), true
+		},
+	}
+}
+
+// Law7 drops the subtrahend division entirely when the dividends'
+// quotient candidates are disjoint:
+// (r1' ÷ r2) − (r1” ÷ r2) = r1' ÷ r2 (§5.1.4). This saves the whole
+// computation of r1” ÷ r2.
+func Law7() Rule {
+	return Rule{
+		Name:          "Law 7",
+		Description:   "(r1' ÷ r2) − (r1'' ÷ r2) = r1' ÷ r2 when πA(r1') ∩ πA(r1'') = ∅",
+		DataDependent: true,
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			diff, ok := n.(*plan.Set)
+			if !ok || diff.Op != plan.DiffOp {
+				return nil, false
+			}
+			dl, ok := diff.Left.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			dr, ok := diff.Right.(*plan.Divide)
+			if !ok || !plan.Equal(dl.Divisor, dr.Divisor) {
+				return nil, false
+			}
+			s, ok := smallSplit(dl)
+			if !ok || !dr.Dividend.Schema().EqualSet(dl.Dividend.Schema()) {
+				return nil, false
+			}
+			if !projectionsDisjoint(dl.Dividend, dr.Dividend, s.A.Attrs()) {
+				return nil, false
+			}
+			return dl, true
+		},
+	}
+}
+
+// Law8 narrows a division of a Cartesian product to the factor
+// carrying the divisor attributes:
+// (r1* × r1**) ÷ r2 = r1* × (r1** ÷ r2) (§5.1.5), where r1* holds
+// quotient attributes only.
+func Law8() Rule {
+	return Rule{
+		Name:        "Law 8",
+		Description: "(r1* × r1**) ÷ r2 = r1* × (r1** ÷ r2)",
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			prod, ok := d.Dividend.(*plan.Product)
+			if !ok {
+				return nil, false
+			}
+			b := d.Divisor.Schema()
+			left, right := prod.Left.Schema(), prod.Right.Schema()
+			// B must live entirely in the right factor, and the right
+			// factor must keep at least one quotient attribute so the
+			// inner division is well-formed.
+			if !b.SubsetOf(right) || !left.DisjointFrom(b) || right.Minus(b).Len() == 0 {
+				return nil, false
+			}
+			return &plan.Product{
+				Left:  prod.Left,
+				Right: &plan.Divide{Dividend: prod.Right, Divisor: d.Divisor, Algo: d.Algo},
+			}, true
+		},
+	}
+}
+
+// Law8Reverse folds a product of a relation with a division back
+// into a division of a product.
+func Law8Reverse() Rule {
+	return Rule{
+		Name:        "Law 8 (reverse)",
+		Description: "r1* × (r1** ÷ r2) = (r1* × r1**) ÷ r2",
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			prod, ok := n.(*plan.Product)
+			if !ok {
+				return nil, false
+			}
+			d, ok := prod.Right.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			if !prod.Left.Schema().DisjointFrom(d.Dividend.Schema()) {
+				return nil, false
+			}
+			return &plan.Divide{
+				Dividend: &plan.Product{Left: prod.Left, Right: d.Dividend},
+				Divisor:  d.Divisor,
+				Algo:     d.Algo,
+			}, true
+		},
+	}
+}
+
+// Law9 eliminates a product factor that is already covered by the
+// divisor: if πB2(r2) ⊆ r1** then
+// (r1* × r1**) ÷ r2 = r1* ÷ πB1(r2) (§5.1.5). The coverage premise
+// is data-dependent.
+func Law9() Rule {
+	return Rule{
+		Name:          "Law 9",
+		Description:   "(r1* × r1**) ÷ r2 = r1* ÷ πB1(r2) when πB2(r2) ⊆ r1**",
+		DataDependent: true,
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			prod, ok := d.Dividend.(*plan.Product)
+			if !ok {
+				return nil, false
+			}
+			b := d.Divisor.Schema()
+			b2 := prod.Right.Schema()
+			// The right factor must consist purely of divisor
+			// attributes, with some divisor attributes (B1) left for
+			// the residual division against the left factor.
+			if !b2.SubsetOf(b) {
+				return nil, false
+			}
+			b1 := b.Minus(b2)
+			if b1.Len() == 0 || !b1.SubsetOf(prod.Left.Schema()) {
+				return nil, false
+			}
+			if prod.Left.Schema().Minus(b1).Len() == 0 {
+				return nil, false // no quotient attributes would remain
+			}
+			piB2 := plan.Eval(&plan.Project{Input: d.Divisor, Attrs: b2.Attrs()})
+			if !subsetOf(piB2, plan.Eval(prod.Right)) {
+				return nil, false
+			}
+			return &plan.Divide{
+				Dividend: prod.Left,
+				Divisor:  &plan.Project{Input: d.Divisor, Attrs: b1.Attrs()},
+				Algo:     d.Algo,
+			}, true
+		},
+	}
+}
+
+// Law10 commutes a semi-join over quotient attributes with the
+// division: (r1 ÷ r2) ⋉ r3 = (r1 ⋉ r3) ÷ r2 (§5.1.6), profitable
+// when r3 is small and filters r1 before the division.
+func Law10() Rule {
+	return Rule{
+		Name:        "Law 10",
+		Description: "(r1 ÷ r2) ⋉ r3 = (r1 ⋉ r3) ÷ r2 (filter dividend first)",
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			sj, ok := n.(*plan.SemiJoin)
+			if !ok {
+				return nil, false
+			}
+			d, ok := sj.Left.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			s, ok := smallSplit(d)
+			if !ok || !sj.Right.Schema().EqualSet(s.A) {
+				return nil, false
+			}
+			return &plan.Divide{
+				Dividend: &plan.SemiJoin{Left: d.Dividend, Right: sj.Right},
+				Divisor:  d.Divisor,
+				Algo:     d.Algo,
+			}, true
+		},
+	}
+}
+
+// Law10Reverse moves the semi-join above the division, profitable
+// when the division shrinks its input dramatically.
+func Law10Reverse() Rule {
+	return Rule{
+		Name:        "Law 10 (reverse)",
+		Description: "(r1 ⋉ r3) ÷ r2 = (r1 ÷ r2) ⋉ r3 (divide first)",
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			sj, ok := d.Dividend.(*plan.SemiJoin)
+			if !ok {
+				return nil, false
+			}
+			s, err := division.SmallSplit(sj.Left.Schema(), d.Divisor.Schema())
+			if err != nil || !sj.Right.Schema().EqualSet(s.A) {
+				return nil, false
+			}
+			return &plan.SemiJoin{
+				Left:  &plan.Divide{Dividend: sj.Left, Divisor: d.Divisor, Algo: d.Algo},
+				Right: sj.Right,
+			}, true
+		},
+	}
+}
+
+// Law11 simplifies a division whose dividend groups are singletons
+// because the dividend is an aggregation keyed by the quotient
+// attributes, r1 = Aγf(X)→B(r0) (§5.1.7): depending on the divisor
+// cardinality the quotient is r1 itself (|r2| = 0), πA(r1 ⋉ r2)
+// (|r2| = 1), or empty (|r2| > 1). The divisor cardinality is read
+// from the data at rewrite time.
+func Law11() Rule {
+	return Rule{
+		Name:          "Law 11",
+		Description:   "Aγf(X)→B(r0) ÷ r2 simplifies by divisor cardinality",
+		DataDependent: true,
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			g, ok := d.Dividend.(*plan.Group)
+			if !ok {
+				return nil, false
+			}
+			s, ok := smallSplit(d)
+			if !ok || !sameSet(g.By, s.A) || !sameSet(aggOutputs(g), s.B) {
+				return nil, false
+			}
+			switch plan.Eval(d.Divisor).Len() {
+			case 0:
+				// The paper writes "r1" for this case; by Definition 2
+				// r1 ÷ ∅ = πA(r1), so the quotient keeps only A.
+				return &plan.Project{Input: d.Dividend, Attrs: s.A.Attrs()}, true
+			case 1:
+				return &plan.Project{
+					Input: &plan.SemiJoin{Left: d.Dividend, Right: d.Divisor},
+					Attrs: s.A.Attrs(),
+				}, true
+			default:
+				return emptyWithSchema(d.Dividend, s.A.Attrs()), true
+			}
+		},
+	}
+}
+
+// Law12 simplifies a division whose dividend has singleton groups
+// per divisor value, r1 = Bγf(X)→A(r0), when the divisor is a
+// foreign key into the dividend (§5.1.7): the quotient is
+// πA(r1 ⋉ r2) when that projection is a single tuple, else empty.
+// The guard |πA(r1 ⋉ r2)| = 1 is expressed algebraically via a
+// self-product, keeping the rewrite a pure plan.
+func Law12() Rule {
+	return Rule{
+		Name:          "Law 12",
+		Description:   "Bγf(X)→A(r0) ÷ r2 = guarded πA(r1 ⋉ r2) under FK r2.B ⊆ πB(r1)",
+		DataDependent: true,
+		Apply: func(n plan.Node) (plan.Node, bool) {
+			d, ok := n.(*plan.Divide)
+			if !ok {
+				return nil, false
+			}
+			g, ok := d.Dividend.(*plan.Group)
+			if !ok {
+				return nil, false
+			}
+			s, ok := smallSplit(d)
+			if !ok || !sameSet(g.By, s.B) || !sameSet(aggOutputs(g), s.A) {
+				return nil, false
+			}
+			// FK premise: r2.B ⊆ πB(r1).
+			piB := plan.Eval(&plan.Project{Input: d.Dividend, Attrs: s.B.Attrs()})
+			if !subsetOf(plan.Eval(d.Divisor), piB) {
+				return nil, false
+			}
+			q := &plan.Project{
+				Input: &plan.SemiJoin{Left: d.Dividend, Right: d.Divisor},
+				Attrs: s.A.Attrs(),
+			}
+			return keepIfSingleton(q, s.A.Attrs()), true
+		},
+	}
+}
+
+// aggOutputs lists the output attribute names of a Group node.
+func aggOutputs(g *plan.Group) []string {
+	out := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		out[i] = a.As
+	}
+	return out
+}
+
+// emptyWithSchema builds a plan that evaluates to the empty relation
+// with the given projection of input's schema.
+func emptyWithSchema(input plan.Node, attrs []string) plan.Node {
+	return &plan.Select{
+		Input: &plan.Project{Input: input, Attrs: attrs},
+		Pred:  pred.False,
+	}
+}
+
+// keepIfSingleton returns a plan computing q when |q| = 1 and ∅
+// otherwise, using only basic algebra: q minus the tuples that have
+// a distinct partner in q × ρ(q).
+func keepIfSingleton(q plan.Node, attrs []string) plan.Node {
+	// Rename every attribute of the copy apart.
+	var copyNode plan.Node = q
+	renamed := make([]string, len(attrs))
+	for i, a := range attrs {
+		renamed[i] = freshName(a, attrs)
+		copyNode = &plan.Rename{Input: copyNode, From: a, To: renamed[i]}
+	}
+	var differs pred.Or
+	for i, a := range attrs {
+		differs = append(differs, pred.Compare(pred.Attr(a), pred.Ne, pred.Attr(renamed[i])))
+	}
+	paired := &plan.Product{Left: q, Right: copyNode}
+	nonSingleton := &plan.Project{
+		Input: &plan.Select{Input: paired, Pred: differs},
+		Attrs: attrs,
+	}
+	return plan.Diff(q, nonSingleton)
+}
+
+// freshName derives an attribute name not colliding with existing.
+func freshName(base string, existing []string) string {
+	candidate := base + "'"
+	for {
+		clash := false
+		for _, e := range existing {
+			if e == candidate {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			return candidate
+		}
+		candidate += "'"
+	}
+}

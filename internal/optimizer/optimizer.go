@@ -1,0 +1,113 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"divlaws/internal/laws"
+	"divlaws/internal/plan"
+)
+
+// maxPasses bounds the fixpoint iteration; rewrite systems with
+// bidirectional rules could otherwise oscillate.
+const maxPasses = 8
+
+// Applied records one rule application during optimization.
+type Applied struct {
+	Rule   string
+	Before string // one-line description of the rewritten node
+	Gain   float64
+}
+
+// Result carries the optimized plan and the trace of rule
+// applications.
+type Result struct {
+	Plan    plan.Node
+	Trace   []Applied
+	Initial float64 // estimated cost before
+	Final   float64 // estimated cost after
+}
+
+// String renders the trace like an optimizer debug log.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost %.1f -> %.1f\n", r.Initial, r.Final)
+	for _, a := range r.Trace {
+		fmt.Fprintf(&b, "  %-18s gain %8.1f  at %s\n", a.Rule, a.Gain, a.Before)
+	}
+	return b.String()
+}
+
+// Options configures optimization.
+type Options struct {
+	// Rules is the rule set to use; nil means laws.All().
+	Rules []laws.Rule
+	// AllowDataDependent enables rules whose preconditions inspect
+	// relation contents (c1-style checks). Disabled they are skipped,
+	// modelling an optimizer restricted to catalog-only information.
+	AllowDataDependent bool
+	// MinGain is the minimum estimated cost improvement a rewrite
+	// must deliver to be kept; 0 keeps any non-worsening rewrite
+	// with positive gain.
+	MinGain float64
+}
+
+// Optimize rewrites the plan with the division laws, keeping every
+// rule application that lowers the estimated cost. It runs bottom-up
+// passes to a fixpoint (bounded by maxPasses).
+func Optimize(n plan.Node, opts Options) Result {
+	rules := opts.Rules
+	if rules == nil {
+		rules = laws.All()
+	}
+	res := Result{Initial: Cost(n)}
+	current := n
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		current = plan.Transform(current, func(node plan.Node) plan.Node {
+			best := node
+			bestCost := Cost(node)
+			var bestRule string
+			for _, r := range rules {
+				if r.DataDependent && !opts.AllowDataDependent {
+					continue
+				}
+				rewritten, ok := r.Apply(node)
+				if !ok {
+					continue
+				}
+				c := Cost(rewritten)
+				if bestCost-c > opts.MinGain {
+					best, bestCost, bestRule = rewritten, c, r.Name
+				}
+			}
+			if bestRule != "" {
+				res.Trace = append(res.Trace, Applied{
+					Rule:   bestRule,
+					Before: node.String(),
+					Gain:   Cost(node) - bestCost,
+				})
+				improved = true
+			}
+			return best
+		})
+		if !improved {
+			break
+		}
+	}
+	res.Plan = current
+	res.Final = Cost(current)
+	return res
+}
+
+// MustEquivalent panics unless the optimized plan evaluates to the
+// same relation as the original; used by tests and the CLI's
+// --verify mode to guard the rewrite pipeline end-to-end.
+func MustEquivalent(original, optimized plan.Node) {
+	a := plan.Eval(original)
+	b := plan.Eval(optimized)
+	if !a.EquivalentTo(b) {
+		panic(fmt.Sprintf("optimizer: rewrite changed the result\noriginal:\n%s\n%v\noptimized:\n%s\n%v",
+			plan.Format(original), a, plan.Format(optimized), b))
+	}
+}

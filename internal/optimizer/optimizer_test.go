@@ -1,0 +1,303 @@
+package optimizer
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"divlaws/internal/laws"
+	"divlaws/internal/plan"
+	"divlaws/internal/pred"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+func scan(name string, r *relation.Relation) *plan.Scan { return plan.NewScan(name, r) }
+
+func randRelation(rng *rand.Rand, attrs []string, n, dom int) *relation.Relation {
+	r := relation.New(schema.New(attrs...))
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, len(attrs))
+		for j := range attrs {
+			t[j] = value.Int(int64(rng.Intn(dom)))
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+func TestCostMonotoneInInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small := scan("s", randRelation(rng, []string{"a", "b"}, 10, 5))
+	big := scan("b", randRelation(rng, []string{"a", "b"}, 1000, 50))
+	if Cost(small) >= Cost(big) {
+		t.Error("scan cost should grow with cardinality")
+	}
+	r2 := scan("r2", randRelation(rng, []string{"b"}, 3, 5))
+	if Cost(&plan.Divide{Dividend: big, Divisor: r2}) <= Cost(big) {
+		t.Error("divide must cost more than its input")
+	}
+}
+
+func TestCostPrefersSelectedDividend(t *testing.T) {
+	// σp(A)(r1 ÷ r2) should cost more than σp(A)(r1) ÷ r2: the
+	// selection shrinks the divide's input. This is what makes Law 3
+	// fire as an optimization.
+	rng := rand.New(rand.NewSource(2))
+	r1 := scan("r1", randRelation(rng, []string{"a", "b"}, 500, 40))
+	r2 := scan("r2", randRelation(rng, []string{"b"}, 4, 40))
+	p := pred.Compare(pred.Attr("a"), pred.Eq, pred.ConstInt(1))
+	above := &plan.Select{Input: &plan.Divide{Dividend: r1, Divisor: r2}, Pred: p}
+	below := &plan.Divide{Dividend: &plan.Select{Input: r1, Pred: p}, Divisor: r2}
+	if Cost(below) >= Cost(above) {
+		t.Errorf("cost(pushed) = %.1f should beat cost(unpushed) = %.1f", Cost(below), Cost(above))
+	}
+}
+
+func TestSelectivityShapes(t *testing.T) {
+	eq := pred.Compare(pred.Attr("a"), pred.Eq, pred.ConstInt(1))
+	lt := pred.Compare(pred.Attr("a"), pred.Lt, pred.ConstInt(1))
+	if selectivity(eq) >= selectivity(lt) {
+		t.Error("equality should be more selective than range")
+	}
+	if selectivity(pred.And{eq, lt}) >= selectivity(eq) {
+		t.Error("conjunction should be more selective than either conjunct")
+	}
+	if selectivity(pred.Or{eq, lt}) <= selectivity(lt) {
+		t.Error("disjunction should be less selective")
+	}
+	if selectivity(pred.True) != 1 || selectivity(pred.False) != 0 {
+		t.Error("literal selectivities")
+	}
+	if got := selectivity(pred.Not{P: pred.True}); got != 0 {
+		t.Errorf("NOT TRUE selectivity = %v", got)
+	}
+	ne := pred.Compare(pred.Attr("a"), pred.Ne, pred.ConstInt(1))
+	if selectivity(ne) <= selectivity(eq) {
+		t.Error("inequality should pass more than equality")
+	}
+}
+
+func TestOptimizePushesSelectionBelowDivide(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r1 := scan("r1", randRelation(rng, []string{"a", "b"}, 300, 30))
+	r2 := scan("r2", randRelation(rng, []string{"b"}, 3, 30))
+	p := pred.Compare(pred.Attr("a"), pred.Eq, pred.ConstInt(7))
+	original := &plan.Select{Input: &plan.Divide{Dividend: r1, Divisor: r2}, Pred: p}
+
+	res := Optimize(original, Options{})
+	if len(res.Trace) == 0 {
+		t.Fatal("optimizer applied no rules")
+	}
+	if res.Final >= res.Initial {
+		t.Errorf("cost did not improve: %.1f -> %.1f", res.Initial, res.Final)
+	}
+	d, ok := res.Plan.(*plan.Divide)
+	if !ok {
+		t.Fatalf("expected Divide root after Law 3:\n%s", plan.Format(res.Plan))
+	}
+	if _, ok := d.Dividend.(*plan.Select); !ok {
+		t.Fatalf("selection not pushed:\n%s", plan.Format(res.Plan))
+	}
+	MustEquivalent(original, res.Plan)
+}
+
+func TestOptimizeLaw9EliminatesProduct(t *testing.T) {
+	// Law 9 is data-dependent; it must fire only with
+	// AllowDataDependent.
+	r1s := scan("r1s", relation.Ints([]string{"a", "b1"}, [][]int64{
+		{1, 1}, {1, 2}, {1, 3}, {2, 2}, {2, 3}, {3, 1}, {3, 3}, {3, 4},
+	}))
+	r1ss := scan("r1ss", relation.Ints([]string{"b2"}, [][]int64{{1}, {2}}))
+	r2 := scan("r2", relation.Ints([]string{"b1", "b2"}, [][]int64{{1, 2}, {3, 1}, {3, 2}}))
+	original := &plan.Divide{
+		Dividend: &plan.Product{Left: r1s, Right: r1ss},
+		Divisor:  r2,
+	}
+	restricted := Optimize(original, Options{AllowDataDependent: false})
+	if len(restricted.Trace) != 0 {
+		t.Errorf("catalog-only optimizer should not fire Law 9, applied %v", restricted.Trace)
+	}
+	full := Optimize(original, Options{AllowDataDependent: true})
+	fired := false
+	for _, a := range full.Trace {
+		if a.Rule == "Law 9" {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatalf("Law 9 did not fire; trace: %v\nplan:\n%s", full.Trace, plan.Format(full.Plan))
+	}
+	MustEquivalent(original, full.Plan)
+}
+
+func TestOptimizeGreatDivideSelections(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	r1 := scan("r1", randRelation(rng, []string{"a", "b"}, 400, 20))
+	r2 := scan("r2", randRelation(rng, []string{"b", "c"}, 50, 20))
+	p := pred.And{
+		pred.Compare(pred.Attr("a"), pred.Eq, pred.ConstInt(3)),
+	}
+	original := &plan.Select{
+		Input: &plan.GreatDivide{Dividend: r1, Divisor: r2},
+		Pred:  p,
+	}
+	res := Optimize(original, Options{})
+	if _, ok := res.Plan.(*plan.GreatDivide); !ok {
+		t.Fatalf("Law 14 should leave a GreatDivide root:\n%s", plan.Format(res.Plan))
+	}
+	MustEquivalent(original, res.Plan)
+}
+
+func TestOptimizeTerminates(t *testing.T) {
+	// Bidirectional rule pairs (Law 3 / Law 3 reverse) must not
+	// oscillate: the cost gate plus bounded passes guarantee
+	// termination.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		r1 := scan("r1", randRelation(rng, []string{"a", "b"}, 10+rng.Intn(50), 8))
+		r2 := scan("r2", randRelation(rng, []string{"b"}, 1+rng.Intn(4), 8))
+		p := pred.Compare(pred.Attr("a"), pred.Gt, pred.ConstInt(int64(rng.Intn(8))))
+		original := &plan.Select{Input: &plan.Divide{Dividend: r1, Divisor: r2}, Pred: p}
+		res := Optimize(original, Options{AllowDataDependent: true})
+		MustEquivalent(original, res.Plan)
+	}
+}
+
+func TestOptimizeRandomPlansPreserveSemantics(t *testing.T) {
+	// Fuzz the whole pipeline: random plans with divides, unions,
+	// selections; optimization must never change results.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		r1a := scan("r1a", randRelation(rng, []string{"a", "b"}, rng.Intn(20), 5))
+		r1b := scan("r1b", randRelation(rng, []string{"a", "b"}, rng.Intn(20), 5))
+		r2a := scan("r2a", randRelation(rng, []string{"b"}, 1+rng.Intn(3), 5))
+		r2b := scan("r2b", randRelation(rng, []string{"b"}, 1+rng.Intn(3), 5))
+		var original plan.Node
+		switch trial % 4 {
+		case 0:
+			original = &plan.Divide{Dividend: plan.Union(r1a, r1b), Divisor: r2a}
+		case 1:
+			original = &plan.Divide{Dividend: r1a, Divisor: plan.Union(r2a, r2b)}
+		case 2:
+			original = &plan.Select{
+				Input: &plan.Divide{Dividend: plan.Intersect(r1a, r1b), Divisor: r2a},
+				Pred:  pred.Compare(pred.Attr("a"), pred.Gt, pred.ConstInt(1)),
+			}
+		default:
+			original = plan.Diff(
+				&plan.Divide{Dividend: r1a, Divisor: r2a},
+				&plan.Divide{Dividend: r1b, Divisor: r2a},
+			)
+		}
+		res := Optimize(original, Options{AllowDataDependent: true})
+		MustEquivalent(original, res.Plan)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := Result{
+		Initial: 100, Final: 50,
+		Trace: []Applied{{Rule: "Law 3", Before: "Select[x]", Gain: 50}},
+	}
+	s := res.String()
+	if !strings.Contains(s, "Law 3") || !strings.Contains(s, "100.0 -> 50.0") {
+		t.Errorf("Result.String = %q", s)
+	}
+}
+
+func TestMustEquivalentPanicsOnMismatch(t *testing.T) {
+	a := scan("a", relation.Ints([]string{"x"}, [][]int64{{1}}))
+	b := scan("b", relation.Ints([]string{"x"}, [][]int64{{2}}))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustEquivalent(a, b)
+}
+
+func TestEstimatedUnknownNode(t *testing.T) {
+	// Unknown node types get pessimistic costs, not panics.
+	n := &fakeNode{child: scan("r", relation.Ints([]string{"a"}, [][]int64{{1}, {2}}))}
+	e := Estimated(n)
+	if e.Cost <= 0 {
+		t.Error("unknown node should still be costed")
+	}
+}
+
+type fakeNode struct{ child plan.Node }
+
+func (f *fakeNode) Schema() schema.Schema { return f.child.Schema() }
+func (f *fakeNode) Children() []plan.Node { return []plan.Node{f.child} }
+func (f *fakeNode) WithChildren(ch []plan.Node) plan.Node {
+	return &fakeNode{child: ch[0]}
+}
+func (f *fakeNode) String() string { return "Fake" }
+
+func TestOptimizeWithExplicitRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r1 := scan("r1", randRelation(rng, []string{"a", "b"}, 100, 10))
+	r2 := scan("r2", randRelation(rng, []string{"b"}, 2, 10))
+	p := pred.Compare(pred.Attr("a"), pred.Eq, pred.ConstInt(1))
+	original := &plan.Select{Input: &plan.Divide{Dividend: r1, Divisor: r2}, Pred: p}
+	law3, _ := laws.ByName("Law 3")
+	res := Optimize(original, Options{Rules: []laws.Rule{law3}})
+	if len(res.Trace) != 1 || res.Trace[0].Rule != "Law 3" {
+		t.Errorf("explicit rule set misbehaved: %v", res.Trace)
+	}
+}
+
+func TestRowsEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	r1 := scan("r1", randRelation(rng, []string{"a", "b"}, 100, 10))
+	n := float64(r1.Rel.Len())
+	if got := Rows(r1); got != n {
+		t.Errorf("Rows(scan) = %g, want %g", got, n)
+	}
+	sel := &plan.Select{Input: r1, Pred: pred.Compare(pred.Attr("a"), pred.Eq, pred.ConstInt(1))}
+	if got := Rows(sel); got >= n || got <= 0 {
+		t.Errorf("Rows(select) = %g, want shrunk below %g", got, n)
+	}
+	grp := &plan.Group{Input: r1, By: nil}
+	if got := Rows(grp); got != 1 {
+		t.Errorf("Rows(global group) = %g, want 1", got)
+	}
+	ren := &plan.Rename{Input: r1, From: "a", To: "z"}
+	if got := Rows(ren); got != n {
+		t.Errorf("Rows(rename) = %g, want %g", got, n)
+	}
+}
+
+func TestEstimatedSetOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := scan("x", randRelation(rng, []string{"a"}, 50, 30))
+	y := scan("y", randRelation(rng, []string{"a"}, 30, 30))
+	union := Estimated(plan.Union(x, y))
+	inter := Estimated(plan.Intersect(x, y))
+	diff := Estimated(plan.Diff(x, y))
+	if union.Rows <= inter.Rows || union.Rows <= diff.Rows {
+		t.Error("union should estimate the largest of the set ops")
+	}
+	theta := &plan.ThetaJoin{
+		Left:  x,
+		Right: &plan.Rename{Input: y, From: "a", To: "b"},
+		Pred:  pred.Compare(pred.Attr("a"), pred.Lt, pred.Attr("b")),
+	}
+	join := &plan.Join{Left: x, Right: scan("z", randRelation(rng, []string{"a", "c"}, 30, 30))}
+	if Estimated(theta).Cost <= Estimated(join).Cost {
+		t.Error("nested-loop theta-join should cost more than hash join at like sizes")
+	}
+	anti := &plan.AntiSemiJoin{Left: x, Right: y}
+	if Estimated(anti).Rows <= 0 {
+		t.Error("anti-semi-join rows estimate must be positive")
+	}
+	gd := &plan.GreatDivide{
+		Dividend: scan("d", randRelation(rng, []string{"a", "b"}, 40, 10)),
+		Divisor:  scan("v", randRelation(rng, []string{"b", "c"}, 10, 10)),
+	}
+	if Estimated(gd).Rows <= 0 {
+		t.Error("great divide rows estimate must be positive")
+	}
+}

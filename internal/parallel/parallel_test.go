@@ -1,0 +1,148 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+
+	"divlaws/internal/datagen"
+	"divlaws/internal/division"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+func TestParallelDivideMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		r1, r2 := datagen.DividePair{
+			Groups: 300, GroupSize: 6, DivisorSize: 6,
+			Domain: 50, HitRate: 0.3, Seed: int64(workers),
+		}.Generate()
+		got := Divide(r1, r2, workers)
+		want := division.Divide(r1, r2)
+		if !got.Equal(want) {
+			t.Errorf("workers=%d: parallel divide diverged (%d vs %d rows)",
+				workers, got.Len(), want.Len())
+		}
+	}
+}
+
+func TestParallelGreatDivideMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		r1, r2 := datagen.GreatDividePair{
+			Groups: 200, GroupSize: 6,
+			DivisorGroups: 12, DivisorGroupSize: 4,
+			Domain: 50, HitRate: 0.3, Seed: int64(workers),
+		}.Generate()
+		got := GreatDivide(r1, r2, workers)
+		want := division.GreatDivide(r1, r2)
+		if !got.EquivalentTo(want) {
+			t.Errorf("workers=%d: parallel great divide diverged (%d vs %d rows)",
+				workers, got.Len(), want.Len())
+		}
+	}
+}
+
+func TestParallelRandomizedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		r1 := relation.New(schema.New("a", "b"))
+		for i := 0; i < rng.Intn(80); i++ {
+			r1.Insert(relation.Tuple{
+				value.Int(int64(rng.Intn(12))), value.Int(int64(rng.Intn(8))),
+			})
+		}
+		r2 := relation.New(schema.New("b"))
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			r2.Insert(relation.Tuple{value.Int(int64(rng.Intn(8)))})
+		}
+		workers := 1 + rng.Intn(6)
+		if !VerifyAgainstSequential(r1, r2, workers) {
+			t.Fatalf("trial %d (workers=%d): mismatch\nr1:\n%v\nr2:\n%v", trial, workers, r1, r2)
+		}
+		r2g := relation.New(schema.New("b", "c"))
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			r2g.Insert(relation.Tuple{
+				value.Int(int64(rng.Intn(8))), value.Int(int64(rng.Intn(4))),
+			})
+		}
+		if !VerifyAgainstSequential(r1, r2g, workers) {
+			t.Fatalf("trial %d (workers=%d): great mismatch\nr1:\n%v\nr2:\n%v", trial, workers, r1, r2g)
+		}
+	}
+}
+
+func TestSmallInputsFallBack(t *testing.T) {
+	r1 := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}})
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}})
+	if got := Divide(r1, r2, 8); got.Len() != 1 {
+		t.Errorf("tiny input divide = %v", got)
+	}
+	r2g := relation.Ints([]string{"b", "c"}, [][]int64{{1, 1}})
+	if got := GreatDivide(r1, r2g, 8); got.Len() != 1 {
+		t.Errorf("tiny input great divide = %v", got)
+	}
+}
+
+func TestEmptyDividend(t *testing.T) {
+	r1 := relation.New(schema.New("a", "b"))
+	r2 := relation.Ints([]string{"b"}, [][]int64{{1}})
+	if got := Divide(r1, r2, 4); !got.Empty() {
+		t.Errorf("empty dividend = %v", got)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Error("DefaultWorkers must be positive")
+	}
+	r1, r2 := datagen.DividePair{
+		Groups: 100, GroupSize: 5, DivisorSize: 5, Domain: 40, HitRate: 0.3, Seed: 1,
+	}.Generate()
+	if !Divide(r1, r2, 0).Equal(division.Divide(r1, r2)) {
+		t.Error("workers=0 should use the default and stay correct")
+	}
+}
+
+func TestPartitionByKeyDisjoint(t *testing.T) {
+	r := relation.Ints([]string{"a", "b"}, [][]int64{
+		{1, 1}, {1, 2}, {2, 1}, {3, 1}, {3, 2}, {4, 1},
+	})
+	parts := partitionByKey(r, []int{0}, 2)
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	// Key sets must be disjoint and groups unsplit (c2 guarantee).
+	seen := map[string]int{}
+	total := 0
+	for pi, p := range parts {
+		total += p.Len()
+		for _, tp := range p.Tuples() {
+			k := tp[:1].Key()
+			if prev, ok := seen[k]; ok && prev != pi {
+				t.Errorf("key %q split across partitions %d and %d", k, prev, pi)
+			}
+			seen[k] = pi
+		}
+	}
+	if total != r.Len() {
+		t.Errorf("partitions lose tuples: %d vs %d", total, r.Len())
+	}
+}
+
+func TestSchemaViolationsPanic(t *testing.T) {
+	bad := relation.Ints([]string{"z"}, [][]int64{{1}})
+	r1 := relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}})
+	for _, fn := range []func(){
+		func() { Divide(r1, bad, 2) },
+		func() { GreatDivide(bad, bad, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

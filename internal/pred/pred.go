@@ -1,0 +1,340 @@
+// Package pred provides the predicate ASTs used in selections and
+// theta-joins. Unlike opaque func(Tuple) bool predicates, these ASTs
+// expose the set of attributes they reference, which the rewrite laws
+// require: Law 3 applies only to predicates p(A) over quotient
+// attributes, Law 4 to predicates p(B) over divisor attributes, etc.
+package pred
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// The comparison operators.
+const (
+	Eq Op = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Negate returns the complementary operator: ¬(a < b) is a >= b.
+func (o Op) Negate() Op {
+	switch o {
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	default:
+		panic(fmt.Sprintf("pred: negate of invalid op %d", uint8(o)))
+	}
+}
+
+// apply evaluates the operator on two values using the total order.
+// Eq/Ne use strict Equal-by-comparison semantics (numeric 2 == 2.0).
+func (o Op) apply(a, b value.Value) bool {
+	c := value.Compare(a, b)
+	switch o {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	case Ge:
+		return c >= 0
+	default:
+		panic(fmt.Sprintf("pred: invalid op %d", uint8(o)))
+	}
+}
+
+// Operand is an attribute reference or a constant in a comparison.
+type Operand struct {
+	Attr  string      // attribute name if IsAttr
+	Const value.Value // constant value otherwise
+	IsAtt bool
+}
+
+// Attr returns an attribute operand.
+func Attr(name string) Operand { return Operand{Attr: name, IsAtt: true} }
+
+// Const returns a constant operand.
+func Const(v value.Value) Operand { return Operand{Const: v} }
+
+// ConstInt returns an integer constant operand.
+func ConstInt(i int64) Operand { return Const(value.Int(i)) }
+
+// ConstString returns a string constant operand.
+func ConstString(s string) Operand { return Const(value.String(s)) }
+
+func (o Operand) eval(t relation.Tuple, sch schema.Schema) value.Value {
+	if !o.IsAtt {
+		return o.Const
+	}
+	return t[sch.MustIndex(o.Attr)]
+}
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.IsAtt {
+		return o.Attr
+	}
+	if o.Const.Kind() == value.KindString {
+		return "'" + o.Const.String() + "'"
+	}
+	return o.Const.String()
+}
+
+// Predicate is a boolean condition over a tuple.
+type Predicate interface {
+	// Eval evaluates the predicate against a tuple with the given
+	// schema.
+	Eval(t relation.Tuple, sch schema.Schema) bool
+	// Attrs returns the sorted, deduplicated attribute names the
+	// predicate references.
+	Attrs() []string
+	// String renders the predicate in SQL-ish syntax.
+	String() string
+}
+
+// Cmp is a binary comparison, e.g. b < 3 or r1.b = r2.b.
+type Cmp struct {
+	Left  Operand
+	Op    Op
+	Right Operand
+}
+
+// Compare builds a comparison predicate.
+func Compare(left Operand, op Op, right Operand) Cmp {
+	return Cmp{Left: left, Op: op, Right: right}
+}
+
+// Eval implements Predicate.
+func (c Cmp) Eval(t relation.Tuple, sch schema.Schema) bool {
+	return c.Op.apply(c.Left.eval(t, sch), c.Right.eval(t, sch))
+}
+
+// Attrs implements Predicate.
+func (c Cmp) Attrs() []string {
+	var out []string
+	if c.Left.IsAtt {
+		out = append(out, c.Left.Attr)
+	}
+	if c.Right.IsAtt && (!c.Left.IsAtt || c.Right.Attr != c.Left.Attr) {
+		out = append(out, c.Right.Attr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String implements Predicate.
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// And is a conjunction of predicates. An empty And is true.
+type And []Predicate
+
+// Eval implements Predicate.
+func (a And) Eval(t relation.Tuple, sch schema.Schema) bool {
+	for _, p := range a {
+		if !p.Eval(t, sch) {
+			return false
+		}
+	}
+	return true
+}
+
+// Attrs implements Predicate.
+func (a And) Attrs() []string { return mergeAttrs(a) }
+
+// String implements Predicate.
+func (a And) String() string { return joinPreds(a, " AND ", "TRUE") }
+
+// Or is a disjunction of predicates. An empty Or is false.
+type Or []Predicate
+
+// Eval implements Predicate.
+func (o Or) Eval(t relation.Tuple, sch schema.Schema) bool {
+	for _, p := range o {
+		if p.Eval(t, sch) {
+			return true
+		}
+	}
+	return false
+}
+
+// Attrs implements Predicate.
+func (o Or) Attrs() []string { return mergeAttrs(o) }
+
+// String implements Predicate.
+func (o Or) String() string { return joinPreds(o, " OR ", "FALSE") }
+
+// Not negates a predicate.
+type Not struct{ P Predicate }
+
+// Eval implements Predicate.
+func (n Not) Eval(t relation.Tuple, sch schema.Schema) bool { return !n.P.Eval(t, sch) }
+
+// Attrs implements Predicate.
+func (n Not) Attrs() []string { return n.P.Attrs() }
+
+// String implements Predicate.
+func (n Not) String() string { return "NOT (" + n.P.String() + ")" }
+
+// Literal is the constant predicate TRUE or FALSE.
+type Literal bool
+
+// True and False are the constant predicates.
+const (
+	True  Literal = true
+	False Literal = false
+)
+
+// Eval implements Predicate.
+func (l Literal) Eval(relation.Tuple, schema.Schema) bool { return bool(l) }
+
+// Attrs implements Predicate.
+func (l Literal) Attrs() []string { return nil }
+
+// String implements Predicate.
+func (l Literal) String() string {
+	if l {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// Negate returns ¬p, pushing the negation into comparisons where
+// possible so the result stays introspectable.
+func Negate(p Predicate) Predicate {
+	switch q := p.(type) {
+	case Cmp:
+		return Cmp{Left: q.Left, Op: q.Op.Negate(), Right: q.Right}
+	case Not:
+		return q.P
+	case Literal:
+		return Literal(!bool(q))
+	case And:
+		out := make(Or, len(q))
+		for i, sub := range q {
+			out[i] = Negate(sub)
+		}
+		return out
+	case Or:
+		out := make(And, len(q))
+		for i, sub := range q {
+			out[i] = Negate(sub)
+		}
+		return out
+	default:
+		return Not{P: p}
+	}
+}
+
+// OnlyOver reports whether the predicate references attributes only
+// from the given set. This is the check "p(X)" in the laws: Law 3
+// demands p(A), Law 4 demands p(B).
+func OnlyOver(p Predicate, attrs schema.Schema) bool {
+	for _, a := range p.Attrs() {
+		if !attrs.Contains(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Conjuncts flattens nested Ands into a list of conjuncts.
+func Conjuncts(p Predicate) []Predicate {
+	if a, ok := p.(And); ok {
+		var out []Predicate
+		for _, sub := range a {
+			out = append(out, Conjuncts(sub)...)
+		}
+		return out
+	}
+	return []Predicate{p}
+}
+
+// EquiPairs extracts the (left, right) attribute pairs if p is a
+// conjunction of attribute=attribute comparisons, and reports whether
+// it has exactly that shape. Used by the SQL binder to decide whether
+// a DIVIDE BY condition denotes a small/great divide (paper §4).
+func EquiPairs(p Predicate) (pairs [][2]string, ok bool) {
+	for _, c := range Conjuncts(p) {
+		cmp, isCmp := c.(Cmp)
+		if !isCmp || cmp.Op != Eq || !cmp.Left.IsAtt || !cmp.Right.IsAtt {
+			return nil, false
+		}
+		pairs = append(pairs, [2]string{cmp.Left.Attr, cmp.Right.Attr})
+	}
+	return pairs, true
+}
+
+func mergeAttrs(ps []Predicate) []string {
+	set := map[string]struct{}{}
+	for _, p := range ps {
+		for _, a := range p.Attrs() {
+			set[a] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func joinPreds(ps []Predicate, sep, empty string) string {
+	if len(ps) == 0 {
+		return empty
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,246 @@
+package pred
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+var (
+	sch = schema.New("a", "b")
+	t12 = relation.Tuple{value.Int(1), value.Int(2)}
+	t22 = relation.Tuple{value.Int(2), value.Int(2)}
+)
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{Eq: "=", Ne: "<>", Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Op(9): "op(9)"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("Op(%d).String() = %q want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestOpNegate(t *testing.T) {
+	want := map[Op]Op{Eq: Ne, Ne: Eq, Lt: Ge, Ge: Lt, Gt: Le, Le: Gt}
+	for op, neg := range want {
+		if op.Negate() != neg {
+			t.Errorf("%v.Negate() = %v want %v", op, op.Negate(), neg)
+		}
+	}
+}
+
+func TestOpNegatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Op(77).Negate()
+}
+
+func TestCmpEval(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		tpl  relation.Tuple
+		want bool
+	}{
+		{Compare(Attr("a"), Eq, ConstInt(1)), t12, true},
+		{Compare(Attr("a"), Eq, ConstInt(1)), t22, false},
+		{Compare(Attr("a"), Ne, ConstInt(1)), t22, true},
+		{Compare(Attr("a"), Lt, Attr("b")), t12, true},
+		{Compare(Attr("a"), Lt, Attr("b")), t22, false},
+		{Compare(Attr("a"), Le, Attr("b")), t22, true},
+		{Compare(Attr("b"), Gt, ConstInt(1)), t12, true},
+		{Compare(Attr("b"), Ge, ConstInt(2)), t12, true},
+		{Compare(ConstString("x"), Eq, ConstString("x")), t12, true},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Eval(tc.tpl, sch); got != tc.want {
+			t.Errorf("%s on %v = %t want %t", tc.p, tc.tpl, got, tc.want)
+		}
+	}
+}
+
+func TestCmpAttrs(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		want []string
+	}{
+		{Compare(Attr("b"), Lt, Attr("a")), []string{"a", "b"}},
+		{Compare(Attr("a"), Eq, Attr("a")), []string{"a"}},
+		{Compare(Attr("a"), Eq, ConstInt(3)), []string{"a"}},
+		{Compare(ConstInt(1), Eq, ConstInt(2)), nil},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Attrs(); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s Attrs = %v want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestAndOrNotLiteral(t *testing.T) {
+	aLt2 := Compare(Attr("a"), Lt, ConstInt(2))
+	bEq2 := Compare(Attr("b"), Eq, ConstInt(2))
+	if !(And{aLt2, bEq2}).Eval(t12, sch) {
+		t.Error("And true case")
+	}
+	if (And{aLt2, bEq2}).Eval(t22, sch) {
+		t.Error("And false case")
+	}
+	if !(And{}).Eval(t22, sch) {
+		t.Error("empty And is TRUE")
+	}
+	if !(Or{aLt2, Compare(Attr("a"), Eq, ConstInt(2))}).Eval(t22, sch) {
+		t.Error("Or true case")
+	}
+	if (Or{}).Eval(t12, sch) {
+		t.Error("empty Or is FALSE")
+	}
+	if (Not{aLt2}).Eval(t12, sch) || !(Not{aLt2}).Eval(t22, sch) {
+		t.Error("Not wrong")
+	}
+	if !True.Eval(t12, sch) || False.Eval(t12, sch) {
+		t.Error("literals wrong")
+	}
+	if True.String() != "TRUE" || False.String() != "FALSE" {
+		t.Error("literal strings")
+	}
+	if got := (And{aLt2, bEq2}).Attrs(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("And Attrs = %v", got)
+	}
+	if (Not{aLt2}).String() != "NOT (a < 2)" {
+		t.Errorf("Not String = %q", (Not{aLt2}).String())
+	}
+	if (And{}).String() != "TRUE" || (Or{}).String() != "FALSE" {
+		t.Error("empty junction strings")
+	}
+}
+
+func TestNegate(t *testing.T) {
+	aLt2 := Compare(Attr("a"), Lt, ConstInt(2))
+	bEq2 := Compare(Attr("b"), Eq, ConstInt(2))
+	tuples := []relation.Tuple{t12, t22, {value.Int(5), value.Int(0)}}
+	preds := []Predicate{
+		aLt2, bEq2,
+		And{aLt2, bEq2},
+		Or{aLt2, bEq2},
+		Not{aLt2},
+		True, False,
+		Not{And{aLt2, Not{bEq2}}},
+	}
+	for _, p := range preds {
+		n := Negate(p)
+		for _, tpl := range tuples {
+			if p.Eval(tpl, sch) == n.Eval(tpl, sch) {
+				t.Errorf("Negate(%s) not complementary on %v", p, tpl)
+			}
+		}
+	}
+	// Negation of a comparison stays a comparison (introspectable).
+	if _, ok := Negate(aLt2).(Cmp); !ok {
+		t.Error("Negate(Cmp) should remain Cmp")
+	}
+	// Double negation unwraps.
+	if _, ok := Negate(Not{P: opaque{}}).(opaque); !ok {
+		t.Error("Negate(Not{p}) should unwrap to p")
+	}
+	// Unknown predicate types get wrapped.
+	if _, ok := Negate(opaque{}).(Not); !ok {
+		t.Error("Negate(opaque) should wrap in Not")
+	}
+}
+
+// opaque is a Predicate implementation outside the package's known
+// cases, to exercise Negate's default branch.
+type opaque struct{}
+
+func (opaque) Eval(relation.Tuple, schema.Schema) bool { return true }
+func (opaque) Attrs() []string                         { return nil }
+func (opaque) String() string                          { return "opaque" }
+
+func TestOnlyOver(t *testing.T) {
+	p := Compare(Attr("b"), Lt, ConstInt(3))
+	if !OnlyOver(p, schema.New("b")) {
+		t.Error("p(b) is over {b}")
+	}
+	if OnlyOver(p, schema.New("a")) {
+		t.Error("p(b) is not over {a}")
+	}
+	if !OnlyOver(True, schema.New()) {
+		t.Error("TRUE is over any set")
+	}
+	mixed := And{p, Compare(Attr("a"), Eq, ConstInt(1))}
+	if OnlyOver(mixed, schema.New("b")) {
+		t.Error("mixed predicate is not only over {b}")
+	}
+	if !OnlyOver(mixed, schema.New("a", "b", "c")) {
+		t.Error("mixed predicate is over superset")
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	p1 := Compare(Attr("a"), Eq, ConstInt(1))
+	p2 := Compare(Attr("b"), Eq, ConstInt(2))
+	p3 := Compare(Attr("a"), Lt, Attr("b"))
+	nested := And{p1, And{p2, p3}}
+	got := Conjuncts(nested)
+	if len(got) != 3 {
+		t.Fatalf("Conjuncts len = %d", len(got))
+	}
+	if got := Conjuncts(p1); len(got) != 1 {
+		t.Errorf("Conjuncts of atom = %v", got)
+	}
+}
+
+func TestEquiPairs(t *testing.T) {
+	eq1 := Compare(Attr("x"), Eq, Attr("y"))
+	eq2 := Compare(Attr("u"), Eq, Attr("v"))
+	pairs, ok := EquiPairs(And{eq1, eq2})
+	if !ok || len(pairs) != 2 || pairs[0] != [2]string{"x", "y"} || pairs[1] != [2]string{"u", "v"} {
+		t.Errorf("EquiPairs = %v, %t", pairs, ok)
+	}
+	if _, ok := EquiPairs(Compare(Attr("x"), Lt, Attr("y"))); ok {
+		t.Error("non-equi comparison should not be equi pairs")
+	}
+	if _, ok := EquiPairs(Compare(Attr("x"), Eq, ConstInt(1))); ok {
+		t.Error("attr=const should not be equi pairs")
+	}
+	if _, ok := EquiPairs(Or{eq1, eq2}); ok {
+		t.Error("disjunction should not be equi pairs")
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	if Attr("a").String() != "a" {
+		t.Error("Attr String")
+	}
+	if ConstInt(3).String() != "3" {
+		t.Error("int const String")
+	}
+	if ConstString("blue").String() != "'blue'" {
+		t.Error("string const should be quoted")
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// Negate must satisfy De Morgan over random comparison forests.
+	f := func(av, bv int8, lim int8) bool {
+		tpl := relation.Tuple{value.Int(int64(av)), value.Int(int64(bv))}
+		p := And{
+			Compare(Attr("a"), Lt, ConstInt(int64(lim))),
+			Or{
+				Compare(Attr("b"), Ge, ConstInt(int64(lim))),
+				Compare(Attr("a"), Eq, Attr("b")),
+			},
+		}
+		return Negate(p).Eval(tpl, sch) == !p.Eval(tpl, sch)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package relation implements set-semantics relations: immutable
+// schemas over ordered attributes, tuples of typed values, duplicate
+// elimination on insert, canonical ordering, and set-level equality.
+//
+// Every operator in the paper (Appendix A) has set semantics, so the
+// Relation type dedups tuples via an injective byte key and all
+// comparisons between relations are order-insensitive.
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+// Tuple is an ordered list of values, positionally aligned with a
+// relation's schema.
+type Tuple []value.Value
+
+// Equal reports whether two tuples have the same length and pairwise
+// Equal values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns the injective byte encoding of the tuple used for set
+// semantics and hash-based operators.
+func (t Tuple) Key() string { return string(t.AppendKey(nil)) }
+
+// AppendKey appends the tuple's injective encoding to dst.
+func (t Tuple) AppendKey(dst []byte) []byte {
+	for _, v := range t {
+		dst = v.AppendKey(dst)
+	}
+	return dst
+}
+
+// Clone returns a copy of the tuple sharing no storage with t.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Concat returns the concatenation t ◦ u as a fresh tuple.
+func (t Tuple) Concat(u Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(u))
+	out = append(out, t...)
+	out = append(out, u...)
+	return out
+}
+
+// Project returns the tuple restricted to the given source positions.
+func (t Tuple) Project(pos []int) Tuple {
+	out := make(Tuple, len(pos))
+	for i, p := range pos {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// Compare orders tuples lexicographically by value.Compare.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := value.Compare(t[i], u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the tuple like the paper's figures: "1, blue".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Relation is a set of tuples over a fixed schema. The zero Relation
+// is unusable; construct with New.
+type Relation struct {
+	sch    schema.Schema
+	tuples []Tuple
+	seen   map[string]struct{}
+}
+
+// New returns an empty relation with the given schema.
+func New(sch schema.Schema) *Relation {
+	return &Relation{sch: sch, seen: make(map[string]struct{})}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() schema.Schema { return r.sch }
+
+// Len returns the cardinality |r|.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
+
+// Insert adds a tuple under set semantics, reporting whether it was
+// new. The tuple is cloned, so callers may reuse their slice. Insert
+// panics if the arity does not match the schema.
+func (r *Relation) Insert(t Tuple) bool {
+	if len(t) != r.sch.Len() {
+		panic(fmt.Sprintf("relation: arity %d tuple into schema %v", len(t), r.sch))
+	}
+	k := t.Key()
+	if _, dup := r.seen[k]; dup {
+		return false
+	}
+	r.seen[k] = struct{}{}
+	r.tuples = append(r.tuples, t.Clone())
+	return true
+}
+
+// InsertAll inserts every tuple of s (schemas must have equal arity;
+// attribute names are not checked, mirroring positional set union).
+func (r *Relation) InsertAll(s *Relation) {
+	for _, t := range s.tuples {
+		r.Insert(t)
+	}
+}
+
+// Contains reports whether the tuple is in the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.seen[t.Key()]
+	return ok
+}
+
+// ContainsKey reports whether a tuple with the given key is present.
+func (r *Relation) ContainsKey(key string) bool {
+	_, ok := r.seen[key]
+	return ok
+}
+
+// Tuples returns the relation's tuples in insertion order. The slice
+// and its tuples must not be mutated.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Sorted returns the tuples in canonical (lexicographic) order as a
+// fresh slice.
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Clone returns a deep copy of the relation.
+func (r *Relation) Clone() *Relation {
+	out := New(r.sch)
+	for _, t := range r.tuples {
+		out.Insert(t)
+	}
+	return out
+}
+
+// Equal reports set equality: same schema (ordered) and the same set
+// of tuples.
+func (r *Relation) Equal(s *Relation) bool {
+	if !r.sch.Equal(s.sch) || r.Len() != s.Len() {
+		return false
+	}
+	for _, t := range r.tuples {
+		if !s.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentTo reports equality up to attribute order: both relations
+// must have the same attribute set, and after aligning s's columns to
+// r's order the tuple sets must match. This is how the laws state
+// equivalences: π_{A∪C}(...) may emit columns in a different order on
+// each side.
+func (r *Relation) EquivalentTo(s *Relation) bool {
+	if r.Len() != s.Len() || !r.sch.EqualSet(s.sch) {
+		return false
+	}
+	pos := s.sch.Positions(r.sch.Attrs())
+	for _, t := range s.tuples {
+		if !r.Contains(t.Project(pos)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reorder returns a relation with columns rearranged into the given
+// attribute order, which must be a permutation of the schema.
+func (r *Relation) Reorder(attrs []string) *Relation {
+	target := schema.New(attrs...)
+	if !target.EqualSet(r.sch) {
+		panic(fmt.Sprintf("relation: Reorder %v is not a permutation of %v", attrs, r.sch))
+	}
+	pos := r.sch.Positions(attrs)
+	out := New(target)
+	for _, t := range r.tuples {
+		out.Insert(t.Project(pos))
+	}
+	return out
+}
+
+// String renders the relation as a small table in canonical order,
+// matching the layout of the paper's figures:
+//
+//	a b
+//	1 1
+//	2 3
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.sch.Attrs(), " "))
+	for _, t := range r.Sorted() {
+		b.WriteByte('\n')
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = v.String()
+		}
+		b.WriteString(strings.Join(parts, " "))
+	}
+	return b.String()
+}
+
+// Ints is a test and example helper: it builds a relation of integer
+// tuples over the named attributes.
+func Ints(attrs []string, rows [][]int64) *Relation {
+	r := New(schema.New(attrs...))
+	for _, row := range rows {
+		if len(row) != len(attrs) {
+			panic(fmt.Sprintf("relation: Ints row %v does not match attrs %v", row, attrs))
+		}
+		t := make(Tuple, len(row))
+		for i, x := range row {
+			t[i] = value.Int(x)
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+// FromRows builds a relation from untyped rows, converting Go values
+// (int, int64, float64, string, bool, nil) to values. It panics on an
+// unsupported type; it is a constructor for tests, examples and
+// loaders, not a hot path.
+func FromRows(sch schema.Schema, rows [][]any) *Relation {
+	r := New(sch)
+	for _, row := range rows {
+		if len(row) != sch.Len() {
+			panic(fmt.Sprintf("relation: row arity %d vs schema %v", len(row), sch))
+		}
+		t := make(Tuple, len(row))
+		for i, x := range row {
+			t[i] = ToValue(x)
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+// ToValue converts a Go scalar to a Value, panicking on unsupported
+// types.
+func ToValue(x any) value.Value {
+	switch v := x.(type) {
+	case nil:
+		return value.Null
+	case bool:
+		return value.Bool(v)
+	case int:
+		return value.Int(int64(v))
+	case int64:
+		return value.Int(v)
+	case float64:
+		return value.Float(v)
+	case string:
+		return value.String(v)
+	case value.Value:
+		return v
+	default:
+		panic(fmt.Sprintf("relation: unsupported Go value %T", x))
+	}
+}

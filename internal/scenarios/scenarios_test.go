@@ -1,0 +1,77 @@
+package scenarios
+
+import (
+	"testing"
+
+	"divlaws/internal/plan"
+)
+
+func TestEveryScenarioMatchesItsRule(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, scale := range []int{64, 256} {
+				lhs := s.Build(scale, 1)
+				rhs, ok := s.Rule.Apply(lhs)
+				if !ok {
+					t.Fatalf("rule did not match its scenario at scale %d:\n%s",
+						scale, plan.Format(lhs))
+				}
+				// The rewrite must preserve semantics on the workload.
+				want := plan.Eval(lhs)
+				got := plan.Eval(rhs)
+				if !got.EquivalentTo(want) {
+					t.Fatalf("scenario broke equivalence at scale %d:\nlhs=%d rows rhs=%d rows",
+						scale, want.Len(), got.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestScenariosAreDeterministic(t *testing.T) {
+	for _, s := range All() {
+		a := plan.Eval(s.Build(128, 7))
+		b := plan.Eval(s.Build(128, 7))
+		if !a.Equal(b) {
+			t.Errorf("%s: nondeterministic build", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("Law 9"); !ok {
+		t.Error("ByName(Law 9) missing")
+	}
+	if _, ok := ByName("Law 99"); ok {
+		t.Error("ByName should miss")
+	}
+}
+
+func TestMustApplyPanicsOnMismatch(t *testing.T) {
+	s, _ := ByName("Law 1")
+	other, _ := ByName("Law 12")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.MustApply(other.Build(64, 1))
+}
+
+func TestScenarioCoversEveryLawName(t *testing.T) {
+	want := []string{
+		"Law 1", "Law 2", "Law 2 (c1)", "Law 3", "Law 4", "Law 5", "Law 6",
+		"Law 7", "Law 8", "Law 9", "Law 10", "Law 11", "Law 12", "Law 13",
+		"Law 14", "Law 15", "Law 16", "Law 17", "Example 1", "Example 2",
+	}
+	have := map[string]bool{}
+	for _, s := range All() {
+		have[s.Name] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("no scenario for %s", w)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package schema models relation schemas as ordered lists of named
+// attributes and provides the attribute-set algebra (union,
+// intersection, difference, disjointness, subset) that the division
+// laws are stated over.
+//
+// The paper writes schemas as R1(A ∪ B) for attribute sets
+// A = {a1..am} and B = {b1..bn}. We keep attributes ordered so tuples
+// are positional, but all the set predicates ignore order.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema is an ordered list of distinct attribute names.
+// The zero Schema is the empty schema.
+type Schema struct {
+	attrs []string
+	index map[string]int
+}
+
+// New builds a schema from the given attribute names.
+// It panics if a name repeats: relation schemas are sets.
+func New(attrs ...string) Schema {
+	s := Schema{attrs: append([]string(nil), attrs...), index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if _, dup := s.index[a]; dup {
+			panic(fmt.Sprintf("schema: duplicate attribute %q", a))
+		}
+		s.index[a] = i
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s Schema) Len() int { return len(s.attrs) }
+
+// Attrs returns a copy of the attribute names in order.
+func (s Schema) Attrs() []string { return append([]string(nil), s.attrs...) }
+
+// Attr returns the i-th attribute name.
+func (s Schema) Attr(i int) string { return s.attrs[i] }
+
+// Index returns the position of the named attribute and whether it
+// exists.
+func (s Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex returns the position of the named attribute, panicking if
+// absent. Use it where the caller has already validated the schema.
+func (s Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("schema: attribute %q not in %v", name, s.attrs))
+	}
+	return i
+}
+
+// Contains reports whether the named attribute is in the schema.
+func (s Schema) Contains(name string) bool {
+	_, ok := s.index[name]
+	return ok
+}
+
+// ContainsAll reports whether every name in names is in the schema.
+func (s Schema) ContainsAll(names []string) bool {
+	for _, n := range names {
+		if !s.Contains(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the schemas have the same attributes in the
+// same order.
+func (s Schema) Equal(t Schema) bool {
+	if len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for i, a := range s.attrs {
+		if t.attrs[i] != a {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualSet reports whether the schemas have the same attribute set,
+// ignoring order.
+func (s Schema) EqualSet(t Schema) bool {
+	if len(s.attrs) != len(t.attrs) {
+		return false
+	}
+	for _, a := range s.attrs {
+		if !t.Contains(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every attribute of s appears in t.
+func (s Schema) SubsetOf(t Schema) bool { return t.ContainsAll(s.attrs) }
+
+// DisjointFrom reports whether s and t share no attribute.
+func (s Schema) DisjointFrom(t Schema) bool {
+	for _, a := range s.attrs {
+		if t.Contains(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s followed by the attributes of t not already in s.
+func (s Schema) Union(t Schema) Schema {
+	out := make([]string, 0, len(s.attrs)+len(t.attrs))
+	out = append(out, s.attrs...)
+	for _, a := range t.attrs {
+		if !s.Contains(a) {
+			out = append(out, a)
+		}
+	}
+	return New(out...)
+}
+
+// Intersect returns the attributes of s that also appear in t,
+// in s's order.
+func (s Schema) Intersect(t Schema) Schema {
+	var out []string
+	for _, a := range s.attrs {
+		if t.Contains(a) {
+			out = append(out, a)
+		}
+	}
+	return New(out...)
+}
+
+// Minus returns the attributes of s that do not appear in t,
+// in s's order.
+func (s Schema) Minus(t Schema) Schema {
+	var out []string
+	for _, a := range s.attrs {
+		if !t.Contains(a) {
+			out = append(out, a)
+		}
+	}
+	return New(out...)
+}
+
+// Concat returns the positional concatenation of s and t, the schema
+// of a Cartesian product. It panics if the schemas overlap; product
+// operands must be renamed apart first.
+func (s Schema) Concat(t Schema) Schema {
+	if !s.DisjointFrom(t) {
+		panic(fmt.Sprintf("schema: Concat of overlapping schemas %v and %v", s.attrs, t.attrs))
+	}
+	out := make([]string, 0, len(s.attrs)+len(t.attrs))
+	out = append(out, s.attrs...)
+	out = append(out, t.attrs...)
+	return New(out...)
+}
+
+// Project returns the schema consisting of the given names in the
+// given order, along with the source positions of each attribute.
+// It panics if a name is missing.
+func (s Schema) Project(names []string) (Schema, []int) {
+	pos := make([]int, len(names))
+	for i, n := range names {
+		pos[i] = s.MustIndex(n)
+	}
+	return New(names...), pos
+}
+
+// Positions returns the index of each name in s, panicking on a miss.
+func (s Schema) Positions(names []string) []int {
+	pos := make([]int, len(names))
+	for i, n := range names {
+		pos[i] = s.MustIndex(n)
+	}
+	return pos
+}
+
+// Rename returns a schema with from renamed to to. It panics if from
+// is absent or to already exists.
+func (s Schema) Rename(from, to string) Schema {
+	if from == to {
+		return New(s.attrs...)
+	}
+	if s.Contains(to) {
+		panic(fmt.Sprintf("schema: rename target %q already present", to))
+	}
+	i := s.MustIndex(from)
+	out := s.Attrs()
+	out[i] = to
+	return New(out...)
+}
+
+// Sorted returns the attribute names in lexicographic order. Useful
+// for canonical renderings.
+func (s Schema) Sorted() []string {
+	out := s.Attrs()
+	sort.Strings(out)
+	return out
+}
+
+// String renders the schema like the paper: (a, b, c).
+func (s Schema) String() string {
+	return "(" + strings.Join(s.attrs, ", ") + ")"
+}

@@ -1,0 +1,190 @@
+package schema
+
+import (
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	s := New("a", "b", "c")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Attrs(); got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("Attrs = %v", got)
+	}
+	if s.Attr(1) != "b" {
+		t.Errorf("Attr(1) = %q", s.Attr(1))
+	}
+	if i, ok := s.Index("b"); !ok || i != 1 {
+		t.Errorf("Index(b) = %d,%t", i, ok)
+	}
+	if _, ok := s.Index("z"); ok {
+		t.Error("Index(z) should be absent")
+	}
+	if s.MustIndex("c") != 2 {
+		t.Error("MustIndex(c)")
+	}
+	if !s.Contains("a") || s.Contains("z") {
+		t.Error("Contains wrong")
+	}
+	if !s.ContainsAll([]string{"a", "c"}) || s.ContainsAll([]string{"a", "z"}) {
+		t.Error("ContainsAll wrong")
+	}
+}
+
+func TestNewPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate attribute")
+		}
+	}()
+	New("a", "b", "a")
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New("a").MustIndex("b")
+}
+
+func TestAttrsIsCopy(t *testing.T) {
+	s := New("a", "b")
+	got := s.Attrs()
+	got[0] = "mutated"
+	if s.Attr(0) != "a" {
+		t.Error("Attrs leaked internal slice")
+	}
+}
+
+func TestEqualAndEqualSet(t *testing.T) {
+	ab := New("a", "b")
+	ba := New("b", "a")
+	ac := New("a", "c")
+	if !ab.Equal(New("a", "b")) {
+		t.Error("Equal(ab, ab)")
+	}
+	if ab.Equal(ba) {
+		t.Error("Equal should respect order")
+	}
+	if !ab.EqualSet(ba) {
+		t.Error("EqualSet should ignore order")
+	}
+	if ab.EqualSet(ac) {
+		t.Error("EqualSet(ab, ac) should be false")
+	}
+	if ab.Equal(New("a")) || ab.EqualSet(New("a")) {
+		t.Error("length mismatch should be unequal")
+	}
+}
+
+func TestSubsetDisjoint(t *testing.T) {
+	a := New("a", "b")
+	b := New("a", "b", "c")
+	c := New("x", "y")
+	if !a.SubsetOf(b) || b.SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+	if !a.DisjointFrom(c) || a.DisjointFrom(b) {
+		t.Error("DisjointFrom wrong")
+	}
+	if !New().SubsetOf(a) || !New().DisjointFrom(a) {
+		t.Error("empty schema edge cases")
+	}
+}
+
+func TestUnionIntersectMinus(t *testing.T) {
+	a := New("a", "b", "c")
+	b := New("b", "d")
+	if got := a.Union(b); !got.Equal(New("a", "b", "c", "d")) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(New("b")) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(New("a", "c")) {
+		t.Errorf("Minus = %v", got)
+	}
+	if got := b.Minus(a); !got.Equal(New("d")) {
+		t.Errorf("Minus reversed = %v", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := New("a").Concat(New("b", "c"))
+	if !got.Equal(New("a", "b", "c")) {
+		t.Errorf("Concat = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Concat of overlapping schemas should panic")
+		}
+	}()
+	New("a", "b").Concat(New("b"))
+}
+
+func TestProjectAndPositions(t *testing.T) {
+	s := New("a", "b", "c")
+	ps, pos := s.Project([]string{"c", "a"})
+	if !ps.Equal(New("c", "a")) {
+		t.Errorf("Project schema = %v", ps)
+	}
+	if pos[0] != 2 || pos[1] != 0 {
+		t.Errorf("Project positions = %v", pos)
+	}
+	if got := s.Positions([]string{"b"}); got[0] != 1 {
+		t.Errorf("Positions = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Project of missing attr should panic")
+		}
+	}()
+	s.Project([]string{"z"})
+}
+
+func TestRename(t *testing.T) {
+	s := New("a", "b")
+	if got := s.Rename("a", "x"); !got.Equal(New("x", "b")) {
+		t.Errorf("Rename = %v", got)
+	}
+	if got := s.Rename("a", "a"); !got.Equal(s) {
+		t.Errorf("identity rename = %v", got)
+	}
+	// Original must be unchanged (immutability).
+	if !s.Equal(New("a", "b")) {
+		t.Error("Rename mutated receiver")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Rename to existing attr should panic")
+		}
+	}()
+	s.Rename("a", "b")
+}
+
+func TestSortedAndString(t *testing.T) {
+	s := New("c", "a", "b")
+	got := s.Sorted()
+	if got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("Sorted = %v", got)
+	}
+	if s.String() != "(c, a, b)" {
+		t.Errorf("String = %q", s.String())
+	}
+	if New().String() != "()" {
+		t.Error("empty schema String")
+	}
+}
+
+func TestZeroSchema(t *testing.T) {
+	var s Schema
+	if s.Len() != 0 || s.Contains("a") {
+		t.Error("zero schema should be empty")
+	}
+	if !s.Equal(New()) {
+		t.Error("zero schema equals New()")
+	}
+}

@@ -1,0 +1,170 @@
+package scj
+
+import (
+	"math/rand"
+	"testing"
+
+	"divlaws/internal/division"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+func TestItemSetBasics(t *testing.T) {
+	s := IntSet(1, 2, 4)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Add(value.Int(3)) || s.Add(value.Int(3)) {
+		t.Error("Add dedup wrong")
+	}
+	if !s.Contains(value.Int(4)) || s.Contains(value.Int(9)) {
+		t.Error("Contains wrong")
+	}
+	if s.String() != "{1, 2, 3, 4}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestItemSetContainsAllAndEqual(t *testing.T) {
+	big := IntSet(1, 2, 3, 4)
+	small := IntSet(1, 3)
+	if !big.ContainsAll(small) || small.ContainsAll(big) {
+		t.Error("ContainsAll wrong")
+	}
+	if !big.ContainsAll(NewItemSet()) {
+		t.Error("every set contains the empty set")
+	}
+	if !IntSet(1, 2).Equal(IntSet(2, 1)) || IntSet(1).Equal(IntSet(2)) {
+		t.Error("Equal wrong")
+	}
+	if IntSet(1, 2).Key() != IntSet(2, 1).Key() {
+		t.Error("Key must be order-insensitive")
+	}
+}
+
+func TestNestedInsertSetSemantics(t *testing.T) {
+	n := NewNested(schema.New("a"), "b1")
+	row := Row{Scalars: relation.Tuple{value.Int(1)}, Set: IntSet(1, 4)}
+	if !n.Insert(row) || n.Insert(Row{Scalars: relation.Tuple{value.Int(1)}, Set: IntSet(4, 1)}) {
+		t.Error("duplicate nested rows must dedup")
+	}
+	if n.Len() != 1 {
+		t.Errorf("Len = %d", n.Len())
+	}
+	if n.SetAttr() != "b1" || !n.Scalars().Equal(schema.New("a")) {
+		t.Error("accessors wrong")
+	}
+	// nil set becomes the empty set.
+	n.Insert(Row{Scalars: relation.Tuple{value.Int(2)}})
+	if n.Rows()[1].Set.Len() != 0 {
+		t.Error("nil set should become empty set")
+	}
+}
+
+func TestNewNestedCollisionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewNested(schema.New("a", "b"), "b")
+}
+
+func TestInsertArityPanics(t *testing.T) {
+	n := NewNested(schema.New("a"), "s")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	n.Insert(Row{Scalars: relation.Tuple{value.Int(1), value.Int(2)}})
+}
+
+func fig3Left() *Nested {
+	n := NewNested(schema.New("a"), "b1")
+	n.Insert(Row{Scalars: relation.Tuple{value.Int(1)}, Set: IntSet(1, 4)})
+	n.Insert(Row{Scalars: relation.Tuple{value.Int(2)}, Set: IntSet(1, 2, 3, 4)})
+	n.Insert(Row{Scalars: relation.Tuple{value.Int(3)}, Set: IntSet(1, 3, 4)})
+	return n
+}
+
+func fig3Right() *Nested {
+	n := NewNested(schema.New("c"), "b2")
+	n.Insert(Row{Scalars: relation.Tuple{value.Int(1)}, Set: IntSet(1, 2, 4)})
+	n.Insert(Row{Scalars: relation.Tuple{value.Int(2)}, Set: IntSet(1, 3)})
+	return n
+}
+
+func TestFigure3ContainmentJoin(t *testing.T) {
+	// Paper Figure 3: r1 ⋈_{b1⊇b2} r2 yields rows
+	// (2,{1,2,3,4},{1,2,4},1), (2,{1,2,3,4},{1,3},2), (3,{1,3,4},{1,3},2).
+	got := ContainmentJoin(fig3Left(), fig3Right())
+	if len(got) != 3 {
+		t.Fatalf("join rows = %d, want 3", len(got))
+	}
+	flat := ContainmentJoinFlat(fig3Left(), fig3Right())
+	want := relation.Ints([]string{"a", "c"}, [][]int64{{2, 1}, {2, 2}, {3, 2}})
+	if !flat.Equal(want) {
+		t.Errorf("flat join = %v, want %v", flat, want)
+	}
+	// The joined rows must preserve both sets (paper difference 2).
+	for _, j := range got {
+		if j.LeftSet == nil || j.RightSet == nil {
+			t.Error("join must preserve set attributes")
+		}
+		if !j.LeftSet.ContainsAll(j.RightSet) {
+			t.Errorf("emitted non-containing pair %v ⊉ %v", j.LeftSet, j.RightSet)
+		}
+	}
+}
+
+func TestEmptyRightSetMatchesEverything(t *testing.T) {
+	// Paper difference 3: the join has a notion of empty sets.
+	left := fig3Left()
+	right := NewNested(schema.New("c"), "b2")
+	right.Insert(Row{Scalars: relation.Tuple{value.Int(9)}, Set: NewItemSet()})
+	got := ContainmentJoin(left, right)
+	if len(got) != left.Len() {
+		t.Errorf("empty right set should match all %d left rows, got %d", left.Len(), len(got))
+	}
+}
+
+func TestNestUnnestRoundTrip(t *testing.T) {
+	flat := relation.Ints([]string{"a", "b"}, [][]int64{
+		{1, 1}, {1, 4}, {2, 1}, {2, 2}, {2, 3}, {2, 4}, {3, 1}, {3, 3}, {3, 4},
+	})
+	nested := Nest(flat, "b")
+	if nested.Len() != 3 {
+		t.Fatalf("Nest groups = %d", nested.Len())
+	}
+	back := Unnest(nested)
+	if !back.EquivalentTo(flat) {
+		t.Errorf("Unnest(Nest(r)) = %v, want %v", back, flat)
+	}
+}
+
+func TestContainmentJoinMatchesGreatDivide(t *testing.T) {
+	// Paper §2.2: both operators solve "find pairs (s1, s2) with
+	// s1 ⊇ s2". On flat inputs without empty sets,
+	// flatten(r1 ⋈⊇ r2) = r1 ÷* r2 modulo column order.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		r1 := relation.New(schema.New("a", "b"))
+		for i := 0; i < rng.Intn(25); i++ {
+			r1.Insert(relation.Tuple{value.Int(int64(rng.Intn(4))), value.Int(int64(rng.Intn(5)))})
+		}
+		r2 := relation.New(schema.New("b", "c"))
+		for i := 0; i < rng.Intn(12); i++ {
+			r2.Insert(relation.Tuple{value.Int(int64(rng.Intn(5))), value.Int(int64(rng.Intn(3)))})
+		}
+		viaJoin := ContainmentJoinFlat(Nest(r1, "b"), Nest(r2.Reorder([]string{"c", "b"}), "b"))
+		if r1.Empty() || r2.Empty() {
+			continue // great divide split undefined on empty-attribute cases is fine; skip trivial
+		}
+		viaDivide := division.GreatDivide(r1, r2)
+		if !viaJoin.EquivalentTo(viaDivide) {
+			t.Fatalf("trial %d:\njoin:\n%v\ndivide:\n%v\nr1:\n%v\nr2:\n%v", trial, viaJoin, viaDivide, r1, r2)
+		}
+	}
+}

@@ -1,0 +1,587 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"divlaws/internal/algebra"
+	"divlaws/internal/plan"
+	"divlaws/internal/pred"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+// DB couples a catalog of named relations with the SQL front end.
+type DB struct {
+	catalog map[string]*relation.Relation
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{catalog: make(map[string]*relation.Relation)} }
+
+// Register adds (or replaces) a named table.
+func (db *DB) Register(name string, rel *relation.Relation) { db.catalog[name] = rel }
+
+// Table returns a registered table.
+func (db *DB) Table(name string) (*relation.Relation, bool) {
+	r, ok := db.catalog[name]
+	return r, ok
+}
+
+// Query parses, binds, and evaluates a SELECT statement.
+func (db *DB) Query(text string) (*relation.Relation, error) {
+	n, err := db.Plan(text)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Eval(n), nil
+}
+
+// Plan parses and binds a SELECT statement into a logical plan.
+func (db *DB) Plan(text string) (plan.Node, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return db.Bind(q)
+}
+
+// Bind translates a parsed query into a logical plan.
+func (db *DB) Bind(q *Query) (plan.Node, error) {
+	node, err := db.bindQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// bindQuery lowers one query block.
+func (db *DB) bindQuery(q *Query) (plan.Node, error) {
+	node, err := db.bindFrom(q.From)
+	if err != nil {
+		return nil, err
+	}
+	if q.Where != nil {
+		p, err := db.toPred(q.Where, node.Schema(), false)
+		if err != nil {
+			return nil, err
+		}
+		node = &plan.Select{Input: node, Pred: p}
+	}
+
+	aggs := collectAggs(q)
+	if len(aggs) > 0 || len(q.GroupBy) > 0 {
+		return db.bindGrouped(q, node, aggs)
+	}
+	if q.Having != nil {
+		return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+	}
+	return db.bindProjection(q, node)
+}
+
+// bindFrom builds the product of the FROM items with qualified
+// attribute names.
+func (db *DB) bindFrom(refs []TableRef) (plan.Node, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("sql: empty FROM clause")
+	}
+	var node plan.Node
+	for _, ref := range refs {
+		n, err := db.bindTableRef(ref)
+		if err != nil {
+			return nil, err
+		}
+		if node == nil {
+			node = n
+			continue
+		}
+		if !node.Schema().DisjointFrom(n.Schema()) {
+			return nil, fmt.Errorf("sql: duplicate table alias in FROM near %s", describeRef(ref))
+		}
+		node = &plan.Product{Left: node, Right: n}
+	}
+	return node, nil
+}
+
+// bindTableRef lowers one table reference.
+func (db *DB) bindTableRef(ref TableRef) (plan.Node, error) {
+	switch r := ref.(type) {
+	case *BaseTable:
+		rel, ok := db.catalog[r.Name]
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown table %q", r.Name)
+		}
+		return qualifiedScan(r.Name, r.Alias, rel), nil
+	case *SubqueryTable:
+		sub, err := db.bindQuery(r.Query)
+		if err != nil {
+			return nil, err
+		}
+		// Re-qualify the subquery's output columns under the alias.
+		node := sub
+		for _, attr := range sub.Schema().Attrs() {
+			node = &plan.Rename{Input: node, From: attr, To: r.Alias + "." + attr}
+		}
+		return node, nil
+	case *DivideTable:
+		return db.bindDivide(r)
+	default:
+		return nil, fmt.Errorf("sql: unsupported table reference %T", ref)
+	}
+}
+
+// qualifiedScan scans a base table with attributes renamed to
+// alias.column.
+func qualifiedScan(name, alias string, rel *relation.Relation) plan.Node {
+	attrs := rel.Schema().Attrs()
+	qualified := make([]string, len(attrs))
+	for i, a := range attrs {
+		qualified[i] = alias + "." + a
+	}
+	return plan.NewScan(name, algebra.RenameAll(rel, qualified...))
+}
+
+// bindDivide lowers the paper's <quotient> construct. Following §4,
+// the ON condition must be a conjunction of equi-comparisons between
+// dividend and divisor columns; the quotient is a small divide when
+// the condition covers every divisor attribute and a great divide
+// otherwise.
+func (db *DB) bindDivide(r *DivideTable) (plan.Node, error) {
+	dividend, err := db.bindTableRef(r.Dividend)
+	if err != nil {
+		return nil, err
+	}
+	divisor, err := db.bindTableRef(r.Divisor)
+	if err != nil {
+		return nil, err
+	}
+	combined := dividend.Schema().Concat(divisor.Schema())
+	onPred, err := db.toPred(r.On, combined, false)
+	if err != nil {
+		return nil, err
+	}
+	pairs, ok := pred.EquiPairs(onPred)
+	if !ok || len(pairs) == 0 {
+		return nil, fmt.Errorf("sql: DIVIDE BY requires a conjunction of equi-joins in ON, got %q", r.On)
+	}
+
+	// Orient each pair as (dividend attribute, divisor attribute).
+	divisorToDividend := make(map[string]string, len(pairs))
+	for _, pr := range pairs {
+		a, b := pr[0], pr[1]
+		switch {
+		case dividend.Schema().Contains(a) && divisor.Schema().Contains(b):
+			divisorToDividend[b] = a
+		case dividend.Schema().Contains(b) && divisor.Schema().Contains(a):
+			divisorToDividend[a] = b
+		default:
+			return nil, fmt.Errorf("sql: DIVIDE BY ON pair %s = %s must relate dividend and divisor columns", a, b)
+		}
+	}
+
+	// Rename divisor join columns to the dividend's names so the
+	// division operators see a shared attribute set B.
+	var divisorNode plan.Node = divisor
+	for from, to := range divisorToDividend {
+		divisorNode = &plan.Rename{Input: divisorNode, From: from, To: to}
+	}
+
+	// All divisor attributes joined => small divide (paper §4).
+	if len(divisorToDividend) == divisor.Schema().Len() {
+		return &plan.Divide{Dividend: dividend, Divisor: divisorNode}, nil
+	}
+	return &plan.GreatDivide{Dividend: dividend, Divisor: divisorNode}, nil
+}
+
+// bindProjection applies the SELECT list of a non-aggregating query.
+func (db *DB) bindProjection(q *Query, node plan.Node) (plan.Node, error) {
+	if err := db.validateOrderBy(q, node.Schema()); err != nil {
+		return nil, err
+	}
+	if q.Star {
+		return node, nil
+	}
+	var fromAttrs []string
+	var outNames []string
+	for _, item := range q.Select {
+		col, ok := item.Expr.(*ColumnRef)
+		if !ok {
+			return nil, fmt.Errorf("sql: select item %q requires GROUP BY context", item.Expr)
+		}
+		attr, err := resolveColumn(node.Schema(), col)
+		if err != nil {
+			return nil, err
+		}
+		fromAttrs = append(fromAttrs, attr)
+		outNames = append(outNames, outputName(item))
+	}
+	if err := checkDistinctNames(outNames); err != nil {
+		return nil, err
+	}
+	return renameOutputs(&plan.Project{Input: node, Attrs: fromAttrs}, fromAttrs, outNames), nil
+}
+
+// bindGrouped applies GROUP BY / HAVING / aggregate select lists.
+func (db *DB) bindGrouped(q *Query, node plan.Node, aggs []*AggCall) (plan.Node, error) {
+	inSchema := node.Schema()
+	by := make([]string, len(q.GroupBy))
+	for i, col := range q.GroupBy {
+		c := col
+		attr, err := resolveColumn(inSchema, &c)
+		if err != nil {
+			return nil, err
+		}
+		by[i] = attr
+	}
+
+	// One AggSpec per distinct aggregate expression.
+	specs := make([]algebra.AggSpec, 0, len(aggs))
+	internal := make(map[string]string) // AggCall.String() -> output attr
+	for _, call := range aggs {
+		key := call.String()
+		if _, done := internal[key]; done {
+			continue
+		}
+		name := fmt.Sprintf("·agg%d", len(specs))
+		spec := algebra.AggSpec{As: name}
+		switch call.Func {
+		case "count":
+			spec.Func = algebra.Count
+			if !call.Star {
+				attr, err := resolveColumn(inSchema, call.Arg)
+				if err != nil {
+					return nil, err
+				}
+				spec.Attr = attr
+			}
+		case "sum", "min", "max", "avg":
+			if call.Star {
+				return nil, fmt.Errorf("sql: %s(*) is not valid", call.Func)
+			}
+			attr, err := resolveColumn(inSchema, call.Arg)
+			if err != nil {
+				return nil, err
+			}
+			spec.Attr = attr
+			switch call.Func {
+			case "sum":
+				spec.Func = algebra.Sum
+			case "min":
+				spec.Func = algebra.Min
+			case "max":
+				spec.Func = algebra.Max
+			default:
+				spec.Func = algebra.Avg
+			}
+		default:
+			return nil, fmt.Errorf("sql: unknown aggregate %q", call.Func)
+		}
+		internal[key] = name
+		specs = append(specs, spec)
+	}
+
+	var grouped plan.Node = &plan.Group{Input: node, By: by, Aggs: specs}
+
+	if q.Having != nil {
+		p, err := db.havingPred(q.Having, grouped.Schema(), internal)
+		if err != nil {
+			return nil, err
+		}
+		grouped = &plan.Select{Input: grouped, Pred: p}
+	}
+	if err := db.validateOrderBy(q, grouped.Schema()); err != nil {
+		return nil, err
+	}
+
+	if q.Star {
+		return nil, fmt.Errorf("sql: SELECT * is not valid with GROUP BY")
+	}
+	var fromAttrs, outNames []string
+	for _, item := range q.Select {
+		switch e := item.Expr.(type) {
+		case *ColumnRef:
+			attr, err := resolveColumn(grouped.Schema(), e)
+			if err != nil {
+				return nil, fmt.Errorf("sql: select column %q must appear in GROUP BY: %w", e, err)
+			}
+			fromAttrs = append(fromAttrs, attr)
+		case *AggCall:
+			name, ok := internal[e.String()]
+			if !ok {
+				return nil, fmt.Errorf("sql: unresolved aggregate %q", e)
+			}
+			fromAttrs = append(fromAttrs, name)
+		default:
+			return nil, fmt.Errorf("sql: unsupported select item %q", item.Expr)
+		}
+		outNames = append(outNames, outputName(item))
+	}
+	if err := checkDistinctNames(outNames); err != nil {
+		return nil, err
+	}
+	return renameOutputs(&plan.Project{Input: grouped, Attrs: fromAttrs}, fromAttrs, outNames), nil
+}
+
+// havingPred converts a HAVING expression over the grouped schema,
+// mapping aggregate calls to their internal output attributes.
+func (db *DB) havingPred(e Expr, sch schema.Schema, internal map[string]string) (pred.Predicate, error) {
+	switch x := e.(type) {
+	case *BoolOp:
+		l, err := db.havingPred(x.Left, sch, internal)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.havingPred(x.Right, sch, internal)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "AND" {
+			return pred.And{l, r}, nil
+		}
+		return pred.Or{l, r}, nil
+	case *NotExpr:
+		inner, err := db.havingPred(x.Inner, sch, internal)
+		if err != nil {
+			return nil, err
+		}
+		return pred.Negate(inner), nil
+	case *Comparison:
+		l, err := db.havingOperand(x.Left, sch, internal)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.havingOperand(x.Right, sch, internal)
+		if err != nil {
+			return nil, err
+		}
+		op, err := compareOp(x.Op)
+		if err != nil {
+			return nil, err
+		}
+		return pred.Compare(l, op, r), nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported HAVING expression %q", e)
+	}
+}
+
+func (db *DB) havingOperand(e Expr, sch schema.Schema, internal map[string]string) (pred.Operand, error) {
+	switch x := e.(type) {
+	case *AggCall:
+		name, ok := internal[x.String()]
+		if !ok {
+			return pred.Operand{}, fmt.Errorf("sql: HAVING aggregate %q not computed", x)
+		}
+		return pred.Attr(name), nil
+	case *ColumnRef:
+		attr, err := resolveColumn(sch, x)
+		if err != nil {
+			return pred.Operand{}, err
+		}
+		return pred.Attr(attr), nil
+	case *Literal:
+		return pred.Const(literalValue(x)), nil
+	default:
+		return pred.Operand{}, fmt.Errorf("sql: unsupported HAVING operand %q", e)
+	}
+}
+
+// toPred converts a WHERE/ON expression over the given schema.
+// aggregatesAllowed is false here; aggregates belong in HAVING.
+func (db *DB) toPred(e Expr, sch schema.Schema, _ bool) (pred.Predicate, error) {
+	switch x := e.(type) {
+	case *BoolOp:
+		l, err := db.toPred(x.Left, sch, false)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.toPred(x.Right, sch, false)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "AND" {
+			return pred.And{l, r}, nil
+		}
+		return pred.Or{l, r}, nil
+	case *NotExpr:
+		inner, err := db.toPred(x.Inner, sch, false)
+		if err != nil {
+			return nil, err
+		}
+		return pred.Negate(inner), nil
+	case *Comparison:
+		l, err := db.toOperand(x.Left, sch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.toOperand(x.Right, sch)
+		if err != nil {
+			return nil, err
+		}
+		op, err := compareOp(x.Op)
+		if err != nil {
+			return nil, err
+		}
+		return pred.Compare(l, op, r), nil
+	case *ExistsExpr:
+		return &existsPred{db: db, sub: x.Query, negated: x.Negated}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported predicate %q", e)
+	}
+}
+
+func (db *DB) toOperand(e Expr, sch schema.Schema) (pred.Operand, error) {
+	switch x := e.(type) {
+	case *ColumnRef:
+		attr, err := resolveColumn(sch, x)
+		if err != nil {
+			return pred.Operand{}, err
+		}
+		return pred.Attr(attr), nil
+	case *Literal:
+		return pred.Const(literalValue(x)), nil
+	case *AggCall:
+		return pred.Operand{}, fmt.Errorf("sql: aggregate %q not allowed here (use HAVING)", x)
+	default:
+		return pred.Operand{}, fmt.Errorf("sql: unsupported operand %q", e)
+	}
+}
+
+func compareOp(op string) (pred.Op, error) {
+	switch op {
+	case "=":
+		return pred.Eq, nil
+	case "<>":
+		return pred.Ne, nil
+	case "<":
+		return pred.Lt, nil
+	case "<=":
+		return pred.Le, nil
+	case ">":
+		return pred.Gt, nil
+	case ">=":
+		return pred.Ge, nil
+	default:
+		return 0, fmt.Errorf("sql: unknown operator %q", op)
+	}
+}
+
+func literalValue(l *Literal) value.Value {
+	switch l.Kind {
+	case 'i':
+		return value.Int(l.Int)
+	case 'f':
+		return value.Float(l.Float)
+	default:
+		return value.String(l.Str)
+	}
+}
+
+// resolveColumn maps a possibly-qualified reference to a qualified
+// attribute of the schema: "t.c" matches exactly "t.c"; bare "c"
+// matches a unique attribute named "c" or suffixed ".c".
+func resolveColumn(sch schema.Schema, col *ColumnRef) (string, error) {
+	if col.Table != "" {
+		name := col.Table + "." + col.Column
+		if sch.Contains(name) {
+			return name, nil
+		}
+		return "", fmt.Errorf("sql: unknown column %q in %v", name, sch)
+	}
+	var matches []string
+	for _, a := range sch.Attrs() {
+		if a == col.Column || strings.HasSuffix(a, "."+col.Column) {
+			matches = append(matches, a)
+		}
+	}
+	switch len(matches) {
+	case 0:
+		return "", fmt.Errorf("sql: unknown column %q in %v", col.Column, sch)
+	case 1:
+		return matches[0], nil
+	default:
+		return "", fmt.Errorf("sql: ambiguous column %q (candidates %v)", col.Column, matches)
+	}
+}
+
+// outputName picks the result column name of a select item.
+func outputName(item SelectItem) string {
+	if item.As != "" {
+		return item.As
+	}
+	switch e := item.Expr.(type) {
+	case *ColumnRef:
+		return e.Column
+	case *AggCall:
+		return e.Func
+	default:
+		return "?column?"
+	}
+}
+
+func checkDistinctNames(names []string) error {
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			return fmt.Errorf("sql: duplicate output column %q; use AS to disambiguate", n)
+		}
+		seen[n] = true
+	}
+	return nil
+}
+
+// renameOutputs renames projected attributes to their output names.
+func renameOutputs(node plan.Node, from, to []string) plan.Node {
+	out := node
+	for i := range from {
+		if from[i] != to[i] {
+			out = &plan.Rename{Input: out, From: from[i], To: to[i]}
+		}
+	}
+	return out
+}
+
+// collectAggs gathers aggregate calls from the select list and
+// HAVING clause.
+func collectAggs(q *Query) []*AggCall {
+	var out []*AggCall
+	for _, item := range q.Select {
+		if call, ok := item.Expr.(*AggCall); ok {
+			out = append(out, call)
+		}
+	}
+	out = append(out, aggsInExpr(q.Having)...)
+	return out
+}
+
+func aggsInExpr(e Expr) []*AggCall {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *AggCall:
+		return []*AggCall{x}
+	case *BoolOp:
+		return append(aggsInExpr(x.Left), aggsInExpr(x.Right)...)
+	case *NotExpr:
+		return aggsInExpr(x.Inner)
+	case *Comparison:
+		return append(aggsInExpr(x.Left), aggsInExpr(x.Right)...)
+	default:
+		return nil
+	}
+}
+
+// validateOrderBy checks ORDER BY columns resolve; ordering itself
+// is presentation-level (relations are sets) and handled by callers
+// such as the CLI.
+func (db *DB) validateOrderBy(q *Query, sch schema.Schema) error {
+	for _, o := range q.OrderBy {
+		c := o.Col
+		if _, err := resolveColumn(sch, &c); err != nil {
+			// Also allow output names after projection; checked by
+			// the CLI at render time.
+			continue
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package sql
+
+import (
+	"math/rand"
+	"testing"
+
+	"divlaws/internal/plan"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+func TestDetectGreatDivideOnQ3(t *testing.T) {
+	db := suppliersDB()
+	node, detected, err := db.PlanWithDetection(queryQ3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !detected {
+		t.Fatal("Q3 should be detected as a great divide")
+	}
+	if countGreatDivides(node) != 1 {
+		t.Fatalf("detected plan lacks a great divide:\n%s", plan.Format(node))
+	}
+	// The rewritten plan must compute exactly Q3's (= Q1's) answer.
+	got := plan.Eval(node)
+	if !got.EquivalentTo(q1Expected()) {
+		t.Errorf("detected plan = %v, want %v", got, q1Expected())
+	}
+}
+
+func TestDetectSmallDivideAllBlueParts(t *testing.T) {
+	db := suppliersDB()
+	const q = `
+SELECT DISTINCT s#
+FROM supplies AS s1
+WHERE NOT EXISTS (
+  SELECT * FROM parts AS p2
+  WHERE p2.color = 'blue' AND NOT EXISTS (
+    SELECT * FROM supplies AS s2
+    WHERE s2.p# = p2.p# AND s2.s# = s1.s#))`
+	node, detected, err := db.PlanWithDetection(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !detected {
+		t.Fatal("single-table pattern should be detected as a small divide")
+	}
+	if countSmallDivides(node) != 1 {
+		t.Fatalf("detected plan lacks a small divide:\n%s", plan.Format(node))
+	}
+	got := plan.Eval(node)
+	want := relation.FromRows(schema.New("s#"), [][]any{{"s2"}, {"s3"}})
+	if !got.Equal(want) {
+		t.Errorf("detected = %v, want %v", got, want)
+	}
+	// And it must agree with the nested-iteration fallback.
+	fallback, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EquivalentTo(fallback) {
+		t.Errorf("detector disagrees with fallback: %v vs %v", got, fallback)
+	}
+}
+
+func TestDetectSmallDivideEmptyRestriction(t *testing.T) {
+	// Restriction matching nothing: NOT EXISTS over the empty set is
+	// vacuously true, so all suppliers qualify; division by the empty
+	// divisor must agree.
+	db := suppliersDB()
+	const q = `
+SELECT DISTINCT s#
+FROM supplies AS s1
+WHERE NOT EXISTS (
+  SELECT * FROM parts AS p2
+  WHERE p2.color = 'no-such-color' AND NOT EXISTS (
+    SELECT * FROM supplies AS s2
+    WHERE s2.p# = p2.p# AND s2.s# = s1.s#))`
+	node, detected, err := db.PlanWithDetection(q)
+	if err != nil || !detected {
+		t.Fatalf("detected=%t err=%v", detected, err)
+	}
+	got := plan.Eval(node)
+	fallback, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EquivalentTo(fallback) {
+		t.Errorf("empty-restriction mismatch: %v vs %v", got, fallback)
+	}
+	if got.Len() != 4 {
+		t.Errorf("all 4 suppliers should qualify, got %v", got)
+	}
+}
+
+func TestDetectorAgreesWithFallbackOnRandomData(t *testing.T) {
+	// The strongest guarantee: on random databases the detected plan
+	// and the nested-iteration execution return identical rows.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		supplies := relation.New(schema.New("s#", "p#"))
+		for i := 0; i < 12+rng.Intn(20); i++ {
+			supplies.Insert(relation.Tuple{
+				value.Int(int64(rng.Intn(5))), value.Int(int64(rng.Intn(6))),
+			})
+		}
+		parts := relation.New(schema.New("p#", "color"))
+		for p := 0; p < 6; p++ {
+			parts.Insert(relation.Tuple{
+				value.Int(int64(p)), value.Int(int64(rng.Intn(3))),
+			})
+		}
+		db := NewDB()
+		db.Register("supplies", supplies)
+		db.Register("parts", parts)
+
+		node, detected, err := db.PlanWithDetection(queryQ3)
+		if err != nil || !detected {
+			t.Fatalf("trial %d: detected=%t err=%v", trial, detected, err)
+		}
+		got := plan.Eval(node)
+		fallback, err := db.Query(queryQ3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.EquivalentTo(fallback) {
+			t.Fatalf("trial %d: detector wrong\ndetected:\n%v\nfallback:\n%v\nsupplies:\n%v\nparts:\n%v",
+				trial, got, fallback, supplies, parts)
+		}
+	}
+}
+
+func TestDetectorDeclinesNonPatterns(t *testing.T) {
+	db := suppliersDB()
+	declined := []string{
+		// Plain queries.
+		`SELECT s# FROM supplies`,
+		`SELECT s#, color FROM supplies AS s, parts AS p WHERE s.p# = p.p#`,
+		// Single NOT EXISTS (anti-join, not division).
+		`SELECT DISTINCT s# FROM supplies AS s1 WHERE NOT EXISTS (
+            SELECT * FROM parts AS p WHERE p.p# = s1.p#)`,
+		// EXISTS instead of NOT EXISTS at the outer level.
+		`SELECT DISTINCT s#, color FROM supplies AS s1, parts AS p1 WHERE EXISTS (
+            SELECT * FROM parts AS p2 WHERE p2.color = p1.color AND NOT EXISTS (
+              SELECT * FROM supplies AS s2 WHERE s2.p# = p2.p# AND s2.s# = s1.s#))`,
+		// Inequality correlation: not a containment test.
+		`SELECT DISTINCT s#, color FROM supplies AS s1, parts AS p1 WHERE NOT EXISTS (
+            SELECT * FROM parts AS p2 WHERE p2.color = p1.color AND NOT EXISTS (
+              SELECT * FROM supplies AS s2 WHERE s2.p# < p2.p# AND s2.s# = s1.s#))`,
+		// Middle query over the wrong table.
+		`SELECT DISTINCT s#, color FROM supplies AS s1, parts AS p1 WHERE NOT EXISTS (
+            SELECT * FROM supplies AS x WHERE x.s# = s1.s# AND NOT EXISTS (
+              SELECT * FROM supplies AS s2 WHERE s2.p# = x.p# AND s2.s# = s1.s#))`,
+		// Missing candidate correlation (inner references only y2).
+		`SELECT DISTINCT s#, color FROM supplies AS s1, parts AS p1 WHERE NOT EXISTS (
+            SELECT * FROM parts AS p2 WHERE p2.color = p1.color AND NOT EXISTS (
+              SELECT * FROM supplies AS s2 WHERE s2.p# = p2.p#))`,
+		// OR in the chain.
+		`SELECT DISTINCT s#, color FROM supplies AS s1, parts AS p1 WHERE NOT EXISTS (
+            SELECT * FROM parts AS p2 WHERE p2.color = p1.color OR NOT EXISTS (
+              SELECT * FROM supplies AS s2 WHERE s2.p# = p2.p# AND s2.s# = s1.s#))`,
+	}
+	for _, q := range declined {
+		parsed, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if node, ok := db.DetectDivision(parsed); ok {
+			t.Errorf("detector should decline %q, produced:\n%s", q, plan.Format(node))
+		}
+	}
+}
+
+func TestDetectorDeclinesPartialCoverage(t *testing.T) {
+	// supplies3 has an extra column the correlation does not cover:
+	// the NOT EXISTS pools elements across regions, division would
+	// group by (s#, region) — semantics differ, so decline.
+	db := NewDB()
+	db.Register("supplies3", relation.FromRows(schema.New("s#", "region", "p#"), [][]any{
+		{"s1", "east", "p1"}, {"s1", "west", "p2"},
+	}))
+	db.Register("parts", relation.FromRows(schema.New("p#", "color"), [][]any{
+		{"p1", "red"}, {"p2", "red"},
+	}))
+	const q = `
+SELECT DISTINCT s#, color
+FROM supplies3 AS s1, parts AS p1
+WHERE NOT EXISTS (
+  SELECT * FROM parts AS p2
+  WHERE p2.color = p1.color AND NOT EXISTS (
+    SELECT * FROM supplies3 AS s2
+    WHERE s2.p# = p2.p# AND s2.s# = s1.s#))`
+	parsed, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node, ok := db.DetectDivision(parsed); ok {
+		t.Errorf("partial coverage must be declined, produced:\n%s", plan.Format(node))
+	}
+	// The fallback still answers it (slowly).
+	if _, err := db.Query(q); err != nil {
+		t.Errorf("fallback must still work: %v", err)
+	}
+}
+
+func TestDetectorDeclinesSelectingElementColumn(t *testing.T) {
+	// Selecting s1.p# (the element column) is outside the quotient
+	// schema; the detector must decline rather than drop it.
+	db := suppliersDB()
+	const q = `
+SELECT DISTINCT p#, color
+FROM supplies AS s1, parts AS p1
+WHERE NOT EXISTS (
+  SELECT * FROM parts AS p2
+  WHERE p2.color = p1.color AND NOT EXISTS (
+    SELECT * FROM supplies AS s2
+    WHERE s2.p# = p2.p# AND s2.s# = s1.s#))`
+	parsed, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.DetectDivision(parsed); ok {
+		t.Error("selecting the element column must be declined")
+	}
+}

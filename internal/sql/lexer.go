@@ -1,0 +1,157 @@
+// Package sql implements a SQL front end for the paper's §4 syntax
+// proposal: a lexer, recursive-descent parser, and binder that
+// translates queries — including the hypothetical
+//
+//	<table reference> DIVIDE BY <table reference> ON <search condition>
+//
+// construct — into logical plans over a catalog of relations. The
+// binder applies the paper's disambiguation rule: the quotient is a
+// small divide when every divisor attribute appears in the ON
+// clause's conjunction of equi-joins, and a great divide otherwise.
+// Correlated [NOT] EXISTS subqueries are supported so the paper's
+// query Q3 (the double-negation formulation) runs for comparison.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , . * =, <>, <, <=, >, >=
+)
+
+// token is one lexical unit; Pos is a byte offset for error
+// messages.
+type token struct {
+	Kind tokenKind
+	Text string // keywords are uppercased; identifiers keep case
+	Pos  int
+}
+
+// keywords recognized by the parser.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"AS": true, "ON": true, "AND": true, "OR": true, "NOT": true,
+	"EXISTS": true, "DIVIDE": true, "ASC": true, "DESC": true,
+}
+
+// lex tokenizes the input. Identifiers may contain '#' to support
+// the paper's s#/p# column names.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < len(input) && input[i+1] == '-':
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < len(input) && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{Kind: tokKeyword, Text: upper, Pos: start})
+			} else {
+				toks = append(toks, token{Kind: tokIdent, Text: word, Pos: start})
+			}
+		case unicode.IsDigit(c):
+			start := i
+			seenDot := false
+			for i < len(input) {
+				d := rune(input[i])
+				if d == '.' && !seenDot && i+1 < len(input) && unicode.IsDigit(rune(input[i+1])) {
+					seenDot = true
+					i++
+					continue
+				}
+				if !unicode.IsDigit(d) {
+					break
+				}
+				i++
+			}
+			toks = append(toks, token{Kind: tokNumber, Text: input[start:i], Pos: start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, token{Kind: tokString, Text: sb.String(), Pos: start})
+		case strings.ContainsRune("(),.*", c):
+			toks = append(toks, token{Kind: tokSymbol, Text: string(c), Pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{Kind: tokSymbol, Text: "=", Pos: i})
+			i++
+		case c == '<':
+			if i+1 < len(input) && (input[i+1] == '>' || input[i+1] == '=') {
+				toks = append(toks, token{Kind: tokSymbol, Text: input[i : i+2], Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{Kind: tokSymbol, Text: "<", Pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{Kind: tokSymbol, Text: ">=", Pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{Kind: tokSymbol, Text: ">", Pos: i})
+				i++
+			}
+		case c == '!':
+			if i+1 < len(input) && input[i+1] == '=' {
+				toks = append(toks, token{Kind: tokSymbol, Text: "<>", Pos: i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
+			}
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{Kind: tokEOF, Pos: len(input)})
+	return toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' || c == '#'
+}

@@ -1,0 +1,409 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting with %q", p.cur().Text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// at reports whether the current token has the given kind and,
+// unless text is empty, the given text.
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errf("expected %s, found %q", text, p.cur().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	q.Distinct = p.accept(tokKeyword, "DISTINCT")
+
+	if p.accept(tokSymbol, "*") {
+		q.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.Select = append(q.Select, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, ref)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	if p.accept(tokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, *c)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = e
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: *c}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseScalar()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.As = t.Text
+	}
+	return item, nil
+}
+
+// parseTableRef parses a table factor followed by zero or more
+// DIVIDE BY clauses (left-associative).
+func (p *parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTableFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokKeyword, "DIVIDE") {
+		p.next()
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		right, err := p.parseTableFactor()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &DivideTable{Dividend: left, Divisor: right, On: cond}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTableFactor() (TableRef, error) {
+	if p.accept(tokSymbol, "(") {
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		p.accept(tokKeyword, "AS")
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, fmt.Errorf("sql: derived table requires an alias: %w", err)
+		}
+		return &SubqueryTable{Query: sub, Alias: alias.Text}, nil
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	bt := &BaseTable{Name: name.Text, Alias: name.Text}
+	if p.accept(tokKeyword, "AS") {
+		alias, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		bt.Alias = alias.Text
+	} else if p.at(tokIdent, "") {
+		bt.Alias = p.next().Text
+	}
+	return bt, nil
+}
+
+// parseExpr parses OR-level boolean expressions.
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BoolOp{Op: "OR", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BoolOp{Op: "AND", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		if p.at(tokKeyword, "EXISTS") {
+			e, err := p.parseExists()
+			if err != nil {
+				return nil, err
+			}
+			e.(*ExistsExpr).Negated = true
+			return e, nil
+		}
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	if p.at(tokKeyword, "EXISTS") {
+		return p.parseExists()
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parseExists() (Expr, error) {
+	if _, err := p.expect(tokKeyword, "EXISTS"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &ExistsExpr{Query: sub}, nil
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.accept(tokSymbol, "(") {
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	left, err := p.parseScalar()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind != tokSymbol {
+		return nil, p.errf("expected comparison operator, found %q", t.Text)
+	}
+	switch t.Text {
+	case "=", "<>", "<", "<=", ">", ">=":
+		p.next()
+	default:
+		return nil, p.errf("expected comparison operator, found %q", t.Text)
+	}
+	right, err := p.parseScalar()
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Left: left, Op: t.Text, Right: right}, nil
+}
+
+// parseScalar parses a column reference, literal, or aggregate call.
+func (p *parser) parseScalar() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case tokNumber:
+		p.next()
+		if i, err := strconv.ParseInt(t.Text, 10, 64); err == nil {
+			return &Literal{Int: i, Kind: 'i'}, nil
+		}
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.Text)
+		}
+		return &Literal{Float: f, Kind: 'f'}, nil
+	case tokString:
+		p.next()
+		return &Literal{Str: t.Text, Kind: 's'}, nil
+	case tokIdent:
+		// Aggregate call?
+		if isAggName(t.Text) && p.toks[p.pos+1].Kind == tokSymbol && p.toks[p.pos+1].Text == "(" {
+			return p.parseAggCall()
+		}
+		return p.parseColumnRef()
+	default:
+		return nil, p.errf("expected scalar expression, found %q", t.Text)
+	}
+}
+
+func isAggName(s string) bool {
+	switch s {
+	case "count", "COUNT", "Count", "sum", "SUM", "min", "MIN", "max", "MAX", "avg", "AVG":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseAggCall() (Expr, error) {
+	name := p.next().Text
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	call := &AggCall{Func: lowerASCII(name)}
+	if p.accept(tokSymbol, "*") {
+		call.Star = true
+	} else {
+		col, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		call.Arg = col
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func (p *parser) parseColumnRef() (*ColumnRef, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	ref := &ColumnRef{Column: t.Text}
+	if p.accept(tokSymbol, ".") {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		ref.Table = t.Text
+		ref.Column = col.Text
+	}
+	return ref, nil
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,101 @@
+// Package texttab renders relations as aligned text tables in the
+// layout of the paper's figures, with captions like "(a) r1
+// (dividend)". The figures command uses it to regenerate every
+// figure of the paper byte-comparably.
+package texttab
+
+import (
+	"fmt"
+	"strings"
+
+	"divlaws/internal/relation"
+)
+
+// Table renders the relation with column-aligned values in canonical
+// order:
+//
+//	a b
+//	1 1
+//	2 3
+func Table(r *relation.Relation) string {
+	attrs := r.Schema().Attrs()
+	widths := make([]int, len(attrs))
+	for i, a := range attrs {
+		widths[i] = len(a)
+	}
+	rows := r.Sorted()
+	cells := make([][]string, len(rows))
+	for ri, t := range rows {
+		cells[ri] = make([]string, len(t))
+		for ci, v := range t {
+			s := v.String()
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		var line strings.Builder
+		for i, v := range vals {
+			if i > 0 {
+				line.WriteByte(' ')
+			}
+			line.WriteString(pad(v, widths[i]))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(attrs)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n"
+}
+
+// Captioned renders the relation with a figure caption beneath it,
+// like the paper: "(a) r1 (dividend)".
+func Captioned(caption string, r *relation.Relation) string {
+	return Table(r) + caption + "\n"
+}
+
+// SideBySide renders several captioned tables in one block, each
+// separated by a blank line (vertical stacking keeps the output
+// diffable).
+func SideBySide(items ...Item) string {
+	var parts []string
+	for _, it := range items {
+		parts = append(parts, Captioned(it.Caption, it.Rel))
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Item pairs a caption with a relation for SideBySide.
+type Item struct {
+	Caption string
+	Rel     *relation.Relation
+}
+
+// Rows renders a simple two-column key/value listing used by the
+// benchmark reports.
+func Rows(pairs [][2]string) string {
+	w := 0
+	for _, p := range pairs {
+		if len(p[0]) > w {
+			w = len(p[0])
+		}
+	}
+	var b strings.Builder
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "%s  %s\n", pad(p[0], w), p[1])
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

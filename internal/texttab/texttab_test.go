@@ -1,0 +1,48 @@
+package texttab
+
+import (
+	"strings"
+	"testing"
+
+	"divlaws/internal/relation"
+)
+
+func TestTableAlignment(t *testing.T) {
+	r := relation.Ints([]string{"a", "bb"}, [][]int64{{1, 10}, {22, 3}})
+	got := Table(r)
+	want := "a  bb\n1  10\n22 3\n"
+	if got != want {
+		t.Errorf("Table:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	r := relation.Ints([]string{"a"}, nil)
+	if got := Table(r); got != "a\n" {
+		t.Errorf("empty Table = %q", got)
+	}
+}
+
+func TestCaptioned(t *testing.T) {
+	r := relation.Ints([]string{"b"}, [][]int64{{1}})
+	got := Captioned("(b) r2 (divisor)", r)
+	if !strings.HasSuffix(got, "(b) r2 (divisor)\n") || !strings.HasPrefix(got, "b\n1\n") {
+		t.Errorf("Captioned = %q", got)
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := relation.Ints([]string{"a"}, [][]int64{{1}})
+	b := relation.Ints([]string{"b"}, [][]int64{{2}})
+	got := SideBySide(Item{"(a)", a}, Item{"(b)", b})
+	if strings.Count(got, "(a)") != 1 || strings.Count(got, "(b)") != 1 {
+		t.Errorf("SideBySide = %q", got)
+	}
+}
+
+func TestRows(t *testing.T) {
+	got := Rows([][2]string{{"k", "v"}, {"longer", "x"}})
+	if !strings.Contains(got, "k       v") || !strings.Contains(got, "longer  x") {
+		t.Errorf("Rows = %q", got)
+	}
+}

@@ -1,0 +1,306 @@
+// Package value defines the typed scalar values stored in relation
+// tuples: 64-bit integers, 64-bit floats, strings, booleans, and NULL.
+//
+// Values carry a total order (NULL < bool < int/float < string across
+// kinds; natural order within a kind, with ints and floats compared
+// numerically) so relations can be sorted deterministically, and an
+// injective encoding used for hashing tuples under set semantics.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is an immutable typed scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64   // KindInt and KindBool (0/1)
+	f    float64 // KindFloat
+	s    string  // KindString
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.i = 1
+	}
+	return v
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean payload; it panics for non-bool kinds.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: AsBool on %s", v.kind))
+	}
+	return v.i != 0
+}
+
+// AsInt returns the integer payload; it panics for non-int kinds.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: AsInt on %s", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric payload as float64 for int and float
+// kinds; it panics for other kinds.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	default:
+		panic(fmt.Sprintf("value: AsFloat on %s", v.kind))
+	}
+}
+
+// AsString returns the string payload; it panics for non-string kinds.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: AsString on %s", v.kind))
+	}
+	return v.s
+}
+
+// IsNumeric reports whether v is an int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// rank orders kinds for the cross-kind total order.
+func (v Value) rank() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat: // numerics compare with each other
+		return 2
+	case KindString:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Compare returns -1, 0, or +1 ordering v against w under the total
+// order. Numerics of different kinds compare by numeric value; an int
+// and a float that are numerically equal are equal under Compare but
+// remain distinguishable by Equal and by the set-semantics key.
+func Compare(v, w Value) int {
+	if rv, rw := v.rank(), w.rank(); rv != rw {
+		return cmpInt(rv, rw)
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return cmpInt64(v.i, w.i)
+	case KindString:
+		return strings.Compare(v.s, w.s)
+	default: // numeric
+		if v.kind == KindInt && w.kind == KindInt {
+			return cmpInt64(v.i, w.i)
+		}
+		a, b := v.AsFloat(), w.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports exact equality: same kind and same payload. NULL
+// equals NULL under Equal (set semantics treat NULL as a regular
+// domain element, as the paper's relations contain no NULLs anyway).
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindBool, KindInt:
+		return v.i == w.i
+	case KindFloat:
+		return v.f == w.f || (math.IsNaN(v.f) && math.IsNaN(w.f))
+	case KindString:
+		return v.s == w.s
+	default:
+		return false
+	}
+}
+
+// AppendKey appends an injective binary encoding of v to dst. Two
+// values have identical encodings iff Equal reports true, so the
+// encoding can key hash maps implementing set semantics.
+func (v Value) AppendKey(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindBool, KindInt:
+		dst = appendUint64(dst, uint64(v.i))
+	case KindFloat:
+		f := v.f
+		if math.IsNaN(f) {
+			f = math.NaN() // canonical NaN
+		}
+		dst = appendUint64(dst, math.Float64bits(f))
+	case KindString:
+		dst = appendUint64(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+func appendUint64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// String renders the value the way the paper's figures print domain
+// elements: bare numerals, unquoted strings, NULL for null.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	default:
+		return "?"
+	}
+}
+
+// GoString renders the value as a Go expression, for test diagnostics.
+func (v Value) GoString() string {
+	switch v.kind {
+	case KindNull:
+		return "value.Null"
+	case KindBool:
+		return fmt.Sprintf("value.Bool(%t)", v.i != 0)
+	case KindInt:
+		return fmt.Sprintf("value.Int(%d)", v.i)
+	case KindFloat:
+		return fmt.Sprintf("value.Float(%g)", v.f)
+	case KindString:
+		return fmt.Sprintf("value.String(%q)", v.s)
+	default:
+		return "value.Value{?}"
+	}
+}
+
+// Add returns the numeric sum of v and w. Ints stay ints; any float
+// operand promotes the result to float. It panics on non-numerics.
+func Add(v, w Value) Value {
+	if v.kind == KindInt && w.kind == KindInt {
+		return Int(v.i + w.i)
+	}
+	return Float(v.AsFloat() + w.AsFloat())
+}
+
+// Less reports whether v sorts strictly before w.
+func Less(v, w Value) bool { return Compare(v, w) < 0 }
+
+// Min returns the smaller of v and w under Compare.
+func Min(v, w Value) Value {
+	if Compare(w, v) < 0 {
+		return w
+	}
+	return v
+}
+
+// Max returns the larger of v and w under Compare.
+func Max(v, w Value) Value {
+	if Compare(w, v) > 0 {
+		return w
+	}
+	return v
+}
