@@ -291,6 +291,58 @@ func BenchmarkParallelGreatDivide(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelDivideExec measures the exchange-operator path:
+// plan.ParallelDivide compiled to the fan-out iterator, across
+// worker counts and per-partition algorithms. Together with
+// BenchmarkParallelDivide (the raw strategy, no iterator overhead)
+// this tracks the scaling curve per worker count.
+func BenchmarkParallelDivideExec(b *testing.B) {
+	r1, r2 := datagen.DividePair{
+		Groups: 4000, GroupSize: 10, DivisorSize: 12,
+		Domain: 200, HitRate: 0.25, Seed: 1,
+	}.Generate()
+	for _, algo := range []division.Algorithm{division.AlgoHash, division.AlgoMaier} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			node := &plan.ParallelDivide{
+				Dividend: plan.NewScan("r1", r1),
+				Divisor:  plan.NewScan("r2", r2),
+				Algo:     algo, Workers: workers,
+			}
+			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := exec.Run(exec.Compile(node, nil)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelGreatDivideExec is the Law 13 exchange operator
+// through the compiled iterator across worker counts.
+func BenchmarkParallelGreatDivideExec(b *testing.B) {
+	g1, g2 := datagen.GreatDividePair{
+		Groups: 1500, GroupSize: 10,
+		DivisorGroups: 32, DivisorGroupSize: 6,
+		Domain: 200, HitRate: 0.25, Seed: 1,
+	}.Generate()
+	for _, workers := range []int{1, 2, 4, 8} {
+		node := &plan.ParallelGreatDivide{
+			Dividend: plan.NewScan("g1", g1),
+			Divisor:  plan.NewScan("g2", g2),
+			Workers:  workers,
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Run(exec.Compile(node, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPreconditionC1VsC2 quantifies §5.1.1's remark that
 // "testing condition c1 can be expensive, an RDBMS may use a
 // stricter condition c2": the cost of deciding Law 2's two

@@ -44,9 +44,12 @@ func main() {
 	var (
 		builtin   = flag.String("builtin", "", "run a built-in query: q1, q2, or q3")
 		query     = flag.String("query", "", "run an arbitrary SQL query")
-		explain   = flag.Bool("explain", false, "print the logical plan instead of rows")
+		explain   = flag.Bool("explain", false, "print the plans and rewrite trace")
 		optimize  = flag.Bool("optimize", true, "apply the division rewrite laws")
 		detect    = flag.Bool("detect", true, "rewrite NOT EXISTS universal quantification to divisions")
+		workers   = flag.Int("workers", 1, "parallelize large divisions across this many goroutines")
+		threshold = flag.Float64("parallel-threshold", optimizer.DefaultParallelThreshold,
+			"minimum estimated dividend rows before a division is parallelized")
 		suppliers = flag.Int("suppliers", 30, "number of suppliers to generate")
 		parts     = flag.Int("parts", 20, "number of parts to generate")
 		colors    = flag.Int("colors", 3, "number of colors to generate")
@@ -77,40 +80,26 @@ func main() {
 	db.Register("supplies", supplies)
 	db.Register("parts", partsRel)
 
-	var node plan.Node
-	var err error
-	if *detect {
-		var detected bool
-		node, detected, err = db.PlanWithDetection(text)
-		if err == nil && detected {
-			fmt.Println("-- NOT EXISTS pattern rewritten to a division --")
-		}
-	} else {
-		node, err = db.Plan(text)
-	}
+	ex, err := db.Explain(text, sql.ExplainOptions{
+		Detect:             *detect,
+		Optimize:           *optimize,
+		AllowDataDependent: true,
+		Workers:            *workers,
+		ParallelThreshold:  *threshold,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "plan error: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("-- query --\n%s\n\n", text)
 	if *explain {
-		fmt.Printf("-- logical plan --\n%s\n\n", plan.Format(node))
-	}
-	if *optimize {
-		res := optimizer.Optimize(node, optimizer.Options{AllowDataDependent: true})
-		if *explain {
-			fmt.Printf("-- optimized plan (cost %.0f -> %.0f) --\n%s\n\n",
-				res.Initial, res.Final, plan.Format(res.Plan))
-			for _, a := range res.Trace {
-				fmt.Printf("   applied %s at %s (gain %.0f)\n", a.Rule, a.Before, a.Gain)
-			}
-			fmt.Println()
-		}
-		node = res.Plan
+		fmt.Println(ex.Report)
+	} else if ex.Detected {
+		fmt.Println("-- NOT EXISTS pattern rewritten to a division --")
 	}
 
 	start := time.Now()
-	result := plan.Eval(node)
+	result := plan.Eval(ex.Plan)
 	elapsed := time.Since(start)
 
 	fmt.Print(texttab.Table(result))

@@ -16,16 +16,18 @@ import (
 	"os"
 	"time"
 
+	"divlaws/internal/optimizer"
 	"divlaws/internal/plan"
 	"divlaws/internal/scenarios"
 )
 
 func main() {
 	var (
-		scale = flag.Int("scale", 8000, "approximate dividend size")
-		law   = flag.String("law", "", "benchmark a single law by name")
-		reps  = flag.Int("reps", 3, "repetitions (minimum taken)")
-		seed  = flag.Int64("seed", 1, "workload seed")
+		scale   = flag.Int("scale", 8000, "approximate dividend size")
+		law     = flag.String("law", "", "benchmark a single law by name")
+		reps    = flag.Int("reps", 3, "repetitions (minimum taken)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		workers = flag.Int("workers", 1, "parallelize divisions in both plan sides across this many goroutines")
 	)
 	flag.Parse()
 
@@ -43,6 +45,13 @@ func main() {
 	for _, s := range list {
 		lhs := s.Build(*scale, *seed)
 		rhs := s.MustApply(lhs)
+		if *workers >= 2 {
+			// Parallelize every division in both sides so the per-law
+			// comparison reflects the intra-operator parallel engine.
+			popts := optimizer.ParallelOptions{Workers: *workers, Threshold: 1}
+			lhs, _ = optimizer.Parallelize(lhs, popts)
+			rhs, _ = optimizer.Parallelize(rhs, popts)
+		}
 		lhsTime, rows := timeEval(lhs, *reps)
 		rhsTime, rhsRows := timeEval(rhs, *reps)
 		if rows != rhsRows {

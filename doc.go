@@ -8,4 +8,26 @@
 // entry points are the commands under cmd/ and the programs under
 // examples/. The benchmark suite in bench_test.go regenerates the
 // paper's per-law efficiency comparisons.
+//
+// # Parallel execution
+//
+// The paper derives intra-operator parallelism from its laws (§5):
+// Law 2 under precondition c2 justifies range-partitioning the
+// dividend on the quotient attributes and dividing the partitions
+// independently, and Law 13 justifies hash-partitioning the divisor
+// of a great divide on its group attributes. Both partitionings make
+// the respective law's precondition hold by construction, so the
+// parallel rewrites are always safe.
+//
+// The repository promotes these strategies into the whole pipeline:
+// internal/parallel implements the partitionings and in-process
+// parallel divisions; internal/plan adds ParallelDivide and
+// ParallelGreatDivide nodes; internal/optimizer's Parallelize pass
+// rewrites large divisions into them above a cardinality threshold;
+// and internal/exec compiles them to exchange-style iterators that
+// fan partitions out across goroutines, record per-partition sizes
+// in a mutex-protected Stats collector, and merge the disjoint
+// partial quotients. cmd/divsql and cmd/lawbench expose the worker
+// count as -workers, and divsql's -explain prints the chosen
+// partitioning per operator.
 package divlaws

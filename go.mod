@@ -1,0 +1,3 @@
+module divlaws
+
+go 1.22

@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"testing"
+
+	"divlaws/internal/pred"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+// TestIteratorCloseSafety audits every physical operator for the
+// Close protocol: Close before Open must be a harmless no-op (a
+// parent that fails partway through Open closes all its children,
+// opened or not), and Close must be idempotent. Regression test for
+// the ThetaJoinIter nil-pointer panic on Close-before-Open.
+func TestIteratorCloseSafety(t *testing.T) {
+	ab := relation.New(schema.New("a", "b"))
+	ab2 := relation.New(schema.New("a", "b"))
+	bOnly := relation.New(schema.New("b"))
+	bc := relation.New(schema.New("b", "c"))
+	cd := relation.New(schema.New("c", "d"))
+	for i := int64(0); i < 6; i++ {
+		ab.Insert(relation.Tuple{value.Int(i % 3), value.Int(i)})
+		ab2.Insert(relation.Tuple{value.Int(i % 2), value.Int(i)})
+		cd.Insert(relation.Tuple{value.Int(i), value.Int(i + 1)})
+	}
+	bOnly.Insert(relation.Tuple{value.Int(1)})
+	bc.Insert(relation.Tuple{value.Int(1), value.Int(2)})
+
+	scan := func(r *relation.Relation) Iterator { return &ScanIter{Label: "scan", Rel: r} }
+
+	cases := []struct {
+		name string
+		mk   func() Iterator
+	}{
+		{"ScanIter", func() Iterator { return scan(ab) }},
+		{"FilterIter", func() Iterator {
+			return &FilterIter{Label: "f", Input: scan(ab), Pred: pred.Literal(true)}
+		}},
+		{"ProjectIter", func() Iterator {
+			return &ProjectIter{Label: "p", Input: scan(ab), Attrs: []string{"a"}}
+		}},
+		{"UnionIter", func() Iterator {
+			return &UnionIter{Label: "u", Left: scan(ab), Right: scan(ab2)}
+		}},
+		{"HashSetOpIter", func() Iterator {
+			return &HashSetOpIter{Label: "s", Left: scan(ab), Right: scan(ab2), Keep: true}
+		}},
+		{"ProductIter", func() Iterator {
+			return &ProductIter{Label: "x", Left: scan(ab), Right: scan(cd)}
+		}},
+		{"HashJoinIter", func() Iterator {
+			return &HashJoinIter{Label: "j", Left: scan(ab), Right: scan(bc)}
+		}},
+		{"SemiJoinIter", func() Iterator {
+			return &SemiJoinIter{Label: "sj", Left: scan(ab), Right: scan(bc), Keep: true}
+		}},
+		{"ThetaJoinIter", func() Iterator {
+			return &ThetaJoinIter{Label: "tj", Left: scan(ab), Right: scan(cd), Pred: pred.Literal(true)}
+		}},
+		{"HashDivideIter", func() Iterator {
+			return &HashDivideIter{Label: "hd", Dividend: scan(ab), Divisor: scan(bOnly)}
+		}},
+		{"MergeGroupDivideIter", func() Iterator {
+			return &MergeGroupDivideIter{Label: "md", Dividend: scan(ab), Divisor: scan(bOnly)}
+		}},
+		{"GreatDivideIter", func() Iterator {
+			return &GreatDivideIter{Label: "gd", Dividend: scan(ab), Divisor: scan(bc)}
+		}},
+		{"ParallelDivideIter", func() Iterator {
+			return &ParallelDivideIter{Label: "pd", Dividend: scan(ab), Divisor: scan(bOnly), Workers: 2}
+		}},
+		{"ParallelGreatDivideIter", func() Iterator {
+			return &ParallelGreatDivideIter{Label: "pgd", Dividend: scan(ab), Divisor: scan(bc), Workers: 2}
+		}},
+		{"GroupIter", func() Iterator {
+			return &GroupIter{Label: "g", Input: scan(ab), By: []string{"a"}}
+		}},
+		{"SortIter", func() Iterator {
+			return &SortIter{Label: "so", Input: scan(ab)}
+		}},
+		{"RenameIter", func() Iterator {
+			return &RenameIter{Input: scan(ab), From: "a", To: "z"}
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Close before Open must neither panic nor error.
+			it := tc.mk()
+			if err := it.Close(); err != nil {
+				t.Errorf("Close before Open: %v", err)
+			}
+			// And must stay idempotent even then.
+			if err := it.Close(); err != nil {
+				t.Errorf("second Close before Open: %v", err)
+			}
+
+			// Full lifecycle, then double Close.
+			it = tc.mk()
+			if err := it.Open(); err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			for {
+				_, ok, err := it.Next()
+				if err != nil {
+					t.Fatalf("Next: %v", err)
+				}
+				if !ok {
+					break
+				}
+			}
+			if err := it.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+			if err := it.Close(); err != nil {
+				t.Errorf("Close twice: %v", err)
+			}
+
+			// Next after Close must not panic; it may report an error
+			// or end-of-stream, but never a tuple.
+			if tup, ok, _ := it.Next(); ok {
+				t.Errorf("Next after Close produced a tuple: %v", tup)
+			}
+		})
+	}
+}

@@ -117,6 +117,24 @@ func compile(n plan.Node, stats *Stats, label string) Iterator {
 			Divisor:  compile(t.Divisor, stats, label+".1"),
 			Stats:    stats,
 		}
+	case *plan.ParallelDivide:
+		return &ParallelDivideIter{
+			Label:    label + "/paralleldivide",
+			Dividend: compile(t.Dividend, stats, label+".0"),
+			Divisor:  compile(t.Divisor, stats, label+".1"),
+			Algo:     t.Algo,
+			Workers:  t.Workers,
+			Stats:    stats,
+		}
+	case *plan.ParallelGreatDivide:
+		return &ParallelGreatDivideIter{
+			Label:    label + "/parallelgreatdivide",
+			Dividend: compile(t.Dividend, stats, label+".0"),
+			Divisor:  compile(t.Divisor, stats, label+".1"),
+			Algo:     t.Algo,
+			Workers:  t.Workers,
+			Stats:    stats,
+		}
 	case *plan.Group:
 		return &GroupIter{
 			Label: label + "/group",

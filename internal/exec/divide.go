@@ -42,8 +42,16 @@ func (j *ThetaJoinIter) Next() (relation.Tuple, bool, error) {
 	}
 }
 
-// Close implements Iterator.
-func (j *ThetaJoinIter) Close() error { return j.inner.Close() }
+// Close implements Iterator. It is a no-op before Open (the inner
+// product, and with it the children, only exist after Open).
+func (j *ThetaJoinIter) Close() error {
+	if j.inner == nil {
+		return nil
+	}
+	inner := j.inner
+	j.inner = nil
+	return inner.Close()
+}
 
 // Schema implements Iterator.
 func (j *ThetaJoinIter) Schema() schema.Schema {

@@ -14,6 +14,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"divlaws/internal/relation"
 	"divlaws/internal/schema"
@@ -34,8 +35,13 @@ type Iterator interface {
 
 // Stats counts tuples emitted per operator label, making
 // intermediate-result sizes observable (the quadratic-intermediate
-// measurement of [25] relies on this).
+// measurement of [25] relies on this). It is safe for concurrent use
+// so parallel operators can share one collector across goroutines.
 type Stats struct {
+	mu sync.Mutex
+	// Emitted maps operator labels to tuple counts. Read it only
+	// after execution finishes, or via Get/Snapshot while operators
+	// may still be running.
 	Emitted map[string]int64
 }
 
@@ -45,13 +51,44 @@ func NewStats() *Stats { return &Stats{Emitted: make(map[string]int64)} }
 // count records n tuples emitted by the labelled operator.
 func (s *Stats) count(label string, n int64) {
 	if s != nil {
+		s.mu.Lock()
 		s.Emitted[label] += n
+		s.mu.Unlock()
 	}
+}
+
+// Get returns the tuple count recorded for one operator label.
+func (s *Stats) Get(label string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Emitted[label]
+}
+
+// Snapshot returns a copy of the per-operator counts.
+func (s *Stats) Snapshot() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.Emitted))
+	for k, v := range s.Emitted {
+		out[k] = v
+	}
+	return out
 }
 
 // Total returns the total number of tuples emitted by all operators,
 // the engine's measure of intermediate-result volume.
 func (s *Stats) Total() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var t int64
 	for _, n := range s.Emitted {
 		t += n

@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"strconv"
+
+	"divlaws/internal/division"
+	"divlaws/internal/parallel"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+)
+
+// ParallelDivideIter is the exchange-style physical operator for
+// plan.ParallelDivide: it materializes both inputs, range-partitions
+// the dividend on the quotient attributes A (Law 2 under c2, which
+// the partitioning establishes by construction), divides each
+// partition on its own goroutine, and merges the disjoint partial
+// quotients. Per-partition output sizes are recorded in Stats under
+// "<label>/part<i>".
+type ParallelDivideIter struct {
+	Label             string
+	Dividend, Divisor Iterator
+	// Algo is the per-partition algorithm; empty means hash-division.
+	Algo division.Algorithm
+	// Workers is the partition/goroutine count; 0 means GOMAXPROCS.
+	Workers int
+	Stats   *Stats
+
+	out     schema.Schema
+	results []relation.Tuple
+	pos     int
+	opened  bool
+}
+
+// Open implements Iterator.
+func (p *ParallelDivideIter) Open() error {
+	split, err := division.SmallSplit(p.Dividend.Schema(), p.Divisor.Schema())
+	if err != nil {
+		return err
+	}
+	dividend, err := drainChild(p.Dividend)
+	if err != nil {
+		return err
+	}
+	divisor, err := drainChild(p.Divisor)
+	if err != nil {
+		return err
+	}
+	algo := p.Algo
+	if algo == "" {
+		algo = division.AlgoHash
+	}
+	// The per-partition quotients are materialized intermediates of
+	// the exchange, so they are counted as their own Stats operators
+	// ("<label>/part<i>") in addition to the merged output the
+	// operator itself emits — sequential divides have no such
+	// intermediate layer.
+	quotients := parallel.DividePartitioned(algo, dividend, divisor, p.Workers)
+	merged := relation.New(split.A)
+	for i, q := range quotients {
+		p.Stats.count(partLabel(p.Label, i), int64(q.Len()))
+		merged.InsertAll(q)
+	}
+	p.out = split.A
+	p.results = merged.Tuples()
+	p.pos = 0
+	p.opened = true
+	return nil
+}
+
+// Next implements Iterator.
+func (p *ParallelDivideIter) Next() (relation.Tuple, bool, error) {
+	if !p.opened {
+		return nil, false, errNotOpen("ParallelDivideIter")
+	}
+	if p.pos >= len(p.results) {
+		return nil, false, nil
+	}
+	t := p.results[p.pos]
+	p.pos++
+	p.Stats.count(p.Label, 1)
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (p *ParallelDivideIter) Close() error {
+	p.results, p.opened = nil, false
+	err1 := p.Dividend.Close()
+	err2 := p.Divisor.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator. It is derived from the children's
+// schemas so parents may call it before Open.
+func (p *ParallelDivideIter) Schema() schema.Schema {
+	if p.out.Len() == 0 {
+		split, err := division.SmallSplit(p.Dividend.Schema(), p.Divisor.Schema())
+		if err != nil {
+			panic(err)
+		}
+		p.out = split.A
+	}
+	return p.out
+}
+
+// ParallelGreatDivideIter is the exchange-style physical operator
+// for plan.ParallelGreatDivide: the dividend is replicated, the
+// divisor hash-partitioned on its group attributes C (Law 13, whose
+// πC-disjointness premise the partitioning establishes by
+// construction), each partition great-divided on its own goroutine,
+// and the partial quotients merged.
+type ParallelGreatDivideIter struct {
+	Label             string
+	Dividend, Divisor Iterator
+	Algo              division.Algorithm
+	Workers           int
+	Stats             *Stats
+
+	out     schema.Schema
+	results []relation.Tuple
+	pos     int
+	opened  bool
+}
+
+// Open implements Iterator.
+func (g *ParallelGreatDivideIter) Open() error {
+	split, err := division.GreatSplit(g.Dividend.Schema(), g.Divisor.Schema())
+	if err != nil {
+		return err
+	}
+	dividend, err := drainChild(g.Dividend)
+	if err != nil {
+		return err
+	}
+	divisor, err := drainChild(g.Divisor)
+	if err != nil {
+		return err
+	}
+	algo := g.Algo
+	if algo == "" {
+		algo = division.GreatAlgoHash
+	}
+	quotients := parallel.GreatDividePartitioned(algo, dividend, divisor, g.Workers)
+	merged := relation.New(split.A.Concat(split.C))
+	for i, q := range quotients {
+		g.Stats.count(partLabel(g.Label, i), int64(q.Len()))
+		merged.InsertAll(q)
+	}
+	g.out = split.A.Concat(split.C)
+	g.results = merged.Tuples()
+	g.pos = 0
+	g.opened = true
+	return nil
+}
+
+// Next implements Iterator.
+func (g *ParallelGreatDivideIter) Next() (relation.Tuple, bool, error) {
+	if !g.opened {
+		return nil, false, errNotOpen("ParallelGreatDivideIter")
+	}
+	if g.pos >= len(g.results) {
+		return nil, false, nil
+	}
+	t := g.results[g.pos]
+	g.pos++
+	g.Stats.count(g.Label, 1)
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (g *ParallelGreatDivideIter) Close() error {
+	g.results, g.opened = nil, false
+	err1 := g.Dividend.Close()
+	err2 := g.Divisor.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Iterator. It is derived from the children's
+// schemas so parents may call it before Open.
+func (g *ParallelGreatDivideIter) Schema() schema.Schema {
+	if g.out.Len() == 0 {
+		split, err := division.GreatSplit(g.Dividend.Schema(), g.Divisor.Schema())
+		if err != nil {
+			panic(err)
+		}
+		g.out = split.A.Concat(split.C)
+	}
+	return g.out
+}
+
+// drainChild opens a child iterator and materializes it.
+func drainChild(it Iterator) (*relation.Relation, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	out := relation.New(it.Schema())
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Insert(t)
+	}
+}
+
+// partLabel names partition i of a parallel operator in Stats.
+func partLabel(label string, i int) string {
+	return label + "/part" + strconv.Itoa(i)
+}

@@ -29,6 +29,10 @@ const (
 	cpuWeight  = 1.0
 	hashWeight = 1.2
 	sortWeight = 2.0
+	// partitionWeight prices the hash-and-route pass of a parallel
+	// exchange: one hash per tuple, cheaper than an operator's full
+	// per-tuple work.
+	partitionWeight = 0.25
 )
 
 // Estimate describes the optimizer's view of a plan: its expected
@@ -102,6 +106,35 @@ func Estimated(n plan.Node) Estimate {
 		d, v := Estimated(t.Dividend), Estimated(t.Divisor)
 		rows := d.Rows * divideShrink
 		return Estimate{Rows: rows, Cost: d.Cost + v.Cost + (d.Rows+v.Rows)*hashWeight}
+	case *plan.ParallelDivide:
+		d, v := Estimated(t.Dividend), Estimated(t.Divisor)
+		rows := d.Rows * divideShrink
+		w := float64(t.Workers)
+		if w < 1 {
+			w = 1
+		}
+		// Wall-clock view: each worker divides ~1/w of the dividend
+		// against the full divisor concurrently; the range
+		// partitioning pass and the quotient merge are sequential
+		// overhead (the paper's §5.2.1 proviso).
+		divide := (d.Rows/w + v.Rows) * hashWeight
+		overhead := d.Rows*partitionWeight + rows*hashWeight
+		return Estimate{Rows: rows, Cost: d.Cost + v.Cost + divide + overhead}
+	case *plan.ParallelGreatDivide:
+		d, v := Estimated(t.Dividend), Estimated(t.Divisor)
+		rows := d.Rows * divideShrink
+		w := float64(t.Workers)
+		if w < 1 {
+			w = 1
+		}
+		// Law 13 replicates the dividend across workers; the model
+		// optimistically assumes the per-group division work — not
+		// the replicated scan — dominates and divides by w, which is
+		// exactly the regime (per §5.2.1) where the rewrite should
+		// fire at all.
+		divide := (d.Rows + v.Rows) * hashWeight / w
+		overhead := v.Rows*partitionWeight + rows*hashWeight
+		return Estimate{Rows: rows, Cost: d.Cost + v.Cost + divide + overhead}
 	case *plan.Group:
 		in := Estimated(t.Input)
 		rows := in.Rows * groupShrink

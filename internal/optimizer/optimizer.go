@@ -50,6 +50,10 @@ type Options struct {
 	// must deliver to be kept; 0 keeps any non-worsening rewrite
 	// with positive gain.
 	MinGain float64
+	// Parallel, when Workers >= 2, runs the Parallelize pass after
+	// the law rewrites, turning large divisions into their
+	// intra-operator parallel forms.
+	Parallel ParallelOptions
 }
 
 // Optimize rewrites the plan with the division laws, keeping every
@@ -95,6 +99,8 @@ func Optimize(n plan.Node, opts Options) Result {
 			break
 		}
 	}
+	current, parTrace := Parallelize(current, opts.Parallel)
+	res.Trace = append(res.Trace, parTrace...)
 	res.Plan = current
 	res.Final = Cost(current)
 	return res

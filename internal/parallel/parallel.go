@@ -43,18 +43,38 @@ func Divide(r1, r2 *relation.Relation, workers int) *relation.Relation {
 
 // DivideWith is Divide with an explicit per-partition algorithm.
 func DivideWith(algo division.Algorithm, r1, r2 *relation.Relation, workers int) *relation.Relation {
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
 	split, err := division.SmallSplit(r1.Schema(), r2.Schema())
 	if err != nil {
 		panic(err)
 	}
-	if workers == 1 || r1.Len() < 2*workers {
-		return division.DivideWith(algo, r1, r2)
+	quotients := DividePartitioned(algo, r1, r2, workers)
+	if len(quotients) == 1 {
+		return quotients[0]
 	}
-	parts := partitionByKey(r1, r1.Schema().Positions(split.A.Attrs()), workers)
+	out := relation.New(split.A)
+	for _, q := range quotients {
+		out.InsertAll(q)
+	}
+	return out
+}
 
+// DividePartitioned computes r1 ÷ r2 across workers goroutines and
+// returns the per-partition quotients without merging them (a single
+// element when the input is too small to be worth partitioning). The
+// partitions' πA projections are disjoint, so the quotients are too
+// and their union is exactly r1 ÷ r2. Exchange-style operators use
+// this to observe per-partition sizes before merging.
+func DividePartitioned(algo division.Algorithm, r1, r2 *relation.Relation, workers int) []*relation.Relation {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	// Schema validation happens in division.DivideWith (sequential
+	// path) or PartitionDividend (parallel path); both panic on a
+	// violation.
+	if workers == 1 || r1.Len() < 2*workers {
+		return []*relation.Relation{division.DivideWith(algo, r1, r2)}
+	}
+	parts := PartitionDividend(r1, r2, workers)
 	results := make([]*relation.Relation, len(parts))
 	var wg sync.WaitGroup
 	for i, part := range parts {
@@ -65,33 +85,97 @@ func DivideWith(algo division.Algorithm, r1, r2 *relation.Relation, workers int)
 		}(i, part)
 	}
 	wg.Wait()
-
-	out := relation.New(split.A)
-	for _, q := range results {
-		if q != nil {
-			out.InsertAll(q)
-		}
-	}
-	return out
+	return results
 }
 
 // GreatDivide computes r1 ÷* r2 with the divisor hash-partitioned on
 // its group attributes across workers goroutines (Law 13).
 func GreatDivide(r1, r2 *relation.Relation, workers int) *relation.Relation {
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
+	return GreatDivideWith(division.GreatAlgoHash, r1, r2, workers)
+}
+
+// GreatDivideWith is GreatDivide with an explicit per-partition
+// algorithm.
+func GreatDivideWith(algo division.Algorithm, r1, r2 *relation.Relation, workers int) *relation.Relation {
 	split, err := division.GreatSplit(r1.Schema(), r2.Schema())
 	if err != nil {
 		panic(err)
 	}
-	if workers == 1 || r2.Len() < 2*workers {
-		return division.GreatDivide(r1, r2)
+	quotients := GreatDividePartitioned(algo, r1, r2, workers)
+	if len(quotients) == 1 {
+		return quotients[0]
 	}
+	out := relation.New(split.A.Concat(split.C))
+	for _, q := range quotients {
+		out.InsertAll(q)
+	}
+	return out
+}
 
-	// Hash-partition divisor tuples by their C projection so each
-	// divisor group lands entirely in one partition: πC disjointness
-	// by construction.
+// GreatDividePartitioned computes r1 ÷* r2 across workers goroutines
+// and returns the per-partition quotients without merging them (a
+// single element when the divisor is too small to be worth
+// partitioning). Divisor groups are disjoint across partitions, so
+// the quotients never collide on C and their union is exactly
+// r1 ÷* r2. Empty divisor partitions are dropped.
+func GreatDividePartitioned(algo division.Algorithm, r1, r2 *relation.Relation, workers int) []*relation.Relation {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers == 1 || r2.Len() < 2*workers {
+		return []*relation.Relation{division.GreatDivideWith(algo, r1, r2)}
+	}
+	var parts []*relation.Relation
+	for _, part := range PartitionDivisor(r1, r2, workers) {
+		if !part.Empty() {
+			parts = append(parts, part)
+		}
+	}
+	results := make([]*relation.Relation, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part *relation.Relation) {
+			defer wg.Done()
+			results[i] = division.GreatDivideWith(algo, r1, part)
+		}(i, part)
+	}
+	wg.Wait()
+	return results
+}
+
+// PartitionDividend splits the dividend of r1 ÷ r2 into at most
+// workers range partitions on the quotient attributes A. Partitions
+// have pairwise-disjoint πA projections, so precondition c2 of Law 2
+// holds between any two of them by construction and
+//
+//	r1 ÷ r2 = (p1 ÷ r2) ∪ … ∪ (pn ÷ r2)
+//
+// for the returned partitions p1…pn. It panics on schema violations
+// (the divide itself would too); fewer than workers partitions are
+// returned when the dividend has fewer distinct quotient values.
+func PartitionDividend(r1, r2 *relation.Relation, workers int) []*relation.Relation {
+	split, err := division.SmallSplit(r1.Schema(), r2.Schema())
+	if err != nil {
+		panic(err)
+	}
+	return partitionByKey(r1, r1.Schema().Positions(split.A.Attrs()), workers)
+}
+
+// PartitionDivisor splits the divisor of r1 ÷* r2 into at most
+// workers hash partitions on the group attributes C. Each divisor
+// group lands entirely in one partition, so the πC-disjointness
+// premise of Law 13 holds by construction and
+//
+//	r1 ÷* r2 = (r1 ÷* p1) ∪ … ∪ (r1 ÷* pn)
+//
+// for the returned partitions p1…pn. It panics on schema violations.
+// Partitions may be empty when the hash distributes unevenly.
+func PartitionDivisor(r1, r2 *relation.Relation, workers int) []*relation.Relation {
+	split, err := division.GreatSplit(r1.Schema(), r2.Schema())
+	if err != nil {
+		panic(err)
+	}
 	cPos := r2.Schema().Positions(split.C.Attrs())
 	parts := make([]*relation.Relation, workers)
 	for i := range parts {
@@ -101,28 +185,7 @@ func GreatDivide(r1, r2 *relation.Relation, workers int) *relation.Relation {
 		h := fnv32(t.Project(cPos).Key())
 		parts[h%uint32(workers)].Insert(t)
 	}
-
-	results := make([]*relation.Relation, workers)
-	var wg sync.WaitGroup
-	for i, part := range parts {
-		if part.Empty() {
-			continue
-		}
-		wg.Add(1)
-		go func(i int, part *relation.Relation) {
-			defer wg.Done()
-			results[i] = division.GreatDivide(r1, part)
-		}(i, part)
-	}
-	wg.Wait()
-
-	out := relation.New(split.A.Concat(split.C))
-	for _, q := range results {
-		if q != nil {
-			out.InsertAll(q)
-		}
-	}
-	return out
+	return parts
 }
 
 // partitionByKey splits r into up to n partitions with disjoint key

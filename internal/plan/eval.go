@@ -6,6 +6,7 @@ import (
 
 	"divlaws/internal/algebra"
 	"divlaws/internal/division"
+	"divlaws/internal/parallel"
 	"divlaws/internal/relation"
 )
 
@@ -53,6 +54,18 @@ func Eval(n Node) *relation.Relation {
 			algo = division.GreatAlgoHash
 		}
 		return division.GreatDivideWith(algo, Eval(t.Dividend), Eval(t.Divisor))
+	case *ParallelDivide:
+		algo := t.Algo
+		if algo == "" {
+			algo = division.AlgoHash
+		}
+		return parallel.DivideWith(algo, Eval(t.Dividend), Eval(t.Divisor), t.Workers)
+	case *ParallelGreatDivide:
+		algo := t.Algo
+		if algo == "" {
+			algo = division.GreatAlgoHash
+		}
+		return parallel.GreatDivideWith(algo, Eval(t.Dividend), Eval(t.Divisor), t.Workers)
 	case *Group:
 		return algebra.Group(Eval(t.Input), t.By, t.Aggs)
 	case *Rename:
@@ -148,7 +161,7 @@ func Count(n Node) int {
 func CountDivides(n Node) int {
 	total := 0
 	switch n.(type) {
-	case *Divide, *GreatDivide:
+	case *Divide, *GreatDivide, *ParallelDivide, *ParallelGreatDivide:
 		total++
 	}
 	for _, c := range n.Children() {
