@@ -26,7 +26,9 @@ import (
 	"divlaws/internal/plan"
 	"divlaws/internal/relation"
 	"divlaws/internal/scenarios"
+	"divlaws/internal/schema"
 	"divlaws/internal/sql"
+	"divlaws/internal/value"
 )
 
 // benchScale keeps the default `go test -bench=.` run fast; use
@@ -40,11 +42,13 @@ func BenchmarkLaws(b *testing.B) {
 		lhs := s.Build(benchScale, 1)
 		rhs := s.MustApply(lhs)
 		b.Run(s.Name+"/lhs", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				plan.Eval(lhs)
 			}
 		})
 		b.Run(s.Name+"/rhs", func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				plan.Eval(rhs)
 			}
@@ -62,6 +66,7 @@ func BenchmarkSmallDivideAlgos(b *testing.B) {
 		}.Generate()
 		for _, algo := range division.Algorithms() {
 			b.Run(fmt.Sprintf("%s/groups=%d", algo, groups), func(b *testing.B) {
+				b.ReportAllocs()
 				b.ReportMetric(float64(r1.Len()), "dividend-rows")
 				for i := 0; i < b.N; i++ {
 					division.DivideWith(algo, r1, r2)
@@ -81,6 +86,7 @@ func BenchmarkGreatDivideDefs(b *testing.B) {
 	}.Generate()
 	for _, algo := range division.GreatAlgorithms() {
 		b.Run(string(algo), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				division.GreatDivideWith(algo, r1, r2)
 			}
@@ -101,6 +107,7 @@ func BenchmarkFirstClassVsSimulated(b *testing.B) {
 		direct := &plan.Divide{Dividend: plan.NewScan("r1", r1), Divisor: plan.NewScan("r2", r2)}
 		simulated := exec.SimulatedDividePlan("r1", r1, "r2", r2)
 		b.Run(fmt.Sprintf("first-class/groups=%d", groups), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := exec.Run(exec.Compile(direct, nil)); err != nil {
 					b.Fatal(err)
@@ -108,6 +115,7 @@ func BenchmarkFirstClassVsSimulated(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("simulated/groups=%d", groups), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := exec.Run(exec.Compile(simulated, nil)); err != nil {
 					b.Fatal(err)
@@ -138,6 +146,7 @@ WHERE NOT EXISTS (
 
 	var want *relation.Relation
 	b.Run("q1-divide", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := db.Query(q1)
 			if err != nil {
@@ -147,6 +156,7 @@ WHERE NOT EXISTS (
 		}
 	})
 	b.Run("q3-not-exists", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := db.Query(q3)
 			if err != nil {
@@ -172,11 +182,13 @@ func BenchmarkFIM(b *testing.B) {
 	trans := fim.FromLists(lists)
 	const minSupport = 60
 	b.Run("apriori-great-divide", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			fim.DivideMiner{}.Mine(trans, minSupport)
 		}
 	})
 	b.Run("apriori-hash-count", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			fim.HashMiner{}.Mine(trans, minSupport)
 		}
@@ -198,6 +210,7 @@ func BenchmarkMergeGroupPipelining(b *testing.B) {
 			Algo:     algo,
 		}
 		b.Run(string(algo), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := exec.Run(exec.Compile(node, nil)); err != nil {
 					b.Fatal(err)
@@ -238,11 +251,13 @@ WHERE NOT EXISTS (
 		b.Fatal("detected plan wrong")
 	}
 	b.Run("detected-divide", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			plan.Eval(detected)
 		}
 	})
 	b.Run("nested-iteration", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			plan.Eval(fallback)
 		}
@@ -263,6 +278,7 @@ func BenchmarkParallelDivide(b *testing.B) {
 	for _, algo := range []division.Algorithm{division.AlgoHash, division.AlgoMaier} {
 		for _, workers := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					parallel.DivideWith(algo, r1, r2, workers)
 				}
@@ -284,6 +300,7 @@ func BenchmarkParallelGreatDivide(b *testing.B) {
 	}.Generate()
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				parallel.GreatDivide(g1, g2, workers)
 			}
@@ -309,6 +326,7 @@ func BenchmarkParallelDivideExec(b *testing.B) {
 				Algo:     algo, Workers: workers,
 			}
 			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if _, err := exec.Run(exec.Compile(node, nil)); err != nil {
 						b.Fatal(err)
@@ -334,6 +352,7 @@ func BenchmarkParallelGreatDivideExec(b *testing.B) {
 			Workers:  workers,
 		}
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := exec.Run(exec.Compile(node, nil)); err != nil {
 					b.Fatal(err)
@@ -368,11 +387,13 @@ func BenchmarkPreconditionC1VsC2(b *testing.B) {
 			}
 		}
 		b.Run(fmt.Sprintf("c2/groups=%d", groups), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				laws.C2(lo, hi, r2)
 			}
 		})
 		b.Run(fmt.Sprintf("c1/groups=%d", groups), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				laws.C1(lo, hi, r2)
 			}
@@ -388,9 +409,101 @@ func BenchmarkOptimizer(b *testing.B) {
 	inner := s.Build(4000, 3)
 	for name, allow := range map[string]bool{"catalog-only": false, "data-dependent": true} {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				optimizer.Optimize(inner, optimizer.Options{AllowDataDependent: allow})
 			}
 		})
 	}
+}
+
+// BenchmarkTupleKey contrasts the two tuple-identity encodings: the
+// allocating injective string key and the incremental 64-bit hash
+// the engine's hash operators now run on.
+func BenchmarkTupleKey(b *testing.B) {
+	t := relation.Tuple{
+		value.Int(123456), value.String("supplier-42"),
+		value.Float(3.25), value.Bool(true),
+	}
+	b.Run("string-key", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = t.Key()
+		}
+	})
+	b.Run("hash64", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = t.Hash64()
+		}
+	})
+	pos := []int{0, 2}
+	b.Run("string-key-proj", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = t.Project(pos).Key()
+		}
+	})
+	b.Run("hash64-proj", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = t.Hash64Proj(pos)
+		}
+	})
+}
+
+// BenchmarkRelationInsert measures set-semantics insertion through
+// the hashkey dedup table: fresh tuples (cloned and owned) and the
+// duplicate-heavy re-insert path that allocates nothing.
+func BenchmarkRelationInsert(b *testing.B) {
+	const rows = 4096
+	sch := schema.New("a", "b", "c")
+	tuples := make([]relation.Tuple, rows)
+	for i := range tuples {
+		tuples[i] = relation.Tuple{
+			value.Int(int64(i)), value.String("grp"), value.Int(int64(i % 7)),
+		}
+	}
+	b.Run("insert", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := relation.New(sch)
+			for _, t := range tuples {
+				r.Insert(t)
+			}
+		}
+	})
+	b.Run("insert-owned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := relation.New(sch)
+			for _, t := range tuples {
+				r.InsertOwned(t)
+			}
+		}
+	})
+	b.Run("insert-dup", func(b *testing.B) {
+		b.ReportAllocs()
+		r := relation.New(sch)
+		for _, t := range tuples {
+			r.InsertOwned(t)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Insert(tuples[i%rows])
+		}
+	})
+	b.Run("contains", func(b *testing.B) {
+		b.ReportAllocs()
+		r := relation.New(sch)
+		for _, t := range tuples {
+			r.InsertOwned(t)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !r.Contains(tuples[i%rows]) {
+				b.Fatal("missing tuple")
+			}
+		}
+	})
 }

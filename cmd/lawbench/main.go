@@ -8,12 +8,16 @@
 //	lawbench                  # all laws at the default scale
 //	lawbench -scale 20000     # bigger workload
 //	lawbench -law "Law 9"     # one law
+//	lawbench -json -          # machine-readable results on stdout
+//	lawbench -json BENCH.json # ... or into a file
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"divlaws/internal/optimizer"
@@ -21,15 +25,41 @@ import (
 	"divlaws/internal/scenarios"
 )
 
+// result is one measured plan side, the unit of the committed
+// BENCH_<n>.json trajectory files.
+type result struct {
+	Scenario    string  `json:"scenario"`
+	Side        string  `json:"side"` // "lhs" or "rhs"
+	Scale       int     `json:"scale"`
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	Rows        int     `json:"rows"`
+	Speedup     float64 `json:"speedup,omitempty"` // lhs/rhs, on the rhs entry
+}
+
+type report struct {
+	Tool    string   `json:"tool"`
+	Scale   int      `json:"scale"`
+	Workers int      `json:"workers"`
+	Reps    int      `json:"reps"`
+	Results []result `json:"results"`
+}
+
 func main() {
 	var (
-		scale   = flag.Int("scale", 8000, "approximate dividend size")
-		law     = flag.String("law", "", "benchmark a single law by name")
-		reps    = flag.Int("reps", 3, "repetitions (minimum taken)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		workers = flag.Int("workers", 1, "parallelize divisions in both plan sides across this many goroutines")
+		scale    = flag.Int("scale", 8000, "approximate dividend size")
+		law      = flag.String("law", "", "benchmark a single law by name")
+		reps     = flag.Int("reps", 3, "repetitions (minimum time, mean allocs)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		workers  = flag.Int("workers", 1, "parallelize divisions in both plan sides across this many goroutines")
+		jsonDest = flag.String("json", "", `emit machine-readable results to this file ("-" for stdout) instead of the table`)
 	)
 	flag.Parse()
+	if *reps < 1 {
+		*reps = 1
+	}
 
 	list := scenarios.All()
 	if *law != "" {
@@ -41,7 +71,10 @@ func main() {
 		list = []scenarios.Scenario{s}
 	}
 
-	fmt.Printf("%-12s %12s %12s %8s  %s\n", "law", "lhs", "rhs", "speedup", "result-rows")
+	rep := report{Tool: "lawbench", Scale: *scale, Workers: *workers, Reps: *reps}
+	if *jsonDest == "" {
+		fmt.Printf("%-12s %12s %12s %8s  %s\n", "law", "lhs", "rhs", "speedup", "result-rows")
+	}
 	for _, s := range list {
 		lhs := s.Build(*scale, *seed)
 		rhs := s.MustApply(lhs)
@@ -52,28 +85,72 @@ func main() {
 			lhs, _ = optimizer.Parallelize(lhs, popts)
 			rhs, _ = optimizer.Parallelize(rhs, popts)
 		}
-		lhsTime, rows := timeEval(lhs, *reps)
-		rhsTime, rhsRows := timeEval(rhs, *reps)
-		if rows != rhsRows {
-			fmt.Fprintf(os.Stderr, "%s: REWRITE CHANGED RESULT (%d vs %d rows)\n", s.Name, rows, rhsRows)
+		lhsM := measure(lhs, *reps)
+		rhsM := measure(rhs, *reps)
+		if lhsM.rows != rhsM.rows {
+			fmt.Fprintf(os.Stderr, "%s: REWRITE CHANGED RESULT (%d vs %d rows)\n", s.Name, lhsM.rows, rhsM.rows)
 			os.Exit(1)
 		}
-		fmt.Printf("%-12s %12v %12v %7.2fx  %d\n",
-			s.Name, lhsTime.Round(time.Microsecond), rhsTime.Round(time.Microsecond),
-			float64(lhsTime)/float64(rhsTime), rows)
+		speedup := float64(lhsM.best) / float64(rhsM.best)
+		rep.Results = append(rep.Results,
+			result{Scenario: s.Name, Side: "lhs", Scale: *scale, Workers: *workers,
+				NsPerOp: lhsM.best.Nanoseconds(), AllocsPerOp: lhsM.allocs, BytesPerOp: lhsM.bytes, Rows: lhsM.rows},
+			result{Scenario: s.Name, Side: "rhs", Scale: *scale, Workers: *workers,
+				NsPerOp: rhsM.best.Nanoseconds(), AllocsPerOp: rhsM.allocs, BytesPerOp: rhsM.bytes, Rows: rhsM.rows,
+				Speedup: speedup})
+		if *jsonDest == "" {
+			fmt.Printf("%-12s %12v %12v %7.2fx  %d\n",
+				s.Name, lhsM.best.Round(time.Microsecond), rhsM.best.Round(time.Microsecond),
+				speedup, lhsM.rows)
+		}
+	}
+
+	if *jsonDest != "" {
+		out := os.Stdout
+		if *jsonDest != "-" {
+			f, err := os.Create(*jsonDest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 
-func timeEval(n plan.Node, reps int) (time.Duration, int) {
-	best := time.Duration(1<<62 - 1)
-	rows := 0
+// measurement aggregates reps runs of one plan: minimum wall time,
+// mean allocations and bytes per run.
+type measurement struct {
+	best   time.Duration
+	allocs int64
+	bytes  int64
+	rows   int
+}
+
+func measure(n plan.Node, reps int) measurement {
+	m := measurement{best: time.Duration(1<<62 - 1)}
+	var ms0, ms1 runtime.MemStats
 	for i := 0; i < reps; i++ {
+		runtime.ReadMemStats(&ms0)
 		start := time.Now()
 		out := plan.Eval(n)
-		if d := time.Since(start); d < best {
-			best = d
+		d := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if d < m.best {
+			m.best = d
 		}
-		rows = out.Len()
+		m.allocs += int64(ms1.Mallocs - ms0.Mallocs)
+		m.bytes += int64(ms1.TotalAlloc - ms0.TotalAlloc)
+		m.rows = out.Len()
 	}
-	return best, rows
+	m.allocs /= int64(reps)
+	m.bytes /= int64(reps)
+	return m
 }

@@ -46,7 +46,7 @@ func Intersect(r, s *relation.Relation) *relation.Relation {
 	out := relation.New(r.Schema())
 	for _, t := range r.Tuples() {
 		if s.Contains(t) {
-			out.Insert(t)
+			out.InsertOwned(t)
 		}
 	}
 	return out
@@ -58,7 +58,7 @@ func Diff(r, s *relation.Relation) *relation.Relation {
 	out := relation.New(r.Schema())
 	for _, t := range r.Tuples() {
 		if !s.Contains(t) {
-			out.Insert(t)
+			out.InsertOwned(t)
 		}
 	}
 	return out
@@ -70,7 +70,7 @@ func Product(r, s *relation.Relation) *relation.Relation {
 	out := relation.New(r.Schema().Concat(s.Schema()))
 	for _, t := range r.Tuples() {
 		for _, u := range s.Tuples() {
-			out.Insert(t.Concat(u))
+			out.InsertOwned(t.Concat(u))
 		}
 	}
 	return out
@@ -81,7 +81,7 @@ func Project(r *relation.Relation, attrs ...string) *relation.Relation {
 	sch, pos := r.Schema().Project(attrs)
 	out := relation.New(sch)
 	for _, t := range r.Tuples() {
-		out.Insert(t.Project(pos))
+		out.InsertOwned(t.Project(pos))
 	}
 	return out
 }
@@ -91,7 +91,7 @@ func Select(r *relation.Relation, p pred.Predicate) *relation.Relation {
 	out := relation.New(r.Schema())
 	for _, t := range r.Tuples() {
 		if p.Eval(t, r.Schema()) {
-			out.Insert(t)
+			out.InsertOwned(t)
 		}
 	}
 	return out
@@ -106,7 +106,7 @@ func ThetaJoin(r, s *relation.Relation, theta pred.Predicate) *relation.Relation
 		for _, u := range s.Tuples() {
 			joined := t.Concat(u)
 			if theta.Eval(joined, outSch) {
-				out.Insert(joined)
+				out.InsertOwned(joined)
 			}
 		}
 	}
@@ -127,18 +127,23 @@ func NaturalJoin(r, s *relation.Relation) *relation.Relation {
 	sExtra := s.Schema().Minus(common)
 	sExtraPos := s.Schema().Positions(sExtra.Attrs())
 
-	// Hash s on the common attributes.
-	index := make(map[string][]relation.Tuple)
+	// Hash s on the common attributes: key id -> matching s tuples.
+	var keyIx relation.TupleIndex
+	var rows [][]relation.Tuple
 	for _, u := range s.Tuples() {
-		k := u.Project(sPos).Key()
-		index[k] = append(index[k], u)
+		id, created := keyIx.IDProj(u, sPos)
+		if created {
+			rows = append(rows, nil)
+		}
+		rows[id] = append(rows[id], u)
 	}
 
 	out := relation.New(r.Schema().Union(sExtra))
 	for _, t := range r.Tuples() {
-		k := t.Project(rPos).Key()
-		for _, u := range index[k] {
-			out.Insert(t.Concat(u.Project(sExtraPos)))
+		if id := keyIx.LookupProj(t, rPos); id >= 0 {
+			for _, u := range rows[id] {
+				out.InsertOwned(t.ConcatProj(u, sExtraPos))
+			}
 		}
 	}
 	return out
@@ -159,13 +164,13 @@ func SemiJoin(r, s *relation.Relation) *relation.Relation {
 	}
 	rPos := r.Schema().Positions(common.Attrs())
 	sPos := s.Schema().Positions(common.Attrs())
-	keys := make(map[string]struct{}, s.Len())
+	var keys relation.TupleIndex
 	for _, u := range s.Tuples() {
-		keys[u.Project(sPos).Key()] = struct{}{}
+		keys.IDProj(u, sPos)
 	}
 	for _, t := range r.Tuples() {
-		if _, ok := keys[t.Project(rPos).Key()]; ok {
-			out.Insert(t)
+		if keys.LookupProj(t, rPos) >= 0 {
+			out.InsertOwned(t)
 		}
 	}
 	return out
@@ -190,7 +195,7 @@ func LeftOuterJoin(r, s *relation.Relation) *relation.Relation {
 		for i := 0; i < pad; i++ {
 			padded = append(padded, value.Null)
 		}
-		out.Insert(padded)
+		out.InsertOwned(padded)
 	}
 	return out
 }
@@ -199,7 +204,7 @@ func LeftOuterJoin(r, s *relation.Relation) *relation.Relation {
 func Rename(r *relation.Relation, from, to string) *relation.Relation {
 	out := relation.New(r.Schema().Rename(from, to))
 	for _, t := range r.Tuples() {
-		out.Insert(t)
+		out.InsertOwned(t)
 	}
 	return out
 }
@@ -212,7 +217,7 @@ func RenameAll(r *relation.Relation, attrs ...string) *relation.Relation {
 	}
 	out := relation.New(schema.New(attrs...))
 	for _, t := range r.Tuples() {
-		out.Insert(t)
+		out.InsertOwned(t)
 	}
 	return out
 }

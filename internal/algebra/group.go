@@ -132,43 +132,38 @@ func Group(r *relation.Relation, by []string, aggs []AggSpec) *relation.Relation
 		inPos[i] = r.Schema().MustIndex(a.Attr)
 	}
 
-	type group struct {
-		key    relation.Tuple
-		states []aggState
-	}
-	groups := make(map[string]*group)
-	var order []string // deterministic output order
+	// Group keys get dense ids in first-seen order (the deterministic
+	// output order); states[id] holds that group's aggregate states.
+	var keyIx relation.TupleIndex
+	var states [][]aggState
 	for _, t := range r.Tuples() {
-		keyTuple := t.Project(byPos)
-		k := keyTuple.Key()
-		g, ok := groups[k]
-		if !ok {
-			g = &group{key: keyTuple, states: make([]aggState, len(aggs))}
-			groups[k] = g
-			order = append(order, k)
+		id, created := keyIx.IDProj(t, byPos)
+		if created {
+			states = append(states, make([]aggState, len(aggs)))
 		}
+		st := states[id]
 		for i := range aggs {
 			if inPos[i] < 0 {
-				g.states[i].count++
+				st[i].count++
 				continue
 			}
-			g.states[i].add(t[inPos[i]])
+			st[i].add(t[inPos[i]])
 		}
 	}
-	if len(by) == 0 && len(groups) == 0 {
+	if len(by) == 0 && keyIx.Len() == 0 {
 		// Global aggregation over an empty relation yields one tuple
 		// of aggregate identities (count = 0, others NULL).
-		g := &group{states: make([]aggState, len(aggs))}
-		groups[""] = g
-		order = append(order, "")
+		keyIx.ID(relation.Tuple{})
+		states = append(states, make([]aggState, len(aggs)))
 	}
-	for _, k := range order {
-		g := groups[k]
-		row := g.key.Clone()
+	for id, st := range states {
+		key := keyIx.Key(id)
+		row := make(relation.Tuple, 0, len(key)+len(aggs))
+		row = append(row, key...)
 		for i, a := range aggs {
-			row = append(row, g.states[i].result(a.Func))
+			row = append(row, st[i].result(a.Func))
 		}
-		out.Insert(row)
+		out.InsertOwned(row)
 	}
 	return out
 }

@@ -1,0 +1,266 @@
+package division
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"divlaws/internal/hashkey"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+// These tests degrade every hashkey table to a handful of distinct
+// hash values (SetMaskForTesting), so almost every probe walks a
+// collision chain, and assert that the hash-based operators still
+// agree with independent string-keyed reference implementations that
+// use nothing but Go maps and Tuple.Key. That proves the collision
+// verification — not hash uniqueness — carries the correctness.
+
+// keySet renders a relation as its sorted set of injective tuple
+// keys, an oracle independent of hash-based Equal/Contains.
+func keySet(r *relation.Relation) string {
+	keys := make([]string, 0, r.Len())
+	for _, t := range r.Tuples() {
+		keys = append(keys, t.Key())
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}
+
+// stringKeyDivide is the reference small divide: image sets held in
+// Go maps keyed on Tuple.Key strings. It returns the quotient's key
+// set.
+func stringKeyDivide(r1, r2 *relation.Relation) string {
+	split := mustSmallSplit(r1, r2)
+	aPos := r1.Schema().Positions(split.A.Attrs())
+	bPos := r1.Schema().Positions(split.B.Attrs())
+	bOrder := r2.Schema().Positions(split.B.Attrs())
+
+	divisor := map[string]bool{}
+	for _, d := range r2.Tuples() {
+		divisor[d.Project(bOrder).Key()] = true
+	}
+	images := map[string]map[string]bool{}
+	for _, t := range r1.Tuples() {
+		ak := t.Project(aPos).Key()
+		if images[ak] == nil {
+			images[ak] = map[string]bool{}
+		}
+		images[ak][t.Project(bPos).Key()] = true
+	}
+	var quotient []string
+	for ak, img := range images {
+		all := true
+		for bk := range divisor {
+			if !img[bk] {
+				all = false
+				break
+			}
+		}
+		if all {
+			quotient = append(quotient, ak)
+		}
+	}
+	sort.Strings(quotient)
+	return strings.Join(quotient, "|")
+}
+
+// stringKeyGreatDivide is the reference great divide over string
+// keys: per divisor group (C key), check set containment of its B
+// set in each dividend image.
+func stringKeyGreatDivide(r1, r2 *relation.Relation) string {
+	split := mustGreatSplit(r1, r2)
+	aPos := r1.Schema().Positions(split.A.Attrs())
+	b1Pos := r1.Schema().Positions(split.B.Attrs())
+	b2Pos := r2.Schema().Positions(split.B.Attrs())
+	cPos := r2.Schema().Positions(split.C.Attrs())
+
+	groups := map[string]map[string]bool{}
+	for _, t := range r2.Tuples() {
+		ck := t.Project(cPos).Key()
+		if groups[ck] == nil {
+			groups[ck] = map[string]bool{}
+		}
+		groups[ck][t.Project(b2Pos).Key()] = true
+	}
+	images := map[string]map[string]bool{}
+	for _, t := range r1.Tuples() {
+		ak := t.Project(aPos).Key()
+		if images[ak] == nil {
+			images[ak] = map[string]bool{}
+		}
+		images[ak][t.Project(b1Pos).Key()] = true
+	}
+	var quotient []string
+	for ak, img := range images {
+		for ck, bs := range groups {
+			all := true
+			for bk := range bs {
+				if !img[bk] {
+					all = false
+					break
+				}
+			}
+			if all {
+				quotient = append(quotient, ak+ck)
+			}
+		}
+	}
+	sort.Strings(quotient)
+	return strings.Join(quotient, "|")
+}
+
+func TestSmallDivideUnderForcedCollisions(t *testing.T) {
+	restore := hashkey.SetMaskForTesting(0x7) // 8 distinct hashes total
+	defer restore()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 150; trial++ {
+		r1, r2full := randDatabase(rng, 1+rng.Intn(40), 1+rng.Intn(8), 5, 6, 1)
+		r2 := relation.New(schema.New("b"))
+		for _, tp := range r2full.Tuples() {
+			r2.Insert(tp[:1])
+		}
+		if r1.Empty() || r2.Empty() {
+			continue
+		}
+		want := stringKeyDivide(r1, r2)
+		for _, algo := range Algorithms() {
+			got := keySet(DivideWith(algo, r1, r2))
+			if got != want {
+				t.Fatalf("trial %d: %s quotient %q, reference %q\nr1=%v\nr2=%v",
+					trial, algo, got, want, r1, r2)
+			}
+		}
+	}
+}
+
+func TestGreatDivideUnderForcedCollisions(t *testing.T) {
+	restore := hashkey.SetMaskForTesting(0x7)
+	defer restore()
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 150; trial++ {
+		r1, r2 := randDatabase(rng, 1+rng.Intn(40), 1+rng.Intn(12), 4, 5, 3)
+		if r1.Empty() || r2.Empty() {
+			continue
+		}
+		want := stringKeyGreatDivide(r1, r2)
+		for _, algo := range GreatAlgorithms() {
+			got := keySet(GreatDivideWith(algo, r1, r2))
+			if got != want {
+				t.Fatalf("trial %d: %s quotient %q, reference %q\nr1=%v\nr2=%v",
+					trial, algo, got, want, r1, r2)
+			}
+		}
+	}
+}
+
+// TestStreamingStatesAbsorbDuplicates feeds raw duplicate-laden
+// streams (no pre-dedup relation) into the divide states under
+// forced collisions, as the streaming iterators do.
+func TestStreamingStatesAbsorbDuplicates(t *testing.T) {
+	restore := hashkey.SetMaskForTesting(0x3)
+	defer restore()
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 100; trial++ {
+		r1, r2 := randDatabase(rng, 1+rng.Intn(30), 1+rng.Intn(10), 4, 5, 3)
+		if r1.Empty() || r2.Empty() {
+			continue
+		}
+		st, err := NewGreatDivideState(r1.Schema(), r2.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Feed every tuple several times: the state must dedup.
+		for rep := 0; rep < 3; rep++ {
+			for _, tp := range r2.Tuples() {
+				st.AddDivisor(tp)
+			}
+		}
+		for rep := 0; rep < 3; rep++ {
+			for _, tp := range r1.Tuples() {
+				st.AddDividend(tp)
+			}
+		}
+		if got, want := keySet(st.Result()), stringKeyGreatDivide(r1, r2); got != want {
+			t.Fatalf("trial %d: streamed great divide %q, reference %q", trial, got, want)
+		}
+
+		r2small := relation.New(schema.New("b"))
+		for _, tp := range r2.Tuples() {
+			r2small.Insert(tp[:1])
+		}
+		sst, err := NewDivideState(r1.Schema(), r2small.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			for _, tp := range r2small.Tuples() {
+				sst.AddDivisor(tp)
+			}
+		}
+		for rep := 0; rep < 3; rep++ {
+			for _, tp := range r1.Tuples() {
+				sst.AddDividend(tp)
+			}
+		}
+		if got, want := keySet(sst.Result()), stringKeyDivide(r1, r2small); got != want {
+			t.Fatalf("trial %d: streamed small divide %q, reference %q", trial, got, want)
+		}
+	}
+}
+
+// FuzzDivideUnderCollisions is the fuzz entry point: arbitrary byte
+// strings become small dividend/divisor pairs, every algorithm must
+// match the string-keyed reference while hashes are masked to 3 bits.
+func FuzzDivideUnderCollisions(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6}, []byte{1, 2})
+	f.Add([]byte{0, 0, 0, 1, 1, 0, 1, 1}, []byte{0, 1})
+	f.Add([]byte{5, 4, 3, 2, 1, 0}, []byte{})
+	f.Fuzz(func(t *testing.T, dividend, divisor []byte) {
+		restore := hashkey.SetMaskForTesting(0x7)
+		defer restore()
+		r1, r2 := relFromBytes(dividend, divisor)
+		if r1.Empty() || r2.Empty() {
+			return
+		}
+		want := stringKeyDivide(r1, r2)
+		for _, algo := range Algorithms() {
+			if got := keySet(DivideWith(algo, r1, r2)); got != want {
+				t.Fatalf("%s quotient %q, reference %q", algo, got, want)
+			}
+		}
+	})
+}
+
+// TestRelationDedupUnderForcedCollisions checks the set-semantics
+// core itself: Insert/Contains against a map[string] oracle.
+func TestRelationDedupUnderForcedCollisions(t *testing.T) {
+	restore := hashkey.SetMaskForTesting(0x1) // two hash values only
+	defer restore()
+	rng := rand.New(rand.NewSource(107))
+	r := relation.New(schema.New("a", "b"))
+	ref := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		tp := relation.Tuple{
+			value.Int(int64(rng.Intn(20))),
+			value.String(string(rune('a' + rng.Intn(5)))),
+		}
+		k := tp.Key()
+		if got, want := r.Insert(tp), !ref[k]; got != want {
+			t.Fatalf("insert %d: Insert=%v, want %v", i, got, want)
+		}
+		ref[k] = true
+		if !r.Contains(tp) || !r.ContainsKey(k) {
+			t.Fatalf("insert %d: tuple not found after insert", i)
+		}
+	}
+	if r.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", r.Len(), len(ref))
+	}
+	if r.Contains(relation.Tuple{value.Int(999), value.String("zz")}) {
+		t.Error("Contains invents a tuple")
+	}
+}

@@ -93,72 +93,18 @@ func ToddGreatDivide(r1, r2 *relation.Relation) *relation.Relation {
 // B ids, index dividend groups by the B ids they contain, and count
 // per (dividend group, divisor group) matches. A pair qualifies when
 // the count reaches the divisor group's size. Expected time
-// O(|r1| + |r2| + matches).
+// O(|r1| + |r2| + matches), with no per-tuple key allocations (see
+// GreatDivideState, which it wraps).
 func HashGreatDivide(r1, r2 *relation.Relation) *relation.Relation {
-	split := mustGreatSplit(r1, r2)
-	aPos := r1.Schema().Positions(split.A.Attrs())
-	b1Pos := r1.Schema().Positions(split.B.Attrs())
-	b2Pos := r2.Schema().Positions(split.B.Attrs())
-	cPos := r2.Schema().Positions(split.C.Attrs())
-
-	// Divisor groups and their sizes.
-	type divGroup struct {
-		c    relation.Tuple
-		size int
+	st, err := NewGreatDivideState(r1.Schema(), r2.Schema())
+	if err != nil {
+		panic(err)
 	}
-	divGroups := make(map[string]int) // C-key -> index
-	var divs []divGroup
-	// members[bKey] = divisor group indexes containing that B value.
-	members := make(map[string][]int)
 	for _, t := range r2.Tuples() {
-		ct := t.Project(cPos)
-		ck := ct.Key()
-		gi, ok := divGroups[ck]
-		if !ok {
-			gi = len(divs)
-			divGroups[ck] = gi
-			divs = append(divs, divGroup{c: ct})
-		}
-		divs[gi].size++
-		bk := t.Project(b2Pos).Key()
-		members[bk] = append(members[bk], gi)
+		st.AddDivisor(t)
 	}
-
-	// Dividend groups: count distinct B hits per divisor group.
-	type candidate struct {
-		a    relation.Tuple
-		hits []int
-	}
-	cands := make(map[string]*candidate)
-	var order []string
 	for _, t := range r1.Tuples() {
-		gis, ok := members[t.Project(b1Pos).Key()]
-		if !ok {
-			continue
-		}
-		at := t.Project(aPos)
-		ak := at.Key()
-		c, ok := cands[ak]
-		if !ok {
-			c = &candidate{a: at, hits: make([]int, len(divs))}
-			cands[ak] = c
-			order = append(order, ak)
-		}
-		// Each (A,B) pair is unique (set semantics over A∪B), so each
-		// B id is counted at most once per dividend group.
-		for _, gi := range gis {
-			c.hits[gi]++
-		}
+		st.AddDividend(t)
 	}
-
-	out := relation.New(split.A.Concat(split.C))
-	for _, ak := range order {
-		c := cands[ak]
-		for gi, d := range divs {
-			if c.hits[gi] == d.size {
-				out.Insert(c.a.Concat(d.c))
-			}
-		}
-	}
-	return out
+	return st.Result()
 }

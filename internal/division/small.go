@@ -109,60 +109,20 @@ func MaierDivide(r1, r2 *relation.Relation) *relation.Relation {
 // HashDivide is Graefe's hash-division: the divisor is loaded into a
 // hash table assigning each tuple a bit position; a single scan of
 // the dividend sets bits in a per-group bitmap; groups with all bits
-// set are quotients. O(|r1| + |r2|) expected time.
+// set are quotients. O(|r1| + |r2|) expected time, with no per-tuple
+// key allocations (see DivideState, which it wraps).
 func HashDivide(r1, r2 *relation.Relation) *relation.Relation {
-	split := mustSmallSplit(r1, r2)
-	aPos := r1.Schema().Positions(split.A.Attrs())
-	bPos := r1.Schema().Positions(split.B.Attrs())
-	bOrder := r2.Schema().Positions(split.B.Attrs())
-
-	// Divisor table: B-key -> bit index.
-	divisor := make(map[string]int, r2.Len())
+	st, err := NewDivideState(r1.Schema(), r2.Schema())
+	if err != nil {
+		panic(err)
+	}
 	for _, d := range r2.Tuples() {
-		k := d.Project(bOrder).Key()
-		if _, dup := divisor[k]; !dup {
-			divisor[k] = len(divisor)
-		}
+		st.AddDivisor(d)
 	}
-	n := len(divisor)
-
-	// Quotient candidate table: A-key -> bitmap.
-	type candidate struct {
-		a    relation.Tuple
-		bits bitset
-		seen int
-	}
-	cands := make(map[string]*candidate)
-	var order []string
 	for _, t := range r1.Tuples() {
-		bit, ok := divisor[t.Project(bPos).Key()]
-		if !ok {
-			continue // dividend tuple matches no divisor tuple
-		}
-		at := t.Project(aPos)
-		k := at.Key()
-		c, ok := cands[k]
-		if !ok {
-			c = &candidate{a: at, bits: newBitset(n)}
-			cands[k] = c
-			order = append(order, k)
-		}
-		if c.bits.set(bit) {
-			c.seen++
-		}
+		st.AddDividend(t)
 	}
-
-	out := relation.New(split.A)
-	if n == 0 {
-		// Empty divisor: every dividend group qualifies.
-		return algebra.Project(r1, split.A.Attrs()...)
-	}
-	for _, k := range order {
-		if c := cands[k]; c.seen == n {
-			out.Insert(c.a)
-		}
-	}
-	return out
+	return st.Result()
 }
 
 // MergeSortDivide sorts the dividend on (A, B) and the divisor on B,
@@ -251,19 +211,4 @@ func CountDivide(r1, r2 *relation.Relation) *relation.Relation {
 		}
 	}
 	return out
-}
-
-// bitset is a fixed-size bitmap for hash-division group state.
-type bitset []uint64
-
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
-
-// set sets bit i and reports whether it was previously clear.
-func (b bitset) set(i int) bool {
-	w, m := i/64, uint64(1)<<(i%64)
-	if b[w]&m != 0 {
-		return false
-	}
-	b[w] |= m
-	return true
 }

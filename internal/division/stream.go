@@ -1,0 +1,184 @@
+package division
+
+import (
+	"divlaws/internal/hashkey"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+)
+
+// DivideState incrementally computes the small divide r1 ÷ r2 from
+// streamed tuples: feed every divisor tuple with AddDivisor, then
+// every dividend tuple with AddDividend, then call Result. It is
+// Graefe's hash-division turned inside out so physical operators can
+// consume their child iterators directly, with no intermediate
+// relation materialization and no per-tuple key allocations —
+// duplicate inputs are absorbed by the bit-numbering table and the
+// candidate bitmaps, so callers need not pre-deduplicate.
+type DivideState struct {
+	split      Split
+	aPos, bPos []int // dividend positions
+	bOrder     []int // divisor positions
+
+	divisor relation.TupleIndex // B value -> bit index
+	cands   relation.TupleIndex // A value -> candidate id
+	bits    []hashkey.Bitset    // per candidate: divisor bits covered
+	seen    []int               // per candidate: count of set bits
+	sealed  bool
+}
+
+// NewDivideState validates the schemas and returns an empty state.
+func NewDivideState(dividend, divisor schema.Schema) (*DivideState, error) {
+	split, err := SmallSplit(dividend, divisor)
+	if err != nil {
+		return nil, err
+	}
+	return &DivideState{
+		split:  split,
+		aPos:   dividend.Positions(split.A.Attrs()),
+		bPos:   dividend.Positions(split.B.Attrs()),
+		bOrder: divisor.Positions(split.B.Attrs()),
+	}, nil
+}
+
+// AddDivisor feeds one divisor tuple. All divisor tuples must be fed
+// before the first dividend tuple; duplicates are fine.
+func (s *DivideState) AddDivisor(t relation.Tuple) {
+	if s.sealed {
+		panic("division: AddDivisor after AddDividend")
+	}
+	s.divisor.IDProj(t, s.bOrder)
+}
+
+// AddDividend feeds one dividend tuple. The state does not retain t.
+func (s *DivideState) AddDividend(t relation.Tuple) {
+	s.sealed = true
+	n := s.divisor.Len()
+	if n == 0 {
+		// Empty divisor: every dividend group qualifies; just collect
+		// the distinct quotient candidates.
+		s.cands.IDProj(t, s.aPos)
+		return
+	}
+	bit := s.divisor.LookupProj(t, s.bPos)
+	if bit < 0 {
+		return // matches no divisor tuple
+	}
+	id, created := s.cands.IDProj(t, s.aPos)
+	if created {
+		s.bits = append(s.bits, hashkey.NewBitset(n))
+		s.seen = append(s.seen, 0)
+	}
+	if s.bits[id].Set(bit) {
+		s.seen[id]++
+	}
+}
+
+// Result returns the quotient relation. Candidates are emitted in
+// first-seen order, matching the materialized HashDivide.
+func (s *DivideState) Result() *relation.Relation {
+	out := relation.New(s.split.A)
+	n := s.divisor.Len()
+	for id, a := range s.cands.Keys() {
+		if n == 0 || s.seen[id] == n {
+			out.InsertOwned(a)
+		}
+	}
+	return out
+}
+
+// GreatDivideState incrementally computes the great divide r1 ÷* r2
+// from streamed tuples, mirroring DivideState for the counting
+// set-containment division: divisor first, then dividend, then
+// Result. Duplicate input tuples are absorbed (the divisor side by a
+// full-tuple dedup, the dividend side by per-candidate B bitmaps).
+type GreatDivideState struct {
+	split       Split
+	aPos, b1Pos []int // dividend positions
+	b2Pos, cPos []int // divisor positions
+
+	divisorSeen relation.TupleIndex // full divisor tuples (dedup)
+	bIx         relation.TupleIndex // distinct B values
+	gIx         relation.TupleIndex // distinct C groups
+	members     [][]int32           // per B id: divisor groups containing it
+	sizes       []int32             // per group: distinct B count
+	cands       relation.TupleIndex // distinct A values
+	cBits       []hashkey.Bitset    // per candidate: B ids covered
+	hits        [][]int32           // per candidate: per-group hit count
+	sealed      bool
+}
+
+// NewGreatDivideState validates the schemas and returns an empty
+// state.
+func NewGreatDivideState(dividend, divisor schema.Schema) (*GreatDivideState, error) {
+	split, err := GreatSplit(dividend, divisor)
+	if err != nil {
+		return nil, err
+	}
+	return &GreatDivideState{
+		split: split,
+		aPos:  dividend.Positions(split.A.Attrs()),
+		b1Pos: dividend.Positions(split.B.Attrs()),
+		b2Pos: divisor.Positions(split.B.Attrs()),
+		cPos:  divisor.Positions(split.C.Attrs()),
+	}, nil
+}
+
+// AddDivisor feeds one divisor tuple; the state retains it only when
+// it is new. All divisor tuples must precede the first dividend
+// tuple.
+func (s *GreatDivideState) AddDivisor(t relation.Tuple) {
+	if s.sealed {
+		panic("division: AddDivisor after AddDividend")
+	}
+	if _, created := s.divisorSeen.ID(t); !created {
+		return
+	}
+	bID, bNew := s.bIx.IDProj(t, s.b2Pos)
+	if bNew {
+		s.members = append(s.members, nil)
+	}
+	gID, gNew := s.gIx.IDProj(t, s.cPos)
+	if gNew {
+		s.sizes = append(s.sizes, 0)
+	}
+	s.sizes[gID]++
+	s.members[bID] = append(s.members[bID], int32(gID))
+}
+
+// AddDividend feeds one dividend tuple. The state does not retain t.
+func (s *GreatDivideState) AddDividend(t relation.Tuple) {
+	s.sealed = true
+	bID := s.bIx.LookupProj(t, s.b1Pos)
+	if bID < 0 {
+		return // B value absent from every divisor group
+	}
+	id, created := s.cands.IDProj(t, s.aPos)
+	if created {
+		s.cBits = append(s.cBits, hashkey.NewBitset(s.bIx.Len()))
+		s.hits = append(s.hits, make([]int32, s.gIx.Len()))
+	}
+	// Count each distinct B value once per candidate, even if the
+	// stream repeats (A, B) pairs.
+	if s.cBits[id].Set(bID) {
+		hits := s.hits[id]
+		for _, g := range s.members[bID] {
+			hits[g]++
+		}
+	}
+}
+
+// Result returns the quotient relation over A ∪ C: a pair (a, c)
+// qualifies when a's group covered every distinct B value of divisor
+// group c.
+func (s *GreatDivideState) Result() *relation.Relation {
+	out := relation.New(s.split.A.Concat(s.split.C))
+	for id, a := range s.cands.Keys() {
+		hits := s.hits[id]
+		for g, size := range s.sizes {
+			if hits[g] == size {
+				out.InsertOwned(a.Concat(s.gIx.Key(g)))
+			}
+		}
+	}
+	return out
+}

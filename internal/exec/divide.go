@@ -2,6 +2,7 @@ package exec
 
 import (
 	"divlaws/internal/division"
+	"divlaws/internal/hashkey"
 	"divlaws/internal/pred"
 	"divlaws/internal/relation"
 	"divlaws/internal/schema"
@@ -62,10 +63,11 @@ func (j *ThetaJoinIter) Schema() schema.Schema {
 }
 
 // HashDivideIter is the physical hash-division operator (Graefe):
-// the divisor is loaded into a bit-numbering table on Open, the
-// dividend consumed in one pass, and qualifying quotient groups
-// emitted afterwards. It is blocking on the dividend but needs no
-// sorted inputs.
+// the divisor is streamed into a bit-numbering table on Open, the
+// dividend consumed in one pass straight off its child iterator —
+// neither input is materialized into an intermediate relation — and
+// qualifying quotient groups emitted afterwards. It is blocking on
+// the dividend but needs no sorted inputs.
 type HashDivideIter struct {
 	Label             string
 	Dividend, Divisor Iterator
@@ -78,7 +80,8 @@ type HashDivideIter struct {
 
 // Open implements Iterator.
 func (h *HashDivideIter) Open() error {
-	if _, err := division.SmallSplit(h.Dividend.Schema(), h.Divisor.Schema()); err != nil {
+	st, err := division.NewDivideState(h.Dividend.Schema(), h.Divisor.Schema())
+	if err != nil {
 		return err
 	}
 	if err := h.Dividend.Open(); err != nil {
@@ -87,18 +90,6 @@ func (h *HashDivideIter) Open() error {
 	if err := h.Divisor.Open(); err != nil {
 		return err
 	}
-	dividend := relation.New(h.Dividend.Schema())
-	for {
-		t, ok, err := h.Dividend.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		dividend.Insert(t)
-	}
-	divisor := relation.New(h.Divisor.Schema())
 	for {
 		t, ok, err := h.Divisor.Next()
 		if err != nil {
@@ -107,9 +98,19 @@ func (h *HashDivideIter) Open() error {
 		if !ok {
 			break
 		}
-		divisor.Insert(t)
+		st.AddDivisor(t)
 	}
-	h.results = division.HashDivide(dividend, divisor).Tuples()
+	for {
+		t, ok, err := h.Dividend.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		st.AddDividend(t)
+	}
+	h.results = st.Result().Tuples()
 	h.pos = 0
 	h.opened = true
 	return nil
@@ -167,11 +168,11 @@ type MergeGroupDivideIter struct {
 	out      schema.Schema
 	aPos     []int
 	bPos     []int
-	divisor  map[string]int
+	divisor  relation.TupleIndex
 	nDivisor int
 
 	curA    relation.Tuple
-	curBits bitset
+	curBits hashkey.Bitset
 	curSeen int
 	srcDone bool
 	opened  bool
@@ -190,7 +191,7 @@ func (m *MergeGroupDivideIter) Open() error {
 	if err := m.Divisor.Open(); err != nil {
 		return err
 	}
-	m.divisor = make(map[string]int)
+	m.divisor.Reset()
 	for {
 		t, ok, err := m.Divisor.Next()
 		if err != nil {
@@ -199,12 +200,9 @@ func (m *MergeGroupDivideIter) Open() error {
 		if !ok {
 			break
 		}
-		k := t.Project(bOrder).Key()
-		if _, dup := m.divisor[k]; !dup {
-			m.divisor[k] = len(m.divisor)
-		}
+		m.divisor.IDProj(t, bOrder)
 	}
-	m.nDivisor = len(m.divisor)
+	m.nDivisor = m.divisor.Len()
 
 	if err := m.Dividend.Open(); err != nil {
 		return err
@@ -261,13 +259,20 @@ func (m *MergeGroupDivideIter) Next() (relation.Tuple, bool, error) {
 
 func (m *MergeGroupDivideIter) startGroup(a relation.Tuple) {
 	m.curA = a
-	m.curBits = newBitset(m.nDivisor)
+	// Reuse the bitmap across groups; it is fixed-size per Open.
+	if m.curBits == nil {
+		m.curBits = hashkey.NewBitset(m.nDivisor)
+	} else {
+		for i := range m.curBits {
+			m.curBits[i] = 0
+		}
+	}
 	m.curSeen = 0
 }
 
 func (m *MergeGroupDivideIter) absorb(t relation.Tuple) {
-	if bit, ok := m.divisor[t.Project(m.bPos).Key()]; ok {
-		if m.curBits.set(bit) {
+	if bit := m.divisor.LookupProj(t, m.bPos); bit >= 0 {
+		if m.curBits.Set(bit) {
 			m.curSeen++
 		}
 	}
@@ -279,7 +284,8 @@ func (m *MergeGroupDivideIter) finishGroup() (relation.Tuple, bool) {
 
 // Close implements Iterator.
 func (m *MergeGroupDivideIter) Close() error {
-	m.divisor, m.opened = nil, false
+	m.divisor.Reset()
+	m.opened = false
 	err1 := m.Dividend.Close()
 	err2 := m.Divisor.Close()
 	if err1 != nil {
@@ -302,7 +308,9 @@ func (m *MergeGroupDivideIter) Schema() schema.Schema {
 }
 
 // GreatDivideIter is the physical set-containment-division operator:
-// blocking on both inputs, hash-based counting.
+// blocking on both inputs, hash-based counting. Both inputs are
+// consumed straight off the child iterators into the counting state,
+// which absorbs duplicates itself — no intermediate relations.
 type GreatDivideIter struct {
 	Label             string
 	Dividend, Divisor Iterator
@@ -315,7 +323,8 @@ type GreatDivideIter struct {
 
 // Open implements Iterator.
 func (g *GreatDivideIter) Open() error {
-	if _, err := division.GreatSplit(g.Dividend.Schema(), g.Divisor.Schema()); err != nil {
+	st, err := division.NewGreatDivideState(g.Dividend.Schema(), g.Divisor.Schema())
+	if err != nil {
 		return err
 	}
 	if err := g.Dividend.Open(); err != nil {
@@ -324,18 +333,6 @@ func (g *GreatDivideIter) Open() error {
 	if err := g.Divisor.Open(); err != nil {
 		return err
 	}
-	dividend := relation.New(g.Dividend.Schema())
-	for {
-		t, ok, err := g.Dividend.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		dividend.Insert(t)
-	}
-	divisor := relation.New(g.Divisor.Schema())
 	for {
 		t, ok, err := g.Divisor.Next()
 		if err != nil {
@@ -344,9 +341,19 @@ func (g *GreatDivideIter) Open() error {
 		if !ok {
 			break
 		}
-		divisor.Insert(t)
+		st.AddDivisor(t)
 	}
-	g.results = division.HashGreatDivide(dividend, divisor).Tuples()
+	for {
+		t, ok, err := g.Dividend.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		st.AddDividend(t)
+	}
+	g.results = st.Result().Tuples()
 	g.pos = 0
 	g.opened = true
 	return nil
@@ -388,19 +395,4 @@ func (g *GreatDivideIter) Schema() schema.Schema {
 		g.out = split.A.Concat(split.C)
 	}
 	return g.out
-}
-
-// bitset mirrors the hash-division bitmap for the merge-group
-// operator.
-type bitset []uint64
-
-func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
-
-func (b bitset) set(i int) bool {
-	w, m := i/64, uint64(1)<<(i%64)
-	if b[w]&m != 0 {
-		return false
-	}
-	b[w] |= m
-	return true
 }

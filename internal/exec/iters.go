@@ -74,7 +74,8 @@ func (f *FilterIter) Close() error { return f.Input.Close() }
 func (f *FilterIter) Schema() schema.Schema { return f.Input.Schema() }
 
 // ProjectIter projects attributes and eliminates duplicates with a
-// streaming hash set (set semantics).
+// streaming hash set (set semantics). The projection is only
+// materialized for tuples that survive the dedup.
 type ProjectIter struct {
 	Label string
 	Input Iterator
@@ -82,13 +83,13 @@ type ProjectIter struct {
 	Stats *Stats
 	pos   []int
 	out   schema.Schema
-	seen  map[string]struct{}
+	seen  *relation.TupleIndex
 }
 
 // Open implements Iterator.
 func (p *ProjectIter) Open() error {
 	p.out, p.pos = p.Input.Schema().Project(p.Attrs)
-	p.seen = make(map[string]struct{})
+	p.seen = new(relation.TupleIndex)
 	return p.Input.Open()
 }
 
@@ -102,14 +103,12 @@ func (p *ProjectIter) Next() (relation.Tuple, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		proj := t.Project(p.pos)
-		k := proj.Key()
-		if _, dup := p.seen[k]; dup {
+		id, created := p.seen.IDProj(t, p.pos)
+		if !created {
 			continue
 		}
-		p.seen[k] = struct{}{}
 		p.Stats.count(p.Label, 1)
-		return proj, true, nil
+		return p.seen.Key(id), true, nil
 	}
 }
 
@@ -129,14 +128,14 @@ type UnionIter struct {
 	Label       string
 	Left, Right Iterator
 	Stats       *Stats
-	seen        map[string]struct{}
+	seen        *relation.TupleIndex
 	onRight     bool
 	rightPos    []int
 }
 
 // Open implements Iterator.
 func (u *UnionIter) Open() error {
-	u.seen = make(map[string]struct{})
+	u.seen = new(relation.TupleIndex)
 	u.onRight = false
 	if !u.Left.Schema().EqualSet(u.Right.Schema()) {
 		return schemaErr("Union", u.Left.Schema(), u.Right.Schema())
@@ -154,11 +153,8 @@ func (u *UnionIter) Next() (relation.Tuple, bool, error) {
 		return nil, false, errNotOpen("UnionIter")
 	}
 	for {
-		var t relation.Tuple
-		var ok bool
-		var err error
 		if !u.onRight {
-			t, ok, err = u.Left.Next()
+			t, ok, err := u.Left.Next()
 			if err != nil {
 				return nil, false, err
 			}
@@ -166,20 +162,22 @@ func (u *UnionIter) Next() (relation.Tuple, bool, error) {
 				u.onRight = true
 				continue
 			}
-		} else {
-			t, ok, err = u.Right.Next()
-			if err != nil || !ok {
-				return nil, false, err
+			if _, created := u.seen.ID(t); !created {
+				continue
 			}
-			t = t.Project(u.rightPos)
+			u.Stats.count(u.Label, 1)
+			return t, true, nil
 		}
-		k := t.Key()
-		if _, dup := u.seen[k]; dup {
+		t, ok, err := u.Right.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		id, created := u.seen.IDProj(t, u.rightPos)
+		if !created {
 			continue
 		}
-		u.seen[k] = struct{}{}
 		u.Stats.count(u.Label, 1)
-		return t, true, nil
+		return u.seen.Key(id), true, nil
 	}
 }
 
@@ -204,8 +202,8 @@ type HashSetOpIter struct {
 	Left, Right Iterator
 	Keep        bool // true: intersect (keep hits); false: diff (keep misses)
 	Stats       *Stats
-	rightKeys   map[string]struct{}
-	emitted     map[string]struct{}
+	rightKeys   *relation.TupleIndex
+	emitted     *relation.TupleIndex
 }
 
 // Open implements Iterator.
@@ -220,7 +218,7 @@ func (h *HashSetOpIter) Open() error {
 		return err
 	}
 	pos := h.Right.Schema().Positions(h.Left.Schema().Attrs())
-	h.rightKeys = make(map[string]struct{})
+	h.rightKeys = new(relation.TupleIndex)
 	for {
 		t, ok, err := h.Right.Next()
 		if err != nil {
@@ -229,9 +227,9 @@ func (h *HashSetOpIter) Open() error {
 		if !ok {
 			break
 		}
-		h.rightKeys[t.Project(pos).Key()] = struct{}{}
+		h.rightKeys.IDProj(t, pos)
 	}
-	h.emitted = make(map[string]struct{})
+	h.emitted = new(relation.TupleIndex)
 	return nil
 }
 
@@ -245,15 +243,13 @@ func (h *HashSetOpIter) Next() (relation.Tuple, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
-		k := t.Key()
-		if _, dup := h.emitted[k]; dup {
-			continue
-		}
-		_, hit := h.rightKeys[k]
+		hit := h.rightKeys.Lookup(t) >= 0
 		if hit != h.Keep {
 			continue
 		}
-		h.emitted[k] = struct{}{}
+		if _, created := h.emitted.ID(t); !created {
+			continue
+		}
 		h.Stats.count(h.Label, 1)
 		return t, true, nil
 	}
@@ -362,11 +358,12 @@ type HashJoinIter struct {
 	out       schema.Schema
 	leftPos   []int
 	extraPos  []int
-	table     map[string][]relation.Tuple
+	keyIx     *relation.TupleIndex
+	rows      [][]relation.Tuple
 	cur       relation.Tuple
 	matches   []relation.Tuple
 	mIdx      int
-	dedup     map[string]struct{}
+	dedup     *relation.TupleIndex
 	isProduct bool
 	prod      *ProductIter
 }
@@ -394,7 +391,8 @@ func (j *HashJoinIter) Open() error {
 	if err := j.Right.Open(); err != nil {
 		return err
 	}
-	j.table = make(map[string][]relation.Tuple)
+	j.keyIx = new(relation.TupleIndex)
+	j.rows = nil
 	for {
 		t, ok, err := j.Right.Next()
 		if err != nil {
@@ -403,11 +401,14 @@ func (j *HashJoinIter) Open() error {
 		if !ok {
 			break
 		}
-		k := t.Project(rightPos).Key()
-		j.table[k] = append(j.table[k], t.Project(j.extraPos))
+		id, created := j.keyIx.IDProj(t, rightPos)
+		if created {
+			j.rows = append(j.rows, nil)
+		}
+		j.rows[id] = append(j.rows[id], t.Project(j.extraPos))
 	}
 	j.cur, j.matches, j.mIdx = nil, nil, 0
-	j.dedup = make(map[string]struct{})
+	j.dedup = new(relation.TupleIndex)
 	return nil
 }
 
@@ -416,7 +417,7 @@ func (j *HashJoinIter) Next() (relation.Tuple, bool, error) {
 	if j.isProduct {
 		return j.prod.Next()
 	}
-	if j.table == nil {
+	if j.keyIx == nil {
 		return nil, false, errNotOpen("HashJoinIter")
 	}
 	for {
@@ -426,17 +427,19 @@ func (j *HashJoinIter) Next() (relation.Tuple, bool, error) {
 				return nil, false, err
 			}
 			j.cur = t
-			j.matches = j.table[t.Project(j.leftPos).Key()]
+			if id := j.keyIx.LookupProj(t, j.leftPos); id >= 0 {
+				j.matches = j.rows[id]
+			} else {
+				j.matches = nil
+			}
 			j.mIdx = 0
 			continue
 		}
 		out := j.cur.Concat(j.matches[j.mIdx])
 		j.mIdx++
-		k := out.Key()
-		if _, dup := j.dedup[k]; dup {
+		if _, created := j.dedup.ID(out); !created {
 			continue
 		}
-		j.dedup[k] = struct{}{}
 		j.Stats.count(j.Label, 1)
 		return out, true, nil
 	}
@@ -447,7 +450,7 @@ func (j *HashJoinIter) Close() error {
 	if j.isProduct {
 		return j.prod.Close()
 	}
-	j.table, j.dedup = nil, nil
+	j.keyIx, j.rows, j.dedup = nil, nil, nil
 	err1 := j.Left.Close()
 	err2 := j.Right.Close()
 	if err1 != nil {
@@ -473,7 +476,7 @@ type SemiJoinIter struct {
 	Left, Right Iterator
 	Keep        bool
 	Stats       *Stats
-	keys        map[string]struct{}
+	keys        *relation.TupleIndex
 	leftPos     []int
 	degenerate  bool // no common attributes
 	rightAny    bool
@@ -488,7 +491,7 @@ func (s *SemiJoinIter) Open() error {
 	if err := s.Right.Open(); err != nil {
 		return err
 	}
-	s.keys = make(map[string]struct{})
+	s.keys = new(relation.TupleIndex)
 	if common.Len() == 0 {
 		s.degenerate = true
 		_, ok, err := s.Right.Next()
@@ -509,7 +512,7 @@ func (s *SemiJoinIter) Open() error {
 		if !ok {
 			break
 		}
-		s.keys[t.Project(rightPos).Key()] = struct{}{}
+		s.keys.IDProj(t, rightPos)
 	}
 	return nil
 }
@@ -528,7 +531,7 @@ func (s *SemiJoinIter) Next() (relation.Tuple, bool, error) {
 		if s.degenerate {
 			hit = s.rightAny
 		} else {
-			_, hit = s.keys[t.Project(s.leftPos).Key()]
+			hit = s.keys.LookupProj(t, s.leftPos) >= 0
 		}
 		if hit == s.Keep {
 			s.Stats.count(s.Label, 1)
@@ -578,7 +581,7 @@ func (g *GroupIter) Open() error {
 		if !ok {
 			break
 		}
-		in.Insert(t)
+		in.InsertOwned(t)
 	}
 	out := algebra.Group(in, g.By, g.Aggs)
 	g.rows = out.Tuples()

@@ -207,7 +207,7 @@ func drainChild(it Iterator) (*relation.Relation, error) {
 		if !ok {
 			return out, nil
 		}
-		out.Insert(t)
+		out.InsertOwned(t)
 	}
 }
 

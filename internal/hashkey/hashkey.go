@@ -1,0 +1,229 @@
+// Package hashkey is the engine's 64-bit hashing layer: FNV-1a
+// primitives that fold a tuple's injective key encoding into a uint64
+// without materializing it, an open-addressed hash table that maps
+// hashes to small integer handles, and the bitmap used by the
+// hash-division operators.
+//
+// The table never stores keys. Callers keep their own tuple storage,
+// store indexes into it as table values, and verify every candidate a
+// probe returns against that storage, so results stay exact even when
+// hashes collide. SetMaskForTesting degrades every hash to a few bits
+// to force collisions and exercise that verification.
+package hashkey
+
+import "sync/atomic"
+
+// FNV-1a parameters.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// New returns the FNV-1a offset basis, the initial hash state.
+func New() uint64 { return offset64 }
+
+// AddByte folds one byte into h.
+func AddByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * prime64 }
+
+// AddUint64 folds u into h as eight big-endian bytes, matching the
+// byte stream value.AppendKey produces for 64-bit payloads.
+func AddUint64(h uint64, u uint64) uint64 {
+	h = AddByte(h, byte(u>>56))
+	h = AddByte(h, byte(u>>48))
+	h = AddByte(h, byte(u>>40))
+	h = AddByte(h, byte(u>>32))
+	h = AddByte(h, byte(u>>24))
+	h = AddByte(h, byte(u>>16))
+	h = AddByte(h, byte(u>>8))
+	return AddByte(h, byte(u))
+}
+
+// AddString folds the bytes of s into h.
+func AddString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = AddByte(h, s[i])
+	}
+	return h
+}
+
+// AddBytes folds b into h.
+func AddBytes(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = AddByte(h, c)
+	}
+	return h
+}
+
+// Sum64 returns the FNV-1a hash of b.
+func Sum64(b []byte) uint64 { return AddBytes(New(), b) }
+
+// Sum64String returns the FNV-1a hash of s, equal to Sum64 of the
+// same bytes.
+func Sum64String(s string) uint64 { return AddString(New(), s) }
+
+// testMask, when nonzero, is ANDed onto every hash entering a Table,
+// collapsing the hash space so collisions become routine. It exists
+// only for tests; see SetMaskForTesting.
+var testMask atomic.Uint64
+
+// SetMaskForTesting makes every Table degrade hashes to h & m,
+// forcing collisions so tests can prove the verification paths keep
+// results exact. It returns a function restoring the previous mask.
+// Not for concurrent use with other tests mutating the mask.
+func SetMaskForTesting(m uint64) (restore func()) {
+	old := testMask.Swap(m)
+	return func() { testMask.Store(old) }
+}
+
+func adjust(h uint64) uint64 {
+	if m := testMask.Load(); m != 0 {
+		return h & m
+	}
+	return h
+}
+
+const minCap = 16
+
+// Table is an open-addressed, linear-probing hash table mapping
+// 64-bit hashes to caller-side integer handles (indexes into the
+// caller's storage, at most 1<<31-1). Several entries may share a
+// hash: Probe walks all of them and the caller tells equal keys
+// apart. The zero Table is empty and ready to use; it grows at 3/4
+// load and never shrinks.
+type Table struct {
+	hashes []uint64
+	vals   []int32
+	n      int
+}
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.n }
+
+// Reset discards all entries, keeping the allocated capacity.
+func (t *Table) Reset() {
+	for i := range t.vals {
+		t.vals[i] = -1
+	}
+	t.n = 0
+}
+
+func (t *Table) alloc(c int) {
+	t.hashes = make([]uint64, c)
+	t.vals = make([]int32, c)
+	for i := range t.vals {
+		t.vals[i] = -1
+	}
+}
+
+// Probe starts a lookup for hash h. Call Next until it reports no
+// more candidates; Insert may then add a value under h. Probe and
+// Next allocate nothing.
+func (t *Table) Probe(h uint64) Probe {
+	h = adjust(h)
+	p := Probe{t: t, h: h}
+	if len(t.vals) > 0 {
+		p.i = h & uint64(len(t.vals)-1)
+	} else {
+		p.empty = true
+	}
+	return p
+}
+
+// Probe is an in-progress lookup over a Table. It is a value type;
+// it must not outlive the next Insert on its table.
+type Probe struct {
+	t     *Table
+	h     uint64
+	i     uint64
+	empty bool // table had no slots when the probe started
+}
+
+// Next returns the next candidate value stored under the probed
+// hash; ok is false once an empty slot ends the probe. The caller
+// must verify the candidate's key, as different keys can hash alike.
+func (p *Probe) Next() (val int, ok bool) {
+	if p.empty {
+		return 0, false
+	}
+	t := p.t
+	mask := uint64(len(t.vals) - 1)
+	for {
+		v := t.vals[p.i]
+		if v < 0 {
+			return 0, false
+		}
+		match := t.hashes[p.i] == p.h
+		p.i = (p.i + 1) & mask
+		if match {
+			return int(v), true
+		}
+	}
+}
+
+// Insert stores val under the probed hash. It must only be called
+// after Next has reported no more candidates — the probe then rests
+// on an empty slot and the caller has verified the key is absent.
+func (p *Probe) Insert(val int) {
+	t := p.t
+	if (t.n+1)*4 > len(t.vals)*3 {
+		t.grow()
+		t.insert(p.h, val)
+		return
+	}
+	// Next leaves p.i one past the returned candidate, so the empty
+	// slot that ended the probe is p.i itself only when the probe
+	// stopped there; re-derive it by walking from p.i (it is empty or
+	// the walk is short — Insert is the cold path of a miss).
+	i := p.i
+	mask := uint64(len(t.vals) - 1)
+	for t.vals[i] >= 0 {
+		i = (i + 1) & mask
+	}
+	t.hashes[i] = p.h
+	t.vals[i] = int32(val)
+	t.n++
+}
+
+// insert places (h, val) at the first empty slot of its probe chain.
+func (t *Table) insert(h uint64, val int) {
+	mask := uint64(len(t.vals) - 1)
+	i := h & mask
+	for t.vals[i] >= 0 {
+		i = (i + 1) & mask
+	}
+	t.hashes[i] = h
+	t.vals[i] = int32(val)
+	t.n++
+}
+
+func (t *Table) grow() {
+	c := len(t.vals) * 2
+	if c < minCap {
+		c = minCap
+	}
+	oldH, oldV := t.hashes, t.vals
+	t.alloc(c)
+	t.n = 0
+	for i, v := range oldV {
+		if v >= 0 {
+			t.insert(oldH[i], int(v))
+		}
+	}
+}
+
+// Bitset is a fixed-size bitmap; hash-division uses one per quotient
+// candidate to record which divisor elements the group has covered.
+type Bitset []uint64
+
+// NewBitset returns a bitmap holding n bits, all clear.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i and reports whether it was previously clear.
+func (b Bitset) Set(i int) bool {
+	w, m := i/64, uint64(1)<<(i%64)
+	if b[w]&m != 0 {
+		return false
+	}
+	b[w] |= m
+	return true
+}

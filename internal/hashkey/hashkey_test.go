@@ -1,0 +1,166 @@
+package hashkey
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+func TestSum64MatchesStdlib(t *testing.T) {
+	for _, s := range []string{"", "a", "divide", "\x00\x01\x02", "longer input with spaces"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := Sum64String(s), h.Sum64(); got != want {
+			t.Errorf("Sum64String(%q) = %#x, want %#x", s, got, want)
+		}
+		if Sum64([]byte(s)) != Sum64String(s) {
+			t.Errorf("Sum64 and Sum64String disagree on %q", s)
+		}
+	}
+}
+
+func TestAddUint64MatchesBytes(t *testing.T) {
+	u := uint64(0x0123456789abcdef)
+	b := []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef}
+	if AddUint64(New(), u) != AddBytes(New(), b) {
+		t.Error("AddUint64 does not match the big-endian byte stream")
+	}
+}
+
+// tableModel drives a Table alongside a reference map from string
+// keys to values, verifying candidates the way real callers do.
+type tableModel struct {
+	table Table
+	keys  []string
+}
+
+func (m *tableModel) insert(k string) (int, bool) {
+	p := m.table.Probe(Sum64String(k))
+	for {
+		v, ok := p.Next()
+		if !ok {
+			break
+		}
+		if m.keys[v] == k {
+			return v, false
+		}
+	}
+	p.Insert(len(m.keys))
+	m.keys = append(m.keys, k)
+	return len(m.keys) - 1, true
+}
+
+func (m *tableModel) lookup(k string) int {
+	p := m.table.Probe(Sum64String(k))
+	for {
+		v, ok := p.Next()
+		if !ok {
+			return -1
+		}
+		if m.keys[v] == k {
+			return v
+		}
+	}
+}
+
+func TestTableInsertLookupGrowth(t *testing.T) {
+	var m tableModel
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := string(rune('a'+i%26)) + "-" + string(rune('0'+i%10)) + "-" + itoa(i)
+		if _, created := m.insert(k); !created {
+			t.Fatalf("key %q unexpectedly present", k)
+		}
+		if _, created := m.insert(k); created {
+			t.Fatalf("key %q inserted twice", k)
+		}
+	}
+	if m.table.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.table.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		k := string(rune('a'+i%26)) + "-" + string(rune('0'+i%10)) + "-" + itoa(i)
+		if v := m.lookup(k); v < 0 || m.keys[v] != k {
+			t.Fatalf("lookup(%q) = %d", k, v)
+		}
+	}
+	if m.lookup("missing") != -1 {
+		t.Error("lookup of a missing key succeeded")
+	}
+}
+
+func TestTableZeroValueAndReset(t *testing.T) {
+	var m tableModel
+	if m.lookup("x") != -1 {
+		t.Error("zero table claims to contain a key")
+	}
+	m.insert("x")
+	if m.lookup("x") != 0 {
+		t.Error("insert into zero table lost the key")
+	}
+	m.table.Reset()
+	m.keys = nil
+	if m.lookup("x") != -1 || m.table.Len() != 0 {
+		t.Error("Reset did not clear the table")
+	}
+	m.insert("y")
+	if m.lookup("y") != 0 {
+		t.Error("insert after Reset failed")
+	}
+}
+
+func TestTableUnderForcedCollisions(t *testing.T) {
+	restore := SetMaskForTesting(0x3) // 4 distinct hashes for everything
+	defer restore()
+	var m tableModel
+	rng := rand.New(rand.NewSource(7))
+	ref := map[string]int{}
+	for i := 0; i < 800; i++ {
+		k := itoa(rng.Intn(200))
+		id, created := m.insert(k)
+		if want, ok := ref[k]; ok {
+			if created || id != want {
+				t.Fatalf("key %q: got (%d,%v), want (%d,false)", k, id, created, want)
+			}
+		} else {
+			if !created {
+				t.Fatalf("new key %q reported as duplicate", k)
+			}
+			ref[k] = id
+		}
+	}
+	for k, want := range ref {
+		if got := m.lookup(k); got != want {
+			t.Fatalf("lookup(%q) = %d, want %d", k, got, want)
+		}
+	}
+	if m.table.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.table.Len(), len(ref))
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Set(i) {
+			t.Errorf("bit %d already set", i)
+		}
+		if b.Set(i) {
+			t.Errorf("bit %d set twice", i)
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}

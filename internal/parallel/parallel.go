@@ -182,8 +182,10 @@ func PartitionDivisor(r1, r2 *relation.Relation, workers int) []*relation.Relati
 		parts[i] = relation.New(r2.Schema())
 	}
 	for _, t := range r2.Tuples() {
-		h := fnv32(t.Project(cPos).Key())
-		parts[h%uint32(workers)].Insert(t)
+		// Hash the C projection in place: no key string, no projected
+		// tuple, no clone on insert (tuples stay owned by r2).
+		h := t.Hash64Proj(cPos)
+		parts[h%uint64(workers)].InsertOwned(t)
 	}
 	return parts
 }
@@ -192,20 +194,27 @@ func PartitionDivisor(r1, r2 *relation.Relation, workers int) []*relation.Relati
 // projections: tuples sharing a key projection stay together, so the
 // c2 precondition of Law 2 holds between any two partitions.
 func partitionByKey(r *relation.Relation, keyPos []int, n int) []*relation.Relation {
-	// Group tuples by key, then deal whole groups round-robin over
-	// sorted keys (the paper's ordered index-scan picture).
-	groups := make(map[string][]relation.Tuple)
-	var keys []string
+	// Group tuples by key, then deal whole groups over sorted keys
+	// (the paper's ordered index-scan picture). The key index assigns
+	// dense ids without building key strings.
+	var keyIx relation.TupleIndex
+	var groups [][]relation.Tuple
 	for _, t := range r.Tuples() {
-		k := t.Project(keyPos).Key()
-		if _, ok := groups[k]; !ok {
-			keys = append(keys, k)
+		id, created := keyIx.IDProj(t, keyPos)
+		if created {
+			groups = append(groups, nil)
 		}
-		groups[k] = append(groups[k], t)
+		groups[id] = append(groups[id], t)
 	}
-	sort.Strings(keys)
-	if n > len(keys) {
-		n = len(keys)
+	order := make([]int, keyIx.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return keyIx.Key(order[i]).Compare(keyIx.Key(order[j])) < 0
+	})
+	if n > len(order) {
+		n = len(order)
 	}
 	if n == 0 {
 		return nil
@@ -214,27 +223,17 @@ func partitionByKey(r *relation.Relation, keyPos []int, n int) []*relation.Relat
 	for i := range parts {
 		parts[i] = relation.New(r.Schema())
 	}
-	per := (len(keys) + n - 1) / n
-	for i, k := range keys {
+	per := (len(order) + n - 1) / n
+	for i, id := range order {
 		p := i / per
 		if p >= n {
 			p = n - 1
 		}
-		for _, t := range groups[k] {
-			parts[p].Insert(t)
+		for _, t := range groups[id] {
+			parts[p].InsertOwned(t)
 		}
 	}
 	return parts
-}
-
-// fnv32 hashes a string with FNV-1a.
-func fnv32(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return h
 }
 
 // VerifyAgainstSequential checks both parallel operators against

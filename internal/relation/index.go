@@ -1,0 +1,105 @@
+package relation
+
+import "divlaws/internal/hashkey"
+
+// TupleIndex assigns dense integer ids (0, 1, 2, …, in first-seen
+// order) to distinct tuples — the building block behind every hash
+// operator in the engine: join build sides, dedup sets, divisor
+// bit-numbering tables, grouping keys. It stores 64-bit hashes in an
+// open-addressed table and verifies every probe candidate against
+// the stored tuple, so ids are exact even under hash collisions.
+//
+// The zero TupleIndex is empty and ready to use. Lookups allocate
+// nothing; an insertion of a projection materializes the projected
+// tuple once, when the key is new.
+type TupleIndex struct {
+	table hashkey.Table
+	keys  []Tuple
+}
+
+// Len returns the number of distinct keys indexed.
+func (ix *TupleIndex) Len() int { return len(ix.keys) }
+
+// Key returns the tuple with the given id. The result is owned by
+// the index and must not be mutated (it may be shared with output
+// relations).
+func (ix *TupleIndex) Key(id int) Tuple { return ix.keys[id] }
+
+// Keys returns all indexed tuples in id order; the slice and its
+// tuples must not be mutated.
+func (ix *TupleIndex) Keys() []Tuple { return ix.keys }
+
+// Reset discards all keys, keeping allocated capacity.
+func (ix *TupleIndex) Reset() {
+	ix.table.Reset()
+	ix.keys = ix.keys[:0]
+}
+
+// ID returns t's id, assigning the next free id if t is new; created
+// reports whether it did. The index aliases t when it is new, so the
+// caller must not mutate it afterwards.
+func (ix *TupleIndex) ID(t Tuple) (id int, created bool) {
+	p := ix.table.Probe(t.Hash64())
+	for {
+		v, ok := p.Next()
+		if !ok {
+			break
+		}
+		if ix.keys[v].Equal(t) {
+			return v, false
+		}
+	}
+	id = len(ix.keys)
+	p.Insert(id)
+	ix.keys = append(ix.keys, t)
+	return id, true
+}
+
+// IDProj is ID for the projection t[pos...]; the projection is
+// materialized only when it is new.
+func (ix *TupleIndex) IDProj(t Tuple, pos []int) (id int, created bool) {
+	p := ix.table.Probe(t.Hash64Proj(pos))
+	for {
+		v, ok := p.Next()
+		if !ok {
+			break
+		}
+		if t.ProjEqual(pos, ix.keys[v]) {
+			return v, false
+		}
+	}
+	id = len(ix.keys)
+	p.Insert(id)
+	ix.keys = append(ix.keys, t.Project(pos))
+	return id, true
+}
+
+// Lookup returns t's id, or -1 if t is not indexed. It allocates
+// nothing.
+func (ix *TupleIndex) Lookup(t Tuple) int {
+	p := ix.table.Probe(t.Hash64())
+	for {
+		v, ok := p.Next()
+		if !ok {
+			return -1
+		}
+		if ix.keys[v].Equal(t) {
+			return v
+		}
+	}
+}
+
+// LookupProj returns the id of the projection t[pos...], or -1. It
+// allocates nothing.
+func (ix *TupleIndex) LookupProj(t Tuple, pos []int) int {
+	p := ix.table.Probe(t.Hash64Proj(pos))
+	for {
+		v, ok := p.Next()
+		if !ok {
+			return -1
+		}
+		if t.ProjEqual(pos, ix.keys[v]) {
+			return v
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"divlaws/internal/hashkey"
 	"divlaws/internal/schema"
 	"divlaws/internal/value"
 )
@@ -44,6 +45,53 @@ func (t Tuple) AppendKey(dst []byte) []byte {
 		dst = v.AppendKey(dst)
 	}
 	return dst
+}
+
+// Hash64 returns the FNV-1a hash of the tuple's injective encoding,
+// computed incrementally — no bytes are materialized. Equal tuples
+// hash equally; distinct tuples may collide, so hash-based operators
+// verify candidates with Equal.
+func (t Tuple) Hash64() uint64 {
+	h := hashkey.New()
+	for _, v := range t {
+		h = v.HashKey(h)
+	}
+	return h
+}
+
+// Hash64Proj returns Hash64 of the projection t[pos...] without
+// materializing it: it equals t.Project(pos).Hash64().
+func (t Tuple) Hash64Proj(pos []int) uint64 {
+	h := hashkey.New()
+	for _, p := range pos {
+		h = t[p].HashKey(h)
+	}
+	return h
+}
+
+// ProjEqual reports whether the projection t[pos...] equals u,
+// without materializing the projection.
+func (t Tuple) ProjEqual(pos []int, u Tuple) bool {
+	if len(pos) != len(u) {
+		return false
+	}
+	for i, p := range pos {
+		if !t[p].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcatProj returns t ◦ u[pos...] as a fresh tuple in one
+// allocation, the fused Concat(Project) of the hash-join emit path.
+func (t Tuple) ConcatProj(u Tuple, pos []int) Tuple {
+	out := make(Tuple, 0, len(t)+len(pos))
+	out = append(out, t...)
+	for _, p := range pos {
+		out = append(out, u[p])
+	}
+	return out
 }
 
 // Clone returns a copy of the tuple sharing no storage with t.
@@ -101,12 +149,12 @@ func (t Tuple) String() string {
 type Relation struct {
 	sch    schema.Schema
 	tuples []Tuple
-	seen   map[string]struct{}
+	seen   hashkey.Table
 }
 
 // New returns an empty relation with the given schema.
 func New(sch schema.Schema) *Relation {
-	return &Relation{sch: sch, seen: make(map[string]struct{})}
+	return &Relation{sch: sch}
 }
 
 // Schema returns the relation's schema.
@@ -122,36 +170,85 @@ func (r *Relation) Empty() bool { return len(r.tuples) == 0 }
 // new. The tuple is cloned, so callers may reuse their slice. Insert
 // panics if the arity does not match the schema.
 func (r *Relation) Insert(t Tuple) bool {
+	if !r.addIfAbsent(t) {
+		return false
+	}
+	r.tuples = append(r.tuples, t.Clone())
+	return true
+}
+
+// InsertOwned is Insert without the defensive clone: the relation
+// aliases t, so the caller must not mutate it afterwards. Hot paths
+// use it for tuples that are freshly built or already owned by
+// another relation (tuples are immutable by convention — see
+// Tuples).
+func (r *Relation) InsertOwned(t Tuple) bool {
+	if !r.addIfAbsent(t) {
+		return false
+	}
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+// addIfAbsent reserves a dedup-table slot for t if no equal tuple is
+// present; when it reports true the caller must append exactly one
+// tuple. Key strings are never built: the table stores 64-bit hashes
+// and candidates are verified against the stored tuples.
+func (r *Relation) addIfAbsent(t Tuple) bool {
 	if len(t) != r.sch.Len() {
 		panic(fmt.Sprintf("relation: arity %d tuple into schema %v", len(t), r.sch))
 	}
-	k := t.Key()
-	if _, dup := r.seen[k]; dup {
-		return false
+	p := r.seen.Probe(t.Hash64())
+	for {
+		v, ok := p.Next()
+		if !ok {
+			break
+		}
+		if r.tuples[v].Equal(t) {
+			return false
+		}
 	}
-	r.seen[k] = struct{}{}
-	r.tuples = append(r.tuples, t.Clone())
+	p.Insert(len(r.tuples))
 	return true
 }
 
 // InsertAll inserts every tuple of s (schemas must have equal arity;
 // attribute names are not checked, mirroring positional set union).
+// The tuples are shared with s, not cloned.
 func (r *Relation) InsertAll(s *Relation) {
 	for _, t := range s.tuples {
-		r.Insert(t)
+		r.InsertOwned(t)
 	}
 }
 
 // Contains reports whether the tuple is in the relation.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.seen[t.Key()]
-	return ok
+	p := r.seen.Probe(t.Hash64())
+	for {
+		v, ok := p.Next()
+		if !ok {
+			return false
+		}
+		if r.tuples[v].Equal(t) {
+			return true
+		}
+	}
 }
 
-// ContainsKey reports whether a tuple with the given key is present.
+// ContainsKey reports whether a tuple with the given injective key
+// encoding (Tuple.Key) is present.
 func (r *Relation) ContainsKey(key string) bool {
-	_, ok := r.seen[key]
-	return ok
+	var scratch [64]byte
+	p := r.seen.Probe(hashkey.Sum64String(key))
+	for {
+		v, ok := p.Next()
+		if !ok {
+			return false
+		}
+		if string(r.tuples[v].AppendKey(scratch[:0])) == key {
+			return true
+		}
+	}
 }
 
 // Tuples returns the relation's tuples in insertion order. The slice
@@ -218,7 +315,7 @@ func (r *Relation) Reorder(attrs []string) *Relation {
 	pos := r.sch.Positions(attrs)
 	out := New(target)
 	for _, t := range r.tuples {
-		out.Insert(t.Project(pos))
+		out.InsertOwned(t.Project(pos))
 	}
 	return out
 }
@@ -255,7 +352,7 @@ func Ints(attrs []string, rows [][]int64) *Relation {
 		for i, x := range row {
 			t[i] = value.Int(x)
 		}
-		r.Insert(t)
+		r.InsertOwned(t)
 	}
 	return r
 }

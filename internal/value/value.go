@@ -12,6 +12,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"divlaws/internal/hashkey"
 )
 
 // Kind enumerates the dynamic type of a Value.
@@ -229,6 +231,32 @@ func (v Value) AppendKey(dst []byte) []byte {
 		dst = append(dst, v.s...)
 	}
 	return dst
+}
+
+// HashKey folds v's injective AppendKey encoding into the running
+// FNV-1a hash h without materializing any bytes, so
+//
+//	HashKey(h) == hashkey.AddBytes(h, v.AppendKey(nil))
+//
+// for every value. Hash-based operators rely on this equivalence to
+// mix tuple hashing with string-keyed fallbacks.
+func (v Value) HashKey(h uint64) uint64 {
+	h = hashkey.AddByte(h, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindBool, KindInt:
+		h = hashkey.AddUint64(h, uint64(v.i))
+	case KindFloat:
+		f := v.f
+		if math.IsNaN(f) {
+			f = math.NaN() // canonical NaN
+		}
+		h = hashkey.AddUint64(h, math.Float64bits(f))
+	case KindString:
+		h = hashkey.AddUint64(h, uint64(len(v.s)))
+		h = hashkey.AddString(h, v.s)
+	}
+	return h
 }
 
 func appendUint64(dst []byte, u uint64) []byte {
