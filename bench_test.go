@@ -13,6 +13,7 @@
 package divlaws
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -109,7 +110,7 @@ func BenchmarkFirstClassVsSimulated(b *testing.B) {
 		b.Run(fmt.Sprintf("first-class/groups=%d", groups), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.Run(exec.Compile(direct, nil)); err != nil {
+				if _, err := exec.Run(context.Background(), exec.Compile(direct, nil)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -117,7 +118,7 @@ func BenchmarkFirstClassVsSimulated(b *testing.B) {
 		b.Run(fmt.Sprintf("simulated/groups=%d", groups), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.Run(exec.Compile(simulated, nil)); err != nil {
+				if _, err := exec.Run(context.Background(), exec.Compile(simulated, nil)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -212,7 +213,7 @@ func BenchmarkMergeGroupPipelining(b *testing.B) {
 		b.Run(string(algo), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.Run(exec.Compile(node, nil)); err != nil {
+				if _, err := exec.Run(context.Background(), exec.Compile(node, nil)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -328,7 +329,7 @@ func BenchmarkParallelDivideExec(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := exec.Run(exec.Compile(node, nil)); err != nil {
+					if _, err := exec.Run(context.Background(), exec.Compile(node, nil)); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -354,7 +355,7 @@ func BenchmarkParallelGreatDivideExec(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := exec.Run(exec.Compile(node, nil)); err != nil {
+				if _, err := exec.Run(context.Background(), exec.Compile(node, nil)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,8 @@
 // Command divsql runs SQL queries — including the paper's DIVIDE BY
 // syntax — against a generated suppliers-and-parts database, with
-// optional law-based optimization and plan explanation.
+// optional law-based optimization and plan explanation. It is built
+// entirely on the public divlaws API: results stream out of a Rows
+// cursor rather than being materialized by the engine.
 //
 // Usage:
 //
@@ -8,18 +10,21 @@
 //	divsql -builtin q3 -explain     # show Q3's plan
 //	divsql -query "SELECT ..."      # run arbitrary SQL
 //	divsql -suppliers 100 -parts 50 # scale the database
+//	divsql -builtin q1 -stats       # per-operator tuple counts
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
+	"divlaws"
 	"divlaws/internal/datagen"
 	"divlaws/internal/optimizer"
-	"divlaws/internal/plan"
-	"divlaws/internal/sql"
 	"divlaws/internal/texttab"
 )
 
@@ -47,6 +52,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "print the plans and rewrite trace")
 		optimize  = flag.Bool("optimize", true, "apply the division rewrite laws")
 		detect    = flag.Bool("detect", true, "rewrite NOT EXISTS universal quantification to divisions")
+		stats     = flag.Bool("stats", false, "print per-operator tuple counts after the result")
 		workers   = flag.Int("workers", 1, "parallelize large divisions across this many goroutines")
 		threshold = flag.Float64("parallel-threshold", optimizer.DefaultParallelThreshold,
 			"minimum estimated dividend rows before a division is parallelized")
@@ -54,6 +60,7 @@ func main() {
 		parts     = flag.Int("parts", 20, "number of parts to generate")
 		colors    = flag.Int("colors", 3, "number of colors to generate")
 		seed      = flag.Int64("seed", 1, "generator seed")
+		timeout   = flag.Duration("timeout", 0, "cancel the query after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -72,36 +79,146 @@ func main() {
 		os.Exit(1)
 	}
 
+	opts := []divlaws.Option{
+		divlaws.WithDataDependentRules(),
+		divlaws.WithWorkers(*workers),
+		divlaws.WithParallelThreshold(*threshold),
+	}
+	if !*optimize {
+		opts = append(opts, divlaws.WithoutOptimizer())
+	}
+	if !*detect {
+		opts = append(opts, divlaws.WithoutDetection())
+	}
+	db := divlaws.Open(opts...)
+
 	supplies, partsRel := datagen.SuppliersParts{
 		Suppliers: *suppliers, Parts: *parts, Colors: *colors,
 		AvgSupplied: *parts / 2, Seed: *seed,
 	}.Generate()
-	db := sql.NewDB()
-	db.Register("supplies", supplies)
-	db.Register("parts", partsRel)
+	suppliesRel := divlaws.MustNewRelation(supplies.Schema().Attrs(), supplies.Rows())
+	partsPub := divlaws.MustNewRelation(partsRel.Schema().Attrs(), partsRel.Rows())
+	db.MustRegister("supplies", suppliesRel)
+	db.MustRegister("parts", partsPub)
 
-	ex, err := db.Explain(text, sql.ExplainOptions{
-		Detect:             *detect,
-		Optimize:           *optimize,
-		AllowDataDependent: true,
-		Workers:            *workers,
-		ParallelThreshold:  *threshold,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "plan error: %v\n", err)
-		os.Exit(1)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+
 	fmt.Printf("-- query --\n%s\n\n", text)
 	if *explain {
+		// Full report: the query is planned a second time by Query
+		// below, the cost of asking for the explanation.
+		ex, err := db.Explain(ctx, text)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plan error: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Println(ex.Report)
-	} else if ex.Detected {
-		fmt.Println("-- NOT EXISTS pattern rewritten to a division --")
+	} else if *detect {
+		// Detection banner only: probe with a bare bind-and-detect
+		// database (no optimizer, no data-dependent precondition
+		// scans) so the expensive planning happens once, in Query.
+		probe := divlaws.Open(divlaws.WithoutOptimizer())
+		probe.MustRegister("supplies", suppliesRel)
+		probe.MustRegister("parts", partsPub)
+		if ex, err := probe.Explain(ctx, text); err == nil && ex.Detected {
+			fmt.Println("-- NOT EXISTS pattern rewritten to a division --")
+		}
 	}
 
 	start := time.Now()
-	result := plan.Eval(ex.Plan)
+	rows, err := db.Query(ctx, text)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "query error: %v\n", err)
+		os.Exit(1)
+	}
+	defer rows.Close()
+
+	cols := rows.Columns()
+	var typed [][]any
+	for rows.Next() {
+		vals := make([]any, len(cols))
+		ptrs := make([]any, len(cols))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			fmt.Fprintf(os.Stderr, "scan error: %v\n", err)
+			os.Exit(1)
+		}
+		typed = append(typed, vals)
+	}
+	if err := rows.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "stream error: %v\n", err)
+		os.Exit(1)
+	}
 	elapsed := time.Since(start)
 
-	fmt.Print(texttab.Table(result))
-	fmt.Printf("\n%d row(s) in %v\n", result.Len(), elapsed.Round(time.Microsecond))
+	// Sort on the typed values (numerics numerically), matching the
+	// canonical order the materializing path used to print.
+	sort.Slice(typed, func(i, j int) bool {
+		for k := range typed[i] {
+			if c := compareCells(typed[i][k], typed[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	cells := make([][]string, len(typed))
+	for ri, vals := range typed {
+		row := make([]string, len(vals))
+		for i, v := range vals {
+			row[i] = fmt.Sprint(v)
+		}
+		cells[ri] = row
+	}
+	fmt.Print(texttab.Grid(cols, cells))
+	fmt.Printf("\n%d row(s) in %v\n", len(cells), elapsed.Round(time.Microsecond))
+
+	if *stats {
+		st := rows.Stats()
+		labels := make([]string, 0, len(st.Emitted))
+		for label := range st.Emitted {
+			labels = append(labels, label)
+		}
+		sort.Strings(labels)
+		fmt.Printf("\n-- operator tuple counts (total %d) --\n", st.Total())
+		for _, label := range labels {
+			fmt.Printf("%10d  %s\n", st.Get(label), label)
+		}
+	}
+}
+
+// compareCells orders two scanned cells: numerics numerically, then
+// everything else by rendered text — the value-aware order the
+// engine's canonical output uses.
+func compareCells(a, b any) int {
+	af, aNum := asFloat(a)
+	bf, bNum := asFloat(b)
+	if aNum && bNum {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(fmt.Sprint(a), fmt.Sprint(b))
+}
+
+func asFloat(x any) (float64, bool) {
+	switch v := x.(type) {
+	case int64:
+		return float64(v), true
+	case float64:
+		return v, true
+	default:
+		return 0, false
+	}
 }

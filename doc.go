@@ -1,13 +1,44 @@
-// Package divlaws reproduces Rantzau & Mangold, "Laws for Rewriting
-// Queries Containing Division Operators" (ICDE 2006): the small and
-// great divide operators, their seventeen rewrite laws, a rule-based
+// Package divlaws is an embeddable relational division engine
+// reproducing Rantzau & Mangold, "Laws for Rewriting Queries
+// Containing Division Operators" (ICDE 2006): the small and great
+// divide operators, their seventeen rewrite laws, a rule-based
 // optimizer, a SQL front end with the paper's DIVIDE BY syntax, and
 // the frequent itemset discovery application.
 //
-// The implementation lives in internal/ packages; the runnable
-// entry points are the commands under cmd/ and the programs under
-// examples/. The benchmark suite in bench_test.go regenerates the
-// paper's per-law efficiency comparisons.
+// # Embedding
+//
+// Open builds a database; Register adds relations; Query streams
+// results off the compiled Volcano pipeline through a Rows cursor:
+//
+//	db := divlaws.Open()
+//	db.MustRegister("supplies", divlaws.MustNewRelation(
+//	    []string{"s#", "p#"},
+//	    [][]any{{"s1", "p1"}, {"s1", "p2"}, {"s2", "p1"}}))
+//	db.MustRegister("parts", divlaws.MustNewRelation(
+//	    []string{"p#", "color"},
+//	    [][]any{{"p1", "red"}, {"p2", "red"}}))
+//
+//	rows, err := db.Query(ctx, `SELECT s#, color
+//	    FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#`)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var supplier, color string
+//	    if err := rows.Scan(&supplier, &color); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Queries run the full pipeline: the NOT EXISTS → division detector,
+// the law-based optimizer, the parallelization pass (WithWorkers),
+// and the streaming execution engine. Prepare parses a statement
+// once and resolves positional ? placeholders at bind time on every
+// Stmt.Query; Explain renders the rewrite pipeline; Rows.Stats
+// exposes per-operator tuple counts as a QueryStats snapshot.
+//
+// The context passed to Query governs the whole pipeline: blocking
+// operators poll it while they consume inputs, and parallel division
+// workers observe it mid-partition, so cancelling the context tears
+// execution down promptly and Rows.Close is safe mid-stream.
 //
 // # Parallel execution
 //
@@ -27,7 +58,14 @@
 // and internal/exec compiles them to exchange-style iterators that
 // fan partitions out across goroutines, record per-partition sizes
 // in a mutex-protected Stats collector, and merge the disjoint
-// partial quotients. cmd/divsql and cmd/lawbench expose the worker
-// count as -workers, and divsql's -explain prints the chosen
-// partitioning per operator.
+// partial quotients. Open(WithWorkers(n)) enables the pass for an
+// embedded database; cmd/divsql and cmd/lawbench expose it as
+// -workers, and divsql's -explain prints the chosen partitioning per
+// operator.
+//
+// The engine implementation lives in internal/ packages; this
+// package is the one supported embedding surface. The commands under
+// cmd/ and the programs under examples/ are runnable entry points,
+// and the benchmark suite in bench_test.go regenerates the paper's
+// per-law efficiency comparisons.
 package divlaws

@@ -1,0 +1,131 @@
+package divlaws_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+
+	"divlaws"
+)
+
+// ExampleOpen embeds the engine: build a database, register
+// relations, and run the paper's Figure 1 small divide with the
+// DIVIDE BY syntax.
+func ExampleOpen() {
+	db := divlaws.Open()
+	db.MustRegister("r1", divlaws.MustNewRelation([]string{"a", "b"}, [][]any{
+		{1, 1}, {1, 4},
+		{2, 1}, {2, 2}, {2, 3}, {2, 4},
+		{3, 1}, {3, 3}, {3, 4},
+	}))
+	db.MustRegister("r2", divlaws.MustNewRelation([]string{"b"}, [][]any{{1}, {3}}))
+
+	rows, err := db.Query(context.Background(), `SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	var groups []int64
+	for rows.Next() {
+		var a int64
+		if err := rows.Scan(&a); err != nil {
+			log.Fatal(err)
+		}
+		groups = append(groups, a)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	fmt.Println("groups containing {1, 3}:", groups)
+	// Output:
+	// groups containing {1, 3}: [2 3]
+}
+
+// ExampleDB_Query streams quotient tuples off the cursor as the
+// pipeline produces them — no up-front materialization of the
+// result.
+func ExampleDB_Query() {
+	db := divlaws.Open()
+	db.MustRegister("supplies", divlaws.MustNewRelation([]string{"s#", "p#"}, [][]any{
+		{"s1", "p1"}, {"s1", "p2"},
+		{"s2", "p1"},
+		{"s3", "p1"}, {"s3", "p2"},
+	}))
+	db.MustRegister("parts", divlaws.MustNewRelation([]string{"p#", "color"}, [][]any{
+		{"p1", "red"}, {"p2", "red"},
+	}))
+
+	rows, err := db.Query(context.Background(), `SELECT s#, color
+FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	var out []string
+	for rows.Next() {
+		var supplier, color string
+		if err := rows.Scan(&supplier, &color); err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, supplier+" supplies all "+color+" parts")
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	sort.Strings(out)
+	for _, line := range out {
+		fmt.Println(line)
+	}
+	// Output:
+	// s1 supplies all red parts
+	// s3 supplies all red parts
+}
+
+// ExampleDB_Prepare parses a parameterized statement once and binds
+// its ? placeholder per execution, at bind time.
+func ExampleDB_Prepare() {
+	db := divlaws.Open()
+	db.MustRegister("supplies", divlaws.MustNewRelation([]string{"s#", "p#"}, [][]any{
+		{"s1", "p1"}, {"s1", "p2"}, {"s1", "p3"},
+		{"s2", "p3"}, {"s2", "p4"},
+		{"s3", "p1"}, {"s3", "p2"}, {"s3", "p3"}, {"s3", "p4"},
+	}))
+	db.MustRegister("parts", divlaws.MustNewRelation([]string{"p#", "color"}, [][]any{
+		{"p1", "red"}, {"p2", "red"}, {"p3", "blue"}, {"p4", "blue"},
+	}))
+
+	stmt, err := db.Prepare(`SELECT s#
+FROM supplies AS s DIVIDE BY (
+  SELECT p# FROM parts WHERE color = ?) AS p
+ON s.p# = p.p#`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+
+	for _, color := range []string{"red", "blue"} {
+		rows, err := stmt.Query(context.Background(), color)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var suppliers []string
+		for rows.Next() {
+			var s string
+			if err := rows.Scan(&s); err != nil {
+				log.Fatal(err)
+			}
+			suppliers = append(suppliers, s)
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		rows.Close()
+		sort.Strings(suppliers)
+		fmt.Printf("%s: %v\n", color, suppliers)
+	}
+	// Output:
+	// red: [s1 s3]
+	// blue: [s2 s3]
+}

@@ -8,7 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
+
+	"divlaws"
 
 	"divlaws/internal/datagen"
 	"divlaws/internal/exec"
@@ -38,20 +41,33 @@ func main() {
 	optimizer.MustEquivalent(lhs, res.Plan)
 	fmt.Println("rewrite verified: identical results")
 
-	// Part 2: first-class divide vs basic-algebra simulation.
+	// Part 2: first-class divide vs basic-algebra simulation. The
+	// direct side runs through the public streaming API, whose
+	// Rows.Stats exposes the same per-operator tuple counts; the
+	// simulation is an engine-internal plan shape, so it runs on the
+	// exec layer directly.
 	r1, r2 := datagen.DividePair{
 		Groups: 300, GroupSize: 6, DivisorSize: 8, Domain: 64, HitRate: 0.3, Seed: 5,
 	}.Generate()
 
-	direct := &plan.Divide{Dividend: plan.NewScan("r1", r1), Divisor: plan.NewScan("r2", r2)}
-	directStats := exec.NewStats()
-	if _, err := exec.Run(exec.Compile(direct, directStats)); err != nil {
+	db := divlaws.Open()
+	db.MustRegister("r1", divlaws.MustNewRelation(r1.Schema().Attrs(), r1.Rows()))
+	db.MustRegister("r2", divlaws.MustNewRelation(r2.Schema().Attrs(), r2.Rows()))
+	rows, err := db.Query(context.Background(), `SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b`)
+	if err != nil {
 		panic(err)
 	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	rows.Close()
+	directStats := rows.Stats()
 
 	simulated := exec.SimulatedDividePlan("r1", r1, "r2", r2)
 	simStats := exec.NewStats()
-	if _, err := exec.Run(exec.Compile(simulated, simStats)); err != nil {
+	if _, err := exec.Run(context.Background(), exec.Compile(simulated, simStats)); err != nil {
 		panic(err)
 	}
 

@@ -1,43 +1,67 @@
-// Quickstart: build two relations, compute the paper's Figure 1
-// small divide and Figure 2 great divide, and print the results.
+// Quickstart: embed the engine through the public divlaws API,
+// compute the paper's Figure 1 small divide and Figure 2 great
+// divide with DIVIDE BY queries, and stream the quotients out of a
+// Rows cursor.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"divlaws/internal/division"
-	"divlaws/internal/relation"
-	"divlaws/internal/texttab"
+	"divlaws"
 )
 
 func main() {
+	db := divlaws.Open()
+
 	// The dividend r1(a, b): three groups of elements (Figure 1a).
-	r1 := relation.Ints([]string{"a", "b"}, [][]int64{
+	db.MustRegister("r1", divlaws.MustNewRelation([]string{"a", "b"}, [][]any{
 		{1, 1}, {1, 4},
 		{2, 1}, {2, 2}, {2, 3}, {2, 4},
 		{3, 1}, {3, 3}, {3, 4},
-	})
-
-	// Small divide: which groups contain both 1 and 3?
-	r2 := relation.Ints([]string{"b"}, [][]int64{{1}, {3}})
-	quotient := division.Divide(r1, r2)
-	fmt.Println("small divide r1 ÷ r2 (groups containing {1, 3}):")
-	fmt.Print(texttab.Table(quotient))
-
-	// Great divide: the divisor itself has groups, keyed by c.
-	r2g := relation.Ints([]string{"b", "c"}, [][]int64{
+	}))
+	// Small divisor: which groups contain both 1 and 3?
+	db.MustRegister("r2", divlaws.MustNewRelation([]string{"b"}, [][]any{{1}, {3}}))
+	// Great divisor: the divisor itself has groups, keyed by c.
+	db.MustRegister("r2g", divlaws.MustNewRelation([]string{"b", "c"}, [][]any{
 		{1, 1}, {2, 1}, {4, 1}, // group c=1 is {1, 2, 4}
 		{1, 2}, {3, 2}, // group c=2 is {1, 3}
-	})
-	great := division.GreatDivide(r1, r2g)
-	fmt.Println("\ngreat divide r1 ÷* r2 (which group ⊇ which divisor group):")
-	fmt.Print(texttab.Table(great))
+	}))
 
-	// Every registered small-divide algorithm computes the same
-	// quotient; pick by workload.
-	fmt.Println("\nalgorithms:")
-	for _, algo := range division.Algorithms() {
-		q := division.DivideWith(algo, r1, r2)
-		fmt.Printf("  %-10s -> %d quotient tuple(s)\n", algo, q.Len())
+	ctx := context.Background()
+
+	// Small divide: every divisor attribute is joined, so the binder
+	// plans a first-class Divide (paper §4).
+	fmt.Println("small divide r1 ÷ r2 (groups containing {1, 3}):")
+	stream(ctx, db, `SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b`)
+
+	// Great divide: the un-joined divisor attribute c groups the
+	// divisor, so the same syntax plans a GreatDivide.
+	fmt.Println("\ngreat divide r1 ÷* r2g (which group ⊇ which divisor group):")
+	stream(ctx, db, `SELECT a, c FROM r1 DIVIDE BY r2g ON r1.b = r2g.b`)
+}
+
+// stream runs one query and prints every tuple as it comes off the
+// cursor.
+func stream(ctx context.Context, db *divlaws.DB, text string) {
+	rows, err := db.Query(ctx, text)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		vals := make([]any, len(rows.Columns()))
+		ptrs := make([]any, len(vals))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %v\n", vals)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

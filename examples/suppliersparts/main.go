@@ -1,30 +1,32 @@
-// Suppliers and parts: the paper's §4 scenario end to end. Runs the
-// three example queries — Q1 (DIVIDE BY, great divide), Q2 (small
-// divide over a derived divisor), and Q3 (the double-NOT-EXISTS
-// simulation) — against the same database, checks they agree, and
-// times them to reproduce the paper's argument that a first-class
-// divide beats nested existential subqueries.
+// Suppliers and parts: the paper's §4 scenario end to end through
+// the public divlaws API. Runs the three example queries — Q1
+// (DIVIDE BY, great divide), Q2 (small divide over a derived
+// divisor, executed as a prepared statement with a ? placeholder
+// re-bound per color), and Q3 (the double-NOT-EXISTS simulation) —
+// against the same database, checks they agree, and times them to
+// reproduce the paper's argument that a first-class divide beats
+// nested existential subqueries.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
+	"divlaws"
 	"divlaws/internal/datagen"
-	"divlaws/internal/plan"
-	"divlaws/internal/relation"
-	"divlaws/internal/sql"
-	"divlaws/internal/texttab"
 )
 
 const (
 	q1 = `SELECT s#, color
 FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#`
 
+	// Q2 as a prepared statement: the color arrives at bind time.
 	q2 = `SELECT s#
 FROM supplies AS s DIVIDE BY (
-  SELECT p# FROM parts WHERE color = 'color0') AS p
+  SELECT p# FROM parts WHERE color = ?) AS p
 ON s.p# = p.p#`
 
 	q3 = `SELECT DISTINCT s#, color
@@ -40,40 +42,94 @@ func main() {
 	supplies, parts := datagen.SuppliersParts{
 		Suppliers: 25, Parts: 15, Colors: 3, AvgSupplied: 7, Seed: 42,
 	}.Generate()
-	db := sql.NewDB()
-	db.Register("supplies", supplies)
-	db.Register("parts", parts)
+	db := divlaws.Open()
+	db.MustRegister("supplies", divlaws.MustNewRelation(supplies.Schema().Attrs(), supplies.Rows()))
+	db.MustRegister("parts", divlaws.MustNewRelation(parts.Schema().Attrs(), parts.Rows()))
 
+	ctx := context.Background()
 	fmt.Printf("database: %d supplies rows, %d parts\n\n", supplies.Len(), parts.Len())
 
-	resQ1, dQ1 := run(db, "Q1 (DIVIDE BY, great divide)", q1)
-	fmt.Print(texttab.Table(resQ1))
+	fmt.Println("Q1 (DIVIDE BY, great divide)")
+	resQ1, dQ1 := run(ctx, db, q1)
+	for _, row := range resQ1 {
+		fmt.Printf("  %s\n", row)
+	}
 
-	resQ2, _ := run(db, "\nQ2 (DIVIDE BY, small divide: all color0 parts)", q2)
-	fmt.Print(texttab.Table(resQ2))
+	// Q2 as a prepared statement, re-bound for every color.
+	fmt.Println("\nQ2 (prepared small divide: suppliers of every ?-colored part)")
+	stmt, err := db.Prepare(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	for _, color := range []string{"color0", "color1", "color2"} {
+		rows, err := stmt.Query(ctx, color)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var got []string
+		for rows.Next() {
+			var s string
+			if err := rows.Scan(&s); err != nil {
+				log.Fatal(err)
+			}
+			got = append(got, s)
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		rows.Close()
+		sort.Strings(got)
+		fmt.Printf("  %s -> %v\n", color, got)
+	}
 
-	resQ3, dQ3 := run(db, "\nQ3 (double NOT EXISTS, same semantics as Q1)", q3)
-	if !resQ3.EquivalentTo(resQ1) {
+	fmt.Println("\nQ3 (double NOT EXISTS, same semantics as Q1)")
+	resQ3, dQ3 := run(ctx, db, q3)
+	if fmt.Sprint(resQ1) != fmt.Sprint(resQ3) {
 		log.Fatal("Q3 disagrees with Q1 — this should be impossible")
 	}
 	fmt.Printf("Q3 matches Q1 (%d rows). divide %v vs not-exists %v (%.0fx)\n",
-		resQ3.Len(), dQ1.Round(time.Microsecond), dQ3.Round(time.Microsecond),
+		len(resQ3), dQ1.Round(time.Microsecond), dQ3.Round(time.Microsecond),
 		float64(dQ3)/float64(dQ1))
 
-	// Show the logical plan the DIVIDE BY syntax produces.
-	node, err := db.Plan(q1)
+	// Show the rewrite pipeline behind Q1.
+	ex, err := db.Explain(ctx, q1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nQ1 logical plan:\n%s\n", plan.Format(node))
+	fmt.Printf("\nQ1 plan report:\n%s\n", ex.Report)
 }
 
-func run(db *sql.DB, title, text string) (*relation.Relation, time.Duration) {
-	fmt.Printf("%s\n", title)
+// run streams one query into sorted "a, b" strings, timed.
+func run(ctx context.Context, db *divlaws.DB, text string) ([]string, time.Duration) {
 	start := time.Now()
-	res, err := db.Query(text)
+	rows, err := db.Query(ctx, text)
 	if err != nil {
 		log.Fatal(err)
 	}
-	return res, time.Since(start)
+	defer rows.Close()
+	var out []string
+	for rows.Next() {
+		vals := make([]any, len(rows.Columns()))
+		ptrs := make([]any, len(vals))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			log.Fatal(err)
+		}
+		line := ""
+		for i, v := range vals {
+			if i > 0 {
+				line += ", "
+			}
+			line += fmt.Sprint(v)
+		}
+		out = append(out, line)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	sort.Strings(out)
+	return out, time.Since(start)
 }

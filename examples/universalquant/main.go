@@ -1,22 +1,25 @@
 // Universal quantification end to end: the NOT EXISTS → division
 // detector (the rewriting algorithm §4 calls "not simple to
-// devise"), plus the related-work extensions — Carlis's HAS operator
-// and fuzzy division with a relaxed "almost all" quantifier.
+// devise") driven through the public divlaws API, plus the
+// related-work extensions — Carlis's HAS operator and fuzzy division
+// with a relaxed "almost all" quantifier.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sort"
+	"strings"
 	"time"
 
+	"divlaws"
 	"divlaws/internal/datagen"
 	"divlaws/internal/division"
 	"divlaws/internal/fuzzy"
 	"divlaws/internal/has"
-	"divlaws/internal/plan"
 	"divlaws/internal/relation"
 	"divlaws/internal/schema"
-	"divlaws/internal/sql"
 	"divlaws/internal/value"
 )
 
@@ -29,34 +32,36 @@ WHERE NOT EXISTS (
     WHERE s2.p# = p2.p# AND s2.s# = s1.s#))`
 
 func main() {
-	// Part 1: the detector.
+	// Part 1: the detector, through the public API. One database
+	// detects (the default), the other is opened without detection so
+	// the same query runs as nested iteration.
 	supplies, parts := datagen.SuppliersParts{
 		Suppliers: 20, Parts: 14, Colors: 3, AvgSupplied: 7, Seed: 11,
 	}.Generate()
-	db := sql.NewDB()
-	db.Register("supplies", supplies)
-	db.Register("parts", parts)
-
-	detected, ok, err := db.PlanWithDetection(q3)
-	if err != nil || !ok {
-		log.Fatalf("detection failed: %v", err)
+	register := func(db *divlaws.DB) *divlaws.DB {
+		db.MustRegister("supplies", divlaws.MustNewRelation(supplies.Schema().Attrs(), supplies.Rows()))
+		db.MustRegister("parts", divlaws.MustNewRelation(parts.Schema().Attrs(), parts.Rows()))
+		return db
 	}
-	fallback, err := db.Plan(q3)
+	detecting := register(divlaws.Open())
+	nested := register(divlaws.Open(divlaws.WithoutDetection()))
+
+	ctx := context.Background()
+	ex, err := detecting.Explain(ctx, q3)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	start := time.Now()
-	fast := plan.Eval(detected)
-	fastTime := time.Since(start)
-	start = time.Now()
-	slow := plan.Eval(fallback)
-	slowTime := time.Since(start)
-	if !fast.EquivalentTo(slow) {
-		log.Fatal("detector produced a different answer")
+	if !ex.Detected {
+		log.Fatal("detector did not fire")
 	}
 	fmt.Println("double NOT EXISTS detected as a great divide:")
-	fmt.Printf("  rewritten plan:\n%s\n", indent(plan.Format(detected)))
+	fmt.Printf("  plan report:\n%s\n", indent(ex.Report))
+
+	fastRows, fastTime := drainTimed(ctx, detecting)
+	slowRows, slowTime := drainTimed(ctx, nested)
+	if fmt.Sprint(fastRows) != fmt.Sprint(slowRows) {
+		log.Fatalf("detector produced a different answer:\n%v\nvs\n%v", fastRows, slowRows)
+	}
 	fmt.Printf("  detected: %v   nested iteration: %v   (%.0fx)\n\n",
 		fastTime.Round(time.Microsecond), slowTime.Round(time.Millisecond),
 		float64(slowTime)/float64(fastTime))
@@ -97,6 +102,31 @@ func main() {
 	fmt.Printf("  relaxed 'almost all' grade: %.2f\n", relaxed.Grade(s1))
 }
 
+// drainTimed streams q3 to exhaustion, returning the sorted result
+// rows and the wall time from Query to the last tuple.
+func drainTimed(ctx context.Context, db *divlaws.DB) ([]string, time.Duration) {
+	start := time.Now()
+	rows, err := db.Query(ctx, q3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	var out []string
+	for rows.Next() {
+		var supplier, color string
+		if err := rows.Scan(&supplier, &color); err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, supplier+"/"+color)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	sort.Strings(out)
+	return out, elapsed
+}
+
 func rowsOf(r *relation.Relation) []string {
 	var out []string
 	for _, t := range r.Sorted() {
@@ -107,22 +137,8 @@ func rowsOf(r *relation.Relation) []string {
 
 func indent(s string) string {
 	out := ""
-	for _, line := range splitLines(s) {
+	for _, line := range strings.Split(s, "\n") {
 		out += "    " + line + "\n"
 	}
 	return out
-}
-
-func splitLines(s string) []string {
-	var out []string
-	cur := ""
-	for _, r := range s {
-		if r == '\n' {
-			out = append(out, cur)
-			cur = ""
-			continue
-		}
-		cur += string(r)
-	}
-	return append(out, cur)
 }

@@ -5,6 +5,7 @@
 package divlaws
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestSQLThroughOptimizerAndEngine(t *testing.T) {
 		// Physical engine must agree with the interpreter, on both
 		// the raw and the optimized plan.
 		for _, n := range []plan.Node{node, res.Plan} {
-			got, err := exec.Run(exec.Compile(n, nil))
+			got, err := exec.Run(context.Background(), exec.Compile(n, nil))
 			if err != nil {
 				t.Fatalf("exec %q: %v", q, err)
 			}
@@ -109,7 +110,7 @@ func TestEveryScenarioThroughEngine(t *testing.T) {
 		rhs := s.MustApply(lhs)
 		want := plan.Eval(lhs)
 		for side, n := range map[string]plan.Node{"lhs": lhs, "rhs": rhs} {
-			got, err := exec.Run(exec.Compile(n, nil))
+			got, err := exec.Run(context.Background(), exec.Compile(n, nil))
 			if err != nil {
 				t.Fatalf("%s %s: %v", s.Name, side, err)
 			}

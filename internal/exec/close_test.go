@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"divlaws/internal/pred"
@@ -99,7 +100,7 @@ func TestIteratorCloseSafety(t *testing.T) {
 
 			// Full lifecycle, then double Close.
 			it = tc.mk()
-			if err := it.Open(); err != nil {
+			if err := it.Open(context.Background()); err != nil {
 				t.Fatalf("Open: %v", err)
 			}
 			for {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"divlaws/internal/relation"
@@ -16,7 +17,7 @@ func TestCloseIdempotent(t *testing.T) {
 		&SortIter{Input: &ScanIter{Rel: r}},
 	}
 	for _, it := range iters {
-		if err := it.Open(); err != nil {
+		if err := it.Open(context.Background()); err != nil {
 			t.Fatalf("%T open: %v", it, err)
 		}
 		if err := it.Close(); err != nil {
@@ -39,7 +40,7 @@ func TestHashSetOpIncompatibleSchemas(t *testing.T) {
 		Left:  &ScanIter{Rel: relation.Ints([]string{"a"}, nil)},
 		Right: &ScanIter{Rel: relation.Ints([]string{"z"}, nil)},
 	}
-	if err := op.Open(); err == nil {
+	if err := op.Open(context.Background()); err == nil {
 		t.Error("expected schema error")
 	}
 }
@@ -49,7 +50,7 @@ func TestProductIterEmptyRight(t *testing.T) {
 		Left:  &ScanIter{Rel: relation.Ints([]string{"a"}, [][]int64{{1}, {2}})},
 		Right: &ScanIter{Rel: relation.Ints([]string{"b"}, nil)},
 	}
-	out, err := Run(p)
+	out, err := Run(context.Background(), p)
 	if err != nil || !out.Empty() {
 		t.Errorf("product with empty right = %v, %v", out, err)
 	}
@@ -59,15 +60,15 @@ func TestDivideItersRejectBadSchemasAtOpen(t *testing.T) {
 	good := &ScanIter{Rel: relation.Ints([]string{"a", "b"}, [][]int64{{1, 1}})}
 	bad := &ScanIter{Rel: relation.Ints([]string{"z"}, [][]int64{{1}})}
 	h := &HashDivideIter{Dividend: good, Divisor: bad}
-	if err := h.Open(); err == nil {
+	if err := h.Open(context.Background()); err == nil {
 		t.Error("hash divide should reject schema violation")
 	}
 	m := &MergeGroupDivideIter{Dividend: good, Divisor: bad}
-	if err := m.Open(); err == nil {
+	if err := m.Open(context.Background()); err == nil {
 		t.Error("merge divide should reject schema violation")
 	}
 	g := &GreatDivideIter{Dividend: bad, Divisor: bad}
-	if err := g.Open(); err == nil {
+	if err := g.Open(context.Background()); err == nil {
 		t.Error("great divide should reject schema violation")
 	}
 }
@@ -97,10 +98,10 @@ func TestRunPropagatesOpenError(t *testing.T) {
 		Left:  &ScanIter{Rel: relation.Ints([]string{"a"}, nil)},
 		Right: &ScanIter{Rel: relation.Ints([]string{"z"}, nil)},
 	}
-	if _, err := Run(op); err == nil {
+	if _, err := Run(context.Background(), op); err == nil {
 		t.Error("Run must surface Open errors")
 	}
-	if _, err := Drain(op); err == nil {
+	if _, err := Drain(context.Background(), op); err == nil {
 		t.Error("Drain must surface Open errors")
 	}
 }

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"divlaws/internal/division"
 	"divlaws/internal/hashkey"
 	"divlaws/internal/pred"
@@ -20,10 +22,10 @@ type ThetaJoinIter struct {
 }
 
 // Open implements Iterator.
-func (j *ThetaJoinIter) Open() error {
+func (j *ThetaJoinIter) Open(ctx context.Context) error {
 	j.inner = &ProductIter{Label: j.Label + ".product", Left: j.Left, Right: j.Right, Stats: nil}
 	j.out = j.Left.Schema().Concat(j.Right.Schema())
-	return j.inner.Open()
+	return j.inner.Open(ctx)
 }
 
 // Next implements Iterator.
@@ -79,36 +81,22 @@ type HashDivideIter struct {
 }
 
 // Open implements Iterator.
-func (h *HashDivideIter) Open() error {
+func (h *HashDivideIter) Open(ctx context.Context) error {
 	st, err := division.NewDivideState(h.Dividend.Schema(), h.Divisor.Schema())
 	if err != nil {
 		return err
 	}
-	if err := h.Dividend.Open(); err != nil {
+	if err := h.Dividend.Open(ctx); err != nil {
 		return err
 	}
-	if err := h.Divisor.Open(); err != nil {
+	if err := h.Divisor.Open(ctx); err != nil {
 		return err
 	}
-	for {
-		t, ok, err := h.Divisor.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		st.AddDivisor(t)
+	if err := drain(ctx, h.Divisor, st.AddDivisor); err != nil {
+		return err
 	}
-	for {
-		t, ok, err := h.Dividend.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		st.AddDividend(t)
+	if err := drain(ctx, h.Dividend, st.AddDividend); err != nil {
+		return err
 	}
 	h.results = st.Result().Tuples()
 	h.pos = 0
@@ -179,7 +167,7 @@ type MergeGroupDivideIter struct {
 }
 
 // Open implements Iterator.
-func (m *MergeGroupDivideIter) Open() error {
+func (m *MergeGroupDivideIter) Open(ctx context.Context) error {
 	split, err := division.SmallSplit(m.Dividend.Schema(), m.Divisor.Schema())
 	if err != nil {
 		return err
@@ -188,23 +176,18 @@ func (m *MergeGroupDivideIter) Open() error {
 	m.bPos = m.Dividend.Schema().Positions(split.B.Attrs())
 	bOrder := m.Divisor.Schema().Positions(split.B.Attrs())
 
-	if err := m.Divisor.Open(); err != nil {
+	if err := m.Divisor.Open(ctx); err != nil {
 		return err
 	}
 	m.divisor.Reset()
-	for {
-		t, ok, err := m.Divisor.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	if err := drain(ctx, m.Divisor, func(t relation.Tuple) {
 		m.divisor.IDProj(t, bOrder)
+	}); err != nil {
+		return err
 	}
 	m.nDivisor = m.divisor.Len()
 
-	if err := m.Dividend.Open(); err != nil {
+	if err := m.Dividend.Open(ctx); err != nil {
 		return err
 	}
 	m.curA, m.curBits, m.curSeen = nil, nil, 0
@@ -322,36 +305,22 @@ type GreatDivideIter struct {
 }
 
 // Open implements Iterator.
-func (g *GreatDivideIter) Open() error {
+func (g *GreatDivideIter) Open(ctx context.Context) error {
 	st, err := division.NewGreatDivideState(g.Dividend.Schema(), g.Divisor.Schema())
 	if err != nil {
 		return err
 	}
-	if err := g.Dividend.Open(); err != nil {
+	if err := g.Dividend.Open(ctx); err != nil {
 		return err
 	}
-	if err := g.Divisor.Open(); err != nil {
+	if err := g.Divisor.Open(ctx); err != nil {
 		return err
 	}
-	for {
-		t, ok, err := g.Divisor.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		st.AddDivisor(t)
+	if err := drain(ctx, g.Divisor, st.AddDivisor); err != nil {
+		return err
 	}
-	for {
-		t, ok, err := g.Dividend.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		st.AddDividend(t)
+	if err := drain(ctx, g.Dividend, st.AddDividend); err != nil {
+		return err
 	}
 	g.results = st.Result().Tuples()
 	g.pos = 0

@@ -10,9 +10,23 @@
 // §5.1.1), and the basic-algebra simulation of division materializes
 // a quadratic intermediate (Leinders & Van den Bussche [25]), which
 // the Stats counters expose.
+//
+// # Cancellation
+//
+// Open takes a context.Context which governs the whole life of the
+// pipeline: blocking operators (hash builds, sorts, divisions,
+// parallel exchanges) poll it every checkEvery tuples while they
+// drain their children, and the parallel division workers observe it
+// mid-partition, so a cancelled context tears the pipeline down
+// promptly instead of after the current blocking phase. The polling
+// is deliberately batched rather than per-tuple: a ctx.Err() call per
+// tuple costs a mutex acquisition in the hot loop, while the batched
+// check is amortized to noise (see BenchmarkCancellationOverhead for
+// the measurement that picked this design over per-Next checks).
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -23,36 +37,65 @@ import (
 // Iterator is the physical operator interface.
 type Iterator interface {
 	// Open prepares the operator (allocating hash tables, opening
-	// children). It must be called before Next.
-	Open() error
+	// children) under the given context. It must be called before
+	// Next. Blocking operators honor ctx cancellation while they
+	// consume their children; the context must stay valid until
+	// Close.
+	Open(ctx context.Context) error
 	// Next produces the next tuple. ok is false at end of stream.
 	Next() (t relation.Tuple, ok bool, err error)
-	// Close releases resources. Close is idempotent.
+	// Close releases resources. Close is idempotent and safe to call
+	// mid-stream (after a context cancellation, for example).
 	Close() error
 	// Schema describes the produced tuples.
 	Schema() schema.Schema
 }
 
+// checkEvery is the batching interval, in tuples, of the cooperative
+// context checks inside blocking drain loops. It must be a power of
+// two (the loops use a mask).
+const checkEvery = 1024
+
+// drain consumes child into sink, polling ctx every checkEvery
+// tuples. It is the shared inner loop of every blocking operator.
+func drain(ctx context.Context, child Iterator, sink func(relation.Tuple)) error {
+	n := 0
+	for {
+		t, ok, err := child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		sink(t)
+		if n++; n&(checkEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
 // Stats counts tuples emitted per operator label, making
 // intermediate-result sizes observable (the quadratic-intermediate
 // measurement of [25] relies on this). It is safe for concurrent use
-// so parallel operators can share one collector across goroutines.
+// so parallel operators can share one collector across goroutines;
+// read it with Get, Total, or Snapshot — never by reaching into the
+// map while operators may still be running.
 type Stats struct {
-	mu sync.Mutex
-	// Emitted maps operator labels to tuple counts. Read it only
-	// after execution finishes, or via Get/Snapshot while operators
-	// may still be running.
-	Emitted map[string]int64
+	mu      sync.Mutex
+	emitted map[string]int64
 }
 
 // NewStats returns an empty Stats collector.
-func NewStats() *Stats { return &Stats{Emitted: make(map[string]int64)} }
+func NewStats() *Stats { return &Stats{emitted: make(map[string]int64)} }
 
 // count records n tuples emitted by the labelled operator.
 func (s *Stats) count(label string, n int64) {
 	if s != nil {
 		s.mu.Lock()
-		s.Emitted[label] += n
+		s.emitted[label] += n
 		s.mu.Unlock()
 	}
 }
@@ -64,18 +107,21 @@ func (s *Stats) Get(label string) int64 {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.Emitted[label]
+	return s.emitted[label]
 }
 
-// Snapshot returns a copy of the per-operator counts.
+// Snapshot returns a copy of the per-operator counts. It is the
+// supported way to read the whole collector — safe even while
+// parallel operators are still appending — and the representation
+// behind the public QueryStats surface.
 func (s *Stats) Snapshot() map[string]int64 {
 	if s == nil {
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[string]int64, len(s.Emitted))
-	for k, v := range s.Emitted {
+	out := make(map[string]int64, len(s.emitted))
+	for k, v := range s.emitted {
 		out[k] = v
 	}
 	return out
@@ -90,49 +136,37 @@ func (s *Stats) Total() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var t int64
-	for _, n := range s.Emitted {
+	for _, n := range s.emitted {
 		t += n
 	}
 	return t
 }
 
 // Run drains the iterator into a set-semantics relation.
-func Run(it Iterator) (*relation.Relation, error) {
-	if err := it.Open(); err != nil {
+func Run(ctx context.Context, it Iterator) (*relation.Relation, error) {
+	if err := it.Open(ctx); err != nil {
 		return nil, err
 	}
 	defer it.Close()
 	out := relation.New(it.Schema())
-	for {
-		t, ok, err := it.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return out, nil
-		}
-		out.Insert(t)
+	if err := drain(ctx, it, func(t relation.Tuple) { out.Insert(t) }); err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
 // Drain consumes the iterator, returning only the tuple count; used
 // by benchmarks that do not need the result.
-func Drain(it Iterator) (int64, error) {
-	if err := it.Open(); err != nil {
+func Drain(ctx context.Context, it Iterator) (int64, error) {
+	if err := it.Open(ctx); err != nil {
 		return 0, err
 	}
 	defer it.Close()
 	var n int64
-	for {
-		_, ok, err := it.Next()
-		if err != nil {
-			return n, err
-		}
-		if !ok {
-			return n, nil
-		}
-		n++
+	if err := drain(ctx, it, func(relation.Tuple) { n++ }); err != nil {
+		return n, err
 	}
+	return n, nil
 }
 
 // errNotOpen guards against protocol misuse.

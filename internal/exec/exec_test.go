@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func randRelation(rng *rand.Rand, attrs []string, n, dom int) *relation.Relation
 // mustRun compiles and runs the plan, failing the test on error.
 func mustRun(t *testing.T, n plan.Node, stats *Stats) *relation.Relation {
 	t.Helper()
-	out, err := Run(Compile(n, stats))
+	out, err := Run(context.Background(), Compile(n, stats))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -104,7 +105,7 @@ func TestStatsCountsQuadraticIntermediate(t *testing.T) {
 	}
 
 	var productEmitted int64
-	for label, n := range simStats.Emitted {
+	for label, n := range simStats.Snapshot() {
 		if strings.Contains(label, "/product") {
 			productEmitted += n
 		}
@@ -174,7 +175,7 @@ func TestUnionIterAlignsColumns(t *testing.T) {
 		Left:  &ScanIter{Rel: l},
 		Right: &ScanIter{Rel: r},
 	}
-	out, err := Run(u)
+	out, err := Run(context.Background(), u)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestUnionIterIncompatibleSchemas(t *testing.T) {
 		Left:  &ScanIter{Rel: relation.Ints([]string{"a"}, nil)},
 		Right: &ScanIter{Rel: relation.Ints([]string{"z"}, nil)},
 	}
-	if err := u.Open(); err == nil {
+	if err := u.Open(context.Background()); err == nil {
 		t.Error("expected schema error")
 	}
 }
@@ -198,7 +199,7 @@ func TestHashJoinDegeneratesToProduct(t *testing.T) {
 	l := relation.Ints([]string{"a"}, [][]int64{{1}, {2}})
 	r := relation.Ints([]string{"b"}, [][]int64{{10}})
 	j := &HashJoinIter{Left: &ScanIter{Rel: l}, Right: &ScanIter{Rel: r}}
-	out, err := Run(j)
+	out, err := Run(context.Background(), j)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestHashJoinDegeneratesToProduct(t *testing.T) {
 
 func TestDrain(t *testing.T) {
 	r := relation.Ints([]string{"a"}, [][]int64{{1}, {2}, {3}})
-	n, err := Drain(&ScanIter{Rel: r})
+	n, err := Drain(context.Background(), &ScanIter{Rel: r})
 	if err != nil || n != 3 {
 		t.Errorf("Drain = %d, %v", n, err)
 	}
@@ -235,7 +236,7 @@ func TestStatsNilSafe(t *testing.T) {
 	var s *Stats
 	s.count("x", 1) // must not panic
 	r := relation.Ints([]string{"a"}, [][]int64{{1}})
-	if _, err := Run(&ScanIter{Rel: r, Stats: nil}); err != nil {
+	if _, err := Run(context.Background(), &ScanIter{Rel: r, Stats: nil}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -243,7 +244,7 @@ func TestStatsNilSafe(t *testing.T) {
 func TestSortIterByPos(t *testing.T) {
 	r := relation.Ints([]string{"a", "b"}, [][]int64{{2, 1}, {1, 9}, {1, 3}})
 	s := &SortIter{Input: &ScanIter{Rel: r}, ByPos: []int{0}}
-	if err := s.Open(); err != nil {
+	if err := s.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var got []relation.Tuple

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -20,7 +21,7 @@ type ScanIter struct {
 }
 
 // Open implements Iterator.
-func (s *ScanIter) Open() error { s.pos, s.open = 0, true; return nil }
+func (s *ScanIter) Open(ctx context.Context) error { s.pos, s.open = 0, true; return nil }
 
 // Next implements Iterator.
 func (s *ScanIter) Next() (relation.Tuple, bool, error) {
@@ -51,7 +52,7 @@ type FilterIter struct {
 }
 
 // Open implements Iterator.
-func (f *FilterIter) Open() error { return f.Input.Open() }
+func (f *FilterIter) Open(ctx context.Context) error { return f.Input.Open(ctx) }
 
 // Next implements Iterator.
 func (f *FilterIter) Next() (relation.Tuple, bool, error) {
@@ -87,10 +88,10 @@ type ProjectIter struct {
 }
 
 // Open implements Iterator.
-func (p *ProjectIter) Open() error {
+func (p *ProjectIter) Open(ctx context.Context) error {
 	p.out, p.pos = p.Input.Schema().Project(p.Attrs)
 	p.seen = new(relation.TupleIndex)
-	return p.Input.Open()
+	return p.Input.Open(ctx)
 }
 
 // Next implements Iterator.
@@ -134,17 +135,17 @@ type UnionIter struct {
 }
 
 // Open implements Iterator.
-func (u *UnionIter) Open() error {
+func (u *UnionIter) Open(ctx context.Context) error {
 	u.seen = new(relation.TupleIndex)
 	u.onRight = false
 	if !u.Left.Schema().EqualSet(u.Right.Schema()) {
 		return schemaErr("Union", u.Left.Schema(), u.Right.Schema())
 	}
 	u.rightPos = u.Right.Schema().Positions(u.Left.Schema().Attrs())
-	if err := u.Left.Open(); err != nil {
+	if err := u.Left.Open(ctx); err != nil {
 		return err
 	}
-	return u.Right.Open()
+	return u.Right.Open(ctx)
 }
 
 // Next implements Iterator.
@@ -207,27 +208,22 @@ type HashSetOpIter struct {
 }
 
 // Open implements Iterator.
-func (h *HashSetOpIter) Open() error {
+func (h *HashSetOpIter) Open(ctx context.Context) error {
 	if !h.Left.Schema().EqualSet(h.Right.Schema()) {
 		return schemaErr("set operator", h.Left.Schema(), h.Right.Schema())
 	}
-	if err := h.Left.Open(); err != nil {
+	if err := h.Left.Open(ctx); err != nil {
 		return err
 	}
-	if err := h.Right.Open(); err != nil {
+	if err := h.Right.Open(ctx); err != nil {
 		return err
 	}
 	pos := h.Right.Schema().Positions(h.Left.Schema().Attrs())
 	h.rightKeys = new(relation.TupleIndex)
-	for {
-		t, ok, err := h.Right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	if err := drain(ctx, h.Right, func(t relation.Tuple) {
 		h.rightKeys.IDProj(t, pos)
+	}); err != nil {
+		return err
 	}
 	h.emitted = new(relation.TupleIndex)
 	return nil
@@ -282,23 +278,18 @@ type ProductIter struct {
 }
 
 // Open implements Iterator.
-func (p *ProductIter) Open() error {
-	if err := p.Left.Open(); err != nil {
+func (p *ProductIter) Open(ctx context.Context) error {
+	if err := p.Left.Open(ctx); err != nil {
 		return err
 	}
-	if err := p.Right.Open(); err != nil {
+	if err := p.Right.Open(ctx); err != nil {
 		return err
 	}
 	p.right = nil
-	for {
-		t, ok, err := p.Right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	if err := drain(ctx, p.Right, func(t relation.Tuple) {
 		p.right = append(p.right, t)
+	}); err != nil {
+		return err
 	}
 	p.cur, p.idx, p.done = nil, 0, false
 	return nil
@@ -369,14 +360,14 @@ type HashJoinIter struct {
 }
 
 // Open implements Iterator.
-func (j *HashJoinIter) Open() error {
+func (j *HashJoinIter) Open(ctx context.Context) error {
 	common := j.Left.Schema().Intersect(j.Right.Schema())
 	if common.Len() == 0 {
 		// Degenerate to a product, as the logical definition does.
 		j.isProduct = true
 		j.prod = &ProductIter{Label: j.Label, Left: j.Left, Right: j.Right, Stats: j.Stats}
 		j.out = j.Left.Schema().Concat(j.Right.Schema())
-		return j.prod.Open()
+		return j.prod.Open(ctx)
 	}
 	j.isProduct = false
 	j.leftPos = j.Left.Schema().Positions(common.Attrs())
@@ -385,27 +376,22 @@ func (j *HashJoinIter) Open() error {
 	j.extraPos = j.Right.Schema().Positions(extra.Attrs())
 	j.out = j.Left.Schema().Union(extra)
 
-	if err := j.Left.Open(); err != nil {
+	if err := j.Left.Open(ctx); err != nil {
 		return err
 	}
-	if err := j.Right.Open(); err != nil {
+	if err := j.Right.Open(ctx); err != nil {
 		return err
 	}
 	j.keyIx = new(relation.TupleIndex)
 	j.rows = nil
-	for {
-		t, ok, err := j.Right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	if err := drain(ctx, j.Right, func(t relation.Tuple) {
 		id, created := j.keyIx.IDProj(t, rightPos)
 		if created {
 			j.rows = append(j.rows, nil)
 		}
 		j.rows[id] = append(j.rows[id], t.Project(j.extraPos))
+	}); err != nil {
+		return err
 	}
 	j.cur, j.matches, j.mIdx = nil, nil, 0
 	j.dedup = new(relation.TupleIndex)
@@ -483,12 +469,12 @@ type SemiJoinIter struct {
 }
 
 // Open implements Iterator.
-func (s *SemiJoinIter) Open() error {
+func (s *SemiJoinIter) Open(ctx context.Context) error {
 	common := s.Left.Schema().Intersect(s.Right.Schema())
-	if err := s.Left.Open(); err != nil {
+	if err := s.Left.Open(ctx); err != nil {
 		return err
 	}
-	if err := s.Right.Open(); err != nil {
+	if err := s.Right.Open(ctx); err != nil {
 		return err
 	}
 	s.keys = new(relation.TupleIndex)
@@ -504,17 +490,9 @@ func (s *SemiJoinIter) Open() error {
 	s.degenerate = false
 	s.leftPos = s.Left.Schema().Positions(common.Attrs())
 	rightPos := s.Right.Schema().Positions(common.Attrs())
-	for {
-		t, ok, err := s.Right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	return drain(ctx, s.Right, func(t relation.Tuple) {
 		s.keys.IDProj(t, rightPos)
-	}
-	return nil
+	})
 }
 
 // Next implements Iterator.
@@ -568,20 +546,15 @@ type GroupIter struct {
 }
 
 // Open implements Iterator.
-func (g *GroupIter) Open() error {
-	if err := g.Input.Open(); err != nil {
+func (g *GroupIter) Open(ctx context.Context) error {
+	if err := g.Input.Open(ctx); err != nil {
 		return err
 	}
 	in := relation.New(g.Input.Schema())
-	for {
-		t, ok, err := g.Input.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	if err := drain(ctx, g.Input, func(t relation.Tuple) {
 		in.InsertOwned(t)
+	}); err != nil {
+		return err
 	}
 	out := algebra.Group(in, g.By, g.Aggs)
 	g.rows = out.Tuples()
@@ -633,21 +606,16 @@ type SortIter struct {
 }
 
 // Open implements Iterator.
-func (s *SortIter) Open() error {
-	if err := s.Input.Open(); err != nil {
+func (s *SortIter) Open(ctx context.Context) error {
+	if err := s.Input.Open(ctx); err != nil {
 		return err
 	}
 	s.rows = nil
 	s.open = true
-	for {
-		t, ok, err := s.Input.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	if err := drain(ctx, s.Input, func(t relation.Tuple) {
 		s.rows = append(s.rows, t)
+	}); err != nil {
+		return err
 	}
 	sort.Slice(s.rows, func(i, j int) bool {
 		a, b := s.rows[i], s.rows[j]
@@ -689,7 +657,7 @@ type RenameIter struct {
 }
 
 // Open implements Iterator.
-func (r *RenameIter) Open() error { return r.Input.Open() }
+func (r *RenameIter) Open(ctx context.Context) error { return r.Input.Open(ctx) }
 
 // Next implements Iterator.
 func (r *RenameIter) Next() (relation.Tuple, bool, error) { return r.Input.Next() }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strconv"
 
 	"divlaws/internal/division"
@@ -32,16 +33,16 @@ type ParallelDivideIter struct {
 }
 
 // Open implements Iterator.
-func (p *ParallelDivideIter) Open() error {
+func (p *ParallelDivideIter) Open(ctx context.Context) error {
 	split, err := division.SmallSplit(p.Dividend.Schema(), p.Divisor.Schema())
 	if err != nil {
 		return err
 	}
-	dividend, err := drainChild(p.Dividend)
+	dividend, err := drainChild(ctx, p.Dividend)
 	if err != nil {
 		return err
 	}
-	divisor, err := drainChild(p.Divisor)
+	divisor, err := drainChild(ctx, p.Divisor)
 	if err != nil {
 		return err
 	}
@@ -54,7 +55,10 @@ func (p *ParallelDivideIter) Open() error {
 	// ("<label>/part<i>") in addition to the merged output the
 	// operator itself emits — sequential divides have no such
 	// intermediate layer.
-	quotients := parallel.DividePartitioned(algo, dividend, divisor, p.Workers)
+	quotients, err := parallel.DividePartitionedCtx(ctx, algo, dividend, divisor, p.Workers)
+	if err != nil {
+		return err
+	}
 	merged := relation.New(split.A)
 	for i, q := range quotients {
 		p.Stats.count(partLabel(p.Label, i), int64(q.Len()))
@@ -125,16 +129,16 @@ type ParallelGreatDivideIter struct {
 }
 
 // Open implements Iterator.
-func (g *ParallelGreatDivideIter) Open() error {
+func (g *ParallelGreatDivideIter) Open(ctx context.Context) error {
 	split, err := division.GreatSplit(g.Dividend.Schema(), g.Divisor.Schema())
 	if err != nil {
 		return err
 	}
-	dividend, err := drainChild(g.Dividend)
+	dividend, err := drainChild(ctx, g.Dividend)
 	if err != nil {
 		return err
 	}
-	divisor, err := drainChild(g.Divisor)
+	divisor, err := drainChild(ctx, g.Divisor)
 	if err != nil {
 		return err
 	}
@@ -142,7 +146,10 @@ func (g *ParallelGreatDivideIter) Open() error {
 	if algo == "" {
 		algo = division.GreatAlgoHash
 	}
-	quotients := parallel.GreatDividePartitioned(algo, dividend, divisor, g.Workers)
+	quotients, err := parallel.GreatDividePartitionedCtx(ctx, algo, dividend, divisor, g.Workers)
+	if err != nil {
+		return err
+	}
 	merged := relation.New(split.A.Concat(split.C))
 	for i, q := range quotients {
 		g.Stats.count(partLabel(g.Label, i), int64(q.Len()))
@@ -193,22 +200,17 @@ func (g *ParallelGreatDivideIter) Schema() schema.Schema {
 	return g.out
 }
 
-// drainChild opens a child iterator and materializes it.
-func drainChild(it Iterator) (*relation.Relation, error) {
-	if err := it.Open(); err != nil {
+// drainChild opens a child iterator and materializes it, honoring
+// ctx cancellation via the shared drain loop.
+func drainChild(ctx context.Context, it Iterator) (*relation.Relation, error) {
+	if err := it.Open(ctx); err != nil {
 		return nil, err
 	}
 	out := relation.New(it.Schema())
-	for {
-		t, ok, err := it.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return out, nil
-		}
-		out.InsertOwned(t)
+	if err := drain(ctx, it, func(t relation.Tuple) { out.InsertOwned(t) }); err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
 // partLabel names partition i of a parallel operator in Stats.

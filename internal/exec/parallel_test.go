@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -28,7 +29,7 @@ func TestParallelDivideIterMatchesSequential(t *testing.T) {
 				Divisor:  plan.NewScan("r2", r2),
 				Algo:     algo, Workers: workers,
 			}
-			got, err := Run(Compile(node, NewStats()))
+			got, err := Run(context.Background(), Compile(node, NewStats()))
 			if err != nil {
 				t.Fatalf("%s/workers=%d: %v", algo, workers, err)
 			}
@@ -53,7 +54,7 @@ func TestParallelGreatDivideIterMatchesSequential(t *testing.T) {
 				Divisor:  plan.NewScan("r2", r2),
 				Algo:     algo, Workers: workers,
 			}
-			got, err := Run(Compile(node, NewStats()))
+			got, err := Run(context.Background(), Compile(node, NewStats()))
 			if err != nil {
 				t.Fatalf("%s/workers=%d: %v", algo, workers, err)
 			}
@@ -88,7 +89,7 @@ func TestParallelDivideIterProperty(t *testing.T) {
 			Divisor:  plan.NewScan("r2", r2),
 			Algo:     algo, Workers: workers,
 		}
-		got, err := Run(Compile(node, NewStats()))
+		got, err := Run(context.Background(), Compile(node, NewStats()))
 		if err != nil {
 			t.Fatalf("trial %d (%s, workers=%d): %v", trial, algo, workers, err)
 		}
@@ -114,7 +115,7 @@ func TestParallelDivideIterPartitionStats(t *testing.T) {
 		Divisor:  plan.NewScan("r2", r2),
 		Workers:  4,
 	}
-	got, err := Run(Compile(node, stats))
+	got, err := Run(context.Background(), Compile(node, stats))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestSharedStatsAcrossConcurrentIterators(t *testing.T) {
 				Divisor:  plan.NewScan("r2", r2),
 				Workers:  4,
 			}
-			got, err := Run(Compile(node, stats))
+			got, err := Run(context.Background(), Compile(node, stats))
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,7 +1,10 @@
 package laws
 
 import (
+	"math/bits"
+
 	"divlaws/internal/division"
+	"divlaws/internal/hashkey"
 	"divlaws/internal/relation"
 )
 
@@ -13,44 +16,47 @@ import (
 // coverage is dispersed across the partitions.
 //
 // The relations must share a schema A ∪ B with B = r2's schema.
+//
+// The evaluation runs on the engine's 64-bit hash layer: divisor B
+// values are bit-numbered through a relation.TupleIndex and each
+// partition's groups carry a coverage bitmap, so no key strings are
+// built and the union check is a word-wise OR + popcount. Results
+// stay exact under hash collisions because TupleIndex verifies every
+// probe (the collision test pits this against a string-keyed oracle
+// under a masked hash).
 func C1(r1a, r1b, r2 *relation.Relation) bool {
 	split, err := smallSplitRels(r1a, r2)
 	if err != nil {
 		return false
 	}
-	aPosA := r1a.Schema().Positions(split.A.Attrs())
-	bPosA := r1a.Schema().Positions(split.B.Attrs())
-	aPosB := r1b.Schema().Positions(split.A.Attrs())
-	bPosB := r1b.Schema().Positions(split.B.Attrs())
 	bOrder := r2.Schema().Positions(split.B.Attrs())
 
-	// Group both partitions' image sets by A.
-	imageA := imagesByGroup(r1a, aPosA, bPosA)
-	imageB := imagesByGroup(r1b, aPosB, bPosB)
-
-	divisor := make([]string, 0, r2.Len())
+	// Bit-number the divisor's B values.
+	var divisor relation.TupleIndex
 	for _, d := range r2.Tuples() {
-		divisor = append(divisor, d.Project(bOrder).Key())
+		divisor.IDProj(d, bOrder)
 	}
+	nDiv := divisor.Len()
 
-	for ak, imgA := range imageA {
-		imgB, shared := imageB[ak]
-		if !shared {
+	covA := coverageByGroup(r1a, split, &divisor)
+	covB := coverageByGroup(r1b, split, &divisor)
+
+	for idA, a := range covA.groups.Keys() {
+		idB := covB.groups.Lookup(a)
+		if idB < 0 {
 			continue
 		}
-		if coversAll(imgA, divisor) || coversAll(imgB, divisor) {
+		if covA.seen[idA] == nDiv || covB.seen[idB] == nDiv {
 			continue
 		}
 		// Neither group alone contains the divisor; the union must
 		// not either.
-		union := make(map[string]struct{}, len(imgA)+len(imgB))
-		for k := range imgA {
-			union[k] = struct{}{}
+		union := 0
+		bitsA, bitsB := covA.bits[idA], covB.bits[idB]
+		for w := range bitsA {
+			union += bits.OnesCount64(bitsA[w] | bitsB[w])
 		}
-		for k := range imgB {
-			union[k] = struct{}{}
-		}
-		if coversAll(union, divisor) {
+		if union == nDiv {
 			return false
 		}
 	}
@@ -67,39 +73,46 @@ func C2(r1a, r1b, r2 *relation.Relation) bool {
 	}
 	aPosA := r1a.Schema().Positions(split.A.Attrs())
 	aPosB := r1b.Schema().Positions(split.A.Attrs())
-	seen := make(map[string]struct{}, r1a.Len())
+	var seen relation.TupleIndex
 	for _, t := range r1a.Tuples() {
-		seen[t.Project(aPosA).Key()] = struct{}{}
+		seen.IDProj(t, aPosA)
 	}
 	for _, t := range r1b.Tuples() {
-		if _, hit := seen[t.Project(aPosB).Key()]; hit {
+		if seen.LookupProj(t, aPosB) >= 0 {
 			return false
 		}
 	}
 	return true
 }
 
-func imagesByGroup(r *relation.Relation, aPos, bPos []int) map[string]map[string]struct{} {
-	out := make(map[string]map[string]struct{})
+// groupCoverage maps one partition's quotient candidates (A values)
+// to bitmaps of the divisor elements their groups contain.
+type groupCoverage struct {
+	groups relation.TupleIndex
+	bits   []hashkey.Bitset
+	seen   []int
+}
+
+// coverageByGroup folds a dividend partition into per-group divisor
+// coverage against the shared bit numbering.
+func coverageByGroup(r *relation.Relation, split division.Split, divisor *relation.TupleIndex) groupCoverage {
+	aPos := r.Schema().Positions(split.A.Attrs())
+	bPos := r.Schema().Positions(split.B.Attrs())
+	nDiv := divisor.Len()
+	var cov groupCoverage
 	for _, t := range r.Tuples() {
-		ak := t.Project(aPos).Key()
-		img, ok := out[ak]
-		if !ok {
-			img = make(map[string]struct{})
-			out[ak] = img
+		id, created := cov.groups.IDProj(t, aPos)
+		if created {
+			cov.bits = append(cov.bits, hashkey.NewBitset(nDiv))
+			cov.seen = append(cov.seen, 0)
 		}
-		img[t.Project(bPos).Key()] = struct{}{}
-	}
-	return out
-}
-
-func coversAll(img map[string]struct{}, divisor []string) bool {
-	for _, d := range divisor {
-		if _, ok := img[d]; !ok {
-			return false
+		if bit := divisor.LookupProj(t, bPos); bit >= 0 {
+			if cov.bits[id].Set(bit) {
+				cov.seen[id]++
+			}
 		}
 	}
-	return true
+	return cov
 }
 
 func smallSplitRels(r1, r2 *relation.Relation) (division.Split, error) {

@@ -6,8 +6,122 @@ import (
 
 	"divlaws/internal/algebra"
 	"divlaws/internal/division"
+	"divlaws/internal/hashkey"
 	"divlaws/internal/relation"
 )
+
+// c1Oracle is the original string-keyed C1, kept as the reference
+// the hash-layer implementation is checked against — including under
+// forced hash collisions.
+func c1Oracle(r1a, r1b, r2 *relation.Relation) bool {
+	split, err := smallSplitRels(r1a, r2)
+	if err != nil {
+		return false
+	}
+	aPosA := r1a.Schema().Positions(split.A.Attrs())
+	bPosA := r1a.Schema().Positions(split.B.Attrs())
+	aPosB := r1b.Schema().Positions(split.A.Attrs())
+	bPosB := r1b.Schema().Positions(split.B.Attrs())
+	bOrder := r2.Schema().Positions(split.B.Attrs())
+
+	imageA := oracleImagesByGroup(r1a, aPosA, bPosA)
+	imageB := oracleImagesByGroup(r1b, aPosB, bPosB)
+
+	divisor := make([]string, 0, r2.Len())
+	for _, d := range r2.Tuples() {
+		divisor = append(divisor, d.Project(bOrder).Key())
+	}
+
+	for ak, imgA := range imageA {
+		imgB, shared := imageB[ak]
+		if !shared {
+			continue
+		}
+		if oracleCoversAll(imgA, divisor) || oracleCoversAll(imgB, divisor) {
+			continue
+		}
+		union := make(map[string]struct{}, len(imgA)+len(imgB))
+		for k := range imgA {
+			union[k] = struct{}{}
+		}
+		for k := range imgB {
+			union[k] = struct{}{}
+		}
+		if oracleCoversAll(union, divisor) {
+			return false
+		}
+	}
+	return true
+}
+
+// c2Oracle is the original string-keyed C2.
+func c2Oracle(r1a, r1b, r2 *relation.Relation) bool {
+	split, err := smallSplitRels(r1a, r2)
+	if err != nil {
+		return false
+	}
+	aPosA := r1a.Schema().Positions(split.A.Attrs())
+	aPosB := r1b.Schema().Positions(split.A.Attrs())
+	seen := make(map[string]struct{}, r1a.Len())
+	for _, t := range r1a.Tuples() {
+		seen[t.Project(aPosA).Key()] = struct{}{}
+	}
+	for _, t := range r1b.Tuples() {
+		if _, hit := seen[t.Project(aPosB).Key()]; hit {
+			return false
+		}
+	}
+	return true
+}
+
+func oracleImagesByGroup(r *relation.Relation, aPos, bPos []int) map[string]map[string]struct{} {
+	out := make(map[string]map[string]struct{})
+	for _, t := range r.Tuples() {
+		ak := t.Project(aPos).Key()
+		img, ok := out[ak]
+		if !ok {
+			img = make(map[string]struct{})
+			out[ak] = img
+		}
+		img[t.Project(bPos).Key()] = struct{}{}
+	}
+	return out
+}
+
+func oracleCoversAll(img map[string]struct{}, divisor []string) bool {
+	for _, d := range divisor {
+		if _, ok := img[d]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPrecondsMatchStringKeyedOracle pits the hash-layer C1/C2
+// against the string-keyed originals, both normally and with every
+// hash degraded to 3 bits so collisions are routine.
+func TestPrecondsMatchStringKeyedOracle(t *testing.T) {
+	run := func(t *testing.T) {
+		rng := rand.New(rand.NewSource(321))
+		for trial := 0; trial < 400; trial++ {
+			r1a := randRelation(rng, []string{"a", "b"}, rng.Intn(12), 5)
+			r1b := randRelation(rng, []string{"a", "b"}, rng.Intn(12), 5)
+			r2 := randRelation(rng, []string{"b"}, 1+rng.Intn(4), 5)
+			if got, want := C1(r1a, r1b, r2), c1Oracle(r1a, r1b, r2); got != want {
+				t.Fatalf("C1 = %v, oracle %v:\nr1a:\n%v\nr1b:\n%v\nr2:\n%v", got, want, r1a, r1b, r2)
+			}
+			if got, want := C2(r1a, r1b, r2), c2Oracle(r1a, r1b, r2); got != want {
+				t.Fatalf("C2 = %v, oracle %v:\nr1a:\n%v\nr1b:\n%v\nr2:\n%v", got, want, r1a, r1b, r2)
+			}
+		}
+	}
+	t.Run("full hashes", run)
+	t.Run("3-bit hashes", func(t *testing.T) {
+		restore := hashkey.SetMaskForTesting(7)
+		defer restore()
+		run(t)
+	})
+}
 
 func TestC2Figure5(t *testing.T) {
 	r1a, r1b, r2 := figure5Relations()

@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -132,11 +133,11 @@ func TestParallelPlanCompilesSetEqual(t *testing.T) {
 			if _, ok := par.(*plan.ParallelDivide); !ok {
 				t.Fatalf("trial %d: got %T, want *plan.ParallelDivide", trial, par)
 			}
-			want, err := exec.Run(exec.Compile(seq, nil))
+			want, err := exec.Run(context.Background(), exec.Compile(seq, nil))
 			if err != nil {
 				t.Fatalf("trial %d (%s): sequential: %v", trial, algo, err)
 			}
-			got, err := exec.Run(exec.Compile(par, exec.NewStats()))
+			got, err := exec.Run(context.Background(), exec.Compile(par, exec.NewStats()))
 			if err != nil {
 				t.Fatalf("trial %d (%s): parallel: %v", trial, algo, err)
 			}

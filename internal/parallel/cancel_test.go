@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"divlaws/internal/division"
+	"divlaws/internal/relation"
+)
+
+// countdownCtx is a context.Context whose Err starts reporting
+// context.Canceled after a fixed number of Err calls (counted across
+// goroutines). It makes "cancelled mid-run" deterministic: workers
+// polling it are guaranteed to observe cancellation partway through
+// their partitions, with no timing dependence.
+type countdownCtx struct {
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(calls int64) *countdownCtx {
+	c := &countdownCtx{}
+	c.remaining.Store(calls)
+	return c
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return nil }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// bigDividePair builds a dividend large enough that every partition
+// spans many checkEvery poll intervals.
+func bigDividePair() (r1, r2 *relation.Relation) {
+	groups := 64
+	per := 40 * checkEvery / groups
+	rows := make([][]int64, 0, groups*per)
+	for a := 0; a < groups; a++ {
+		for b := 0; b < per; b++ {
+			rows = append(rows, []int64{int64(a), int64(b % 64)})
+		}
+	}
+	r1 = relation.Ints([]string{"a", "b"}, rows)
+	r2 = relation.Ints([]string{"b"}, [][]int64{{1}, {2}, {3}})
+	return r1, r2
+}
+
+func TestDividePartitionedCtxStopsWorkersMidPartition(t *testing.T) {
+	r1, r2 := bigDividePair()
+	// Enough Err calls to get all workers started, far fewer than a
+	// full run would make: cancellation lands mid-partition.
+	ctx := newCountdownCtx(8)
+	_, err := DividePartitionedCtx(ctx, division.AlgoHash, r1, r2, 4)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDividePartitionedCtxPreCancelled(t *testing.T) {
+	r1, r2 := bigDividePair()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DividePartitionedCtx(ctx, division.AlgoHash, r1, r2, 4); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := GreatDividePartitionedCtx(ctx, division.GreatAlgoHash, r1, r2, 4); err != context.Canceled {
+		t.Fatalf("great err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGreatDividePartitionedCtxStopsWorkersMidPartition(t *testing.T) {
+	// Great divide partitions the divisor; give it groups to split
+	// and a dividend long enough to poll repeatedly.
+	n := 8 * checkEvery
+	rows := make([][]int64, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, []int64{int64(i % 512), int64(i % 64)})
+	}
+	r1 := relation.Ints([]string{"a", "b"}, rows)
+	var divisorRows [][]int64
+	for g := int64(0); g < 16; g++ {
+		for b := int64(0); b < 8; b++ {
+			divisorRows = append(divisorRows, []int64{b, g})
+		}
+	}
+	r2 := relation.Ints([]string{"b", "c"}, divisorRows)
+
+	ctx := newCountdownCtx(8)
+	_, err := GreatDividePartitionedCtx(ctx, division.GreatAlgoHash, r1, r2, 4)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestPartitionedCtxMatchesSequentialWhenUncancelled(t *testing.T) {
+	r1, r2 := bigDividePair()
+	quotients, err := DividePartitionedCtx(context.Background(), division.AlgoHash, r1, r2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := relation.New(quotients[0].Schema())
+	for _, q := range quotients {
+		merged.InsertAll(q)
+	}
+	if want := division.Divide(r1, r2); !merged.Equal(want) {
+		t.Errorf("partitioned ctx division diverges: %d vs %d rows", merged.Len(), want.Len())
+	}
+	// Non-default algorithms run whole partitions per poll but must
+	// still agree.
+	quotients, err = DividePartitionedCtx(context.Background(), division.AlgoMaier, r1, r2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged = relation.New(quotients[0].Schema())
+	for _, q := range quotients {
+		merged.InsertAll(q)
+	}
+	if want := division.Divide(r1, r2); !merged.Equal(want) {
+		t.Errorf("maier partitioned ctx division diverges")
+	}
+}

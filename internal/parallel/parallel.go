@@ -16,6 +16,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -23,6 +24,10 @@ import (
 	"divlaws/internal/division"
 	"divlaws/internal/relation"
 )
+
+// checkEvery is the batching interval, in tuples, of the cooperative
+// context polls inside parallel division workers. Power of two.
+const checkEvery = 1024
 
 // DefaultWorkers is used when a worker count of 0 is given.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -65,27 +70,99 @@ func DivideWith(algo division.Algorithm, r1, r2 *relation.Relation, workers int)
 // and their union is exactly r1 ÷ r2. Exchange-style operators use
 // this to observe per-partition sizes before merging.
 func DividePartitioned(algo division.Algorithm, r1, r2 *relation.Relation, workers int) []*relation.Relation {
+	out, _ := DividePartitionedCtx(context.Background(), algo, r1, r2, workers)
+	return out
+}
+
+// DividePartitionedCtx is DividePartitioned under a context: every
+// worker polls ctx while it streams its partition (every checkEvery
+// tuples for the default hash algorithm, between phases for the
+// others), so a cancelled context tears the whole fan-out down
+// promptly — mid-partition, not after it. The first cancellation
+// error observed is returned; partial quotients are discarded.
+//
+// Schema violations panic, exactly as the sequential division
+// operators do.
+func DividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int) ([]*relation.Relation, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
-	// Schema validation happens in division.DivideWith (sequential
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Schema validation happens in the division operators (sequential
 	// path) or PartitionDividend (parallel path); both panic on a
 	// violation.
 	if workers == 1 || r1.Len() < 2*workers {
-		return []*relation.Relation{division.DivideWith(algo, r1, r2)}
+		q, err := divideCtx(ctx, algo, r1, r2)
+		if err != nil {
+			return nil, err
+		}
+		return []*relation.Relation{q}, nil
 	}
 	parts := PartitionDividend(r1, r2, workers)
 	results := make([]*relation.Relation, len(parts))
+	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
 	for i, part := range parts {
 		wg.Add(1)
 		go func(i int, part *relation.Relation) {
 			defer wg.Done()
-			results[i] = division.DivideWith(algo, part, r2)
+			results[i], errs[i] = divideCtx(ctx, algo, part, r2)
 		}(i, part)
 	}
 	wg.Wait()
-	return results
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// divisionState is the incremental feeding protocol shared by
+// division.DivideState and division.GreatDivideState; the streaming
+// states are the single source of the hash algorithms, the workers
+// only add the ctx polls around the feed.
+type divisionState interface {
+	AddDivisor(relation.Tuple)
+	AddDividend(relation.Tuple)
+	Result() *relation.Relation
+}
+
+// feedCtx streams (divisor, then dividend) into a division state,
+// polling ctx every checkEvery dividend tuples.
+func feedCtx(ctx context.Context, st divisionState, r1, r2 *relation.Relation) (*relation.Relation, error) {
+	for _, t := range r2.Tuples() {
+		st.AddDivisor(t)
+	}
+	for i, t := range r1.Tuples() {
+		if i&(checkEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		st.AddDividend(t)
+	}
+	return st.Result(), nil
+}
+
+// divideCtx divides one partition cooperatively. The default hash
+// algorithm streams through division.DivideState with a ctx poll
+// every checkEvery tuples; other algorithms are opaque relational
+// computations, so they poll only before starting.
+func divideCtx(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if algo != division.AlgoHash {
+		return division.DivideWith(algo, r1, r2), nil
+	}
+	st, err := division.NewDivideState(r1.Schema(), r2.Schema())
+	if err != nil {
+		panic(err) // parity with DivideWith's schema panic
+	}
+	return feedCtx(ctx, st, r1, r2)
 }
 
 // GreatDivide computes r1 ÷* r2 with the divisor hash-partitioned on
@@ -119,11 +196,27 @@ func GreatDivideWith(algo division.Algorithm, r1, r2 *relation.Relation, workers
 // the quotients never collide on C and their union is exactly
 // r1 ÷* r2. Empty divisor partitions are dropped.
 func GreatDividePartitioned(algo division.Algorithm, r1, r2 *relation.Relation, workers int) []*relation.Relation {
+	out, _ := GreatDividePartitionedCtx(context.Background(), algo, r1, r2, workers)
+	return out
+}
+
+// GreatDividePartitionedCtx is GreatDividePartitioned under a
+// context, with the same cooperative-cancellation contract as
+// DividePartitionedCtx: hash workers poll every checkEvery dividend
+// tuples, other algorithms between phases.
+func GreatDividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int) ([]*relation.Relation, error) {
 	if workers <= 0 {
 		workers = DefaultWorkers()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if workers == 1 || r2.Len() < 2*workers {
-		return []*relation.Relation{division.GreatDivideWith(algo, r1, r2)}
+		q, err := greatDivideCtx(ctx, algo, r1, r2)
+		if err != nil {
+			return nil, err
+		}
+		return []*relation.Relation{q}, nil
 	}
 	var parts []*relation.Relation
 	for _, part := range PartitionDivisor(r1, r2, workers) {
@@ -132,16 +225,38 @@ func GreatDividePartitioned(algo division.Algorithm, r1, r2 *relation.Relation, 
 		}
 	}
 	results := make([]*relation.Relation, len(parts))
+	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
 	for i, part := range parts {
 		wg.Add(1)
 		go func(i int, part *relation.Relation) {
 			defer wg.Done()
-			results[i] = division.GreatDivideWith(algo, r1, part)
+			results[i], errs[i] = greatDivideCtx(ctx, algo, r1, part)
 		}(i, part)
 	}
 	wg.Wait()
-	return results
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// greatDivideCtx great-divides one divisor partition cooperatively;
+// see divideCtx.
+func greatDivideCtx(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation) (*relation.Relation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if algo != division.GreatAlgoHash {
+		return division.GreatDivideWith(algo, r1, r2), nil
+	}
+	st, err := division.NewGreatDivideState(r1.Schema(), r2.Schema())
+	if err != nil {
+		panic(err) // parity with GreatDivideWith's schema panic
+	}
+	return feedCtx(ctx, st, r1, r2)
 }
 
 // PartitionDividend splits the dividend of r1 ÷ r2 into at most

@@ -376,6 +376,22 @@ func FromRows(sch schema.Schema, rows [][]any) *Relation {
 	return r
 }
 
+// Rows returns the relation's tuples as untyped Go rows in insertion
+// order — the inverse of FromRows. It copies; use it to hand
+// relations to row-based surfaces (the public API's constructors),
+// not in hot paths.
+func (r *Relation) Rows() [][]any {
+	out := make([][]any, len(r.tuples))
+	for i, t := range r.tuples {
+		row := make([]any, len(t))
+		for j, v := range t {
+			row[j] = v.Native()
+		}
+		out[i] = row
+	}
+	return out
+}
+
 // ToValue converts a Go scalar to a Value, panicking on unsupported
 // types.
 func ToValue(x any) value.Value {

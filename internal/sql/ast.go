@@ -2,6 +2,8 @@ package sql
 
 import (
 	"fmt"
+
+	"divlaws/internal/value"
 )
 
 // Query is a parsed SELECT statement.
@@ -14,6 +16,10 @@ type Query struct {
 	GroupBy  []ColumnRef
 	Having   Expr // nil if absent
 	OrderBy  []OrderItem
+	// Params is the number of ? placeholders in the whole statement,
+	// including subqueries. It is set on the statement's outermost
+	// Query by Parse; nested query blocks leave it zero.
+	Params int
 }
 
 // SelectItem is one output column: a column reference or an
@@ -95,6 +101,27 @@ func (l *Literal) String() string {
 		return "'" + l.Str + "'"
 	}
 }
+
+// Placeholder is a positional ? parameter. Ordinal is its zero-based
+// position in source order across the whole statement; the binder
+// refuses queries still containing placeholders — SubstituteParams
+// replaces them with BoundArg values at bind time.
+type Placeholder struct {
+	Ordinal int
+}
+
+// String implements Expr.
+func (*Placeholder) String() string { return "?" }
+
+// BoundArg is a placeholder after parameter binding: an
+// already-typed constant carrying any value kind (including bool and
+// NULL, which Literal cannot express).
+type BoundArg struct {
+	Val value.Value
+}
+
+// String implements Expr.
+func (b *BoundArg) String() string { return b.Val.String() }
 
 // Comparison is left op right with op in =, <>, <, <=, >, >=.
 type Comparison struct {

@@ -13,6 +13,13 @@ import (
 )
 
 // DB couples a catalog of named relations with the SQL front end.
+//
+// It is the module-internal engine surface: parsing, binding, and
+// planning. External programs embed the engine through the public
+// root package (divlaws.Open), whose DB delegates its catalog and
+// planning to this type and streams results off the compiled
+// iterator pipeline; this DB's Query remains as the thin
+// materializing compatibility path.
 type DB struct {
 	catalog map[string]*relation.Relation
 }
@@ -29,7 +36,10 @@ func (db *DB) Table(name string) (*relation.Relation, bool) {
 	return r, ok
 }
 
-// Query parses, binds, and evaluates a SELECT statement.
+// Query parses, binds, and evaluates a SELECT statement, returning
+// the fully materialized result. It is the compatibility path; the
+// public divlaws package streams the same plans through the exec
+// engine instead.
 func (db *DB) Query(text string) (*relation.Relation, error) {
 	n, err := db.Plan(text)
 	if err != nil {
@@ -381,6 +391,10 @@ func (db *DB) havingOperand(e Expr, sch schema.Schema, internal map[string]strin
 		return pred.Attr(attr), nil
 	case *Literal:
 		return pred.Const(literalValue(x)), nil
+	case *BoundArg:
+		return pred.Const(x.Val), nil
+	case *Placeholder:
+		return pred.Operand{}, fmt.Errorf("sql: unbound placeholder ? (bind arguments with SubstituteParams before planning)")
 	default:
 		return pred.Operand{}, fmt.Errorf("sql: unsupported HAVING operand %q", e)
 	}
@@ -440,6 +454,10 @@ func (db *DB) toOperand(e Expr, sch schema.Schema) (pred.Operand, error) {
 		return pred.Attr(attr), nil
 	case *Literal:
 		return pred.Const(literalValue(x)), nil
+	case *BoundArg:
+		return pred.Const(x.Val), nil
+	case *Placeholder:
+		return pred.Operand{}, fmt.Errorf("sql: unbound placeholder ? (bind arguments with SubstituteParams before planning)")
 	case *AggCall:
 		return pred.Operand{}, fmt.Errorf("sql: aggregate %q not allowed here (use HAVING)", x)
 	default:

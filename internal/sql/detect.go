@@ -478,6 +478,12 @@ func (db *DB) PlanWithDetection(text string) (plan.Node, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	return db.PlanQueryWithDetection(q)
+}
+
+// PlanQueryWithDetection is PlanWithDetection over an already-parsed
+// (and, for prepared statements, parameter-substituted) query.
+func (db *DB) PlanQueryWithDetection(q *Query) (plan.Node, bool, error) {
 	if node, ok := db.DetectDivision(q); ok {
 		return node, true, nil
 	}

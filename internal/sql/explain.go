@@ -46,13 +46,23 @@ type Explained struct {
 // parallelization. It is the plan-printing surface behind divsql's
 // -explain flag.
 func (db *DB) Explain(text string, opts ExplainOptions) (Explained, error) {
+	q, err := Parse(text)
+	if err != nil {
+		return Explained{}, err
+	}
+	return db.ExplainQuery(q, opts)
+}
+
+// ExplainQuery is Explain over an already-parsed (and, for prepared
+// statements, parameter-substituted) query.
+func (db *DB) ExplainQuery(q *Query, opts ExplainOptions) (Explained, error) {
 	var ex Explained
 	var node plan.Node
 	var err error
 	if opts.Detect {
-		node, ex.Detected, err = db.PlanWithDetection(text)
+		node, ex.Detected, err = db.PlanQueryWithDetection(q)
 	} else {
-		node, err = db.Plan(text)
+		node, err = db.Bind(q)
 	}
 	if err != nil {
 		return Explained{}, err

@@ -27,7 +27,7 @@ const (
 	tokKeyword
 	tokNumber
 	tokString
-	tokSymbol // ( ) , . * =, <>, <, <=, >, >=
+	tokSymbol // ( ) , . * ? =, <>, <, <=, >, >=
 )
 
 // token is one lexical unit; Pos is a byte offset for error
@@ -111,7 +111,7 @@ func lex(input string) ([]token, error) {
 				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
 			}
 			toks = append(toks, token{Kind: tokString, Text: sb.String(), Pos: start})
-		case strings.ContainsRune("(),.*", c):
+		case strings.ContainsRune("(),.*?", c):
 			toks = append(toks, token{Kind: tokSymbol, Text: string(c), Pos: i})
 			i++
 		case c == '=':

@@ -1,0 +1,137 @@
+package sql
+
+import (
+	"fmt"
+
+	"divlaws/internal/value"
+)
+
+// SubstituteParams resolves every ? placeholder in the statement to
+// the positional argument with its ordinal, returning a new Query;
+// q itself is never mutated, so a prepared statement's parsed AST
+// can be bound many times (and concurrently) with different
+// arguments. The walk rebuilds only expression trees — table names,
+// aliases and column lists are shared with q.
+//
+// It errors when the argument count does not match q.Params, which
+// is why binding is the stage that resolves parameters: the parse
+// result is argument-independent, and nothing downstream (detection,
+// binding, optimization) ever sees a placeholder.
+func SubstituteParams(q *Query, args []value.Value) (*Query, error) {
+	if len(args) != q.Params {
+		return nil, fmt.Errorf("sql: statement has %d parameter(s), got %d argument(s)", q.Params, len(args))
+	}
+	if q.Params == 0 {
+		return q, nil
+	}
+	return substQuery(q, args)
+}
+
+func substQuery(q *Query, args []value.Value) (*Query, error) {
+	out := *q
+	if len(q.Select) > 0 {
+		out.Select = make([]SelectItem, len(q.Select))
+		for i, item := range q.Select {
+			e, err := substExpr(item.Expr, args)
+			if err != nil {
+				return nil, err
+			}
+			out.Select[i] = SelectItem{Expr: e, As: item.As}
+		}
+	}
+	if len(q.From) > 0 {
+		out.From = make([]TableRef, len(q.From))
+		for i, ref := range q.From {
+			r, err := substTableRef(ref, args)
+			if err != nil {
+				return nil, err
+			}
+			out.From[i] = r
+		}
+	}
+	var err error
+	if out.Where, err = substExpr(q.Where, args); err != nil {
+		return nil, err
+	}
+	if out.Having, err = substExpr(q.Having, args); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func substTableRef(ref TableRef, args []value.Value) (TableRef, error) {
+	switch r := ref.(type) {
+	case *BaseTable:
+		return r, nil
+	case *SubqueryTable:
+		sub, err := substQuery(r.Query, args)
+		if err != nil {
+			return nil, err
+		}
+		return &SubqueryTable{Query: sub, Alias: r.Alias}, nil
+	case *DivideTable:
+		dividend, err := substTableRef(r.Dividend, args)
+		if err != nil {
+			return nil, err
+		}
+		divisor, err := substTableRef(r.Divisor, args)
+		if err != nil {
+			return nil, err
+		}
+		on, err := substExpr(r.On, args)
+		if err != nil {
+			return nil, err
+		}
+		return &DivideTable{Dividend: dividend, Divisor: divisor, On: on}, nil
+	default:
+		return nil, fmt.Errorf("sql: cannot bind parameters in table reference %T", ref)
+	}
+}
+
+func substExpr(e Expr, args []value.Value) (Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *Placeholder:
+		if x.Ordinal < 0 || x.Ordinal >= len(args) {
+			return nil, fmt.Errorf("sql: placeholder ordinal %d out of range", x.Ordinal)
+		}
+		return &BoundArg{Val: args[x.Ordinal]}, nil
+	case *ColumnRef, *Literal, *BoundArg, *AggCall:
+		return e, nil
+	case *BoolOp:
+		l, err := substExpr(x.Left, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := substExpr(x.Right, args)
+		if err != nil {
+			return nil, err
+		}
+		return &BoolOp{Op: x.Op, Left: l, Right: r}, nil
+	case *NotExpr:
+		inner, err := substExpr(x.Inner, args)
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	case *Comparison:
+		l, err := substExpr(x.Left, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := substExpr(x.Right, args)
+		if err != nil {
+			return nil, err
+		}
+		return &Comparison{Left: l, Op: x.Op, Right: r}, nil
+	case *ExistsExpr:
+		sub, err := substQuery(x.Query, args)
+		if err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Query: sub, Negated: x.Negated}, nil
+	default:
+		return nil, fmt.Errorf("sql: cannot bind parameters in expression %T", e)
+	}
+}

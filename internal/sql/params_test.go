@@ -1,0 +1,112 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"divlaws/internal/plan"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+func TestParseCountsPlaceholders(t *testing.T) {
+	cases := []struct {
+		text string
+		want int
+	}{
+		{`SELECT s# FROM supplies WHERE p# = 'p1'`, 0},
+		{`SELECT s# FROM supplies WHERE p# = ?`, 1},
+		{`SELECT s# FROM supplies AS s DIVIDE BY (
+		    SELECT p# FROM parts WHERE color = ?) AS p ON s.p# = p.p#`, 1},
+		{`SELECT s# FROM supplies WHERE p# = ? OR p# = ?`, 2},
+	}
+	for _, tc := range cases {
+		q, err := Parse(tc.text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.text, err)
+		}
+		if q.Params != tc.want {
+			t.Errorf("Parse(%q).Params = %d, want %d", tc.text, q.Params, tc.want)
+		}
+	}
+}
+
+func TestSubstituteParamsResolvesAtBindTime(t *testing.T) {
+	db := suppliersDB()
+	q, err := Parse(`SELECT s#
+FROM supplies AS s DIVIDE BY (
+  SELECT p# FROM parts WHERE color = ?) AS p
+ON s.p# = p.p#`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same parsed AST binds repeatedly with different arguments.
+	for _, tc := range []struct {
+		color string
+		want  []string
+	}{
+		{"blue", []string{"s2", "s3"}},
+		{"red", []string{"s1", "s3"}},
+		{"green", []string{"s3", "s4"}},
+	} {
+		bound, err := SubstituteParams(q, []value.Value{value.String(tc.color)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := db.Bind(bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := plan.Eval(node)
+		if got.Len() != len(tc.want) {
+			t.Fatalf("color %s: %d rows, want %d:\n%v", tc.color, got.Len(), len(tc.want), got)
+		}
+		for _, s := range tc.want {
+			if !strings.Contains(got.String(), s) {
+				t.Errorf("color %s: missing %s in\n%v", tc.color, s, got)
+			}
+		}
+	}
+
+	// The original AST still contains the placeholder (no mutation).
+	if _, err := db.Bind(q); err == nil || !strings.Contains(err.Error(), "unbound placeholder") {
+		t.Errorf("binding unsubstituted AST should report the placeholder, got %v", err)
+	}
+}
+
+func TestSubstituteParamsArgCount(t *testing.T) {
+	q, err := Parse(`SELECT s# FROM supplies WHERE p# = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SubstituteParams(q, nil); err == nil {
+		t.Error("missing argument should error")
+	}
+	if _, err := SubstituteParams(q, []value.Value{value.Int(1), value.Int(2)}); err == nil {
+		t.Error("extra argument should error")
+	}
+}
+
+func TestSubstituteParamsAllKinds(t *testing.T) {
+	db := NewDB()
+	db.Register("nums", relation.FromRows(schema.New("a", "b"), [][]any{
+		{1, 1.5}, {2, 1.5}, {2, 7.0},
+	}))
+	q, err := Parse(`SELECT a FROM nums WHERE a >= ? AND b = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := SubstituteParams(q, []value.Value{value.Int(2), value.Float(1.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := db.Bind(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Eval(node); got.Len() != 1 {
+		t.Errorf("bound numeric query = %v", got)
+	}
+}

@@ -19,12 +19,16 @@ func Parse(input string) (*Query, error) {
 	if !p.at(tokEOF, "") {
 		return nil, p.errf("trailing input starting with %q", p.cur().Text)
 	}
+	q.Params = p.params
 	return q, nil
 }
 
 type parser struct {
 	toks []token
 	pos  int
+	// params counts ? placeholders across the whole statement,
+	// assigning source-order ordinals.
+	params int
 }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
@@ -324,9 +328,16 @@ func (p *parser) parsePredicate() (Expr, error) {
 	return &Comparison{Left: left, Op: t.Text, Right: right}, nil
 }
 
-// parseScalar parses a column reference, literal, or aggregate call.
+// parseScalar parses a column reference, literal, placeholder, or
+// aggregate call.
 func (p *parser) parseScalar() (Expr, error) {
 	t := p.cur()
+	if t.Kind == tokSymbol && t.Text == "?" {
+		p.next()
+		ph := &Placeholder{Ordinal: p.params}
+		p.params++
+		return ph, nil
+	}
 	switch t.Kind {
 	case tokNumber:
 		p.next()

@@ -77,6 +77,48 @@ type Item struct {
 	Rel     *relation.Relation
 }
 
+// Grid renders already-stringified rows under a header with
+// column-aligned values — the streaming-cursor counterpart of Table,
+// for callers that drain a divlaws.Rows instead of holding a
+// relation.
+func Grid(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		var line strings.Builder
+		for i, v := range vals {
+			if i >= len(widths) {
+				// Cells beyond the header get no alignment, matching
+				// the measuring loop's tolerance for over-wide rows.
+				line.WriteByte(' ')
+				line.WriteString(v)
+				continue
+			}
+			if i > 0 {
+				line.WriteByte(' ')
+			}
+			line.WriteString(pad(v, widths[i]))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n"
+}
+
 // Rows renders a simple two-column key/value listing used by the
 // benchmark reports.
 func Rows(pairs [][2]string) string {

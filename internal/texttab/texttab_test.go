@@ -16,6 +16,21 @@ func TestTableAlignment(t *testing.T) {
 	}
 }
 
+func TestGrid(t *testing.T) {
+	got := Grid([]string{"a", "bb"}, [][]string{{"1", "10"}, {"22", "3"}})
+	want := "a  bb\n1  10\n22 3\n"
+	if got != want {
+		t.Errorf("Grid:\n%q\nwant:\n%q", got, want)
+	}
+	if got := Grid([]string{"a"}, nil); got != "a\n" {
+		t.Errorf("empty Grid: %q", got)
+	}
+	// Rows wider than the header must render, not panic.
+	if got := Grid([]string{"a"}, [][]string{{"x", "y"}}); !strings.Contains(got, "y") {
+		t.Errorf("over-wide Grid row dropped cells: %q", got)
+	}
+}
+
 func TestTableEmpty(t *testing.T) {
 	r := relation.Ints([]string{"a"}, nil)
 	if got := Table(r); got != "a\n" {

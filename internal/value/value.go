@@ -287,6 +287,24 @@ func (v Value) String() string {
 	}
 }
 
+// Native returns the value as the natural Go type: nil, bool, int64,
+// float64, or string. It is the inverse of the row constructors and
+// backs scanning into *any destinations.
+func (v Value) Native() any {
+	switch v.kind {
+	case KindBool:
+		return v.i != 0
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return v.f
+	case KindString:
+		return v.s
+	default:
+		return nil
+	}
+}
+
 // GoString renders the value as a Go expression, for test diagnostics.
 func (v Value) GoString() string {
 	switch v.kind {

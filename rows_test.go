@@ -1,0 +1,178 @@
+// Rows lifecycle and cancellation tests: Close before exhaustion,
+// double Close, Scan after Close, and context cancellation
+// mid-stream over parallel division plans (run under -race in CI).
+package divlaws
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"divlaws/internal/datagen"
+)
+
+// openLarge registers a generated workload big enough to exceed the
+// parallel threshold, through the public API.
+func openLarge(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	supplies, parts := datagen.SuppliersParts{
+		Suppliers: 300, Parts: 40, Colors: 4, AvgSupplied: 20, Seed: 7,
+	}.Generate()
+	db := Open(opts...)
+	db.MustRegister("supplies", MustNewRelation(supplies.Schema().Attrs(), supplies.Rows()))
+	db.MustRegister("parts", MustNewRelation(parts.Schema().Attrs(), parts.Rows()))
+	return db
+}
+
+func TestRowsCloseBeforeExhaustion(t *testing.T) {
+	db := openSuppliers()
+	rows, err := db.Query(context.Background(), apiQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("expected at least one row")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("Close mid-stream: %v", err)
+	}
+	if rows.Next() {
+		t.Error("Next after Close must report false")
+	}
+	if err := rows.Err(); err != nil {
+		t.Errorf("early Close is not an error, got %v", err)
+	}
+}
+
+func TestRowsDoubleClose(t *testing.T) {
+	db := openSuppliers()
+	rows, err := db.Query(context.Background(), apiQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	// And double Close after exhaustion.
+	rows, err = db.Query(context.Background(), apiQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Errorf("Close after exhaustion, twice: %v", err)
+	}
+}
+
+func TestRowsScanAfterClose(t *testing.T) {
+	db := openSuppliers()
+	rows, err := db.Query(context.Background(), apiQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("expected a row")
+	}
+	rows.Close()
+	var s, c string
+	if err := rows.Scan(&s, &c); err == nil {
+		t.Error("Scan after Close should error")
+	}
+}
+
+func TestRowsScanWithoutNext(t *testing.T) {
+	db := openSuppliers()
+	rows, err := db.Query(context.Background(), apiQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var s, c string
+	if err := rows.Scan(&s, &c); err == nil {
+		t.Error("Scan before Next should error")
+	}
+	for rows.Next() {
+	}
+	if err := rows.Scan(&s, &c); err == nil {
+		t.Error("Scan after exhaustion should error")
+	}
+}
+
+func TestRowsCancelMidStreamParallel(t *testing.T) {
+	db := openLarge(t, WithWorkers(4), WithParallelThreshold(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows, err := db.Query(ctx, apiQ1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatalf("expected a first row, err %v", rows.Err())
+	}
+	cancel()
+	if rows.Next() {
+		t.Error("Next after cancellation must report false")
+	}
+	if err := rows.Err(); err != context.Canceled {
+		t.Errorf("Err = %v, want context.Canceled", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Errorf("Close after cancellation: %v", err)
+	}
+}
+
+func TestQueryCancelledBeforeOpen(t *testing.T) {
+	db := openLarge(t, WithWorkers(4), WithParallelThreshold(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Query(ctx, apiQ1); err != context.Canceled {
+		t.Errorf("Query under a pre-cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+func TestQueryCancelDuringParallelOpen(t *testing.T) {
+	// A cancellation racing the blocking Open phase must tear the
+	// parallel workers down: either Query fails with the context
+	// error, or it won the race and the stream then stops on the
+	// cancelled context. Both outcomes must settle promptly.
+	db := openLarge(t, WithWorkers(4), WithParallelThreshold(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		rows, err := db.Query(ctx, apiQ1)
+		if err != nil {
+			done <- err
+			return
+		}
+		for rows.Next() {
+		}
+		rows.Close()
+		done <- rows.Err()
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && err != context.Canceled {
+			t.Errorf("unexpected error: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled parallel query did not settle")
+	}
+}
+
+func TestRowsTimeoutContext(t *testing.T) {
+	db := openSuppliers()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // let the deadline pass
+	if _, err := db.Query(ctx, apiQ1); err != context.DeadlineExceeded {
+		t.Errorf("expired deadline = %v, want context.DeadlineExceeded", err)
+	}
+}
