@@ -15,6 +15,7 @@ package divlaws
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"divlaws/internal/datagen"
@@ -507,4 +508,146 @@ func BenchmarkRelationInsert(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallelDivideFirstRow measures time-to-first-row of the
+// streaming exchange: compile, Open (which materializes the inputs,
+// partitions, and launches the workers), and one Next. Before the
+// pipelined exchange this paid for the full quotient of every
+// partition inside Open; now it returns as soon as the first
+// partition resolves, with the other workers parked on the bounded
+// channel and torn down by Close.
+func BenchmarkParallelDivideFirstRow(b *testing.B) {
+	r1, r2 := datagen.DividePair{
+		Groups: 4000, GroupSize: 10, DivisorSize: 12,
+		Domain: 200, HitRate: 0.25, Seed: 1,
+	}.Generate()
+	for _, algo := range []division.Algorithm{division.AlgoHash, division.AlgoMaier} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			node := &plan.ParallelDivide{
+				Dividend: plan.NewScan("r1", r1),
+				Divisor:  plan.NewScan("r2", r2),
+				Algo:     algo, Workers: workers,
+			}
+			b.Run(fmt.Sprintf("%s/workers=%d", algo, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					it := exec.CompileWith(node, nil, exec.CompileOptions{ExchangeBuffer: 1})
+					if err := it.Open(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+					if _, ok, err := it.Next(); err != nil || !ok {
+						b.Fatalf("Next = (%t, %v)", ok, err)
+					}
+					if err := it.Close(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkParallelGreatDivideFirstRow is the Law 13 exchange's
+// time-to-first-row; see BenchmarkParallelDivideFirstRow.
+func BenchmarkParallelGreatDivideFirstRow(b *testing.B) {
+	g1, g2 := datagen.GreatDividePair{
+		Groups: 1500, GroupSize: 10,
+		DivisorGroups: 32, DivisorGroupSize: 6,
+		Domain: 200, HitRate: 0.25, Seed: 1,
+	}.Generate()
+	for _, workers := range []int{1, 2, 4, 8} {
+		node := &plan.ParallelGreatDivide{
+			Dividend: plan.NewScan("g1", g1),
+			Divisor:  plan.NewScan("g2", g2),
+			Workers:  workers,
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				it := exec.CompileWith(node, nil, exec.CompileOptions{ExchangeBuffer: 1})
+				if err := it.Open(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				if _, ok, err := it.Next(); err != nil || !ok {
+					b.Fatalf("Next = (%t, %v)", ok, err)
+				}
+				if err := it.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDividePeakAlloc reports the live heap held while
+// a parallel division is mid-stream (after the first row, GC
+// forced): the streaming exchange holds the partitioned inputs plus
+// one bounded buffer, where the materializing exchange additionally
+// held every partition's quotient and the merged copy.
+func BenchmarkParallelDividePeakAlloc(b *testing.B) {
+	r1, r2 := datagen.DividePair{
+		Groups: 4000, GroupSize: 10, DivisorSize: 12,
+		Domain: 200, HitRate: 0.25, Seed: 1,
+	}.Generate()
+	node := &plan.ParallelDivide{
+		Dividend: plan.NewScan("r1", r1),
+		Divisor:  plan.NewScan("r2", r2),
+		Workers:  4,
+	}
+	var ms runtime.MemStats
+	var total float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := exec.CompileWith(node, nil, exec.CompileOptions{ExchangeBuffer: 1})
+		if err := it.Open(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := it.Next(); err != nil || !ok {
+			b.Fatalf("Next = (%t, %v)", ok, err)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		total += float64(ms.HeapAlloc)
+		if err := it.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(total/float64(b.N), "live-B")
+}
+
+// BenchmarkQueryLimitOne measures the end-to-end early-exit path
+// through the public API: SELECT … LIMIT 1 over a parallel division,
+// parse to teardown. The limited query must not pay for the full
+// quotient.
+func BenchmarkQueryLimitOne(b *testing.B) {
+	supplies, parts := datagen.SuppliersParts{
+		Suppliers: 2000, Parts: 60, Colors: 5, AvgSupplied: 30, Seed: 3,
+	}.Generate()
+	db := Open(WithWorkers(4), WithParallelThreshold(1), WithExchangeBuffer(1))
+	db.MustRegister("supplies", MustNewRelation(supplies.Schema().Attrs(), supplies.Rows()))
+	db.MustRegister("parts", MustNewRelation(parts.Schema().Attrs(), parts.Rows()))
+	q := `SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#`
+	for _, tc := range []struct{ name, text string }{
+		{"limit-1", q + " LIMIT 1"},
+		{"full", q},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows, err := db.Query(context.Background(), tc.text)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for rows.Next() {
+				}
+				if err := rows.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if err := rows.Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -17,11 +17,12 @@ import (
 
 // config is the tunable behavior of a DB, set once at Open.
 type config struct {
-	workers       int
-	threshold     float64
-	optimize      bool
-	detect        bool
-	dataDependent bool
+	workers        int
+	threshold      float64
+	optimize       bool
+	detect         bool
+	dataDependent  bool
+	exchangeBuffer int
 }
 
 // Option configures a DB at Open time.
@@ -38,6 +39,15 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 func WithParallelThreshold(rows float64) Option {
 	return func(c *config) { c.threshold = rows }
 }
+
+// WithExchangeBuffer sets the bounded-channel capacity — counted in
+// tuple batches — between a parallel division's partition workers
+// and the consuming pipeline (the streaming exchange). Smaller
+// buffers tighten backpressure: workers compute little beyond what
+// the consumer has taken, so LIMIT and early Rows.Close waste less
+// work. Larger buffers decouple fast workers from a slow consumer.
+// n < 1 keeps the default (exec.DefaultExchangeBuffer).
+func WithExchangeBuffer(n int) Option { return func(c *config) { c.exchangeBuffer = n } }
 
 // WithoutOptimizer disables the law-based rewrite pass, executing
 // the bound plan as written.
@@ -209,7 +219,7 @@ func (db *DB) queryParsed(ctx context.Context, q *sql.Query, args []any) (*Rows,
 		return nil, err
 	}
 	stats := exec.NewStats()
-	it := exec.Compile(node, stats)
+	it := exec.CompileWith(node, stats, exec.CompileOptions{ExchangeBuffer: db.cfg.exchangeBuffer})
 	qctx, cancel := context.WithCancel(ctx)
 	if err := it.Open(qctx); err != nil {
 		it.Close()

@@ -55,13 +55,39 @@
 // parallel divisions; internal/plan adds ParallelDivide and
 // ParallelGreatDivide nodes; internal/optimizer's Parallelize pass
 // rewrites large divisions into them above a cardinality threshold;
-// and internal/exec compiles them to exchange-style iterators that
-// fan partitions out across goroutines, record per-partition sizes
-// in a mutex-protected Stats collector, and merge the disjoint
-// partial quotients. Open(WithWorkers(n)) enables the pass for an
-// embedded database; cmd/divsql and cmd/lawbench expose it as
-// -workers, and divsql's -explain prints the chosen partitioning per
-// operator.
+// and internal/exec compiles them to streaming exchange iterators:
+// one goroutine per partition feeds the incremental division state
+// and emits finished quotient tuples into a bounded channel, so the
+// first result row surfaces as soon as the first partition resolves
+// — never waiting on the slowest worker — and the quotient is never
+// materialized whole. Open(WithWorkers(n)) enables the pass for an
+// embedded database, WithExchangeBuffer tunes the channel's
+// backpressure bound; cmd/divsql and cmd/lawbench expose -workers,
+// and divsql's -explain prints the chosen partitioning per operator.
+//
+// # LIMIT and early exit
+//
+// A LIMIT clause caps the result and is pushed down as an early-exit
+// signal: the physical limit operator closes its subtree the moment
+// the n-th row is produced, which cancels a parallel exchange and
+// all of its workers mid-stream. A point lookup over a large
+// parallel division therefore costs one partition's first batch, not
+// the full quotient:
+//
+//	rows, err := db.Query(ctx, `SELECT s#, color
+//	    FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#
+//	    LIMIT 1`)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	if rows.Next() {
+//	    // One quotient row; the remaining workers have already been
+//	    // cancelled, which Rows.Stats makes observable: per-partition
+//	    // counts stay far below the full quotient sizes.
+//	}
+//
+// Closing the cursor early (or cancelling ctx) triggers the same
+// teardown, and Close blocks until every worker has exited, so a
+// consumer that stops reading never leaks goroutines.
 //
 // The engine implementation lives in internal/ packages; this
 // package is the one supported embedding surface. The commands under

@@ -129,3 +129,33 @@ ON s.p# = p.p#`)
 	// red: [s1 s3]
 	// blue: [s2 s3]
 }
+
+// ExampleDB_Query_limit shows LIMIT's early-exit pushdown: the
+// engine stops the pipeline — including any parallel division
+// workers — as soon as the limit is satisfied.
+func ExampleDB_Query_limit() {
+	db := divlaws.Open()
+	db.MustRegister("r1", divlaws.MustNewRelation([]string{"a", "b"}, [][]any{
+		{1, 1}, {1, 2},
+		{2, 1}, {2, 2},
+		{3, 1}, {3, 2},
+	}))
+	db.MustRegister("r2", divlaws.MustNewRelation([]string{"b"}, [][]any{{1}, {2}}))
+
+	rows, err := db.Query(context.Background(),
+		`SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b LIMIT 1`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows:", n)
+	// Output:
+	// rows: 1
+}

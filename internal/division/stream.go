@@ -77,13 +77,28 @@ func (s *DivideState) AddDividend(t relation.Tuple) {
 // first-seen order, matching the materialized HashDivide.
 func (s *DivideState) Result() *relation.Relation {
 	out := relation.New(s.split.A)
+	s.EachResult(func(t relation.Tuple) error {
+		out.InsertOwned(t)
+		return nil
+	})
+	return out
+}
+
+// EachResult streams the quotient tuples to fn in first-seen
+// candidate order, without materializing a relation — the emission
+// path of the streaming exchange operators. Tuples are owned by the
+// state and must not be mutated. fn's first error stops the scan and
+// is returned.
+func (s *DivideState) EachResult(fn func(relation.Tuple) error) error {
 	n := s.divisor.Len()
 	for id, a := range s.cands.Keys() {
 		if n == 0 || s.seen[id] == n {
-			out.InsertOwned(a)
+			if err := fn(a); err != nil {
+				return err
+			}
 		}
 	}
-	return out
+	return nil
 }
 
 // GreatDivideState incrementally computes the great divide r1 ÷* r2
@@ -172,13 +187,26 @@ func (s *GreatDivideState) AddDividend(t relation.Tuple) {
 // group c.
 func (s *GreatDivideState) Result() *relation.Relation {
 	out := relation.New(s.split.A.Concat(s.split.C))
+	s.EachResult(func(t relation.Tuple) error {
+		out.InsertOwned(t)
+		return nil
+	})
+	return out
+}
+
+// EachResult streams the quotient tuples (a, c) to fn in first-seen
+// candidate order; see DivideState.EachResult. Each emitted tuple is
+// freshly concatenated, so fn may retain it.
+func (s *GreatDivideState) EachResult(fn func(relation.Tuple) error) error {
 	for id, a := range s.cands.Keys() {
 		hits := s.hits[id]
 		for g, size := range s.sizes {
 			if hits[g] == size {
-				out.InsertOwned(a.Concat(s.gIx.Key(g)))
+				if err := fn(a.Concat(s.gIx.Key(g))); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	return out
+	return nil
 }

@@ -78,6 +78,12 @@ func TestIteratorCloseSafety(t *testing.T) {
 		{"GroupIter", func() Iterator {
 			return &GroupIter{Label: "g", Input: scan(ab), By: []string{"a"}}
 		}},
+		{"LimitIter", func() Iterator {
+			return &LimitIter{Label: "l", Input: scan(ab), N: 2}
+		}},
+		{"LimitIterZero", func() Iterator {
+			return &LimitIter{Label: "l0", Input: scan(ab), N: 0}
+		}},
 		{"SortIter", func() Iterator {
 			return &SortIter{Label: "so", Input: scan(ab)}
 		}},

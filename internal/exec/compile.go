@@ -8,34 +8,53 @@ import (
 	"divlaws/internal/relation"
 )
 
-// Compile lowers a logical plan to a physical iterator tree. Every
-// operator is labelled by its position so Stats exposes per-operator
-// tuple counts. stats may be nil.
-func Compile(n plan.Node, stats *Stats) Iterator {
-	return compile(n, stats, "root")
+// CompileOptions tunes physical operator construction.
+type CompileOptions struct {
+	// ExchangeBuffer is the bounded-channel capacity of streaming
+	// parallel exchange operators; 0 means DefaultExchangeBuffer.
+	ExchangeBuffer int
 }
 
-func compile(n plan.Node, stats *Stats, label string) Iterator {
+// Compile lowers a logical plan to a physical iterator tree with
+// default options. Every operator is labelled by its position so
+// Stats exposes per-operator tuple counts. stats may be nil.
+func Compile(n plan.Node, stats *Stats) Iterator {
+	return CompileWith(n, stats, CompileOptions{})
+}
+
+// CompileWith is Compile with explicit options.
+func CompileWith(n plan.Node, stats *Stats, opts CompileOptions) Iterator {
+	return compile(n, stats, "root", opts)
+}
+
+func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Iterator {
 	switch t := n.(type) {
 	case *plan.Scan:
 		return &ScanIter{Label: label + "/scan(" + t.Name + ")", Rel: t.Rel, Stats: stats}
 	case *plan.Select:
 		return &FilterIter{
 			Label: label + "/filter",
-			Input: compile(t.Input, stats, label+".0"),
+			Input: compile(t.Input, stats, label+".0", opts),
 			Pred:  t.Pred,
 			Stats: stats,
 		}
 	case *plan.Project:
 		return &ProjectIter{
 			Label: label + "/project",
-			Input: compile(t.Input, stats, label+".0"),
+			Input: compile(t.Input, stats, label+".0", opts),
 			Attrs: t.Attrs,
 			Stats: stats,
 		}
+	case *plan.Limit:
+		return &LimitIter{
+			Label: label + "/limit",
+			Input: compile(t.Input, stats, label+".0", opts),
+			N:     t.N,
+			Stats: stats,
+		}
 	case *plan.Set:
-		l := compile(t.Left, stats, label+".0")
-		r := compile(t.Right, stats, label+".1")
+		l := compile(t.Left, stats, label+".0", opts)
+		r := compile(t.Right, stats, label+".1", opts)
 		switch t.Op {
 		case plan.UnionOp:
 			return &UnionIter{Label: label + "/union", Left: l, Right: r, Stats: stats}
@@ -47,44 +66,44 @@ func compile(n plan.Node, stats *Stats, label string) Iterator {
 	case *plan.Product:
 		return &ProductIter{
 			Label: label + "/product",
-			Left:  compile(t.Left, stats, label+".0"),
-			Right: compile(t.Right, stats, label+".1"),
+			Left:  compile(t.Left, stats, label+".0", opts),
+			Right: compile(t.Right, stats, label+".1", opts),
 			Stats: stats,
 		}
 	case *plan.Join:
 		return &HashJoinIter{
 			Label: label + "/hashjoin",
-			Left:  compile(t.Left, stats, label+".0"),
-			Right: compile(t.Right, stats, label+".1"),
+			Left:  compile(t.Left, stats, label+".0", opts),
+			Right: compile(t.Right, stats, label+".1", opts),
 			Stats: stats,
 		}
 	case *plan.ThetaJoin:
 		return &ThetaJoinIter{
 			Label: label + "/thetajoin",
-			Left:  compile(t.Left, stats, label+".0"),
-			Right: compile(t.Right, stats, label+".1"),
+			Left:  compile(t.Left, stats, label+".0", opts),
+			Right: compile(t.Right, stats, label+".1", opts),
 			Pred:  t.Pred,
 			Stats: stats,
 		}
 	case *plan.SemiJoin:
 		return &SemiJoinIter{
 			Label: label + "/semijoin",
-			Left:  compile(t.Left, stats, label+".0"),
-			Right: compile(t.Right, stats, label+".1"),
+			Left:  compile(t.Left, stats, label+".0", opts),
+			Right: compile(t.Right, stats, label+".1", opts),
 			Keep:  true,
 			Stats: stats,
 		}
 	case *plan.AntiSemiJoin:
 		return &SemiJoinIter{
 			Label: label + "/antisemijoin",
-			Left:  compile(t.Left, stats, label+".0"),
-			Right: compile(t.Right, stats, label+".1"),
+			Left:  compile(t.Left, stats, label+".0", opts),
+			Right: compile(t.Right, stats, label+".1", opts),
 			Keep:  false,
 			Stats: stats,
 		}
 	case *plan.Divide:
-		dividend := compile(t.Dividend, stats, label+".0")
-		divisor := compile(t.Divisor, stats, label+".1")
+		dividend := compile(t.Dividend, stats, label+".0", opts)
+		divisor := compile(t.Divisor, stats, label+".1", opts)
 		if t.Algo == division.AlgoMergeSort {
 			// Sort the dividend on A so the group-preserving
 			// pipelined operator applies.
@@ -113,39 +132,41 @@ func compile(n plan.Node, stats *Stats, label string) Iterator {
 	case *plan.GreatDivide:
 		return &GreatDivideIter{
 			Label:    label + "/greatdivide",
-			Dividend: compile(t.Dividend, stats, label+".0"),
-			Divisor:  compile(t.Divisor, stats, label+".1"),
+			Dividend: compile(t.Dividend, stats, label+".0", opts),
+			Divisor:  compile(t.Divisor, stats, label+".1", opts),
 			Stats:    stats,
 		}
 	case *plan.ParallelDivide:
 		return &ParallelDivideIter{
 			Label:    label + "/paralleldivide",
-			Dividend: compile(t.Dividend, stats, label+".0"),
-			Divisor:  compile(t.Divisor, stats, label+".1"),
+			Dividend: compile(t.Dividend, stats, label+".0", opts),
+			Divisor:  compile(t.Divisor, stats, label+".1", opts),
 			Algo:     t.Algo,
 			Workers:  t.Workers,
+			Buffer:   opts.ExchangeBuffer,
 			Stats:    stats,
 		}
 	case *plan.ParallelGreatDivide:
 		return &ParallelGreatDivideIter{
 			Label:    label + "/parallelgreatdivide",
-			Dividend: compile(t.Dividend, stats, label+".0"),
-			Divisor:  compile(t.Divisor, stats, label+".1"),
+			Dividend: compile(t.Dividend, stats, label+".0", opts),
+			Divisor:  compile(t.Divisor, stats, label+".1", opts),
 			Algo:     t.Algo,
 			Workers:  t.Workers,
+			Buffer:   opts.ExchangeBuffer,
 			Stats:    stats,
 		}
 	case *plan.Group:
 		return &GroupIter{
 			Label: label + "/group",
-			Input: compile(t.Input, stats, label+".0"),
+			Input: compile(t.Input, stats, label+".0", opts),
 			By:    t.By,
 			Aggs:  t.Aggs,
 			Stats: stats,
 		}
 	case *plan.Rename:
 		return &RenameIter{
-			Input: compile(t.Input, stats, label+".0"),
+			Input: compile(t.Input, stats, label+".0", opts),
 			From:  t.From,
 			To:    t.To,
 		}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"context"
+
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+)
+
+// LimitIter passes through the first N tuples of its input and ends
+// the stream, closing the child as soon as the limit is reached —
+// not when the parent eventually calls Close — so blocking and
+// streaming subtrees stop working immediately. Over a parallel
+// exchange this is the early-exit pushdown: reaching the limit
+// cancels the exchange and every partition worker mid-stream, and
+// the rest of the quotient is never computed. A limit of zero never
+// opens the child at all.
+type LimitIter struct {
+	Label string
+	Input Iterator
+	N     int64
+	Stats *Stats
+
+	seen    int64
+	opened  bool
+	stopped bool  // child released early, before Close
+	stopErr error // error from the early child Close, reported once
+}
+
+// Open implements Iterator.
+func (l *LimitIter) Open(ctx context.Context) error {
+	l.seen = 0
+	l.stopped = l.N <= 0
+	l.stopErr = nil
+	if !l.stopped {
+		if err := l.Input.Open(ctx); err != nil {
+			return err
+		}
+	}
+	l.opened = true
+	return nil
+}
+
+// Next implements Iterator.
+func (l *LimitIter) Next() (relation.Tuple, bool, error) {
+	if !l.opened {
+		return nil, false, errNotOpen("LimitIter")
+	}
+	if l.stopped || l.seen >= l.N {
+		// Report an early-teardown error once, at end of stream —
+		// never in place of the valid final tuple.
+		err := l.stopErr
+		l.stopErr = nil
+		return nil, false, err
+	}
+	t, ok, err := l.Input.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	l.Stats.count(l.Label, 1)
+	if l.seen >= l.N {
+		// Limit reached: release the subtree now. Close is idempotent,
+		// so the parent's eventual Close stays harmless. A teardown
+		// error must not eat the tuple the consumer asked for; it
+		// surfaces on the next call (or from Close).
+		l.stopped = true
+		l.stopErr = l.Input.Close()
+	}
+	return t, true, nil
+}
+
+// Close implements Iterator.
+func (l *LimitIter) Close() error {
+	l.opened = false
+	err := l.Input.Close()
+	if err == nil {
+		err = l.stopErr
+	}
+	l.stopErr = nil
+	return err
+}
+
+// Schema implements Iterator.
+func (l *LimitIter) Schema() schema.Schema { return l.Input.Schema() }

@@ -10,13 +10,103 @@ import (
 	"divlaws/internal/schema"
 )
 
-// ParallelDivideIter is the exchange-style physical operator for
-// plan.ParallelDivide: it materializes both inputs, range-partitions
-// the dividend on the quotient attributes A (Law 2 under c2, which
-// the partitioning establishes by construction), divides each
-// partition on its own goroutine, and merges the disjoint partial
-// quotients. Per-partition output sizes are recorded in Stats under
-// "<label>/part<i>".
+// DefaultExchangeBuffer is the capacity, in tuple batches of up to
+// parallel.EmitBatchSize, of the bounded channel between a streaming
+// exchange's partition workers and its consumer. The bound is the
+// backpressure mechanism: workers that outrun the consumer block on
+// the channel instead of materializing the whole quotient, so an
+// early-exiting parent (LIMIT, Rows.Close) leaves most of the
+// quotient uncomputed.
+const DefaultExchangeBuffer = 16
+
+// exchange owns the worker fan-out of a streaming exchange operator:
+// a bounded batch channel fed by partition workers via a coordinator
+// goroutine, a cancel function tearing the fan-out down, and a done
+// channel marking full termination. err is written by the
+// coordinator before done closes, so readers must observe <-done (or
+// a closed ch, which done ordering guarantees follows err) first.
+// Batching (parallel.EmitBatchSize tuples per send) amortizes the
+// channel handoff and the per-partition stats accounting to noise,
+// keeping streamed throughput at parity with the old materializing
+// exchange.
+type exchange struct {
+	ch     chan []relation.Tuple
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+
+	cur []relation.Tuple // batch being consumed
+	pos int
+}
+
+// startExchange launches run in a coordinator goroutine streaming
+// into a bounded batch channel of the given capacity (0 means
+// DefaultExchangeBuffer). run receives a derived context and a send
+// function that blocks under backpressure but aborts — returning the
+// context's error — once the exchange is cancelled; run must return
+// promptly after cancellation.
+func startExchange(ctx context.Context, buffer int, run func(ctx context.Context, send func([]relation.Tuple) error) error) *exchange {
+	if buffer <= 0 {
+		buffer = DefaultExchangeBuffer
+	}
+	exCtx, cancel := context.WithCancel(ctx)
+	ex := &exchange{
+		ch:     make(chan []relation.Tuple, buffer),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(ex.done)
+		defer close(ex.ch)
+		ex.err = run(exCtx, func(batch []relation.Tuple) error {
+			select {
+			case ex.ch <- batch:
+				return nil
+			case <-exCtx.Done():
+				return exCtx.Err()
+			}
+		})
+	}()
+	return ex
+}
+
+// next pulls one tuple off the exchange; ok is false at end of
+// stream, in which case err reports how the workers finished.
+func (ex *exchange) next() (t relation.Tuple, ok bool, err error) {
+	for ex.pos >= len(ex.cur) {
+		batch, ok := <-ex.ch
+		if !ok {
+			<-ex.done
+			return nil, false, ex.err
+		}
+		ex.cur, ex.pos = batch, 0
+	}
+	t = ex.cur[ex.pos]
+	ex.pos++
+	return t, true, nil
+}
+
+// stop cancels the fan-out and waits for every worker to exit, so
+// callers get deterministic teardown with no goroutine leaks. It is
+// idempotent.
+func (ex *exchange) stop() {
+	ex.cancel()
+	<-ex.done
+}
+
+// ParallelDivideIter is the streaming exchange operator for
+// plan.ParallelDivide: Open materializes both inputs,
+// range-partitions the dividend on the quotient attributes A (Law 2
+// under c2, which the partitioning establishes by construction), and
+// launches one goroutine per partition; each worker runs the
+// streaming division.DivideState over its partition and emits its
+// finished quotient tuples into a bounded channel. Next pulls from
+// the channel, so the first row surfaces as soon as the first
+// partition resolves — the pipeline above never waits for the
+// slowest worker — and Close (or context cancellation) tears the
+// workers down mid-stream. Per-partition emission counts are
+// recorded in Stats under "<label>/part<i>" as tuples flow, so an
+// early exit leaves them below the full quotient sizes.
 type ParallelDivideIter struct {
 	Label             string
 	Dividend, Divisor Iterator
@@ -24,12 +114,13 @@ type ParallelDivideIter struct {
 	Algo division.Algorithm
 	// Workers is the partition/goroutine count; 0 means GOMAXPROCS.
 	Workers int
-	Stats   *Stats
+	// Buffer is the exchange channel capacity; 0 means
+	// DefaultExchangeBuffer.
+	Buffer int
+	Stats  *Stats
 
-	out     schema.Schema
-	results []relation.Tuple
-	pos     int
-	opened  bool
+	out schema.Schema
+	ex  *exchange
 }
 
 // Open implements Iterator.
@@ -50,44 +141,41 @@ func (p *ParallelDivideIter) Open(ctx context.Context) error {
 	if algo == "" {
 		algo = division.AlgoHash
 	}
-	// The per-partition quotients are materialized intermediates of
-	// the exchange, so they are counted as their own Stats operators
-	// ("<label>/part<i>") in addition to the merged output the
-	// operator itself emits — sequential divides have no such
-	// intermediate layer.
-	quotients, err := parallel.DividePartitionedCtx(ctx, algo, dividend, divisor, p.Workers)
-	if err != nil {
-		return err
-	}
-	merged := relation.New(split.A)
-	for i, q := range quotients {
-		p.Stats.count(partLabel(p.Label, i), int64(q.Len()))
-		merged.InsertAll(q)
-	}
 	p.out = split.A
-	p.results = merged.Tuples()
-	p.pos = 0
-	p.opened = true
+	p.ex = startExchange(ctx, p.Buffer, func(exCtx context.Context, send func([]relation.Tuple) error) error {
+		return parallel.DivideStream(exCtx, algo, dividend, divisor, p.Workers,
+			func(part int, batch []relation.Tuple) error {
+				if err := send(batch); err != nil {
+					return err
+				}
+				p.Stats.count(partLabel(p.Label, part), int64(len(batch)))
+				return nil
+			})
+	})
 	return nil
 }
 
 // Next implements Iterator.
 func (p *ParallelDivideIter) Next() (relation.Tuple, bool, error) {
-	if !p.opened {
+	if p.ex == nil {
 		return nil, false, errNotOpen("ParallelDivideIter")
 	}
-	if p.pos >= len(p.results) {
-		return nil, false, nil
+	t, ok, err := p.ex.next()
+	if !ok {
+		return nil, false, err
 	}
-	t := p.results[p.pos]
-	p.pos++
 	p.Stats.count(p.Label, 1)
 	return t, true, nil
 }
 
-// Close implements Iterator.
+// Close implements Iterator. It cancels the exchange and blocks until
+// every partition worker has exited, so mid-stream teardown leaves no
+// goroutines behind.
 func (p *ParallelDivideIter) Close() error {
-	p.results, p.opened = nil, false
+	if p.ex != nil {
+		p.ex.stop()
+		p.ex = nil
+	}
 	err1 := p.Dividend.Close()
 	err2 := p.Divisor.Close()
 	if err1 != nil {
@@ -109,23 +197,25 @@ func (p *ParallelDivideIter) Schema() schema.Schema {
 	return p.out
 }
 
-// ParallelGreatDivideIter is the exchange-style physical operator
-// for plan.ParallelGreatDivide: the dividend is replicated, the
-// divisor hash-partitioned on its group attributes C (Law 13, whose
+// ParallelGreatDivideIter is the streaming exchange operator for
+// plan.ParallelGreatDivide: the dividend is replicated, the divisor
+// hash-partitioned on its group attributes C (Law 13, whose
 // πC-disjointness premise the partitioning establishes by
-// construction), each partition great-divided on its own goroutine,
-// and the partial quotients merged.
+// construction), and one worker per partition great-divides and
+// streams its quotient tuples into the exchange channel; see
+// ParallelDivideIter for the exchange mechanics.
 type ParallelGreatDivideIter struct {
 	Label             string
 	Dividend, Divisor Iterator
 	Algo              division.Algorithm
 	Workers           int
-	Stats             *Stats
+	// Buffer is the exchange channel capacity; 0 means
+	// DefaultExchangeBuffer.
+	Buffer int
+	Stats  *Stats
 
-	out     schema.Schema
-	results []relation.Tuple
-	pos     int
-	opened  bool
+	out schema.Schema
+	ex  *exchange
 }
 
 // Open implements Iterator.
@@ -146,39 +236,39 @@ func (g *ParallelGreatDivideIter) Open(ctx context.Context) error {
 	if algo == "" {
 		algo = division.GreatAlgoHash
 	}
-	quotients, err := parallel.GreatDividePartitionedCtx(ctx, algo, dividend, divisor, g.Workers)
-	if err != nil {
-		return err
-	}
-	merged := relation.New(split.A.Concat(split.C))
-	for i, q := range quotients {
-		g.Stats.count(partLabel(g.Label, i), int64(q.Len()))
-		merged.InsertAll(q)
-	}
 	g.out = split.A.Concat(split.C)
-	g.results = merged.Tuples()
-	g.pos = 0
-	g.opened = true
+	g.ex = startExchange(ctx, g.Buffer, func(exCtx context.Context, send func([]relation.Tuple) error) error {
+		return parallel.GreatDivideStream(exCtx, algo, dividend, divisor, g.Workers,
+			func(part int, batch []relation.Tuple) error {
+				if err := send(batch); err != nil {
+					return err
+				}
+				g.Stats.count(partLabel(g.Label, part), int64(len(batch)))
+				return nil
+			})
+	})
 	return nil
 }
 
 // Next implements Iterator.
 func (g *ParallelGreatDivideIter) Next() (relation.Tuple, bool, error) {
-	if !g.opened {
+	if g.ex == nil {
 		return nil, false, errNotOpen("ParallelGreatDivideIter")
 	}
-	if g.pos >= len(g.results) {
-		return nil, false, nil
+	t, ok, err := g.ex.next()
+	if !ok {
+		return nil, false, err
 	}
-	t := g.results[g.pos]
-	g.pos++
 	g.Stats.count(g.Label, 1)
 	return t, true, nil
 }
 
-// Close implements Iterator.
+// Close implements Iterator; see ParallelDivideIter.Close.
 func (g *ParallelGreatDivideIter) Close() error {
-	g.results, g.opened = nil, false
+	if g.ex != nil {
+		g.ex.stop()
+		g.ex = nil
+	}
 	err1 := g.Dividend.Close()
 	err2 := g.Divisor.Close()
 	if err1 != nil {

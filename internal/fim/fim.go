@@ -25,7 +25,10 @@ import (
 // Itemset is a sorted list of item ids.
 type Itemset []int64
 
-// Key renders the canonical identity of the itemset.
+// Key renders the canonical identity of the itemset. The miners
+// themselves track itemsets through the engine's TupleIndex; the
+// string key is retained as the independent identity the
+// string-keyed collision-test oracle is built on.
 func (s Itemset) Key() string {
 	parts := make([]string, len(s))
 	for i, it := range s {
@@ -33,6 +36,44 @@ func (s Itemset) Key() string {
 	}
 	return strings.Join(parts, ",")
 }
+
+// itemsetTuple encodes an itemset as the tuple of its items, the
+// injective representation the TupleIndex hashes.
+func itemsetTuple(s Itemset) relation.Tuple {
+	t := make(relation.Tuple, len(s))
+	for i, it := range s {
+		t[i] = value.Int(it)
+	}
+	return t
+}
+
+// itemsetIndex assigns dense ids to itemsets through the engine's
+// TupleIndex, replacing per-itemset string keys in the miners'
+// candidate bookkeeping. Ids are first-seen order.
+type itemsetIndex struct {
+	ix   relation.TupleIndex
+	sets []Itemset
+}
+
+// add indexes s, returning its dense id (stable across duplicates).
+func (x *itemsetIndex) add(s Itemset) int {
+	id, created := x.ix.ID(itemsetTuple(s))
+	if created {
+		x.sets = append(x.sets, s)
+	}
+	return id
+}
+
+// contains reports whether s is indexed.
+func (x *itemsetIndex) contains(s Itemset) bool {
+	return x.ix.Lookup(itemsetTuple(s)) >= 0
+}
+
+// set returns the itemset with the given id.
+func (x *itemsetIndex) set(id int) Itemset { return x.sets[id] }
+
+// len returns the number of indexed itemsets.
+func (x *itemsetIndex) len() int { return len(x.sets) }
 
 // Result is one discovered frequent itemset with its support count.
 type Result struct {
@@ -135,15 +176,15 @@ func (DivideMiner) Mine(t *Transactions, minSupport int) []Result {
 		if len(candidates) == 0 {
 			break
 		}
-		// Vertical candidates(itemset, item) table. The paper notes
-		// the candidates need not share a size, but Apriori levels do.
+		// Vertical candidates(itemset, item) table keyed by the dense
+		// TupleIndex id of each itemset. The paper notes the candidates
+		// need not share a size, but Apriori levels do.
 		cand := relation.New(schema.New("itemset", "item"))
-		byKey := make(map[string]Itemset, len(candidates))
+		var candIx itemsetIndex
 		for _, c := range candidates {
-			key := c.Key()
-			byKey[key] = c
+			id := candIx.add(c)
 			for _, it := range c {
-				cand.Insert(relation.Tuple{value.String(key), value.Int(it)})
+				cand.Insert(relation.Tuple{value.Int(int64(id)), value.Int(it)})
 			}
 		}
 
@@ -158,7 +199,7 @@ func (DivideMiner) Mine(t *Transactions, minSupport int) []Result {
 
 		current = current[:0]
 		for _, row := range frequent.Tuples() {
-			items := byKey[row[0].AsString()]
+			items := candIx.set(int(row[0].AsInt()))
 			results = append(results, Result{Items: items, Support: int(row[1].AsInt())})
 			current = append(current, items)
 		}
@@ -189,6 +230,86 @@ func (HashMiner) Mine(t *Transactions, minSupport int) []Result {
 
 	for k := 2; len(current) > 0; k++ {
 		candidates := generateCandidates(current, k)
+		if len(candidates) == 0 {
+			break
+		}
+		var candIx itemsetIndex
+		for _, c := range candidates {
+			candIx.add(c)
+		}
+		counts := make([]int, candIx.len())
+		for _, id := range t.ids {
+			items := t.rows[id]
+			for cid := 0; cid < candIx.len(); cid++ {
+				if containsSorted(items, candIx.set(cid)) {
+					counts[cid]++
+				}
+			}
+		}
+		current = current[:0]
+		for cid, n := range counts {
+			if n >= minSupport {
+				items := candIx.set(cid)
+				results = append(results, Result{Items: items, Support: n})
+				current = append(current, items)
+			}
+		}
+		sortItemsets(current)
+	}
+	sortResults(results)
+	return results
+}
+
+// mineStringKeyed is the string-keyed Apriori reference retained as
+// the collision-test oracle: all candidate bookkeeping goes through
+// Itemset.Key strings and Go maps, never the TupleIndex, so the
+// masked-hash tests have an independent result to compare both
+// miners against.
+func mineStringKeyed(t *Transactions, minSupport int) []Result {
+	var results []Result
+	freq := frequentItems(t, minSupport)
+	results = append(results, freq...)
+	current := make([]Itemset, len(freq))
+	for i, f := range freq {
+		current[i] = f.Items
+	}
+
+	for k := 2; len(current) > 0; k++ {
+		// Apriori-gen over string keys.
+		prev := make(map[string]bool, len(current))
+		for _, s := range current {
+			prev[s.Key()] = true
+		}
+		var candidates []Itemset
+		for i := 0; i < len(current); i++ {
+			for j := i + 1; j < len(current); j++ {
+				a, b := current[i], current[j]
+				if len(a) != k-1 || len(b) != k-1 {
+					continue
+				}
+				if !samePrefix(a, b) || a[len(a)-1] >= b[len(b)-1] {
+					continue
+				}
+				cand := append(append(Itemset{}, a...), b[len(b)-1])
+				ok := true
+				sub := make(Itemset, 0, len(cand)-1)
+				for skip := range cand {
+					sub = sub[:0]
+					for i, it := range cand {
+						if i != skip {
+							sub = append(sub, it)
+						}
+					}
+					if !prev[sub.Key()] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					candidates = append(candidates, cand)
+				}
+			}
+		}
 		if len(candidates) == 0 {
 			break
 		}
@@ -239,11 +360,12 @@ func frequentItems(t *Transactions, minSupport int) []Result {
 
 // generateCandidates joins frequent (k-1)-itemsets sharing a
 // (k-2)-prefix and prunes candidates with an infrequent subset — the
-// classic Apriori-gen.
+// classic Apriori-gen. Frequent-subset membership runs through the
+// TupleIndex, not string keys.
 func generateCandidates(frequent []Itemset, k int) []Itemset {
-	prev := make(map[string]bool, len(frequent))
+	var prev itemsetIndex
 	for _, s := range frequent {
-		prev[s.Key()] = true
+		prev.add(s)
 	}
 	var out []Itemset
 	for i := 0; i < len(frequent); i++ {
@@ -256,7 +378,7 @@ func generateCandidates(frequent []Itemset, k int) []Itemset {
 				continue
 			}
 			cand := append(append(Itemset{}, a...), b[len(b)-1])
-			if allSubsetsFrequent(cand, prev) {
+			if allSubsetsFrequent(cand, &prev) {
 				out = append(out, cand)
 			}
 		}
@@ -274,7 +396,7 @@ func samePrefix(a, b Itemset) bool {
 	return true
 }
 
-func allSubsetsFrequent(cand Itemset, prev map[string]bool) bool {
+func allSubsetsFrequent(cand Itemset, prev *itemsetIndex) bool {
 	sub := make(Itemset, 0, len(cand)-1)
 	for skip := range cand {
 		sub = sub[:0]
@@ -283,7 +405,7 @@ func allSubsetsFrequent(cand Itemset, prev map[string]bool) bool {
 				sub = append(sub, it)
 			}
 		}
-		if !prev[sub.Key()] {
+		if !prev.contains(sub) {
 			return false
 		}
 	}

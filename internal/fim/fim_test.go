@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"divlaws/internal/datagen"
+	"divlaws/internal/hashkey"
 )
 
 // paperBaskets is a small hand-checked dataset.
@@ -159,5 +160,37 @@ func TestMinerNames(t *testing.T) {
 	var h HashMiner
 	if d.Name() == h.Name() {
 		t.Error("miners must have distinct names")
+	}
+}
+
+// TestMinersCollisions degrades every hash to 3 bits, so the
+// TupleIndex-based candidate bookkeeping of both miners (and the
+// division underneath DivideMiner) collides constantly, and checks
+// both against the fully string-keyed reference miner.
+func TestMinersCollisions(t *testing.T) {
+	restore := hashkey.SetMaskForTesting(7)
+	defer restore()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		gen := datagen.Baskets{
+			Transactions: 15 + rng.Intn(25),
+			Items:        5 + rng.Intn(5),
+			AvgSize:      3,
+			Seed:         int64(100 + trial),
+		}
+		txs := gen.Generate()
+		lists := make(map[int64][]int64, len(txs))
+		for _, tx := range txs {
+			lists[tx.ID] = tx.Items
+		}
+		trans := FromLists(lists)
+		minSup := 2 + rng.Intn(3)
+		want := mineStringKeyed(trans, minSup)
+		for _, m := range []Miner{DivideMiner{}, HashMiner{}} {
+			if got := m.Mine(trans, minSup); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d (%s, minSup %d): masked mining diverged\ngot:  %v\nwant: %v",
+					trial, m.Name(), minSup, got, want)
+			}
+		}
 	}
 }

@@ -56,28 +56,24 @@ func KleeneDienes(x, y float64) float64 {
 
 // Relation is a fuzzy relation: a set of tuples with membership
 // grades. Inserting a tuple twice keeps the maximum grade (fuzzy
-// set union semantics).
+// set union semantics). Tuple identity runs through the engine's
+// 64-bit TupleIndex — no per-tuple key strings.
 type Relation struct {
 	sch    schema.Schema
-	grades map[string]float64
-	tuples map[string]relation.Tuple
-	order  []string
+	ix     relation.TupleIndex
+	grades []float64 // per tuple id
 }
 
 // NewRelation returns an empty fuzzy relation over the schema.
 func NewRelation(sch schema.Schema) *Relation {
-	return &Relation{
-		sch:    sch,
-		grades: make(map[string]float64),
-		tuples: make(map[string]relation.Tuple),
-	}
+	return &Relation{sch: sch}
 }
 
 // Schema returns the relation's schema.
 func (r *Relation) Schema() schema.Schema { return r.sch }
 
 // Len returns the number of tuples with positive grade.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.ix.Len() }
 
 // Insert adds a tuple with the given grade, keeping the maximum
 // grade on duplicates. Grades outside [0, 1] panic; a zero grade is
@@ -92,23 +88,29 @@ func (r *Relation) Insert(t relation.Tuple, grade float64) {
 	if grade == 0 {
 		return
 	}
-	k := t.Key()
-	if old, ok := r.grades[k]; !ok || grade > old {
-		if !ok {
-			r.order = append(r.order, k)
-			r.tuples[k] = t.Clone()
+	if id := r.ix.Lookup(t); id >= 0 {
+		if grade > r.grades[id] {
+			r.grades[id] = grade
 		}
-		r.grades[k] = grade
+		return
 	}
+	r.ix.ID(t.Clone())
+	r.grades = append(r.grades, grade)
 }
 
 // Grade returns the membership grade of t (0 when absent).
-func (r *Relation) Grade(t relation.Tuple) float64 { return r.grades[t.Key()] }
+func (r *Relation) Grade(t relation.Tuple) float64 {
+	if id := r.ix.Lookup(t); id >= 0 {
+		return r.grades[id]
+	}
+	return 0
+}
 
-// Each visits tuples and grades in insertion order.
+// Each visits tuples and grades in insertion order. The tuples are
+// owned by the relation and must not be mutated.
 func (r *Relation) Each(fn func(t relation.Tuple, grade float64)) {
-	for _, k := range r.order {
-		fn(r.tuples[k], r.grades[k])
+	for id, t := range r.ix.Keys() {
+		fn(t, r.grades[id])
 	}
 }
 
@@ -217,13 +219,77 @@ func AlmostAll(lo float64) func(float64) float64 {
 	}
 }
 
-// divide runs the shared candidate/implication machinery.
+// divide runs the shared candidate/implication machinery over the
+// TupleIndex: the B universe is numbered once (divisor support
+// first, then the dividend's B projections), each candidate keeps a
+// dense per-B-id image of dividend grades, and the aggregation runs
+// off integer ids — no key strings anywhere.
 func divide(r1, r2 *Relation, split division.Split, agg func([]float64) float64, impl Implication) *Relation {
 	aPos := r1.sch.Positions(split.A.Attrs())
 	bPos := r1.sch.Positions(split.B.Attrs())
 	bOrder := r2.sch.Positions(split.B.Attrs())
 
-	// Per-candidate image: B-key -> dividend grade.
+	// Number the B universe.
+	var bIx relation.TupleIndex
+	r2.Each(func(t relation.Tuple, _ float64) { bIx.IDProj(t, bOrder) })
+	r1.Each(func(t relation.Tuple, _ float64) { bIx.IDProj(t, bPos) })
+	m := bIx.Len()
+
+	// Candidates with dense images: per candidate, grade per B id.
+	var cands relation.TupleIndex
+	var images [][]float64
+	var best []float64
+	r1.Each(func(t relation.Tuple, g float64) {
+		id, created := cands.IDProj(t, aPos)
+		if created {
+			images = append(images, make([]float64, m))
+			best = append(best, 0)
+		}
+		bid := bIx.LookupProj(t, bPos)
+		if g > images[id][bid] {
+			images[id][bid] = g
+		}
+		if g > best[id] {
+			best[id] = g
+		}
+	})
+
+	// Divisor support in deterministic order.
+	type divisorTuple struct {
+		id    int
+		grade float64
+	}
+	var divisor []divisorTuple
+	r2.Each(func(t relation.Tuple, g float64) {
+		divisor = append(divisor, divisorTuple{id: bIx.LookupProj(t, bOrder), grade: g})
+	})
+
+	out := NewRelation(split.A)
+	for cid, a := range cands.Keys() {
+		if len(divisor) == 0 {
+			// Empty divisor: candidate qualifies with its own grade
+			// (crisp reduction of r ÷ ∅ = πA(r)).
+			out.Insert(a, best[cid])
+			continue
+		}
+		impls := make([]float64, len(divisor))
+		for i, d := range divisor {
+			impls[i] = impl(d.grade, images[cid][d.id])
+		}
+		grade := math.Min(agg(impls), best[cid])
+		out.Insert(a, grade)
+	}
+	return out
+}
+
+// divideStringKeyed is the string-keyed reference implementation of
+// the shared divide machinery, retained as the collision-test
+// oracle: candidate images in Go maps keyed on Tuple.Key strings.
+func divideStringKeyed(r1, r2 *Relation, split division.Split, agg func([]float64) float64, impl Implication) *Relation {
+	aPos := r1.sch.Positions(split.A.Attrs())
+	bPos := r1.sch.Positions(split.B.Attrs())
+	bOrder := r2.sch.Positions(split.B.Attrs())
+
 	type candidate struct {
 		a     relation.Tuple
 		image map[string]float64
@@ -249,7 +315,6 @@ func divide(r1, r2 *Relation, split division.Split, agg func([]float64) float64,
 		}
 	})
 
-	// Divisor support in deterministic order.
 	type divisorTuple struct {
 		key   string
 		grade float64
@@ -263,8 +328,6 @@ func divide(r1, r2 *Relation, split division.Split, agg func([]float64) float64,
 	for _, k := range order {
 		c := cands[k]
 		if len(divisor) == 0 {
-			// Empty divisor: candidate qualifies with its own grade
-			// (crisp reduction of r ÷ ∅ = πA(r)).
 			out.Insert(c.a, c.best)
 			continue
 		}
@@ -272,8 +335,7 @@ func divide(r1, r2 *Relation, split division.Split, agg func([]float64) float64,
 		for i, d := range divisor {
 			impls[i] = impl(d.grade, c.image[d.key])
 		}
-		grade := math.Min(agg(impls), c.best)
-		out.Insert(c.a, grade)
+		out.Insert(c.a, math.Min(agg(impls), c.best))
 	}
 	return out
 }

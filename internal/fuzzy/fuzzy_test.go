@@ -3,9 +3,11 @@ package fuzzy
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"divlaws/internal/division"
+	"divlaws/internal/hashkey"
 	"divlaws/internal/relation"
 	"divlaws/internal/schema"
 	"divlaws/internal/value"
@@ -294,4 +296,76 @@ func TestDivideMonotoneInImplication(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestFuzzyDivideCollisions degrades every hash to 3 bits and checks
+// the TupleIndex-based divide (minimum and OWA aggregation, several
+// implications) against the string-keyed reference on random graded
+// relations.
+func TestFuzzyDivideCollisions(t *testing.T) {
+	restore := hashkey.SetMaskForTesting(7)
+	defer restore()
+	rng := rand.New(rand.NewSource(55))
+	impls := []Implication{Goedel, Goguen, Lukasiewicz, KleeneDienes}
+	for trial := 0; trial < 40; trial++ {
+		r1 := NewRelation(schema.New("a", "b"))
+		for i := 0; i < rng.Intn(40); i++ {
+			r1.Insert(relation.Tuple{
+				value.Int(int64(rng.Intn(8))), value.Int(int64(rng.Intn(5))),
+			}, float64(1+rng.Intn(10))/10)
+		}
+		r2 := NewRelation(schema.New("b"))
+		for i := 0; i < rng.Intn(4); i++ {
+			r2.Insert(relation.Tuple{value.Int(int64(rng.Intn(5)))}, float64(1+rng.Intn(10))/10)
+		}
+		split, err := division.SmallSplit(r1.Schema(), r2.Schema())
+		if err != nil {
+			t.Fatal(err)
+		}
+		impl := impls[trial%len(impls)]
+		minAgg := func(vals []float64) float64 {
+			m := 1.0
+			for _, v := range vals {
+				if v < m {
+					m = v
+				}
+			}
+			return m
+		}
+		got := Divide(r1, r2, impl)
+		want := divideStringKeyed(r1, r2, split, minAgg, impl)
+		if !sameFuzzy(got, want) {
+			t.Fatalf("trial %d: masked fuzzy divide diverged", trial)
+		}
+		if r2.Len() > 0 {
+			w := QuantifierWeights(AlmostAll(0.3), r2.Len())
+			got := OWADivide(r1, r2, impl, w)
+			want := divideStringKeyed(r1, r2, split, func(vals []float64) float64 {
+				sorted := append([]float64(nil), vals...)
+				sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+				total := 0.0
+				for i, v := range sorted {
+					total += w[i] * v
+				}
+				return total
+			}, impl)
+			if !sameFuzzy(got, want) {
+				t.Fatalf("trial %d: masked OWA divide diverged", trial)
+			}
+		}
+	}
+}
+
+// sameFuzzy compares two fuzzy relations as graded sets.
+func sameFuzzy(a, b *Relation) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	same := true
+	a.Each(func(t relation.Tuple, g float64) {
+		if math.Abs(b.Grade(t)-g) > 1e-12 {
+			same = false
+		}
+	})
+	return same
 }

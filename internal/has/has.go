@@ -77,25 +77,34 @@ func (a Association) String() string {
 }
 
 // Classify determines the unique association between a related set
-// S and a qualification set Q, both given as key sets.
+// S and a qualification set Q, both given as key sets. It is the
+// map-based classification kept for direct use in tests and the
+// string-keyed reference; HAS itself classifies from TupleIndex
+// counts.
 func Classify(s, q map[string]struct{}) Association {
-	if len(s) == 0 {
-		return NoneAtAll
-	}
 	common := 0
 	for k := range s {
 		if _, ok := q[k]; ok {
 			common++
 		}
 	}
-	extra := len(s) - common
+	return classifyCounts(len(s), common, len(q))
+}
+
+// classifyCounts determines the association from set cardinalities:
+// |S|, |S ∩ Q|, and |Q|.
+func classifyCounts(sLen, common, qLen int) Association {
+	if sLen == 0 {
+		return NoneAtAll
+	}
+	extra := sLen - common
 	// Coverage of Q is checked before disjointness so an empty Q
 	// classifies nonempty S as "strictly more than" (S ⊋ ∅), keeping
 	// the division correspondence exact for empty divisors.
 	switch {
-	case common == len(q) && extra == 0:
+	case common == qLen && extra == 0:
 		return Exactly
-	case common == len(q):
+	case common == qLen:
 		return StrictlyMoreThan
 	case common == 0:
 		return NoneOfPlusElse
@@ -113,6 +122,12 @@ func Classify(s, q map[string]struct{}) Association {
 // The result has schema A: the entities whose association with Q is
 // among assocs. Entities of r1 without any relationship in r3
 // classify as NoneAtAll.
+//
+// Classification runs over the engine's 64-bit TupleIndex with no
+// per-tuple key strings: Q is indexed once, and each entity only
+// needs |S| and |S ∩ Q| — r3's tuples are distinct over A ∪ B, so
+// every relationship tuple contributes exactly one distinct B value
+// to its entity and plain counting suffices.
 func HAS(r1, r3, r2 *relation.Relation, assocs Association) *relation.Relation {
 	a := r1.Schema()
 	b := r2.Schema()
@@ -124,13 +139,56 @@ func HAS(r1, r3, r2 *relation.Relation, assocs Association) *relation.Relation {
 		panic(fmt.Sprintf("has: entity schemas %v and %v must be disjoint", a, b))
 	}
 	aPos := r3.Schema().Positions(a.Attrs())
+	// bPos lists r3's B columns in r2's attribute order, so projected
+	// lookups align with Q's index directly.
 	bPos := r3.Schema().Positions(b.Attrs())
+
+	var qIx relation.TupleIndex
+	for _, t := range r2.Tuples() {
+		qIx.ID(t)
+	}
+	qLen := qIx.Len()
+
+	var eIx relation.TupleIndex
+	var total, common []int
+	for _, t := range r3.Tuples() {
+		id, created := eIx.IDProj(t, aPos)
+		if created {
+			total = append(total, 0)
+			common = append(common, 0)
+		}
+		total[id]++
+		if qIx.LookupProj(t, bPos) >= 0 {
+			common[id]++
+		}
+	}
+
+	out := relation.New(a)
+	for _, e := range r1.Tuples() {
+		sLen, c := 0, 0
+		if id := eIx.Lookup(e); id >= 0 {
+			sLen, c = total[id], common[id]
+		}
+		if classifyCounts(sLen, c, qLen)&assocs != 0 {
+			out.Insert(e)
+		}
+	}
+	return out
+}
+
+// hasStringKeyed is the string-keyed reference implementation of
+// HAS, retained as the collision-test oracle: the masked-hash tests
+// compare HAS under a 3-bit hash space against it to prove the
+// TupleIndex verification keeps classification exact.
+func hasStringKeyed(r1, r3, r2 *relation.Relation, assocs Association) *relation.Relation {
+	a := r1.Schema()
+	aPos := r3.Schema().Positions(a.Attrs())
+	bPos := r3.Schema().Positions(r2.Schema().Attrs())
 
 	q := make(map[string]struct{}, r2.Len())
 	for _, t := range r2.Tuples() {
 		q[t.Key()] = struct{}{}
 	}
-
 	related := make(map[string]map[string]struct{})
 	for _, t := range r3.Tuples() {
 		ak := t.Project(aPos).Key()
@@ -139,11 +197,8 @@ func HAS(r1, r3, r2 *relation.Relation, assocs Association) *relation.Relation {
 			s = make(map[string]struct{})
 			related[ak] = s
 		}
-		// bPos lists r3's B columns in r2's attribute order, so the
-		// projected key aligns with Q's keys directly.
 		s[t.Project(bPos).Key()] = struct{}{}
 	}
-
 	out := relation.New(a)
 	for _, e := range r1.Tuples() {
 		s := related[e.Key()]

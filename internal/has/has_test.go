@@ -7,6 +7,7 @@ import (
 
 	"divlaws/internal/algebra"
 	"divlaws/internal/division"
+	"divlaws/internal/hashkey"
 	"divlaws/internal/relation"
 	"divlaws/internal/schema"
 	"divlaws/internal/value"
@@ -192,6 +193,45 @@ func TestClassifyDirect(t *testing.T) {
 	for _, tc := range cases {
 		if got := Classify(tc.s, q); got != tc.want {
 			t.Errorf("Classify(%v) = %s, want %s", tc.s, got, tc.want)
+		}
+	}
+}
+
+// TestHASCollisions degrades every hash to 3 bits so TupleIndex
+// probes walk collision chains constantly, and checks HAS against
+// the string-keyed reference for every association on random inputs:
+// the collision verification, not hash uniqueness, carries the
+// classification.
+func TestHASCollisions(t *testing.T) {
+	restore := hashkey.SetMaskForTesting(7)
+	defer restore()
+	rng := rand.New(rand.NewSource(71))
+	assocs := []Association{
+		StrictlyMoreThan, StrictlyLessThan, SomeButNotAllPlusElse,
+		Exactly, NoneOfPlusElse, NoneAtAll, AtLeast, All,
+	}
+	for trial := 0; trial < 60; trial++ {
+		r1 := relation.New(schema.New("a"))
+		for i := 0; i < rng.Intn(10); i++ {
+			r1.Insert(relation.Tuple{value.Int(int64(rng.Intn(8)))})
+		}
+		r3 := relation.New(schema.New("a", "b"))
+		for i := 0; i < rng.Intn(30); i++ {
+			r3.Insert(relation.Tuple{
+				value.Int(int64(rng.Intn(8))), value.Int(int64(rng.Intn(6))),
+			})
+		}
+		r2 := relation.New(schema.New("b"))
+		for i := 0; i < rng.Intn(4); i++ {
+			r2.Insert(relation.Tuple{value.Int(int64(rng.Intn(6)))})
+		}
+		for _, a := range assocs {
+			got := HAS(r1, r3, r2, a)
+			want := hasStringKeyed(r1, r3, r2, a)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d, %s: masked HAS=%v want %v\nr3:\n%v\nr2:\n%v",
+					trial, a, got, want, r3, r2)
+			}
 		}
 	}
 }

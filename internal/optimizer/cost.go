@@ -135,6 +135,14 @@ func Estimated(n plan.Node) Estimate {
 		divide := (d.Rows + v.Rows) * hashWeight / w
 		overhead := v.Rows*partitionWeight + rows*hashWeight
 		return Estimate{Rows: rows, Cost: d.Cost + v.Cost + divide + overhead}
+	case *plan.Limit:
+		in := Estimated(t.Input)
+		rows := minf(in.Rows, float64(t.N))
+		// The physical LimitIter stops pulling at N, so a streaming
+		// subtree's cost is partially avoided; the model keeps the
+		// child's full cost (blocking subtrees pay it anyway) plus a
+		// per-emitted-tuple pass.
+		return Estimate{Rows: rows, Cost: in.Cost + rows*cpuWeight}
 	case *plan.Group:
 		in := Estimated(t.Input)
 		rows := in.Rows * groupShrink

@@ -30,6 +30,15 @@ type ParallelOptions struct {
 // safe unconditionally — the partitioning establishes the laws'
 // preconditions by construction — so the threshold is purely a cost
 // heuristic. The trace records each rewrite like a rule application.
+//
+// The pass is limit-aware by design: divisions beneath a plan.Limit
+// are still parallelized, because the exchange operators stream —
+// reaching the limit cancels the workers mid-quotient, so the
+// parallel form costs at most what the limit consumes while the
+// first rows still arrive a partition-width faster. The threshold
+// keeps using the dividend estimate, not the limit, since the
+// division must consume its whole dividend regardless of how little
+// of the quotient the parent wants.
 func Parallelize(n plan.Node, opts ParallelOptions) (plan.Node, []Applied) {
 	if opts.Workers < 2 {
 		return n, nil

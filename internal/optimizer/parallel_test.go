@@ -148,3 +148,30 @@ func TestParallelPlanCompilesSetEqual(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelizeUnderLimit proves the pass is limit-aware: a
+// division beneath a plan.Limit is still parallelized (the streaming
+// exchange plus early exit make the parallel form strictly better
+// under LIMIT), and the Limit node itself survives on top.
+func TestParallelizeUnderLimit(t *testing.T) {
+	node, r1, _ := dividePlan(5)
+	limited := &plan.Limit{Input: node, N: 1}
+	got, trace := Parallelize(limited, ParallelOptions{Workers: 4, Threshold: float64(r1.Len()) / 2})
+	lim, ok := got.(*plan.Limit)
+	if !ok {
+		t.Fatalf("root = %T, want *plan.Limit", got)
+	}
+	if _, ok := lim.Input.(*plan.ParallelDivide); !ok {
+		t.Fatalf("Limit input = %T, want *plan.ParallelDivide", lim.Input)
+	}
+	if len(trace) != 1 {
+		t.Fatalf("trace = %v", trace)
+	}
+	// The limit caps the cardinality estimate above the exchange.
+	if rows := Rows(got); rows != 1 {
+		t.Errorf("Rows(Limit[1]) = %g, want 1", rows)
+	}
+	if rows := Rows(lim.Input); rows <= 1 {
+		t.Errorf("Rows under the limit should stay the division estimate, got %g", rows)
+	}
+}

@@ -32,6 +32,41 @@ const checkEvery = 1024
 // DefaultWorkers is used when a worker count of 0 is given.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// EmitBatchSize is the number of quotient tuples a partition worker
+// accumulates before handing them downstream in one EmitFunc call.
+// Batching amortizes the consumer's per-delivery costs (a channel
+// send with a cancellation select, stats accounting) to noise
+// without hurting first-row latency: a batch fills during the
+// in-memory result scan, microseconds after the partition resolves.
+const EmitBatchSize = 64
+
+// EmitFunc receives streamed quotient tuples from partition workers
+// in batches of up to EmitBatchSize (the final batch of a partition
+// may be shorter). part identifies the emitting partition; batches
+// of one partition arrive in order, but different partitions emit
+// concurrently (one goroutine each), so implementations must be
+// safe for concurrent use. The batch slice is owned by the receiver.
+// Returning an error stops the emitting worker; the first error is
+// reported by the stream call.
+type EmitFunc func(part int, batch []relation.Tuple) error
+
+// partitionGate, when non-nil, is called by every partition worker
+// just before it starts dividing its partition. It exists only for
+// tests, which block chosen partitions to prove that streaming
+// consumers observe other partitions' quotients first.
+var partitionGate func(part int)
+
+// SetPartitionGateForTesting installs a hook called by each partition
+// worker (with its partition index) before any division work, and
+// returns a function restoring the previous hook. Tests use it to
+// stall selected partitions deterministically; not for concurrent use
+// with other tests mutating the gate.
+func SetPartitionGateForTesting(fn func(part int)) (restore func()) {
+	old := partitionGate
+	partitionGate = fn
+	return func() { partitionGate = old }
+}
+
 // Divide computes r1 ÷ r2 with the dividend range-partitioned on the
 // quotient attributes across workers goroutines (Law 2 under c2),
 // using the default hash-division per partition.
@@ -84,85 +119,200 @@ func DividePartitioned(algo division.Algorithm, r1, r2 *relation.Relation, worke
 // Schema violations panic, exactly as the sequential division
 // operators do.
 func DividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int) ([]*relation.Relation, error) {
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Schema validation happens in the division operators (sequential
-	// path) or PartitionDividend (parallel path); both panic on a
-	// violation.
-	if workers == 1 || r1.Len() < 2*workers {
-		q, err := divideCtx(ctx, algo, r1, r2)
-		if err != nil {
-			return nil, err
-		}
-		return []*relation.Relation{q}, nil
+	split, err := division.SmallSplit(r1.Schema(), r2.Schema())
+	if err != nil {
+		panic(err) // parity with DivideWith's schema panic
 	}
-	parts := PartitionDividend(r1, r2, workers)
+	parts := smallParts(r1, r2, workers)
 	results := make([]*relation.Relation, len(parts))
-	errs := make([]error, len(parts))
+	for i := range results {
+		results[i] = relation.New(split.A)
+	}
+	// Each worker emits only under its own part index, so the slot
+	// writes are goroutine-local.
+	if err := divideParts(ctx, algo, parts, r2, func(part int, batch []relation.Tuple) error {
+		for _, t := range batch {
+			results[part].InsertOwned(t)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// DivideStream computes r1 ÷ r2 across workers goroutines (Law 2
+// under c2), streaming each partition's quotient tuples to emit as
+// soon as that partition resolves instead of materializing
+// per-partition relations — the core of the pipelined exchange
+// operators. It returns after every worker has finished; the first
+// error observed (context cancellation or an emit rejection) stops
+// the fan-out and is returned.
+func DivideStream(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int, emit EmitFunc) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return divideParts(ctx, algo, smallParts(r1, r2, workers), r2, emit)
+}
+
+// smallParts plans the dividend partitioning of r1 ÷ r2: a single
+// pseudo-partition (r1 itself) when the input is too small to be
+// worth partitioning, range partitions on A otherwise. At least one
+// partition is always returned.
+func smallParts(r1, r2 *relation.Relation, workers int) []*relation.Relation {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers == 1 || r1.Len() < 2*workers {
+		return []*relation.Relation{r1}
+	}
+	return PartitionDividend(r1, r2, workers)
+}
+
+// divideParts runs one small-divide worker per partition.
+func divideParts(ctx context.Context, algo division.Algorithm, parts []*relation.Relation, r2 *relation.Relation, emit EmitFunc) error {
+	return runWorkers(ctx, len(parts), func(ctx context.Context, i int) error {
+		return divideStreamPart(ctx, algo, i, parts[i], r2, emit)
+	})
+}
+
+// runWorkers spawns one goroutine per partition, waits for all of
+// them, and returns the first error.
+func runWorkers(ctx context.Context, n int, work func(ctx context.Context, i int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if n == 1 {
+		if gate := partitionGate; gate != nil {
+			gate(0)
+		}
+		return work(ctx, 0)
+	}
+	errs := make([]error, n)
 	var wg sync.WaitGroup
-	for i, part := range parts {
+	for i := 0; i < n; i++ {
 		wg.Add(1)
-		go func(i int, part *relation.Relation) {
+		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = divideCtx(ctx, algo, part, r2)
-		}(i, part)
+			if gate := partitionGate; gate != nil {
+				gate(i)
+			}
+			errs[i] = work(ctx, i)
+		}(i)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return results, nil
+	return nil
 }
 
 // divisionState is the incremental feeding protocol shared by
 // division.DivideState and division.GreatDivideState; the streaming
 // states are the single source of the hash algorithms, the workers
-// only add the ctx polls around the feed.
+// only add the ctx polls around the feed and the emission.
 type divisionState interface {
 	AddDivisor(relation.Tuple)
 	AddDividend(relation.Tuple)
-	Result() *relation.Relation
+	EachResult(func(relation.Tuple) error) error
 }
 
 // feedCtx streams (divisor, then dividend) into a division state,
 // polling ctx every checkEvery dividend tuples.
-func feedCtx(ctx context.Context, st divisionState, r1, r2 *relation.Relation) (*relation.Relation, error) {
+func feedCtx(ctx context.Context, st divisionState, r1, r2 *relation.Relation) error {
 	for _, t := range r2.Tuples() {
 		st.AddDivisor(t)
 	}
 	for i, t := range r1.Tuples() {
 		if i&(checkEvery-1) == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		st.AddDividend(t)
 	}
-	return st.Result(), nil
+	return nil
 }
 
-// divideCtx divides one partition cooperatively. The default hash
-// algorithm streams through division.DivideState with a ctx poll
-// every checkEvery tuples; other algorithms are opaque relational
-// computations, so they poll only before starting.
-func divideCtx(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation) (*relation.Relation, error) {
+// batcher accumulates one partition's quotient tuples and flushes
+// them downstream every EmitBatchSize, polling ctx at each flush so
+// emission loops observe cancellation even when the sink itself
+// cannot block on it.
+type batcher struct {
+	ctx  context.Context
+	part int
+	emit EmitFunc
+	buf  []relation.Tuple
+}
+
+// add buffers one tuple, flushing a full batch.
+func (b *batcher) add(t relation.Tuple) error {
+	if b.buf == nil {
+		b.buf = make([]relation.Tuple, 0, EmitBatchSize)
+	}
+	b.buf = append(b.buf, t)
+	if len(b.buf) >= EmitBatchSize {
+		return b.flush()
+	}
+	return nil
+}
+
+// flush hands the pending batch (if any) downstream; it must be
+// called once more after the last add.
+func (b *batcher) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	if err := b.ctx.Err(); err != nil {
+		return err
+	}
+	batch := b.buf
+	b.buf = nil
+	return b.emit(b.part, batch)
+}
+
+// emitRelation streams a materialized quotient downstream; the path
+// of the non-hash algorithms, which compute their partition's
+// quotient as an opaque relational computation first.
+func emitRelation(ctx context.Context, part int, q *relation.Relation, emit EmitFunc) error {
+	sink := &batcher{ctx: ctx, part: part, emit: emit}
+	for _, t := range q.Tuples() {
+		if err := sink.add(t); err != nil {
+			return err
+		}
+	}
+	return sink.flush()
+}
+
+// divideStreamPart divides one partition cooperatively, streaming its
+// quotient tuples out. The default hash algorithm streams through
+// division.DivideState with a ctx poll every checkEvery tuples; other
+// algorithms are opaque relational computations, so they poll only
+// before starting and while emitting.
+func divideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1, r2 *relation.Relation, emit EmitFunc) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	if algo != division.AlgoHash {
-		return division.DivideWith(algo, r1, r2), nil
+		return emitRelation(ctx, part, division.DivideWith(algo, r1, r2), emit)
 	}
 	st, err := division.NewDivideState(r1.Schema(), r2.Schema())
 	if err != nil {
 		panic(err) // parity with DivideWith's schema panic
 	}
-	return feedCtx(ctx, st, r1, r2)
+	if err := feedCtx(ctx, st, r1, r2); err != nil {
+		return err
+	}
+	sink := &batcher{ctx: ctx, part: part, emit: emit}
+	if err := st.EachResult(sink.add); err != nil {
+		return err
+	}
+	return sink.flush()
 }
 
 // GreatDivide computes r1 ÷* r2 with the divisor hash-partitioned on
@@ -205,18 +355,49 @@ func GreatDividePartitioned(algo division.Algorithm, r1, r2 *relation.Relation, 
 // DividePartitionedCtx: hash workers poll every checkEvery dividend
 // tuples, other algorithms between phases.
 func GreatDividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int) ([]*relation.Relation, error) {
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if workers == 1 || r2.Len() < 2*workers {
-		q, err := greatDivideCtx(ctx, algo, r1, r2)
-		if err != nil {
-			return nil, err
+	split, err := division.GreatSplit(r1.Schema(), r2.Schema())
+	if err != nil {
+		panic(err) // parity with GreatDivideWith's schema panic
+	}
+	parts := greatParts(r1, r2, workers)
+	results := make([]*relation.Relation, len(parts))
+	for i := range results {
+		results[i] = relation.New(split.A.Concat(split.C))
+	}
+	if err := greatDivideParts(ctx, algo, r1, parts, func(part int, batch []relation.Tuple) error {
+		for _, t := range batch {
+			results[part].InsertOwned(t)
 		}
-		return []*relation.Relation{q}, nil
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// GreatDivideStream computes r1 ÷* r2 across workers goroutines (Law
+// 13), streaming each divisor partition's quotient tuples to emit as
+// soon as that partition resolves; the great-divide counterpart of
+// DivideStream, with the same contract.
+func GreatDivideStream(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int, emit EmitFunc) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return greatDivideParts(ctx, algo, r1, greatParts(r1, r2, workers), emit)
+}
+
+// greatParts plans the divisor partitioning of r1 ÷* r2: the divisor
+// itself when too small to partition, non-empty hash partitions on C
+// otherwise. At least one partition is always returned.
+func greatParts(r1, r2 *relation.Relation, workers int) []*relation.Relation {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers == 1 || r2.Len() < 2*workers {
+		return []*relation.Relation{r2}
 	}
 	var parts []*relation.Relation
 	for _, part := range PartitionDivisor(r1, r2, workers) {
@@ -224,39 +405,39 @@ func GreatDividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1,
 			parts = append(parts, part)
 		}
 	}
-	results := make([]*relation.Relation, len(parts))
-	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
-	for i, part := range parts {
-		wg.Add(1)
-		go func(i int, part *relation.Relation) {
-			defer wg.Done()
-			results[i], errs[i] = greatDivideCtx(ctx, algo, r1, part)
-		}(i, part)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return parts
 }
 
-// greatDivideCtx great-divides one divisor partition cooperatively;
-// see divideCtx.
-func greatDivideCtx(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation) (*relation.Relation, error) {
+// greatDivideParts runs one great-divide worker per divisor
+// partition.
+func greatDivideParts(ctx context.Context, algo division.Algorithm, r1 *relation.Relation, parts []*relation.Relation, emit EmitFunc) error {
+	return runWorkers(ctx, len(parts), func(ctx context.Context, i int) error {
+		return greatDivideStreamPart(ctx, algo, i, r1, parts[i], emit)
+	})
+}
+
+// greatDivideStreamPart great-divides one divisor partition
+// cooperatively, streaming its quotient tuples out; see
+// divideStreamPart.
+func greatDivideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1, r2 *relation.Relation, emit EmitFunc) error {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 	if algo != division.GreatAlgoHash {
-		return division.GreatDivideWith(algo, r1, r2), nil
+		return emitRelation(ctx, part, division.GreatDivideWith(algo, r1, r2), emit)
 	}
 	st, err := division.NewGreatDivideState(r1.Schema(), r2.Schema())
 	if err != nil {
 		panic(err) // parity with GreatDivideWith's schema panic
 	}
-	return feedCtx(ctx, st, r1, r2)
+	if err := feedCtx(ctx, st, r1, r2); err != nil {
+		return err
+	}
+	sink := &batcher{ctx: ctx, part: part, emit: emit}
+	if err := st.EachResult(sink.add); err != nil {
+		return err
+	}
+	return sink.flush()
 }
 
 // PartitionDividend splits the dividend of r1 ÷ r2 into at most

@@ -66,6 +66,19 @@ func Eval(n Node) *relation.Relation {
 			algo = division.GreatAlgoHash
 		}
 		return parallel.GreatDivideWith(algo, Eval(t.Dividend), Eval(t.Divisor), t.Workers)
+	case *Limit:
+		in := Eval(t.Input)
+		if int64(in.Len()) <= t.N {
+			return in
+		}
+		out := relation.New(in.Schema())
+		for i, tup := range in.Tuples() {
+			if int64(i) >= t.N {
+				break
+			}
+			out.InsertOwned(tup)
+		}
+		return out
 	case *Group:
 		return algebra.Group(Eval(t.Input), t.By, t.Aggs)
 	case *Rename:

@@ -358,6 +358,31 @@ func (g *Group) String() string {
 	return fmt.Sprintf("Group[by=(%s); %s]", strings.Join(g.By, ", "), strings.Join(parts, ", "))
 }
 
+// Limit caps its input at the first N tuples. Relations are sets, so
+// which N tuples survive is implementation-defined; the operator
+// exists as an early-exit signal: the physical LimitIter stops
+// pulling — and tears down streaming subtrees such as parallel
+// exchanges — as soon as N tuples have surfaced.
+type Limit struct {
+	Input Node
+	N     int64
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() schema.Schema { return l.Input.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Input} }
+
+// WithChildren implements Node.
+func (l *Limit) WithChildren(ch []Node) Node {
+	mustArity("Limit", ch, 1)
+	return &Limit{Input: ch[0], N: l.N}
+}
+
+// String implements Node.
+func (l *Limit) String() string { return fmt.Sprintf("Limit[%d]", l.N) }
+
 // Rename renames one attribute of its input.
 type Rename struct {
 	Input    Node

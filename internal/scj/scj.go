@@ -20,14 +20,15 @@ import (
 )
 
 // ItemSet is a set of scalar values, the payload of a set-valued
-// attribute.
+// attribute. Membership runs through the engine's 64-bit TupleIndex
+// over single-value tuples — no per-element key strings.
 type ItemSet struct {
-	items map[string]value.Value
+	ix relation.TupleIndex
 }
 
 // NewItemSet builds a set from the given values.
 func NewItemSet(vals ...value.Value) *ItemSet {
-	s := &ItemSet{items: make(map[string]value.Value, len(vals))}
+	s := &ItemSet{}
 	for _, v := range vals {
 		s.Add(v)
 	}
@@ -45,21 +46,16 @@ func IntSet(xs ...int64) *ItemSet {
 
 // Add inserts v, reporting whether it was new.
 func (s *ItemSet) Add(v value.Value) bool {
-	k := string(v.AppendKey(nil))
-	if _, dup := s.items[k]; dup {
-		return false
-	}
-	s.items[k] = v
-	return true
+	_, created := s.ix.ID(relation.Tuple{v})
+	return created
 }
 
 // Len returns the cardinality.
-func (s *ItemSet) Len() int { return len(s.items) }
+func (s *ItemSet) Len() int { return s.ix.Len() }
 
 // Contains reports membership of v.
 func (s *ItemSet) Contains(v value.Value) bool {
-	_, ok := s.items[string(v.AppendKey(nil))]
-	return ok
+	return s.ix.Lookup(relation.Tuple{v}) >= 0
 }
 
 // ContainsAll reports whether s ⊇ t.
@@ -67,8 +63,8 @@ func (s *ItemSet) ContainsAll(t *ItemSet) bool {
 	if t.Len() > s.Len() {
 		return false
 	}
-	for k := range t.items {
-		if _, ok := s.items[k]; !ok {
+	for _, e := range t.ix.Keys() {
+		if s.ix.Lookup(e) < 0 {
 			return false
 		}
 	}
@@ -77,15 +73,25 @@ func (s *ItemSet) ContainsAll(t *ItemSet) bool {
 
 // Values returns the elements in canonical order.
 func (s *ItemSet) Values() []value.Value {
-	out := make([]value.Value, 0, len(s.items))
-	for _, v := range s.items {
-		out = append(out, v)
+	out := make([]value.Value, 0, s.ix.Len())
+	for _, t := range s.ix.Keys() {
+		out = append(out, t[0])
 	}
 	sort.Slice(out, func(i, j int) bool { return value.Less(out[i], out[j]) })
 	return out
 }
 
-// Key returns an injective encoding of the set (order-insensitive).
+// canonical returns the set as the tuple of its elements in
+// canonical order — the injective, order-insensitive identity used
+// to index nested rows without building key strings.
+func (s *ItemSet) canonical() relation.Tuple {
+	return relation.Tuple(s.Values())
+}
+
+// Key returns an injective string encoding of the set
+// (order-insensitive). The operators themselves index sets through
+// canonical tuples; the string form is retained as the identity the
+// string-keyed collision-test oracle is built on.
 func (s *ItemSet) Key() string {
 	var b []byte
 	for _, v := range s.Values() {
@@ -113,18 +119,16 @@ type Row struct {
 	Set     *ItemSet
 }
 
-// key identifies the row for set semantics.
-func (r Row) key() string {
-	return string(r.Scalars.AppendKey(nil)) + "||" + r.Set.Key()
-}
-
 // Nested is a relation with scalar attributes and exactly one
-// set-valued attribute.
+// set-valued attribute. Row identity (set semantics) runs through
+// two TupleIndexes: sets are numbered by their canonical element
+// tuple, and rows by their scalars extended with the set's dense id.
 type Nested struct {
 	scalars schema.Schema
 	setAttr string
 	rows    []Row
-	seen    map[string]struct{}
+	setIx   relation.TupleIndex // canonical set tuple -> set id
+	rowIx   relation.TupleIndex // scalars ++ (set id) -> row id
 }
 
 // NewNested returns an empty nested relation with the given scalar
@@ -133,7 +137,7 @@ func NewNested(scalars schema.Schema, setAttr string) *Nested {
 	if scalars.Contains(setAttr) {
 		panic(fmt.Sprintf("scj: set attribute %q collides with scalar schema %v", setAttr, scalars))
 	}
-	return &Nested{scalars: scalars, setAttr: setAttr, seen: make(map[string]struct{})}
+	return &Nested{scalars: scalars, setAttr: setAttr}
 }
 
 // Scalars returns the scalar schema.
@@ -157,18 +161,19 @@ func (n *Nested) Insert(r Row) bool {
 	if r.Set == nil {
 		r.Set = NewItemSet()
 	}
-	k := r.key()
-	if _, dup := n.seen[k]; dup {
+	setID, _ := n.setIx.ID(r.Set.canonical())
+	rowKey := r.Scalars.Concat(relation.Tuple{value.Int(int64(setID))})
+	if _, created := n.rowIx.ID(rowKey); !created {
 		return false
 	}
-	n.seen[k] = struct{}{}
 	n.rows = append(n.rows, Row{Scalars: r.Scalars.Clone(), Set: r.Set})
 	return true
 }
 
 // Nest converts a flat relation into a nested one: group by every
 // attribute except setAttr and collect setAttr values into sets.
-// Groups are keyed by the remaining attributes in their flat order.
+// Groups are keyed by the remaining attributes in their flat order,
+// numbered through a TupleIndex instead of key strings.
 func Nest(flat *relation.Relation, setAttr string) *Nested {
 	fs := flat.Schema()
 	rest := fs.Minus(schema.New(setAttr))
@@ -176,21 +181,17 @@ func Nest(flat *relation.Relation, setAttr string) *Nested {
 	setPos := fs.MustIndex(setAttr)
 
 	out := NewNested(rest, setAttr)
-	groups := make(map[string]*ItemSet)
-	var order []relation.Tuple
+	var groupIx relation.TupleIndex
+	var sets []*ItemSet
 	for _, t := range flat.Tuples() {
-		key := t.Project(restPos)
-		k := key.Key()
-		s, ok := groups[k]
-		if !ok {
-			s = NewItemSet()
-			groups[k] = s
-			order = append(order, key)
+		id, created := groupIx.IDProj(t, restPos)
+		if created {
+			sets = append(sets, NewItemSet())
 		}
-		s.Add(t[setPos])
+		sets[id].Add(t[setPos])
 	}
-	for _, key := range order {
-		out.Insert(Row{Scalars: key, Set: groups[key.Key()]})
+	for id, s := range sets {
+		out.Insert(Row{Scalars: groupIx.Key(id), Set: s})
 	}
 	return out
 }
@@ -249,6 +250,37 @@ func ContainmentJoinFlat(left, right *Nested) *relation.Relation {
 	out := relation.New(left.scalars.Concat(right.scalars))
 	for _, j := range ContainmentJoin(left, right) {
 		out.Insert(j.LeftScalars.Concat(j.RightScalars))
+	}
+	return out
+}
+
+// containmentJoinFlatStringKeyed is the string-keyed reference
+// containment join retained as the collision-test oracle: element
+// membership through Go maps keyed on the values' injective key
+// encoding, never the TupleIndex.
+func containmentJoinFlatStringKeyed(left, right *Nested) *relation.Relation {
+	keySet := func(s *ItemSet) map[string]struct{} {
+		m := make(map[string]struct{}, s.Len())
+		for _, v := range s.Values() {
+			m[string(v.AppendKey(nil))] = struct{}{}
+		}
+		return m
+	}
+	out := relation.New(left.scalars.Concat(right.scalars))
+	for _, l := range left.Rows() {
+		ls := keySet(l.Set)
+		for _, r := range right.Rows() {
+			contained := true
+			for k := range keySet(r.Set) {
+				if _, ok := ls[k]; !ok {
+					contained = false
+					break
+				}
+			}
+			if contained {
+				out.Insert(l.Scalars.Concat(r.Scalars))
+			}
+		}
 	}
 	return out
 }

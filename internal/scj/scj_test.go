@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"divlaws/internal/division"
+	"divlaws/internal/hashkey"
 	"divlaws/internal/relation"
 	"divlaws/internal/schema"
 	"divlaws/internal/value"
@@ -165,6 +166,42 @@ func TestContainmentJoinMatchesGreatDivide(t *testing.T) {
 		viaDivide := division.GreatDivide(r1, r2)
 		if !viaJoin.EquivalentTo(viaDivide) {
 			t.Fatalf("trial %d:\njoin:\n%v\ndivide:\n%v\nr1:\n%v\nr2:\n%v", trial, viaJoin, viaDivide, r1, r2)
+		}
+	}
+}
+
+// TestContainmentJoinCollisions degrades every hash to 3 bits so the
+// TupleIndex-backed ItemSet and Nested row identities collide
+// constantly, then checks Nest round-trips and the containment join
+// against the string-keyed reference on random nested data.
+func TestContainmentJoinCollisions(t *testing.T) {
+	restore := hashkey.SetMaskForTesting(7)
+	defer restore()
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		flat := relation.New(schema.New("a", "b"))
+		for i := 0; i < rng.Intn(30); i++ {
+			flat.Insert(relation.Tuple{
+				value.Int(int64(rng.Intn(6))), value.Int(int64(rng.Intn(5))),
+			})
+		}
+		left := Nest(flat, "b")
+		right := NewNested(schema.New("c"), "b")
+		for i := 0; i < rng.Intn(5); i++ {
+			right.Insert(Row{
+				Scalars: relation.Tuple{value.Int(int64(i))},
+				Set:     IntSet(int64(rng.Intn(5)), int64(rng.Intn(5))),
+			})
+		}
+		got := ContainmentJoinFlat(left, right)
+		want := containmentJoinFlatStringKeyed(left, right)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: masked containment join diverged\ngot:\n%v\nwant:\n%v",
+				trial, got, want)
+		}
+		// Nest/Unnest round-trip under collisions.
+		if !Unnest(left).Equal(flat) {
+			t.Fatalf("trial %d: masked Nest/Unnest round-trip diverged", trial)
 		}
 	}
 }

@@ -16,6 +16,13 @@ type Query struct {
 	GroupBy  []ColumnRef
 	Having   Expr // nil if absent
 	OrderBy  []OrderItem
+	// Limit caps the result cardinality when HasLimit is set. The
+	// binder lowers it to a plan.Limit node, which the engine pushes
+	// down as an early-exit signal: streaming operators beneath it
+	// (parallel exchanges in particular) are cancelled once Limit
+	// tuples have surfaced.
+	Limit    int64
+	HasLimit bool
 	// Params is the number of ? placeholders in the whole statement,
 	// including subqueries. It is set on the statement's outermost
 	// Query by Parse; nested query blocks leave it zero.

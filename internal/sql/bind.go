@@ -68,6 +68,28 @@ func (db *DB) Bind(q *Query) (plan.Node, error) {
 
 // bindQuery lowers one query block.
 func (db *DB) bindQuery(q *Query) (plan.Node, error) {
+	node, err := db.bindQueryBody(q)
+	if err != nil {
+		return nil, err
+	}
+	if q.HasLimit {
+		if q.Limit < 0 {
+			return nil, fmt.Errorf("sql: LIMIT %d is negative", q.Limit)
+		}
+		// Ordering is presentation-level (relations are sets; see
+		// validateOrderBy), so a limit applied before it would return n
+		// arbitrary rows sorted — not the top n the combination means
+		// in SQL. Reject it until a physical top-k operator exists.
+		if len(q.OrderBy) > 0 {
+			return nil, fmt.Errorf("sql: ORDER BY with LIMIT is not supported (ordering is presentation-level; the limit would pick arbitrary rows)")
+		}
+		node = &plan.Limit{Input: node, N: q.Limit}
+	}
+	return node, nil
+}
+
+// bindQueryBody lowers one query block up to (but excluding) LIMIT.
+func (db *DB) bindQueryBody(q *Query) (plan.Node, error) {
 	node, err := db.bindFrom(q.From)
 	if err != nil {
 		return nil, err

@@ -53,7 +53,20 @@ import (
 // cause it to decline rather than risk a wrong rewrite.
 func (db *DB) DetectDivision(q *Query) (plan.Node, bool) {
 	node, err := db.tryDetectDivision(q)
-	return node, err == nil && node != nil
+	if err != nil || node == nil {
+		return nil, false
+	}
+	// Preserve the outer query's LIMIT on the detected plan; bindQuery
+	// would have done the same on the nested-iteration fallback.
+	// Invalid combinations (negative, ORDER BY) decline the rewrite so
+	// the binder reports its usual error.
+	if q.HasLimit {
+		if q.Limit < 0 || len(q.OrderBy) > 0 {
+			return nil, false
+		}
+		node = &plan.Limit{Input: node, N: q.Limit}
+	}
+	return node, true
 }
 
 // errNoMatch distinguishes "pattern absent" from binder errors.
@@ -90,7 +103,12 @@ func (db *DB) detectGreat(q *Query) (plan.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, _ = mid, inner
+	// A LIMIT inside either NOT EXISTS block changes which subquery
+	// results exist at all, so the equivalence to division breaks —
+	// decline and fall back to nested iteration.
+	if mid.HasLimit || inner.HasLimit {
+		return nil, errNoMatch
+	}
 
 	// Middle conjuncts: every one must be y2.c = y.c.
 	cCols := map[string]bool{}
@@ -201,6 +219,11 @@ func (db *DB) detectSmall(q *Query) (plan.Node, error) {
 	}
 	innerConjuncts, stray := splitExistsConjunction(inner.Where)
 	if innerConjuncts == nil || stray != nil {
+		return nil, errNoMatch
+	}
+	// A LIMIT inside either NOT EXISTS block breaks the equivalence to
+	// division; see detectGreat.
+	if mid.HasLimit || inner.HasLimit {
 		return nil, errNoMatch
 	}
 

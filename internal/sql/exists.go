@@ -64,6 +64,8 @@ func (db *DB) substituteQuery(q *Query, outer schema.Schema, t relation.Tuple, s
 		GroupBy:  q.GroupBy,
 		OrderBy:  q.OrderBy,
 		Select:   q.Select,
+		Limit:    q.Limit,
+		HasLimit: q.HasLimit,
 	}
 	out.Where = db.substituteExpr(q.Where, outer, t, stack)
 	out.Having = db.substituteExpr(q.Having, outer, t, stack)

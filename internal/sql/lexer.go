@@ -44,6 +44,7 @@ var keywords = map[string]bool{
 	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
 	"AS": true, "ON": true, "AND": true, "OR": true, "NOT": true,
 	"EXISTS": true, "DIVIDE": true, "ASC": true, "DESC": true,
+	"LIMIT": true,
 }
 
 // lex tokenizes the input. Identifiers may contain '#' to support

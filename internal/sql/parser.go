@@ -146,6 +146,18 @@ func (p *parser) parseQuery() (*Query, error) {
 			}
 		}
 	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, perr := strconv.ParseInt(t.Text, 10, 64)
+		if perr != nil {
+			return nil, p.errf("LIMIT requires a non-negative integer, got %q", t.Text)
+		}
+		q.Limit = n
+		q.HasLimit = true
+	}
 	return q, nil
 }
 
