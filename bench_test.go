@@ -616,6 +616,120 @@ func BenchmarkParallelDividePeakAlloc(b *testing.B) {
 	b.ReportMetric(total/float64(b.N), "live-B")
 }
 
+// BenchmarkTopK contrasts the fused TopK operator with the unfused
+// Limit-over-Sort pipeline it replaces: same input, same keys, same
+// k — the bounded heap touches every tuple once and holds k live,
+// where the sort materializes and orders the whole input.
+func BenchmarkTopK(b *testing.B) {
+	r1, r2 := datagen.DividePair{
+		Groups: 4000, GroupSize: 10, DivisorSize: 12,
+		Domain: 200, HitRate: 0.25, Seed: 1,
+	}.Generate()
+	div := &plan.Divide{Dividend: plan.NewScan("r1", r1), Divisor: plan.NewScan("r2", r2)}
+	keys := []plan.SortKey{{Attr: div.Schema().Attrs()[0], Desc: true}}
+	for _, k := range []int64{1, 10, 100} {
+		fused := &plan.TopK{Input: div, Keys: keys, K: k}
+		unfused := &plan.Limit{Input: &plan.Sort{Input: div, Keys: keys}, N: k}
+		b.Run(fmt.Sprintf("topk/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Drain(context.Background(), exec.Compile(fused, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sort-limit/k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exec.Drain(context.Background(), exec.Compile(unfused, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOrderByLimitFirstRow measures first-row latency of
+// ORDER BY + LIMIT 1 over a parallel division across worker counts:
+// the order-aware exchange runs one bounded top-1 heap per partition
+// and merges, so the first (and only) row costs the division itself
+// plus an O(workers) merge — never a quotient materialization.
+func BenchmarkOrderByLimitFirstRow(b *testing.B) {
+	r1, r2 := datagen.DividePair{
+		Groups: 4000, GroupSize: 10, DivisorSize: 12,
+		Domain: 200, HitRate: 0.25, Seed: 1,
+	}.Generate()
+	div := &plan.Divide{Dividend: plan.NewScan("r1", r1), Divisor: plan.NewScan("r2", r2)}
+	keys := []plan.SortKey{{Attr: div.Schema().Attrs()[0]}}
+	for _, workers := range []int{1, 2, 4, 8} {
+		var node plan.Node = &plan.TopK{Input: div, Keys: keys, K: 1}
+		if workers >= 2 {
+			node = &plan.TopK{
+				Input: &plan.ParallelDivide{
+					Dividend: div.Dividend, Divisor: div.Divisor, Workers: workers,
+				},
+				Keys: keys, K: 1,
+			}
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				it := exec.CompileWith(node, nil, exec.CompileOptions{ExchangeBuffer: 1})
+				if err := it.Open(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				if _, ok, err := it.Next(); err != nil || !ok {
+					b.Fatalf("Next = (%t, %v)", ok, err)
+				}
+				if err := it.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopKPeakAlloc reports the live heap held mid-stream
+// (after the first row, GC forced) by the order-aware exchange: the
+// partitioned inputs plus O(k·workers) retained tuples — the
+// acceptance measurement that the per-partition bound keeps the
+// quotient unmaterialized. Compare against
+// BenchmarkParallelDividePeakAlloc, the unordered exchange on the
+// same inputs.
+func BenchmarkTopKPeakAlloc(b *testing.B) {
+	r1, r2 := datagen.DividePair{
+		Groups: 4000, GroupSize: 10, DivisorSize: 12,
+		Domain: 200, HitRate: 0.25, Seed: 1,
+	}.Generate()
+	div := &plan.Divide{Dividend: plan.NewScan("r1", r1), Divisor: plan.NewScan("r2", r2)}
+	node := &plan.TopK{
+		Input: &plan.ParallelDivide{
+			Dividend: div.Dividend, Divisor: div.Divisor, Workers: 4,
+		},
+		Keys: []plan.SortKey{{Attr: div.Schema().Attrs()[0]}},
+		K:    10,
+	}
+	var ms runtime.MemStats
+	var total float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := exec.CompileWith(node, nil, exec.CompileOptions{ExchangeBuffer: 1})
+		if err := it.Open(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := it.Next(); err != nil || !ok {
+			b.Fatalf("Next = (%t, %v)", ok, err)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		total += float64(ms.HeapAlloc)
+		if err := it.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(total/float64(b.N), "live-B")
+}
+
 // BenchmarkQueryLimitOne measures the end-to-end early-exit path
 // through the public API: SELECT … LIMIT 1 over a parallel division,
 // parse to teardown. The limited query must not pay for the full

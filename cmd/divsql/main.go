@@ -158,16 +158,20 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	// Sort on the typed values (numerics numerically), matching the
-	// canonical order the materializing path used to print.
-	sort.Slice(typed, func(i, j int) bool {
-		for k := range typed[i] {
-			if c := compareCells(typed[i][k], typed[j][k]); c != 0 {
-				return c < 0
+	// An ORDER BY query is already physically ordered by the plan
+	// (Sort/TopK operators) — print it as streamed. Otherwise tuple
+	// order is implementation-defined, so sort on the typed values
+	// (numerics numerically) for deterministic presentation.
+	if !rows.Ordered() {
+		sort.Slice(typed, func(i, j int) bool {
+			for k := range typed[i] {
+				if c := compareCells(typed[i][k], typed[j][k]); c != 0 {
+					return c < 0
+				}
 			}
-		}
-		return false
-	})
+			return false
+		})
+	}
 	cells := make([][]string, len(typed))
 	for ri, vals := range typed {
 		row := make([]string, len(vals))

@@ -227,12 +227,33 @@ func (db *DB) queryParsed(ctx context.Context, q *sql.Query, args []any) (*Rows,
 		return nil, err
 	}
 	return &Rows{
-		it:     it,
-		ctx:    qctx,
-		cancel: cancel,
-		cols:   outputColumns(node.Schema()),
-		stats:  stats,
+		it:      it,
+		ctx:     qctx,
+		cancel:  cancel,
+		cols:    outputColumns(node.Schema()),
+		stats:   stats,
+		ordered: planOrdered(node),
 	}, nil
+}
+
+// planOrdered reports whether the plan's output carries a physical
+// ordering: a Sort or TopK reachable from the root through
+// order-preserving operators only — Limit, Rename, and Project
+// (which streams without reordering; the optimizer only ever places
+// one above a TopK as part of the order-safe pushdown).
+func planOrdered(n plan.Node) bool {
+	switch t := n.(type) {
+	case *plan.Sort, *plan.TopK:
+		return true
+	case *plan.Limit:
+		return planOrdered(t.Input)
+	case *plan.Rename:
+		return planOrdered(t.Input)
+	case *plan.Project:
+		return planOrdered(t.Input)
+	default:
+		return false
+	}
 }
 
 // plan binds the arguments and lowers the query through detection,

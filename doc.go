@@ -89,6 +89,34 @@
 // teardown, and Close blocks until every worker has exited, so a
 // consumer that stops reading never leaks goroutines.
 //
+// # Ordering and top-k
+//
+// ORDER BY is a physical operator: the binder resolves the sort keys
+// against the statement's output columns and plans a Sort node, so
+// Rows delivers tuples in exactly the requested order — Rows.Ordered
+// reports the guarantee, and ties beyond the sort keys are broken by
+// the engine's canonical tuple order, deterministically. ORDER BY
+// combined with LIMIT k is fused by the optimizer into a single
+// TopK operator holding k tuples live instead of sorting the whole
+// result, and over a parallel division the bound is pushed into the
+// exchange itself: every partition worker keeps its own k-bounded
+// heap, emits only its k smallest tuples, and the engine k-way
+// merges the survivors back into the global order — O(k) live memory
+// per worker, with per-partition Stats counts bounded by k:
+//
+//	rows, err := db.Query(ctx, `SELECT s#, color
+//	    FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#
+//	    ORDER BY s# DESC LIMIT 10`)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    // Tuples arrive largest s# first; the quotient was never
+//	    // materialized or fully sorted anywhere.
+//	}
+//
+// Explain renders the ordering pipeline — the TopK node, the fusion
+// trace, and the per-partition pushdown with its partitioning.
+//
 // The engine implementation lives in internal/ packages; this
 // package is the one supported embedding surface. The commands under
 // cmd/ and the programs under examples/ are runnable entry points,

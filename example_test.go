@@ -159,3 +159,43 @@ func ExampleDB_Query_limit() {
 	// Output:
 	// rows: 1
 }
+
+// ExampleDB_Query_orderBy shows physical ordering: ORDER BY compiles
+// to a Sort operator (and with LIMIT to a streaming TopK), so the
+// cursor delivers rows in the requested order — including over
+// parallel divisions, where each worker keeps an O(k) heap and the
+// engine merges the per-partition results back into global order.
+func ExampleDB_Query_orderBy() {
+	db := divlaws.Open()
+	db.MustRegister("supplies", divlaws.MustNewRelation([]string{"s#", "p#"}, [][]any{
+		{"s1", "p1"}, {"s1", "p2"},
+		{"s2", "p1"}, {"s2", "p2"},
+		{"s3", "p1"},
+	}))
+	db.MustRegister("parts", divlaws.MustNewRelation([]string{"p#"}, [][]any{
+		{"p1"}, {"p2"},
+	}))
+
+	rows, err := db.Query(context.Background(),
+		`SELECT s# FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#
+		 ORDER BY s# DESC LIMIT 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	fmt.Println("ordered:", rows.Ordered())
+	for rows.Next() {
+		var supplier string
+		if err := rows.Scan(&supplier); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(supplier)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// ordered: true
+	// s2
+	// s1
+}

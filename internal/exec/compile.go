@@ -52,6 +52,60 @@ func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Itera
 			N:     t.N,
 			Stats: stats,
 		}
+	case *plan.Sort:
+		pos, desc := resolveSortKeys(t.Input.Schema(), t.Keys)
+		return &SortIter{
+			Label: label + "/sort",
+			Input: compile(t.Input, stats, label+".0", opts),
+			ByPos: pos,
+			Desc:  desc,
+			Stats: stats,
+		}
+	case *plan.TopK:
+		pos, desc := resolveSortKeys(t.Input.Schema(), t.Keys)
+		// Over a parallel exchange the bound is pushed into the
+		// partition workers: each keeps an O(k) heap and the exchange
+		// k-way merges the per-partition runs, so the operator IS the
+		// exchange — no separate heap above it. K <= 0 keeps the
+		// generic TopKIter, which never opens the subtree.
+		if t.K > 0 {
+			switch c := t.Input.(type) {
+			case *plan.ParallelDivide:
+				return &ParallelDivideIter{
+					Label:    label + "/topk-paralleldivide",
+					Dividend: compile(c.Dividend, stats, label+".0.0", opts),
+					Divisor:  compile(c.Divisor, stats, label+".0.1", opts),
+					Algo:     c.Algo,
+					Workers:  c.Workers,
+					Buffer:   opts.ExchangeBuffer,
+					TopKN:    t.K,
+					TopKPos:  pos,
+					TopKDesc: desc,
+					Stats:    stats,
+				}
+			case *plan.ParallelGreatDivide:
+				return &ParallelGreatDivideIter{
+					Label:    label + "/topk-parallelgreatdivide",
+					Dividend: compile(c.Dividend, stats, label+".0.0", opts),
+					Divisor:  compile(c.Divisor, stats, label+".0.1", opts),
+					Algo:     c.Algo,
+					Workers:  c.Workers,
+					Buffer:   opts.ExchangeBuffer,
+					TopKN:    t.K,
+					TopKPos:  pos,
+					TopKDesc: desc,
+					Stats:    stats,
+				}
+			}
+		}
+		return &TopKIter{
+			Label: label + "/topk",
+			Input: compile(t.Input, stats, label+".0", opts),
+			ByPos: pos,
+			Desc:  desc,
+			K:     t.K,
+			Stats: stats,
+		}
 	case *plan.Set:
 		l := compile(t.Left, stats, label+".0", opts)
 		r := compile(t.Right, stats, label+".1", opts)

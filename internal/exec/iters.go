@@ -592,13 +592,19 @@ func (g *GroupIter) Schema() schema.Schema {
 	return schema.New(attrs...)
 }
 
-// SortIter materializes and sorts its input in canonical tuple
-// order; it feeds the merge-group division.
+// SortIter is the blocking physical ordering operator: it
+// materializes its input, sorts with the reusable keyed tuple
+// comparator (relation.KeyedCompare — per-key ASC/DESC, canonical
+// tie-break), and emits in order. It implements plan.Sort and feeds
+// the merge-group division.
 type SortIter struct {
 	Label string
 	Input Iterator
 	// ByPos optionally sorts by specific column positions first.
 	ByPos []int
+	// Desc optionally inverts the matching ByPos key; nil means all
+	// ascending. When set, len(Desc) must equal len(ByPos).
+	Desc  []bool
 	Stats *Stats
 	rows  []relation.Tuple
 	pos   int
@@ -617,15 +623,8 @@ func (s *SortIter) Open(ctx context.Context) error {
 	}); err != nil {
 		return err
 	}
-	sort.Slice(s.rows, func(i, j int) bool {
-		a, b := s.rows[i], s.rows[j]
-		for _, p := range s.ByPos {
-			if c := a[p : p+1].Compare(b[p : p+1]); c != 0 {
-				return c < 0
-			}
-		}
-		return a.Compare(b) < 0
-	})
+	cmp := relation.KeyedCompare(s.ByPos, s.Desc)
+	sort.Slice(s.rows, func(i, j int) bool { return cmp(s.rows[i], s.rows[j]) < 0 })
 	s.pos = 0
 	return nil
 }

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"strconv"
+	"sync"
 
 	"divlaws/internal/division"
 	"divlaws/internal/parallel"
@@ -94,6 +95,51 @@ func (ex *exchange) stop() {
 	<-ex.done
 }
 
+// startTopKExchange launches the order-aware form of a streaming
+// exchange: stream runs the partition fan-out under a top-k bound
+// (each worker emits only its k smallest quotient tuples, sorted —
+// O(k) live per worker), the coordinator collects the per-partition
+// runs, k-way merges them into the global top k, and streams the
+// merged result through the usual bounded channel. The merge is
+// inherently a barrier — any partition may hold the global minimum —
+// but it touches at most k·workers tuples instead of the quotient.
+func startTopKExchange(ctx context.Context, buffer int, pos []int, desc []bool, k int64, label string, stats *Stats,
+	stream func(ctx context.Context, bound parallel.TopKBound, emit parallel.EmitFunc) error) *exchange {
+	cmp := relation.KeyedCompare(pos, desc)
+	bound := parallel.TopKBound{K: int(k), Cmp: cmp}
+	return startExchange(ctx, buffer, func(exCtx context.Context, send func([]relation.Tuple) error) error {
+		// Partitions emit their (tiny, ≤k) runs concurrently; the mutex
+		// guards the map, not the hot tuple path.
+		var mu sync.Mutex
+		runs := make(map[int][]relation.Tuple)
+		err := stream(exCtx, bound, func(part int, batch []relation.Tuple) error {
+			mu.Lock()
+			runs[part] = append(runs[part], batch...)
+			mu.Unlock()
+			stats.count(partLabel(label, part), int64(len(batch)))
+			return exCtx.Err()
+		})
+		if err != nil {
+			return err
+		}
+		ordered := make([][]relation.Tuple, 0, len(runs))
+		for _, run := range runs {
+			ordered = append(ordered, run)
+		}
+		merged := mergeRuns(ordered, cmp, k)
+		for start := 0; start < len(merged); start += parallel.EmitBatchSize {
+			end := start + parallel.EmitBatchSize
+			if end > len(merged) {
+				end = len(merged)
+			}
+			if err := send(merged[start:end]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
 // ParallelDivideIter is the streaming exchange operator for
 // plan.ParallelDivide: Open materializes both inputs,
 // range-partitions the dividend on the quotient attributes A (Law 2
@@ -117,7 +163,15 @@ type ParallelDivideIter struct {
 	// Buffer is the exchange channel capacity; 0 means
 	// DefaultExchangeBuffer.
 	Buffer int
-	Stats  *Stats
+	// TopKN, when positive, switches the exchange to its order-aware
+	// top-k form: every partition worker keeps an O(TopKN) heap over
+	// the TopKPos/TopKDesc keys and the consumer k-way merges the
+	// per-partition runs, so Next serves the global top TopKN in key
+	// order without the quotient ever materializing.
+	TopKN    int64
+	TopKPos  []int
+	TopKDesc []bool
+	Stats    *Stats
 
 	out schema.Schema
 	ex  *exchange
@@ -142,6 +196,13 @@ func (p *ParallelDivideIter) Open(ctx context.Context) error {
 		algo = division.AlgoHash
 	}
 	p.out = split.A
+	if p.TopKN > 0 {
+		p.ex = startTopKExchange(ctx, p.Buffer, p.TopKPos, p.TopKDesc, p.TopKN, p.Label, p.Stats,
+			func(runCtx context.Context, bound parallel.TopKBound, emit parallel.EmitFunc) error {
+				return parallel.DivideStreamTopK(runCtx, algo, dividend, divisor, p.Workers, bound, emit)
+			})
+		return nil
+	}
 	p.ex = startExchange(ctx, p.Buffer, func(exCtx context.Context, send func([]relation.Tuple) error) error {
 		return parallel.DivideStream(exCtx, algo, dividend, divisor, p.Workers,
 			func(part int, batch []relation.Tuple) error {
@@ -212,7 +273,12 @@ type ParallelGreatDivideIter struct {
 	// Buffer is the exchange channel capacity; 0 means
 	// DefaultExchangeBuffer.
 	Buffer int
-	Stats  *Stats
+	// TopKN/TopKPos/TopKDesc enable the order-aware top-k exchange;
+	// see ParallelDivideIter.
+	TopKN    int64
+	TopKPos  []int
+	TopKDesc []bool
+	Stats    *Stats
 
 	out schema.Schema
 	ex  *exchange
@@ -237,6 +303,13 @@ func (g *ParallelGreatDivideIter) Open(ctx context.Context) error {
 		algo = division.GreatAlgoHash
 	}
 	g.out = split.A.Concat(split.C)
+	if g.TopKN > 0 {
+		g.ex = startTopKExchange(ctx, g.Buffer, g.TopKPos, g.TopKDesc, g.TopKN, g.Label, g.Stats,
+			func(runCtx context.Context, bound parallel.TopKBound, emit parallel.EmitFunc) error {
+				return parallel.GreatDivideStreamTopK(runCtx, algo, dividend, divisor, g.Workers, bound, emit)
+			})
+		return nil
+	}
 	g.ex = startExchange(ctx, g.Buffer, func(exCtx context.Context, send func([]relation.Tuple) error) error {
 		return parallel.GreatDivideStream(exCtx, algo, dividend, divisor, g.Workers,
 			func(part int, batch []relation.Tuple) error {

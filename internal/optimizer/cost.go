@@ -143,6 +143,18 @@ func Estimated(n plan.Node) Estimate {
 		// child's full cost (blocking subtrees pay it anyway) plus a
 		// per-emitted-tuple pass.
 		return Estimate{Rows: rows, Cost: in.Cost + rows*cpuWeight}
+	case *plan.Sort:
+		in := Estimated(t.Input)
+		// Full materialize-and-sort pays the sort weight per input
+		// tuple; cardinality is unchanged (ordering a set).
+		return Estimate{Rows: in.Rows, Cost: in.Cost + in.Rows*sortWeight}
+	case *plan.TopK:
+		in := Estimated(t.Input)
+		rows := minf(in.Rows, float64(t.K))
+		// A bounded heap touches every input tuple once at CPU weight
+		// — strictly cheaper than Sort (sortWeight per tuple) + Limit,
+		// which is what makes the FuseTopK rewrite always profitable.
+		return Estimate{Rows: rows, Cost: in.Cost + in.Rows*cpuWeight + rows*cpuWeight}
 	case *plan.Group:
 		in := Estimated(t.Input)
 		rows := in.Rows * groupShrink

@@ -99,6 +99,8 @@ func Optimize(n plan.Node, opts Options) Result {
 			break
 		}
 	}
+	current, topkTrace := FuseTopK(current)
+	res.Trace = append(res.Trace, topkTrace...)
 	current, parTrace := Parallelize(current, opts.Parallel)
 	res.Trace = append(res.Trace, parTrace...)
 	res.Plan = current

@@ -83,6 +83,27 @@ func Parallelize(n plan.Node, opts ParallelOptions) (plan.Node, []Applied) {
 				Gain:   Cost(node) - Cost(rewritten),
 			})
 			return rewritten
+		case *plan.TopK:
+			// Order awareness: Transform runs bottom-up, so a division
+			// beneath this TopK has already been rewritten to its
+			// exchange form. The ordering survives parallelization —
+			// exec pushes the bound into the partition workers (O(k)
+			// heap each) and k-way merges at the consumer — so the pass
+			// records the pushdown in the trace instead of declining
+			// the rewrite; no structural change is needed here. The
+			// compiler only fuses positive bounds (k=0 never opens the
+			// subtree), so only those are traced.
+			if t.K <= 0 {
+				return node
+			}
+			switch t.Input.(type) {
+			case *plan.ParallelDivide, *plan.ParallelGreatDivide:
+				trace = append(trace, Applied{
+					Rule:   fmt.Sprintf("PushTopK(per-partition k=%d + merge)", t.K),
+					Before: t.String(),
+				})
+			}
+			return node
 		default:
 			return node
 		}

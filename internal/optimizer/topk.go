@@ -1,0 +1,83 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"divlaws/internal/plan"
+)
+
+// FuseTopK rewrites every Limit[k] directly over a Sort into a
+// single TopK node: the pair means "the k smallest under the sort
+// keys" (the binder emits exactly this shape for ORDER BY + LIMIT),
+// and the fused operator computes it with an O(k) bounded heap
+// instead of materializing and sorting the whole input. The rewrite
+// is unconditionally safe — the physical operators share one tuple
+// comparator with a deterministic canonical tie-break, so both forms
+// pick the same k tuples in the same order.
+//
+// The fused node is then pushed below the binder's output-shaping
+// operators (Rename, and Project when it is a pure column
+// permutation): those are order-preserving bijections in the
+// physical engine, so bounding beneath them bounds the same tuples —
+// and it lands the TopK directly on a division, where Parallelize
+// and the compiler can turn it into a per-partition top-k over the
+// exchange workers. Like Parallelize, FuseTopK is a structural pass,
+// applied whenever the optimizer runs regardless of the law rule
+// set.
+func FuseTopK(n plan.Node) (plan.Node, []Applied) {
+	var trace []Applied
+	out := plan.Transform(n, func(node plan.Node) plan.Node {
+		lim, ok := node.(*plan.Limit)
+		if !ok {
+			return node
+		}
+		srt, ok := lim.Input.(*plan.Sort)
+		if !ok {
+			return node
+		}
+		fused := &plan.TopK{Input: srt.Input, Keys: srt.Keys, K: lim.N}
+		trace = append(trace, Applied{
+			Rule:   fmt.Sprintf("FuseTopK(k=%d)", lim.N),
+			Before: node.String(),
+			Gain:   Cost(node) - Cost(fused),
+		})
+		return pushTopK(fused)
+	})
+	return out, trace
+}
+
+// pushTopK sinks a TopK below order-preserving bijective operators.
+// Rename only relabels (the key attribute is mapped back through
+// it); a full-width Project is a column permutation of a set — no
+// tuple is deduplicated and stream order is preserved — so the bound
+// commutes. Anything else stops the descent. Pushing below a
+// permutation can change which tuple wins a tie on all sort keys at
+// the k boundary (the canonical tie-break sees a different column
+// order); either choice is a correct SQL top-k, and the result stays
+// deterministic for the chosen plan.
+func pushTopK(t *plan.TopK) plan.Node {
+	switch c := t.Input.(type) {
+	case *plan.Rename:
+		keys := make([]plan.SortKey, len(t.Keys))
+		for i, k := range t.Keys {
+			if k.Attr == c.To {
+				k.Attr = c.From
+			}
+			keys[i] = k
+		}
+		return &plan.Rename{
+			Input: pushTopK(&plan.TopK{Input: c.Input, Keys: keys, K: t.K}),
+			From:  c.From, To: c.To,
+		}
+	case *plan.Project:
+		if len(c.Attrs) != c.Input.Schema().Len() {
+			return t
+		}
+		return &plan.Project{
+			Input: pushTopK(&plan.TopK{Input: c.Input, Keys: t.Keys, K: t.K}),
+			Attrs: c.Attrs,
+		}
+	default:
+		return t
+	}
+}

@@ -1,0 +1,175 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"divlaws/internal/datagen"
+	"divlaws/internal/plan"
+)
+
+func bigDividePair() (*plan.Scan, *plan.Scan) {
+	r1, r2 := datagen.DividePair{
+		Groups: 600, GroupSize: 4, DivisorSize: 4,
+		Domain: 40, HitRate: 0.5, Seed: 3,
+	}.Generate()
+	return plan.NewScan("r1", r1), plan.NewScan("r2", r2)
+}
+
+func TestFuseTopK(t *testing.T) {
+	d, v := bigDividePair()
+	div := &plan.Divide{Dividend: d, Divisor: v}
+	keys := []plan.SortKey{{Attr: d.Schema().Attrs()[0]}}
+	n := &plan.Limit{Input: &plan.Sort{Input: div, Keys: keys}, N: 5}
+
+	fused, trace := FuseTopK(n)
+	topk, ok := fused.(*plan.TopK)
+	if !ok {
+		t.Fatalf("fused root = %T\n%s", fused, plan.Format(fused))
+	}
+	if topk.K != 5 || len(topk.Keys) != 1 {
+		t.Fatalf("fused = %s", topk)
+	}
+	if len(trace) != 1 || !strings.Contains(trace[0].Rule, "FuseTopK") {
+		t.Fatalf("trace = %v", trace)
+	}
+	if trace[0].Gain <= 0 {
+		t.Fatalf("fusion gain %v must be positive (TopK beats Sort+Limit in the model)", trace[0].Gain)
+	}
+	// Semantics preserved.
+	if !plan.Eval(fused).Equal(plan.Eval(n)) {
+		t.Fatal("fusion changed the result")
+	}
+}
+
+// TestFuseTopKPushesThroughRenameProject checks the order-safe
+// descent: the fused TopK sinks below Rename and full-width Project
+// (with keys remapped), but stops at a narrowing projection.
+func TestFuseTopKPushesThroughRenameProject(t *testing.T) {
+	d, v := bigDividePair()
+	a := d.Schema().Attrs()[0]
+	div := &plan.Divide{Dividend: d, Divisor: v}
+	shaped := &plan.Rename{
+		Input: &plan.Project{Input: div, Attrs: div.Schema().Attrs()},
+		From:  a, To: "out",
+	}
+	n := &plan.Limit{Input: &plan.Sort{Input: shaped, Keys: []plan.SortKey{{Attr: "out"}}}, N: 3}
+
+	fused, _ := FuseTopK(n)
+	ren, ok := fused.(*plan.Rename)
+	if !ok {
+		t.Fatalf("root = %T, want Rename above the pushed TopK\n%s", fused, plan.Format(fused))
+	}
+	proj, ok := ren.Input.(*plan.Project)
+	if !ok {
+		t.Fatalf("below Rename = %T, want Project\n%s", ren.Input, plan.Format(fused))
+	}
+	topk, ok := proj.Input.(*plan.TopK)
+	if !ok {
+		t.Fatalf("below Project = %T, want TopK\n%s", proj.Input, plan.Format(fused))
+	}
+	if topk.Keys[0].Attr != a {
+		t.Fatalf("key = %v, want remapped %q", topk.Keys[0], a)
+	}
+	if _, ok := topk.Input.(*plan.Divide); !ok {
+		t.Fatalf("TopK input = %T, want the Divide", topk.Input)
+	}
+	if !plan.Eval(fused).Equal(plan.Eval(n)) {
+		t.Fatal("pushdown changed the result")
+	}
+
+	// Narrowing projection (dedup possible): no descent. The great
+	// divide's two-attribute quotient (a, c) narrows to one column.
+	g1, g2 := datagen.GreatDividePair{
+		Groups: 50, GroupSize: 4, DivisorGroups: 4, DivisorGroupSize: 3,
+		Domain: 30, HitRate: 0.5, Seed: 3,
+	}.Generate()
+	gdiv := &plan.GreatDivide{Dividend: plan.NewScan("g1", g1), Divisor: plan.NewScan("g2", g2)}
+	if gdiv.Schema().Len() < 2 {
+		t.Fatalf("fixture quotient too narrow: %v", gdiv.Schema())
+	}
+	narrowAttr := gdiv.Schema().Attrs()[0]
+	narrow := &plan.Project{Input: gdiv, Attrs: []string{narrowAttr}}
+	n2 := &plan.Limit{Input: &plan.Sort{Input: narrow, Keys: []plan.SortKey{{Attr: narrowAttr}}}, N: 3}
+	fused2, _ := FuseTopK(n2)
+	if _, ok := fused2.(*plan.TopK); !ok {
+		t.Fatalf("narrowing projection: root = %T, want TopK to stay above it\n%s", fused2, plan.Format(fused2))
+	}
+}
+
+// TestParallelizeOrderAware: a TopK over a large division
+// parallelizes the division beneath it and records the per-partition
+// pushdown in the trace.
+func TestParallelizeOrderAware(t *testing.T) {
+	d, v := bigDividePair()
+	topk := &plan.TopK{
+		Input: &plan.Divide{Dividend: d, Divisor: v},
+		Keys:  []plan.SortKey{{Attr: d.Schema().Attrs()[0]}},
+		K:     4,
+	}
+	out, trace := Parallelize(topk, ParallelOptions{Workers: 4, Threshold: 1})
+	re, ok := out.(*plan.TopK)
+	if !ok {
+		t.Fatalf("root = %T\n%s", out, plan.Format(out))
+	}
+	if _, ok := re.Input.(*plan.ParallelDivide); !ok {
+		t.Fatalf("TopK input = %T, want ParallelDivide", re.Input)
+	}
+	var sawPar, sawPush bool
+	for _, a := range trace {
+		if strings.Contains(a.Rule, "Parallelize(Law 2/c2") {
+			sawPar = true
+		}
+		if strings.Contains(a.Rule, "PushTopK(per-partition k=4") {
+			sawPush = true
+		}
+	}
+	if !sawPar || !sawPush {
+		t.Fatalf("trace = %+v, want Parallelize and PushTopK entries", trace)
+	}
+}
+
+// TestOptimizeFusesAndParallelizes runs the whole Optimize pipeline:
+// Limit over Sort over a large division comes out as TopK over
+// ParallelDivide.
+func TestOptimizeFusesAndParallelizes(t *testing.T) {
+	d, v := bigDividePair()
+	n := &plan.Limit{
+		Input: &plan.Sort{
+			Input: &plan.Divide{Dividend: d, Divisor: v},
+			Keys:  []plan.SortKey{{Attr: d.Schema().Attrs()[0], Desc: true}},
+		},
+		N: 7,
+	}
+	res := Optimize(n, Options{Parallel: ParallelOptions{Workers: 4, Threshold: 1}})
+	topk, ok := res.Plan.(*plan.TopK)
+	if !ok {
+		t.Fatalf("optimized root = %T\n%s", res.Plan, plan.Format(res.Plan))
+	}
+	if _, ok := topk.Input.(*plan.ParallelDivide); !ok {
+		t.Fatalf("TopK input = %T, want ParallelDivide\n%s", topk.Input, plan.Format(res.Plan))
+	}
+	if res.Final >= res.Initial {
+		t.Fatalf("cost did not improve: %v -> %v", res.Initial, res.Final)
+	}
+}
+
+func TestCostEstimatesForSortAndTopK(t *testing.T) {
+	d, _ := bigDividePair()
+	keys := []plan.SortKey{{Attr: d.Schema().Attrs()[0]}}
+	srt := &plan.Sort{Input: d, Keys: keys}
+	if Rows(srt) != Rows(d) {
+		t.Fatal("Sort must not change cardinality")
+	}
+	if Cost(srt) <= Cost(d) {
+		t.Fatal("Sort must cost more than its input")
+	}
+	topk := &plan.TopK{Input: d, Keys: keys, K: 5}
+	if got := Rows(topk); got != 5 {
+		t.Fatalf("TopK rows = %v, want 5", got)
+	}
+	pair := &plan.Limit{Input: srt, N: 5}
+	if Cost(topk) >= Cost(pair) {
+		t.Fatalf("TopK (%v) must be cheaper than Sort+Limit (%v)", Cost(topk), Cost(pair))
+	}
+}

@@ -133,7 +133,7 @@ func DividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1, r2 *
 	}
 	// Each worker emits only under its own part index, so the slot
 	// writes are goroutine-local.
-	if err := divideParts(ctx, algo, parts, r2, func(part int, batch []relation.Tuple) error {
+	if err := divideParts(ctx, algo, parts, r2, nil, func(part int, batch []relation.Tuple) error {
 		for _, t := range batch {
 			results[part].InsertOwned(t)
 		}
@@ -155,7 +155,7 @@ func DivideStream(ctx context.Context, algo division.Algorithm, r1, r2 *relation
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return divideParts(ctx, algo, smallParts(r1, r2, workers), r2, emit)
+	return divideParts(ctx, algo, smallParts(r1, r2, workers), r2, nil, emit)
 }
 
 // smallParts plans the dividend partitioning of r1 ÷ r2: a single
@@ -172,10 +172,12 @@ func smallParts(r1, r2 *relation.Relation, workers int) []*relation.Relation {
 	return PartitionDividend(r1, r2, workers)
 }
 
-// divideParts runs one small-divide worker per partition.
-func divideParts(ctx context.Context, algo division.Algorithm, parts []*relation.Relation, r2 *relation.Relation, emit EmitFunc) error {
+// divideParts runs one small-divide worker per partition; a non-nil
+// bound caps each worker's emission at its k smallest quotient
+// tuples.
+func divideParts(ctx context.Context, algo division.Algorithm, parts []*relation.Relation, r2 *relation.Relation, bound *TopKBound, emit EmitFunc) error {
 	return runWorkers(ctx, len(parts), func(ctx context.Context, i int) error {
-		return divideStreamPart(ctx, algo, i, parts[i], r2, emit)
+		return divideStreamPart(ctx, algo, i, parts[i], r2, bound, emit)
 	})
 }
 
@@ -276,11 +278,28 @@ func (b *batcher) flush() error {
 	return b.emit(b.part, batch)
 }
 
+// tupleSink absorbs one partition's quotient tuples; flush must be
+// called once more after the final add. batcher is the plain
+// streaming sink, topkSink the bounded order-aware one.
+type tupleSink interface {
+	add(relation.Tuple) error
+	flush() error
+}
+
+// partSink builds the sink for one partition worker: a plain batcher,
+// or a k-bounded heap when a top-k bound is pushed down.
+func partSink(ctx context.Context, part int, bound *TopKBound, emit EmitFunc) tupleSink {
+	out := &batcher{ctx: ctx, part: part, emit: emit}
+	if bound == nil {
+		return out
+	}
+	return &topkSink{ctx: ctx, heap: relation.NewTopKHeap(bound.K, bound.Cmp), out: out}
+}
+
 // emitRelation streams a materialized quotient downstream; the path
 // of the non-hash algorithms, which compute their partition's
 // quotient as an opaque relational computation first.
-func emitRelation(ctx context.Context, part int, q *relation.Relation, emit EmitFunc) error {
-	sink := &batcher{ctx: ctx, part: part, emit: emit}
+func emitRelation(ctx context.Context, sink tupleSink, q *relation.Relation) error {
 	for _, t := range q.Tuples() {
 		if err := sink.add(t); err != nil {
 			return err
@@ -294,12 +313,13 @@ func emitRelation(ctx context.Context, part int, q *relation.Relation, emit Emit
 // division.DivideState with a ctx poll every checkEvery tuples; other
 // algorithms are opaque relational computations, so they poll only
 // before starting and while emitting.
-func divideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1, r2 *relation.Relation, emit EmitFunc) error {
+func divideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1, r2 *relation.Relation, bound *TopKBound, emit EmitFunc) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	sink := partSink(ctx, part, bound, emit)
 	if algo != division.AlgoHash {
-		return emitRelation(ctx, part, division.DivideWith(algo, r1, r2), emit)
+		return emitRelation(ctx, sink, division.DivideWith(algo, r1, r2))
 	}
 	st, err := division.NewDivideState(r1.Schema(), r2.Schema())
 	if err != nil {
@@ -308,7 +328,6 @@ func divideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1
 	if err := feedCtx(ctx, st, r1, r2); err != nil {
 		return err
 	}
-	sink := &batcher{ctx: ctx, part: part, emit: emit}
 	if err := st.EachResult(sink.add); err != nil {
 		return err
 	}
@@ -367,7 +386,7 @@ func GreatDividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1,
 	for i := range results {
 		results[i] = relation.New(split.A.Concat(split.C))
 	}
-	if err := greatDivideParts(ctx, algo, r1, parts, func(part int, batch []relation.Tuple) error {
+	if err := greatDivideParts(ctx, algo, r1, parts, nil, func(part int, batch []relation.Tuple) error {
 		for _, t := range batch {
 			results[part].InsertOwned(t)
 		}
@@ -386,7 +405,7 @@ func GreatDivideStream(ctx context.Context, algo division.Algorithm, r1, r2 *rel
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return greatDivideParts(ctx, algo, r1, greatParts(r1, r2, workers), emit)
+	return greatDivideParts(ctx, algo, r1, greatParts(r1, r2, workers), nil, emit)
 }
 
 // greatParts plans the divisor partitioning of r1 ÷* r2: the divisor
@@ -409,22 +428,24 @@ func greatParts(r1, r2 *relation.Relation, workers int) []*relation.Relation {
 }
 
 // greatDivideParts runs one great-divide worker per divisor
-// partition.
-func greatDivideParts(ctx context.Context, algo division.Algorithm, r1 *relation.Relation, parts []*relation.Relation, emit EmitFunc) error {
+// partition; a non-nil bound caps each worker's emission at its k
+// smallest quotient tuples.
+func greatDivideParts(ctx context.Context, algo division.Algorithm, r1 *relation.Relation, parts []*relation.Relation, bound *TopKBound, emit EmitFunc) error {
 	return runWorkers(ctx, len(parts), func(ctx context.Context, i int) error {
-		return greatDivideStreamPart(ctx, algo, i, r1, parts[i], emit)
+		return greatDivideStreamPart(ctx, algo, i, r1, parts[i], bound, emit)
 	})
 }
 
 // greatDivideStreamPart great-divides one divisor partition
 // cooperatively, streaming its quotient tuples out; see
 // divideStreamPart.
-func greatDivideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1, r2 *relation.Relation, emit EmitFunc) error {
+func greatDivideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1, r2 *relation.Relation, bound *TopKBound, emit EmitFunc) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	sink := partSink(ctx, part, bound, emit)
 	if algo != division.GreatAlgoHash {
-		return emitRelation(ctx, part, division.GreatDivideWith(algo, r1, r2), emit)
+		return emitRelation(ctx, sink, division.GreatDivideWith(algo, r1, r2))
 	}
 	st, err := division.NewGreatDivideState(r1.Schema(), r2.Schema())
 	if err != nil {
@@ -433,7 +454,6 @@ func greatDivideStreamPart(ctx context.Context, algo division.Algorithm, part in
 	if err := feedCtx(ctx, st, r1, r2); err != nil {
 		return err
 	}
-	sink := &batcher{ctx: ctx, part: part, emit: emit}
 	if err := st.EachResult(sink.add); err != nil {
 		return err
 	}

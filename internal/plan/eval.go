@@ -66,6 +66,28 @@ func Eval(n Node) *relation.Relation {
 			algo = division.GreatAlgoHash
 		}
 		return parallel.GreatDivideWith(algo, Eval(t.Dividend), Eval(t.Divisor), t.Workers)
+	case *Sort:
+		// Relations are sets, but insertion order is preserved by
+		// Tuples(), so the compat path observes the ordering by
+		// rebuilding the relation with sorted insertion order.
+		in := Eval(t.Input)
+		out := relation.New(in.Schema())
+		for _, tup := range SortedTuples(in, t.Keys) {
+			out.InsertOwned(tup)
+		}
+		return out
+	case *TopK:
+		// Must agree with Eval(Limit{Sort}) tuple-for-tuple, which the
+		// shared SortedTuples ordering (canonical tie-break) guarantees.
+		in := Eval(t.Input)
+		out := relation.New(in.Schema())
+		for i, tup := range SortedTuples(in, t.Keys) {
+			if int64(i) >= t.K {
+				break
+			}
+			out.InsertOwned(tup)
+		}
+		return out
 	case *Limit:
 		in := Eval(t.Input)
 		if int64(in.Len()) <= t.N {

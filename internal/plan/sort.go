@@ -1,0 +1,104 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+)
+
+// SortKey is one resolved physical ordering key: an attribute of the
+// input schema plus a direction. The binder resolves ORDER BY items
+// to SortKeys against the query block's output schema, so plan
+// operators never re-run name resolution.
+type SortKey struct {
+	Attr string
+	Desc bool
+}
+
+// String renders the key the way ORDER BY wrote it.
+func (k SortKey) String() string {
+	if k.Desc {
+		return k.Attr + " DESC"
+	}
+	return k.Attr
+}
+
+func formatKeys(keys []SortKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Sort is the physical ordering operator τ_keys(input): it emits its
+// input's tuples in key order (ties broken by the canonical tuple
+// order, so plans are deterministic). Relations are sets, so Sort
+// changes no tuple membership — only the order the streaming engine
+// delivers them in; Eval materializes the result with sorted
+// insertion order for the compat path.
+type Sort struct {
+	Input Node
+	Keys  []SortKey
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() schema.Schema { return s.Input.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Input} }
+
+// WithChildren implements Node.
+func (s *Sort) WithChildren(ch []Node) Node {
+	mustArity("Sort", ch, 1)
+	return &Sort{Input: ch[0], Keys: s.Keys}
+}
+
+// String implements Node.
+func (s *Sort) String() string { return fmt.Sprintf("Sort[%s]", formatKeys(s.Keys)) }
+
+// TopK is the fused form of Limit[k] over Sort[keys]: the k smallest
+// tuples of the input under the keys, emitted in key order. Unlike
+// the unfused pair it never materializes the full sorted input — the
+// physical TopKIter keeps a bounded heap of k tuples, and over a
+// parallel exchange each partition worker keeps its own k-bounded
+// heap with a final k-way merge at the consumer.
+type TopK struct {
+	Input Node
+	Keys  []SortKey
+	K     int64
+}
+
+// Schema implements Node.
+func (t *TopK) Schema() schema.Schema { return t.Input.Schema() }
+
+// Children implements Node.
+func (t *TopK) Children() []Node { return []Node{t.Input} }
+
+// WithChildren implements Node.
+func (t *TopK) WithChildren(ch []Node) Node {
+	mustArity("TopK", ch, 1)
+	return &TopK{Input: ch[0], Keys: t.Keys, K: t.K}
+}
+
+// String implements Node.
+func (t *TopK) String() string { return fmt.Sprintf("TopK[k=%d; %s]", t.K, formatKeys(t.Keys)) }
+
+// SortedTuples returns r's tuples ordered by the keys (resolved
+// against r's schema), ties broken canonically — the reference
+// ordering Eval and the physical operators must agree on.
+func SortedTuples(r *relation.Relation, keys []SortKey) []relation.Tuple {
+	pos := make([]int, len(keys))
+	desc := make([]bool, len(keys))
+	for i, k := range keys {
+		pos[i] = r.Schema().MustIndex(k.Attr)
+		desc[i] = k.Desc
+	}
+	cmp := relation.KeyedCompare(pos, desc)
+	out := append([]relation.Tuple(nil), r.Tuples()...)
+	sort.Slice(out, func(i, j int) bool { return cmp(out[i], out[j]) < 0 })
+	return out
+}

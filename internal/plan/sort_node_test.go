@@ -1,0 +1,93 @@
+package plan
+
+import (
+	"testing"
+
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
+)
+
+func sortFixture() *Scan {
+	r := relation.New(schema.New("a", "b"))
+	for _, row := range [][2]int64{{3, 1}, {1, 2}, {2, 0}, {5, 9}, {4, 4}} {
+		r.Insert(relation.Tuple{value.Int(row[0]), value.Int(row[1])})
+	}
+	return NewScan("r", r)
+}
+
+func TestSortNode(t *testing.T) {
+	s := &Sort{Input: sortFixture(), Keys: []SortKey{{Attr: "a", Desc: true}}}
+	if got := s.String(); got != "Sort[a DESC]" {
+		t.Fatalf("String = %q", got)
+	}
+	if !s.Schema().Equal(s.Input.Schema()) {
+		t.Fatal("Sort must not change the schema")
+	}
+	if len(s.Children()) != 1 {
+		t.Fatal("Sort has one child")
+	}
+	re := s.WithChildren([]Node{sortFixture()}).(*Sort)
+	if len(re.Keys) != 1 || !re.Keys[0].Desc {
+		t.Fatal("WithChildren dropped the keys")
+	}
+
+	got := Eval(s)
+	vals := make([]int64, 0, got.Len())
+	for _, tup := range got.Tuples() {
+		vals = append(vals, tup[0].AsInt())
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i-1] < vals[i] {
+			t.Fatalf("Eval(Sort DESC) insertion order not descending: %v", vals)
+		}
+	}
+}
+
+func TestTopKNode(t *testing.T) {
+	k := &TopK{Input: sortFixture(), Keys: []SortKey{{Attr: "a"}}, K: 2}
+	if got := k.String(); got != "TopK[k=2; a]" {
+		t.Fatalf("String = %q", got)
+	}
+	re := k.WithChildren([]Node{sortFixture()}).(*TopK)
+	if re.K != 2 || len(re.Keys) != 1 {
+		t.Fatal("WithChildren dropped parameters")
+	}
+
+	got := Eval(k)
+	if got.Len() != 2 {
+		t.Fatalf("Eval(TopK k=2) = %d rows", got.Len())
+	}
+	for i, want := range []int64{1, 2} {
+		if got.Tuples()[i][0].AsInt() != want {
+			t.Fatalf("row %d = %v, want a=%d", i, got.Tuples()[i], want)
+		}
+	}
+}
+
+// TestTopKEvalAgreesWithLimitSort pins the fusion contract: Eval of
+// TopK and Eval of Limit over Sort pick the same tuples in the same
+// insertion order, because both rank with SortedTuples.
+func TestTopKEvalAgreesWithLimitSort(t *testing.T) {
+	keys := []SortKey{{Attr: "b", Desc: true}}
+	fused := &TopK{Input: sortFixture(), Keys: keys, K: 3}
+	unfused := &Limit{Input: &Sort{Input: sortFixture(), Keys: keys}, N: 3}
+	a, b := Eval(fused), Eval(unfused)
+	if !a.Equal(b) {
+		t.Fatalf("TopK = %v, Limit(Sort) = %v", a, b)
+	}
+	for i := range a.Tuples() {
+		if !a.Tuples()[i].Equal(b.Tuples()[i]) {
+			t.Fatalf("insertion order diverges at %d: %v vs %v", i, a.Tuples()[i], b.Tuples()[i])
+		}
+	}
+}
+
+func TestTopKEvalZeroAndOversized(t *testing.T) {
+	if got := Eval(&TopK{Input: sortFixture(), Keys: []SortKey{{Attr: "a"}}, K: 0}); got.Len() != 0 {
+		t.Fatalf("k=0 produced %d rows", got.Len())
+	}
+	if got := Eval(&TopK{Input: sortFixture(), Keys: []SortKey{{Attr: "a"}}, K: 100}); got.Len() != 5 {
+		t.Fatalf("oversized k produced %d rows", got.Len())
+	}
+}

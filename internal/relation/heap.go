@@ -1,0 +1,106 @@
+package relation
+
+import (
+	"sort"
+
+	"divlaws/internal/value"
+)
+
+// KeyedCompare returns a total-order tuple comparator over the given
+// column positions, with desc[i] inverting the i-th key. Ties across
+// all keys fall back to the canonical whole-tuple order, so the
+// comparator is deterministic: equal results sort identically on
+// every run and on every partition worker. desc may be nil (all
+// ascending); otherwise len(desc) must equal len(pos).
+func KeyedCompare(pos []int, desc []bool) func(a, b Tuple) int {
+	return func(a, b Tuple) int {
+		for i, p := range pos {
+			if c := value.Compare(a[p], b[p]); c != 0 {
+				if desc != nil && desc[i] {
+					return -c
+				}
+				return c
+			}
+		}
+		return a.Compare(b)
+	}
+}
+
+// TopKHeap keeps the k smallest tuples offered to it under a total
+// order, in O(k) live memory: a bounded binary max-heap whose root is
+// the largest kept tuple, evicted whenever a smaller tuple arrives.
+// It is the physical core of the top-k operators — the whole-stream
+// TopKIter and the per-partition bound inside parallel exchange
+// workers both wrap it.
+type TopKHeap struct {
+	k    int
+	cmp  func(a, b Tuple) int
+	rows []Tuple
+}
+
+// NewTopKHeap returns a heap retaining the k smallest tuples under
+// cmp. k <= 0 retains nothing.
+func NewTopKHeap(k int, cmp func(a, b Tuple) int) *TopKHeap {
+	return &TopKHeap{k: k, cmp: cmp}
+}
+
+// Add offers one tuple, reporting whether it was kept (which may
+// evict a previously kept tuple).
+func (h *TopKHeap) Add(t Tuple) bool {
+	if h.k <= 0 {
+		return false
+	}
+	if len(h.rows) < h.k {
+		h.rows = append(h.rows, t)
+		h.up(len(h.rows) - 1)
+		return true
+	}
+	if h.cmp(t, h.rows[0]) >= 0 {
+		return false
+	}
+	h.rows[0] = t
+	h.down(0)
+	return true
+}
+
+// Len returns the number of tuples currently kept.
+func (h *TopKHeap) Len() int { return len(h.rows) }
+
+// Sorted consumes the heap, returning the kept tuples in ascending
+// comparator order.
+func (h *TopKHeap) Sorted() []Tuple {
+	out := h.rows
+	h.rows = nil
+	sort.Slice(out, func(i, j int) bool { return h.cmp(out[i], out[j]) < 0 })
+	return out
+}
+
+func (h *TopKHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.cmp(h.rows[i], h.rows[p]) <= 0 {
+			return
+		}
+		h.rows[i], h.rows[p] = h.rows[p], h.rows[i]
+		i = p
+	}
+}
+
+func (h *TopKHeap) down(i int) {
+	n := len(h.rows)
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < n && h.cmp(h.rows[l], h.rows[big]) > 0 {
+			big = l
+		}
+		if r < n && h.cmp(h.rows[r], h.rows[big]) > 0 {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h.rows[i], h.rows[big] = h.rows[big], h.rows[i]
+		i = big
+	}
+}

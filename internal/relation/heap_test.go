@@ -1,0 +1,90 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"divlaws/internal/value"
+)
+
+func intTuple(vals ...int64) Tuple {
+	t := make(Tuple, len(vals))
+	for i, v := range vals {
+		t[i] = value.Int(v)
+	}
+	return t
+}
+
+func TestKeyedCompare(t *testing.T) {
+	a := intTuple(1, 2)
+	b := intTuple(1, 3)
+	asc := KeyedCompare([]int{1}, nil)
+	if asc(a, b) >= 0 || asc(b, a) <= 0 || asc(a, a) != 0 {
+		t.Fatal("ascending single-key compare wrong")
+	}
+	desc := KeyedCompare([]int{1}, []bool{true})
+	if desc(a, b) <= 0 || desc(b, a) >= 0 {
+		t.Fatal("descending single-key compare wrong")
+	}
+	// Key tie falls back to the canonical whole-tuple order.
+	c := intTuple(0, 2)
+	tie := KeyedCompare([]int{1}, nil)
+	if tie(c, a) >= 0 {
+		t.Fatal("canonical tie-break missing")
+	}
+	// The fallback is NOT inverted by desc keys: only keys invert.
+	tieDesc := KeyedCompare([]int{1}, []bool{true})
+	if tieDesc(c, a) >= 0 {
+		t.Fatal("tie-break must stay canonical under DESC keys")
+	}
+}
+
+// TestTopKHeapAgainstSort is the property check: for random streams
+// and every k, the heap's sorted output equals sort-then-truncate.
+func TestTopKHeapAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cmp := KeyedCompare([]int{0}, []bool{false})
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(60)
+		tuples := make([]Tuple, n)
+		for i := range tuples {
+			tuples[i] = intTuple(int64(rng.Intn(25)), int64(i))
+		}
+		for _, k := range []int{0, 1, 3, n / 2, n, n + 5} {
+			h := NewTopKHeap(k, cmp)
+			for _, tup := range tuples {
+				h.Add(tup)
+			}
+			got := h.Sorted()
+
+			want := append([]Tuple(nil), tuples...)
+			sort.Slice(want, func(i, j int) bool { return cmp(want[i], want[j]) < 0 })
+			if k < len(want) {
+				want = want[:k]
+			}
+			if k < 0 || k == 0 {
+				want = nil
+			}
+			if len(got) != len(want) {
+				t.Fatalf("k=%d n=%d: %d tuples, want %d", k, n, len(got), len(want))
+			}
+			for i := range got {
+				if cmp(got[i], want[i]) != 0 || !got[i].Equal(want[i]) {
+					t.Fatalf("k=%d n=%d: row %d = %v, want %v", k, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopKHeapBoundedLen(t *testing.T) {
+	cmp := KeyedCompare([]int{0}, nil)
+	h := NewTopKHeap(4, cmp)
+	for i := int64(0); i < 1000; i++ {
+		h.Add(intTuple(i % 97))
+		if h.Len() > 4 {
+			t.Fatalf("heap grew to %d, bound is 4", h.Len())
+		}
+	}
+}

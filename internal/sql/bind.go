@@ -66,9 +66,16 @@ func (db *DB) Bind(q *Query) (plan.Node, error) {
 	return node, nil
 }
 
-// bindQuery lowers one query block.
+// bindQuery lowers one query block. ORDER BY becomes a physical
+// plan.Sort over the block's output, and LIMIT a plan.Limit above it
+// — so ORDER BY + LIMIT binds to Limit∘Sort, which the optimizer
+// fuses into the single plan.TopK operator.
 func (db *DB) bindQuery(q *Query) (plan.Node, error) {
 	node, err := db.bindQueryBody(q)
+	if err != nil {
+		return nil, err
+	}
+	node, err = db.bindOrderBy(q, node)
 	if err != nil {
 		return nil, err
 	}
@@ -76,16 +83,31 @@ func (db *DB) bindQuery(q *Query) (plan.Node, error) {
 		if q.Limit < 0 {
 			return nil, fmt.Errorf("sql: LIMIT %d is negative", q.Limit)
 		}
-		// Ordering is presentation-level (relations are sets; see
-		// validateOrderBy), so a limit applied before it would return n
-		// arbitrary rows sorted — not the top n the combination means
-		// in SQL. Reject it until a physical top-k operator exists.
-		if len(q.OrderBy) > 0 {
-			return nil, fmt.Errorf("sql: ORDER BY with LIMIT is not supported (ordering is presentation-level; the limit would pick arbitrary rows)")
-		}
 		node = &plan.Limit{Input: node, N: q.Limit}
 	}
 	return node, nil
+}
+
+// bindOrderBy is the single sort-binding path of the binder: it
+// resolves every ORDER BY item against the query block's output
+// schema (projection aliases included, since renames are already
+// applied) and wraps the plan in a Sort node carrying the resolved
+// keys. Unresolvable sort columns are errors — ordering is a
+// physical operator now, not a presentation-level hint.
+func (db *DB) bindOrderBy(q *Query, node plan.Node) (plan.Node, error) {
+	if len(q.OrderBy) == 0 {
+		return node, nil
+	}
+	keys := make([]plan.SortKey, len(q.OrderBy))
+	for i, o := range q.OrderBy {
+		c := o.Col
+		attr, err := resolveColumn(node.Schema(), &c)
+		if err != nil {
+			return nil, fmt.Errorf("sql: ORDER BY: %w", err)
+		}
+		keys[i] = plan.SortKey{Attr: attr, Desc: o.Desc}
+	}
+	return &plan.Sort{Input: node, Keys: keys}, nil
 }
 
 // bindQueryBody lowers one query block up to (but excluding) LIMIT.
@@ -227,10 +249,9 @@ func (db *DB) bindDivide(r *DivideTable) (plan.Node, error) {
 }
 
 // bindProjection applies the SELECT list of a non-aggregating query.
+// ORDER BY is bound later, by bindQuery, against the projected
+// output schema.
 func (db *DB) bindProjection(q *Query, node plan.Node) (plan.Node, error) {
-	if err := db.validateOrderBy(q, node.Schema()); err != nil {
-		return nil, err
-	}
 	if q.Star {
 		return node, nil
 	}
@@ -321,9 +342,6 @@ func (db *DB) bindGrouped(q *Query, node plan.Node, aggs []*AggCall) (plan.Node,
 			return nil, err
 		}
 		grouped = &plan.Select{Input: grouped, Pred: p}
-	}
-	if err := db.validateOrderBy(q, grouped.Schema()); err != nil {
-		return nil, err
 	}
 
 	if q.Star {
@@ -609,19 +627,4 @@ func aggsInExpr(e Expr) []*AggCall {
 	default:
 		return nil
 	}
-}
-
-// validateOrderBy checks ORDER BY columns resolve; ordering itself
-// is presentation-level (relations are sets) and handled by callers
-// such as the CLI.
-func (db *DB) validateOrderBy(q *Query, sch schema.Schema) error {
-	for _, o := range q.OrderBy {
-		c := o.Col
-		if _, err := resolveColumn(sch, &c); err != nil {
-			// Also allow output names after projection; checked by
-			// the CLI at render time.
-			continue
-		}
-	}
-	return nil
 }

@@ -56,14 +56,23 @@ func (db *DB) DetectDivision(q *Query) (plan.Node, bool) {
 	if err != nil || node == nil {
 		return nil, false
 	}
-	// Preserve the outer query's LIMIT on the detected plan; bindQuery
-	// would have done the same on the nested-iteration fallback.
-	// Invalid combinations (negative, ORDER BY) decline the rewrite so
-	// the binder reports its usual error.
-	if q.HasLimit {
-		if q.Limit < 0 || len(q.OrderBy) > 0 {
+	// Preserve the outer query's ORDER BY and LIMIT on the detected
+	// plan, exactly as bindQuery layers them on the nested-iteration
+	// fallback: Sort below, Limit above (fused to TopK by the
+	// optimizer). A sort column outside the quotient schema — or a
+	// negative limit — declines the rewrite so the fallback path
+	// reports its usual behavior.
+	if q.HasLimit && q.Limit < 0 {
+		return nil, false
+	}
+	if len(q.OrderBy) > 0 {
+		sorted, err := db.bindOrderBy(q, node)
+		if err != nil {
 			return nil, false
 		}
+		node = sorted
+	}
+	if q.HasLimit {
 		node = &plan.Limit{Input: node, N: q.Limit}
 	}
 	return node, true

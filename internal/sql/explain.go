@@ -110,7 +110,8 @@ func rulesFor(opts ExplainOptions) []laws.Rule {
 }
 
 // writePartitioning appends one line per parallel operator naming
-// its partitioning strategy.
+// its partitioning strategy, and one per top-k over an exchange
+// naming the per-partition pushdown.
 func writePartitioning(b *strings.Builder, n plan.Node) {
 	plan.Transform(n, func(node plan.Node) plan.Node {
 		switch t := node.(type) {
@@ -118,6 +119,21 @@ func writePartitioning(b *strings.Builder, n plan.Node) {
 			fmt.Fprintf(b, "   partitioning: %s across %d workers (Law 2/c2)\n", t.Partitioning(), t.Workers)
 		case *plan.ParallelGreatDivide:
 			fmt.Fprintf(b, "   partitioning: %s across %d workers (Law 13)\n", t.Partitioning(), t.Workers)
+		case *plan.TopK:
+			if t.K <= 0 {
+				// The compiler only fuses a positive bound into the
+				// exchange; k=0 runs as a generic TopKIter that never
+				// opens the subtree.
+				return node
+			}
+			switch in := t.Input.(type) {
+			case *plan.ParallelDivide:
+				fmt.Fprintf(b, "   top-k: per-partition heap(k=%d) in %d workers over %s, k-way merge at the consumer\n",
+					t.K, in.Workers, in.Partitioning())
+			case *plan.ParallelGreatDivide:
+				fmt.Fprintf(b, "   top-k: per-partition heap(k=%d) in %d workers over %s, k-way merge at the consumer\n",
+					t.K, in.Workers, in.Partitioning())
+			}
 		}
 		return node
 	})

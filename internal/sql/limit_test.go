@@ -180,16 +180,50 @@ WHERE NOT EXISTS (
 }
 
 func TestOrderByWithLimitRejected(t *testing.T) {
+	// Historic name kept for continuity: ORDER BY + LIMIT is no longer
+	// rejected — it binds to Limit over a physical Sort (which the
+	// optimizer fuses into TopK), and the combination means the true
+	// top n, not n arbitrary sorted rows.
 	db := limitTestDB()
-	if _, err := db.Plan("SELECT a FROM r ORDER BY a LIMIT 3"); err == nil {
-		t.Fatal("ORDER BY with LIMIT must be rejected until a physical top-k exists")
+	node, err := db.Plan("SELECT a FROM r ORDER BY a DESC LIMIT 3")
+	if err != nil {
+		t.Fatalf("ORDER BY with LIMIT must bind now: %v", err)
 	}
-	// Each alone stays fine.
+	lim, ok := node.(*plan.Limit)
+	if !ok {
+		t.Fatalf("plan root = %T, want *plan.Limit\n%s", node, plan.Format(node))
+	}
+	srt, ok := lim.Input.(*plan.Sort)
+	if !ok {
+		t.Fatalf("Limit input = %T, want *plan.Sort\n%s", lim.Input, plan.Format(node))
+	}
+	if len(srt.Keys) != 1 || srt.Keys[0].Attr != "a" || !srt.Keys[0].Desc {
+		t.Fatalf("sort keys = %v, want [a DESC]", srt.Keys)
+	}
+	// The compat path must return the true top 3: the three largest a.
+	got, err := db.Query("SELECT a FROM r ORDER BY a DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("%d rows, want 3", got.Len())
+	}
+	for i, tup := range got.Tuples() {
+		if want := int64(19 - i); tup[0].AsInt() != want {
+			t.Fatalf("row %d = %v, want a=%d (descending top-3)", i, tup, want)
+		}
+	}
+	// Each clause alone stays fine.
 	if _, err := db.Plan("SELECT a FROM r ORDER BY a"); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := db.Plan("SELECT a FROM r LIMIT 3"); err != nil {
 		t.Fatal(err)
+	}
+	// Physical ordering is strict: an unresolvable sort column is an
+	// error now, not a presentation-level shrug.
+	if _, err := db.Plan("SELECT a FROM r ORDER BY nope"); err == nil {
+		t.Fatal("ORDER BY over an unknown column must fail to bind")
 	}
 }
 

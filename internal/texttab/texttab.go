@@ -80,7 +80,9 @@ type Item struct {
 // Grid renders already-stringified rows under a header with
 // column-aligned values — the streaming-cursor counterpart of Table,
 // for callers that drain a divlaws.Rows instead of holding a
-// relation.
+// relation. Unlike Table it never reorders: rows print exactly as
+// given, so a physically ordered stream (ORDER BY via Sort/TopK
+// operators) keeps its order and callers must not re-sort it.
 func Grid(header []string, rows [][]string) string {
 	widths := make([]int, len(header))
 	for i, h := range header {

@@ -1,0 +1,147 @@
+// Physical ordering tests over the public API: ORDER BY streams in
+// key order through Rows (no presentation-layer re-sorting), and
+// ORDER BY + LIMIT over a parallel division runs as a per-partition
+// top-k with bounded worker emission.
+package divlaws
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"testing"
+
+	"divlaws/internal/datagen"
+)
+
+// drainOrdered scans the first column of every row as int64.
+func drainOrdered(t *testing.T, rows *Rows) []int64 {
+	t.Helper()
+	defer rows.Close()
+	var out []int64
+	for rows.Next() {
+		var v int64
+		var rest any
+		cols := rows.Columns()
+		ptrs := []any{&v}
+		for i := 1; i < len(cols); i++ {
+			ptrs = append(ptrs, &rest)
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// openDividePair registers a generated divide workload large enough
+// to parallelize.
+func openDividePair(opts ...Option) *DB {
+	r1, r2 := datagen.DividePair{
+		Groups: 3000, GroupSize: 4, DivisorSize: 4,
+		Domain: 40, HitRate: 0.9, Seed: 5,
+	}.Generate()
+	db := Open(opts...)
+	db.MustRegister("r1", MustNewRelation(r1.Schema().Attrs(), r1.Rows()))
+	db.MustRegister("r2", MustNewRelation(r2.Schema().Attrs(), r2.Rows()))
+	return db
+}
+
+func TestQueryOrderByStreamsInOrder(t *testing.T) {
+	db := openDividePair(WithWorkers(4), WithParallelThreshold(1))
+	rows, err := db.Query(context.Background(),
+		"SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b ORDER BY a DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Ordered() {
+		t.Fatal("ORDER BY result must report Ordered")
+	}
+	got := drainOrdered(t, rows)
+	if len(got) == 0 {
+		t.Fatal("empty quotient")
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] > got[j] }) {
+		head := got
+		if len(head) > 10 {
+			head = head[:10]
+		}
+		t.Fatalf("stream not descending: %v…", head)
+	}
+
+	// The same query without ORDER BY reports unordered.
+	rows, err = db.Query(context.Background(), "SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Ordered() {
+		t.Fatal("plain query must not report Ordered")
+	}
+	rows.Close()
+}
+
+// TestQueryOrderByLimitTopKOverParallel is the acceptance check:
+// ORDER BY + LIMIT k over a parallel division streams the global
+// top k in order, the Explain report shows the TopK pushdown, and
+// the per-partition stats stay bounded by k.
+func TestQueryOrderByLimitTopKOverParallel(t *testing.T) {
+	const k = 7
+	db := openDividePair(WithWorkers(4), WithParallelThreshold(1))
+	const q = "SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b ORDER BY a LIMIT 7"
+
+	// Reference: the full quotient, sorted ascending.
+	full, err := db.Query(context.Background(), "SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := drainOrdered(t, full)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(want) <= k {
+		t.Fatalf("fixture quotient too small: %d rows", len(want))
+	}
+	want = want[:k]
+
+	ex, err := db.Explain(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ex.Report, "TopK[k=7;") || !strings.Contains(ex.Report, "top-k: per-partition heap(k=7)") {
+		t.Fatalf("Explain missing the TopK pushdown:\n%s", ex.Report)
+	}
+
+	rows, err := db.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Ordered() {
+		t.Fatal("top-k result must report Ordered")
+	}
+	got := drainOrdered(t, rows)
+	if len(got) != k {
+		t.Fatalf("%d rows, want %d", len(got), k)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %d, want %d (got %v, want %v)", i, got[i], want[i], got, want)
+		}
+	}
+
+	// Bounded worker emission: every partition contributed at most k
+	// tuples to the exchange.
+	var parts int
+	for label, n := range rows.Stats().Emitted {
+		if !strings.Contains(label, "/part") {
+			continue
+		}
+		parts++
+		if n > k {
+			t.Errorf("partition %s emitted %d tuples, bound is %d", label, n, k)
+		}
+	}
+	if parts < 2 {
+		t.Fatalf("query did not run as a parallel top-k (%d partitions)", parts)
+	}
+}

@@ -26,11 +26,12 @@ import (
 // when Next asks for it. Rows is not safe for concurrent use; Close
 // is idempotent and safe mid-stream.
 type Rows struct {
-	it     exec.Iterator
-	ctx    context.Context
-	cancel context.CancelFunc
-	cols   []string
-	stats  *exec.Stats
+	it      exec.Iterator
+	ctx     context.Context
+	cancel  context.CancelFunc
+	cols    []string
+	stats   *exec.Stats
+	ordered bool
 
 	cur    relation.Tuple
 	err    error
@@ -147,6 +148,16 @@ func scanValue(v value.Value, dest any) error {
 
 // Columns returns the result column names in output order.
 func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Ordered reports whether the stream carries a physical ordering
+// guarantee: the statement had an ORDER BY, so the plan's outermost
+// operators are Sort or TopK and Next delivers tuples in exactly the
+// requested key order (ties broken by the engine's canonical tuple
+// order, deterministically — including across parallel exchanges,
+// where per-partition top-k results are k-way merged back into the
+// global order). When Ordered is false, tuple order is
+// implementation-defined and consumers that need one must sort.
+func (r *Rows) Ordered() bool { return r.ordered }
 
 // Err returns the first error encountered while streaming — a
 // pipeline failure or the query context's cancellation error. It
