@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,8 +21,11 @@ import (
 	"runtime"
 	"time"
 
+	"divlaws/internal/datagen"
+	"divlaws/internal/exec"
 	"divlaws/internal/optimizer"
 	"divlaws/internal/plan"
+	"divlaws/internal/pred"
 	"divlaws/internal/scenarios"
 )
 
@@ -54,6 +58,7 @@ func main() {
 		reps     = flag.Int("reps", 3, "repetitions (minimum time, mean allocs)")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		workers  = flag.Int("workers", 1, "parallelize divisions in both plan sides across this many goroutines")
+		execSw   = flag.Bool("exec", true, "append the paired tuple-vs-batch sweep over the streaming engine's operator classes")
 		jsonDest = flag.String("json", "", `emit machine-readable results to this file ("-" for stdout) instead of the table`)
 	)
 	flag.Parse()
@@ -105,6 +110,31 @@ func main() {
 		}
 	}
 
+	if *execSw && *law == "" {
+		if *jsonDest == "" {
+			fmt.Printf("\n%-20s %12s %12s %8s  %s\n", "operator class", "tuple", "batch", "speedup", "result-rows")
+		}
+		for _, c := range execClasses(*scale, *seed, *workers) {
+			tup, bat := measureExecPair(c.node, *reps)
+			if tup.rows != bat.rows {
+				fmt.Fprintf(os.Stderr, "%s: BATCH PATH CHANGED RESULT (%d vs %d rows)\n", c.name, tup.rows, bat.rows)
+				os.Exit(1)
+			}
+			speedup := float64(tup.best) / float64(bat.best)
+			rep.Results = append(rep.Results,
+				result{Scenario: c.name, Side: "tuple", Scale: *scale, Workers: *workers,
+					NsPerOp: tup.best.Nanoseconds(), AllocsPerOp: tup.allocs, BytesPerOp: tup.bytes, Rows: tup.rows},
+				result{Scenario: c.name, Side: "batch", Scale: *scale, Workers: *workers,
+					NsPerOp: bat.best.Nanoseconds(), AllocsPerOp: bat.allocs, BytesPerOp: bat.bytes, Rows: bat.rows,
+					Speedup: speedup})
+			if *jsonDest == "" {
+				fmt.Printf("%-20s %12v %12v %7.2fx  %d\n",
+					c.name, tup.best.Round(time.Microsecond), bat.best.Round(time.Microsecond),
+					speedup, tup.rows)
+			}
+		}
+	}
+
 	if *jsonDest != "" {
 		out := os.Stdout
 		if *jsonDest != "-" {
@@ -153,4 +183,110 @@ func measure(n plan.Node, reps int) measurement {
 	m.allocs /= int64(reps)
 	m.bytes /= int64(reps)
 	return m
+}
+
+// measureExecPair is measure over the streaming engine, run as a
+// paired comparison: each rep times one tuple-path round and one
+// batch-path round back to back, so slow machine drift hits both
+// sides equally instead of biasing whichever ran last. A single
+// drain is microseconds — below single-shot timer resolution on a
+// noisy host — so each round runs enough inner drains to fill a few
+// milliseconds and reports per-drain amortized figures; unmeasured
+// warmup drains size that inner loop and absorb first-run effects
+// (cold caches, pool population).
+func measureExecPair(n plan.Node, reps int) (tup, bat measurement) {
+	offOpts := exec.CompileOptions{Batch: exec.BatchOff}
+	onOpts := exec.CompileOptions{Batch: exec.BatchForce}
+	drain := func(opts exec.CompileOptions) int64 {
+		rows, err := exec.Drain(context.Background(), exec.CompileWith(n, nil, opts))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return rows
+	}
+	start := time.Now()
+	drain(offOpts)
+	drain(onOpts)
+	warm := time.Since(start) / 2
+	iters := int(5 * time.Millisecond / (warm + 1))
+	if iters < 1 {
+		iters = 1
+	}
+	round := func(opts exec.CompileOptions, m *measurement) {
+		var rows int64
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for j := 0; j < iters; j++ {
+			rows = drain(opts)
+		}
+		d := time.Since(start) / time.Duration(iters)
+		runtime.ReadMemStats(&ms1)
+		if d < m.best {
+			m.best = d
+		}
+		m.allocs += int64(ms1.Mallocs-ms0.Mallocs) / int64(iters)
+		m.bytes += int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters)
+		m.rows = int(rows)
+	}
+	tup = measurement{best: time.Duration(1<<62 - 1)}
+	bat = measurement{best: time.Duration(1<<62 - 1)}
+	for i := 0; i < reps; i++ {
+		round(offOpts, &tup)
+		round(onOpts, &bat)
+	}
+	tup.allocs /= int64(reps)
+	tup.bytes /= int64(reps)
+	bat.allocs /= int64(reps)
+	bat.bytes /= int64(reps)
+	return tup, bat
+}
+
+// execClasses builds one paired workload per streaming operator
+// class: the vectorized trio (scan, filter, project), the blocking
+// hash-division drains, the parallel exchange, top-k, and an
+// unbatchable union as the within-noise control.
+func execClasses(scale int, seed int64, workers int) []struct {
+	name string
+	node plan.Node
+} {
+	groups := scale / 5
+	if groups < 10 {
+		groups = 10
+	}
+	r1, r2 := datagen.DividePair{
+		Groups: groups, GroupSize: 4, DivisorSize: 4,
+		Domain: 40, HitRate: 0.9, Seed: seed,
+	}.Generate()
+	g1, g2 := datagen.GreatDividePair{
+		Groups: groups, GroupSize: 4, DivisorGroups: 4, DivisorGroupSize: 4,
+		Domain: 40, HitRate: 0.9, Seed: seed,
+	}.Generate()
+	u1, _ := datagen.DividePair{
+		Groups: groups, GroupSize: 4, DivisorSize: 4,
+		Domain: 40, HitRate: 0.9, Seed: seed + 1,
+	}.Generate()
+	if workers < 1 {
+		workers = 1
+	}
+	pworkers := workers
+	if pworkers < 2 {
+		pworkers = 4
+	}
+	r1s := plan.NewScan("r1", r1)
+	r2s := plan.NewScan("r2", r2)
+	return []struct {
+		name string
+		node plan.Node
+	}{
+		{"exec scan", r1s},
+		{"exec filter", &plan.Select{Input: r1s, Pred: pred.Compare(pred.Attr("a"), pred.Gt, pred.ConstInt(int64(groups/2)))}},
+		{"exec project", &plan.Project{Input: r1s, Attrs: []string{"b"}}},
+		{"exec hash-divide", &plan.Divide{Dividend: r1s, Divisor: r2s}},
+		{"exec great-divide", &plan.GreatDivide{Dividend: plan.NewScan("g1", g1), Divisor: plan.NewScan("g2", g2)}},
+		{"exec parallel-divide", &plan.ParallelDivide{Dividend: r1s, Divisor: r2s, Workers: pworkers}},
+		{"exec topk", &plan.TopK{Input: r1s, Keys: []plan.SortKey{{Attr: "b"}, {Attr: "a", Desc: true}}, K: 100}},
+		{"exec union (unbatchable)", plan.Union(r1s, plan.NewScan("u1", u1))},
+	}
 }

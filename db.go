@@ -23,6 +23,8 @@ type config struct {
 	detect         bool
 	dataDependent  bool
 	exchangeBuffer int
+	batchSize      int
+	batch          exec.BatchMode
 }
 
 // Option configures a DB at Open time.
@@ -48,6 +50,18 @@ func WithParallelThreshold(rows float64) Option {
 // work. Larger buffers decouple fast workers from a slow consumer.
 // n < 1 keeps the default (exec.DefaultExchangeBuffer).
 func WithExchangeBuffer(n int) Option { return func(c *config) { c.exchangeBuffer = n } }
+
+// WithBatchSize sets the tuple capacity of the batches flowing
+// through the vectorized execution path and the parallel exchange.
+// Larger batches amortize per-call overhead further at the cost of
+// latency to first result; n < 1 keeps the default (64 tuples).
+func WithBatchSize(n int) Option { return func(c *config) { c.batchSize = n } }
+
+// WithoutBatching disables the vectorized batch-at-a-time execution
+// path, compiling every operator tuple-at-a-time. It is primarily a
+// correctness oracle and benchmarking baseline; it also overrides the
+// DIVLAWS_FORCE_BATCH environment variable.
+func WithoutBatching() Option { return func(c *config) { c.batch = exec.BatchOff } }
 
 // WithoutOptimizer disables the law-based rewrite pass, executing
 // the bound plan as written.
@@ -198,6 +212,7 @@ func (db *DB) Explain(ctx context.Context, text string, args ...any) (Explanatio
 		AllowDataDependent: db.cfg.dataDependent,
 		Workers:            db.cfg.workers,
 		ParallelThreshold:  db.cfg.threshold,
+		Batch:              db.cfg.batch,
 	})
 	if err != nil {
 		return Explanation{}, err
@@ -219,7 +234,11 @@ func (db *DB) queryParsed(ctx context.Context, q *sql.Query, args []any) (*Rows,
 		return nil, err
 	}
 	stats := exec.NewStats()
-	it := exec.CompileWith(node, stats, exec.CompileOptions{ExchangeBuffer: db.cfg.exchangeBuffer})
+	it := exec.CompileWith(node, stats, exec.CompileOptions{
+		ExchangeBuffer: db.cfg.exchangeBuffer,
+		BatchSize:      db.cfg.batchSize,
+		Batch:          db.cfg.batch,
+	})
 	qctx, cancel := context.WithCancel(ctx)
 	if err := it.Open(qctx); err != nil {
 		it.Close()

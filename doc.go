@@ -92,7 +92,10 @@
 // # Ordering and top-k
 //
 // ORDER BY is a physical operator: the binder resolves the sort keys
-// against the statement's output columns and plans a Sort node, so
+// against the statement's output columns — or, for a key the
+// projection dropped, against the pre-projection schema, widening
+// the plan to carry the column through the sort and projecting it
+// away above, per the SQL convention — and plans a Sort node, so
 // Rows delivers tuples in exactly the requested order — Rows.Ordered
 // reports the guarantee, and ties beyond the sort keys are broken by
 // the engine's canonical tuple order, deterministically. ORDER BY
@@ -116,6 +119,32 @@
 //
 // Explain renders the ordering pipeline — the TopK node, the fusion
 // trace, and the per-partition pushdown with its partitioning.
+//
+// # Batch execution
+//
+// The executor is vectorized: alongside the classic tuple-at-a-time
+// Volcano surface, every scan, filter, projection, limit, rename,
+// sort, grouping, and division operator also implements a
+// batch-at-a-time surface that moves tuples in pooled, slab-allocated
+// batches (64 tuples by default), amortizing per-tuple interface
+// calls and context polls across a whole batch. The compiler selects
+// the batch path automatically for every maximal subtree whose
+// operators are all batch-capable and leaves mixed subtrees on the
+// tuple path, so no adapter cost is ever paid silently; both paths
+// produce identical results, identical Stats, and identical ordering
+// guarantees. Explain marks each operator the executor will run
+// batch-at-a-time with a [batch] annotation.
+//
+// WithBatchSize tunes the batch capacity (which is also the emission
+// batch size of parallel exchange workers, so worker batches flow
+// through the exchange without being re-tuplified);
+// WithoutBatching pins an embedded database to the pure
+// tuple-at-a-time path — the correctness oracle the batch path is
+// tested against. Setting DIVLAWS_FORCE_BATCH=1 in the environment
+// forces the batch path onto every batch-capable operator (inserting
+// adapters over tuple-only subtrees), which CI uses to run the whole
+// test suite batch-first; an explicit WithoutBatching still wins over
+// the environment, so oracles hold everywhere.
 //
 // The engine implementation lives in internal/ packages; this
 // package is the one supported embedding surface. The commands under

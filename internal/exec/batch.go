@@ -1,0 +1,471 @@
+package exec
+
+import (
+	"context"
+
+	"divlaws/internal/pred"
+	"divlaws/internal/relation"
+	"divlaws/internal/schema"
+)
+
+// BatchIterator is the batch-at-a-time physical operator interface,
+// the fast path beside Iterator: operators exchange slabs of up to
+// CompileOptions.BatchSize tuples instead of single tuples, so the
+// per-call interface overhead — and the cooperative context polls —
+// are amortized across a whole batch.
+//
+// Protocol: OpenBatch before the first NextBatch; NextBatch returns
+// nil at end of stream; the returned batch is owned by the operator
+// and valid only until the next NextBatch or Close (the tuples inside
+// are immutable and may be retained). Close is idempotent.
+//
+// Several operators implement both interfaces over one shared cursor
+// (ScanIter, the blocking emitters, the parallel exchanges), so a
+// consumer may drain them tuple-at-a-time or batch-at-a-time — but
+// must not interleave arbitrary Next and NextBatch calls beyond
+// "Next a few, then batch-drain the rest", which the shared cursor
+// keeps exact.
+type BatchIterator interface {
+	// OpenBatch prepares the operator under the given context, exactly
+	// as Iterator.Open does; dual-mode operators treat Open and
+	// OpenBatch as the same call.
+	OpenBatch(ctx context.Context) error
+	// NextBatch produces the next batch, nil at end of stream. The
+	// batch is reused: it is valid only until the next call.
+	NextBatch() (*relation.Batch, error)
+	// Close releases resources; idempotent.
+	Close() error
+	// Schema describes the produced tuples.
+	Schema() schema.Schema
+}
+
+// windowBatcher equips an operator holding (or receiving) tuple
+// slices with zero-copy batch emission: window serves consecutive
+// BatchSize-capped views over a results slice, adopt wraps a foreign
+// slice (an exchange batch) as-is. The *relation.Batch comes from the
+// shared free-list and is returned to it by release.
+type windowBatcher struct {
+	// BatchSize caps emitted windows; 0 means relation.DefaultBatchCap.
+	BatchSize int
+	wb        *relation.Batch
+}
+
+// batchCap resolves the configured window capacity.
+func (w *windowBatcher) batchCap() int {
+	if w.BatchSize > 0 {
+		return w.BatchSize
+	}
+	return relation.DefaultBatchCap
+}
+
+// window serves the next view of up to batchCap tuples of rows
+// starting at *pos, advancing *pos; nil when rows are exhausted.
+func (w *windowBatcher) window(rows []relation.Tuple, pos *int) *relation.Batch {
+	if *pos >= len(rows) {
+		return nil
+	}
+	end := *pos + w.batchCap()
+	if end > len(rows) {
+		end = len(rows)
+	}
+	b := w.adopt(rows[*pos:end])
+	*pos = end
+	return b
+}
+
+// adopt wraps ts as the emitted batch without copying.
+func (w *windowBatcher) adopt(ts []relation.Tuple) *relation.Batch {
+	if w.wb == nil {
+		w.wb = relation.GetBatch(w.batchCap())
+	}
+	w.wb.SetTuples(ts)
+	return w.wb
+}
+
+// release returns the batch to the free-list; called from Close.
+func (w *windowBatcher) release() {
+	relation.PutBatch(w.wb)
+	w.wb = nil
+}
+
+// ToBatch adapts a tuple-at-a-time Iterator to the batch protocol by
+// accumulating BatchSize tuples per NextBatch. It is the boundary
+// adapter the compiler inserts when a batch-capable operator sits
+// above a tuple-only subtree (forced-batch mode); the plain tuple
+// path never pays for it.
+type ToBatch struct {
+	Input Iterator
+	// BatchSize caps the accumulated batches; 0 means
+	// relation.DefaultBatchCap.
+	BatchSize int
+
+	out  *relation.Batch
+	open bool
+}
+
+// OpenBatch implements BatchIterator.
+func (a *ToBatch) OpenBatch(ctx context.Context) error {
+	a.open = true
+	return a.Input.Open(ctx)
+}
+
+// NextBatch implements BatchIterator.
+func (a *ToBatch) NextBatch() (*relation.Batch, error) {
+	if !a.open {
+		return nil, errNotOpen("ToBatch")
+	}
+	if a.out == nil {
+		a.out = relation.GetBatch(a.BatchSize)
+	}
+	a.out.Reset()
+	for !a.out.Full() {
+		t, ok, err := a.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		a.out.Append(t)
+	}
+	if a.out.Len() == 0 {
+		return nil, nil
+	}
+	return a.out, nil
+}
+
+// Close implements BatchIterator.
+func (a *ToBatch) Close() error {
+	a.open = false
+	relation.PutBatch(a.out)
+	a.out = nil
+	return a.Input.Close()
+}
+
+// Schema implements BatchIterator.
+func (a *ToBatch) Schema() schema.Schema { return a.Input.Schema() }
+
+// FromBatch adapts a BatchIterator to the tuple protocol: Next serves
+// tuples out of the current batch and pulls the next one on demand.
+// It also passes the batch protocol straight through, so a blocking
+// drain above it consumes whole batches without re-tuplifying (any
+// partially Next-consumed batch is served as a remainder window
+// first).
+type FromBatch struct {
+	Input BatchIterator
+
+	windowBatcher
+	cur []relation.Tuple
+	pos int
+}
+
+// Open implements Iterator.
+func (f *FromBatch) Open(ctx context.Context) error {
+	f.cur, f.pos = nil, 0
+	return f.Input.OpenBatch(ctx)
+}
+
+// OpenBatch implements BatchIterator.
+func (f *FromBatch) OpenBatch(ctx context.Context) error { return f.Open(ctx) }
+
+// Next implements Iterator.
+func (f *FromBatch) Next() (relation.Tuple, bool, error) {
+	for f.pos >= len(f.cur) {
+		b, err := f.Input.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return nil, false, nil
+		}
+		f.cur, f.pos = b.Tuples(), 0
+	}
+	t := f.cur[f.pos]
+	f.pos++
+	return t, true, nil
+}
+
+// NextBatch implements BatchIterator: the remainder of a partially
+// consumed batch first, then the child's batches untouched.
+func (f *FromBatch) NextBatch() (*relation.Batch, error) {
+	if f.pos < len(f.cur) {
+		b := f.adopt(f.cur[f.pos:])
+		f.cur, f.pos = nil, 0
+		return b, nil
+	}
+	f.cur, f.pos = nil, 0
+	return f.Input.NextBatch()
+}
+
+// Close implements Iterator.
+func (f *FromBatch) Close() error {
+	f.cur, f.pos = nil, 0
+	f.release()
+	return f.Input.Close()
+}
+
+// Schema implements Iterator.
+func (f *FromBatch) Schema() schema.Schema { return f.Input.Schema() }
+
+// FilterBatch is the batch-native predicate filter: each input batch
+// is filtered into a reused output batch, with per-batch (not
+// per-tuple) interface costs. Empty results keep pulling, so
+// consumers never see zero-length batches.
+type FilterBatch struct {
+	Label string
+	Input BatchIterator
+	Pred  pred.Predicate
+	Stats *Stats
+
+	out  *relation.Batch
+	open bool
+}
+
+// OpenBatch implements BatchIterator.
+func (f *FilterBatch) OpenBatch(ctx context.Context) error {
+	f.open = true
+	return f.Input.OpenBatch(ctx)
+}
+
+// NextBatch implements BatchIterator.
+func (f *FilterBatch) NextBatch() (*relation.Batch, error) {
+	if !f.open {
+		return nil, errNotOpen("FilterBatch")
+	}
+	sch := f.Input.Schema()
+	for {
+		in, err := f.Input.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return nil, nil
+		}
+		if f.out == nil {
+			f.out = relation.GetBatch(in.Len())
+		}
+		f.out.Reset()
+		for _, t := range in.Tuples() {
+			if f.Pred.Eval(t, sch) {
+				f.out.Append(t)
+			}
+		}
+		if n := f.out.Len(); n > 0 {
+			f.Stats.count(f.Label, int64(n))
+			return f.out, nil
+		}
+	}
+}
+
+// Close implements BatchIterator.
+func (f *FilterBatch) Close() error {
+	f.open = false
+	relation.PutBatch(f.out)
+	f.out = nil
+	return f.Input.Close()
+}
+
+// Schema implements BatchIterator.
+func (f *FilterBatch) Schema() schema.Schema { return f.Input.Schema() }
+
+// ProjectBatch is the batch-native projection with streaming dedup:
+// the same first-seen TupleIndex semantics as ProjectIter (exact
+// under hash collisions), with the per-tuple interface overhead
+// hoisted to the batch boundary.
+type ProjectBatch struct {
+	Label string
+	Input BatchIterator
+	Attrs []string
+	Stats *Stats
+
+	pos  []int
+	out  schema.Schema
+	seen *relation.TupleIndex
+	ob   *relation.Batch
+}
+
+// OpenBatch implements BatchIterator.
+func (p *ProjectBatch) OpenBatch(ctx context.Context) error {
+	p.out, p.pos = p.Input.Schema().Project(p.Attrs)
+	p.seen = new(relation.TupleIndex)
+	return p.Input.OpenBatch(ctx)
+}
+
+// NextBatch implements BatchIterator.
+func (p *ProjectBatch) NextBatch() (*relation.Batch, error) {
+	if p.seen == nil {
+		return nil, errNotOpen("ProjectBatch")
+	}
+	for {
+		in, err := p.Input.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return nil, nil
+		}
+		if p.ob == nil {
+			p.ob = relation.GetBatch(in.Len())
+		}
+		p.ob.Reset()
+		for _, t := range in.Tuples() {
+			if id, created := p.seen.IDProj(t, p.pos); created {
+				p.ob.Append(p.seen.Key(id))
+			}
+		}
+		if n := p.ob.Len(); n > 0 {
+			p.Stats.count(p.Label, int64(n))
+			return p.ob, nil
+		}
+	}
+}
+
+// Close implements BatchIterator.
+func (p *ProjectBatch) Close() error {
+	p.seen = nil
+	relation.PutBatch(p.ob)
+	p.ob = nil
+	return p.Input.Close()
+}
+
+// Schema implements BatchIterator.
+func (p *ProjectBatch) Schema() schema.Schema {
+	if p.out.Len() == 0 {
+		p.out, p.pos = p.Input.Schema().Project(p.Attrs)
+	}
+	return p.out
+}
+
+// LimitBatch is the batch-native LIMIT with the same early-exit
+// contract as LimitIter: the child is closed the moment the n-th
+// tuple surfaces (cancelling streaming subtrees such as parallel
+// exchanges mid-stream), the final batch is truncated to the bound,
+// and a limit of zero never opens the child at all.
+type LimitBatch struct {
+	Label string
+	Input BatchIterator
+	N     int64
+	Stats *Stats
+
+	windowBatcher
+	seen    int64
+	opened  bool
+	stopped bool
+	stopErr error
+}
+
+// OpenBatch implements BatchIterator.
+func (l *LimitBatch) OpenBatch(ctx context.Context) error {
+	l.seen = 0
+	l.stopped = l.N <= 0
+	l.stopErr = nil
+	if !l.stopped {
+		if err := l.Input.OpenBatch(ctx); err != nil {
+			return err
+		}
+	}
+	l.opened = true
+	return nil
+}
+
+// NextBatch implements BatchIterator.
+func (l *LimitBatch) NextBatch() (*relation.Batch, error) {
+	if !l.opened {
+		return nil, errNotOpen("LimitBatch")
+	}
+	if l.stopped || l.seen >= l.N {
+		err := l.stopErr
+		l.stopErr = nil
+		return nil, err
+	}
+	in, err := l.Input.NextBatch()
+	if err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, nil
+	}
+	ts := in.Tuples()
+	if rem := l.N - l.seen; int64(len(ts)) > rem {
+		ts = ts[:rem]
+	}
+	l.seen += int64(len(ts))
+	l.Stats.count(l.Label, int64(len(ts)))
+	if l.seen < l.N {
+		return l.adopt(ts), nil
+	}
+	// Limit reached: release the subtree now, exactly like LimitIter —
+	// a teardown error surfaces on the next call, never in place of
+	// the batch the consumer asked for. Closing the child recycles the
+	// slab behind ts, so the final batch is copied, not adopted.
+	if l.wb == nil {
+		l.wb = relation.GetBatch(len(ts))
+	}
+	l.wb.Reset()
+	for _, t := range ts {
+		l.wb.Append(t)
+	}
+	l.stopped = true
+	l.stopErr = l.Input.Close()
+	return l.wb, nil
+}
+
+// Close implements BatchIterator.
+func (l *LimitBatch) Close() error {
+	l.opened = false
+	l.release()
+	err := l.Input.Close()
+	if err == nil {
+		err = l.stopErr
+	}
+	l.stopErr = nil
+	return err
+}
+
+// Schema implements BatchIterator.
+func (l *LimitBatch) Schema() schema.Schema { return l.Input.Schema() }
+
+// RenameBatch relabels attributes without touching batches.
+type RenameBatch struct {
+	Input    BatchIterator
+	From, To string
+}
+
+// OpenBatch implements BatchIterator.
+func (r *RenameBatch) OpenBatch(ctx context.Context) error { return r.Input.OpenBatch(ctx) }
+
+// NextBatch implements BatchIterator.
+func (r *RenameBatch) NextBatch() (*relation.Batch, error) { return r.Input.NextBatch() }
+
+// Close implements BatchIterator.
+func (r *RenameBatch) Close() error { return r.Input.Close() }
+
+// Schema implements BatchIterator.
+func (r *RenameBatch) Schema() schema.Schema { return r.Input.Schema().Rename(r.From, r.To) }
+
+// drainBatches is the batch twin of drain: it consumes whole batches
+// from a batch-capable child, with the cooperative context poll
+// hoisted from per-tuple bookkeeping to batch boundaries (still at
+// least every `every` tuples).
+func drainBatches(ctx context.Context, child BatchIterator, every int, sink func([]relation.Tuple)) error {
+	if every <= 0 {
+		every = DefaultCheckEvery
+	}
+	n := 0
+	for {
+		b, err := child.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		sink(b.Tuples())
+		if n += b.Len(); n >= every {
+			n = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package exec
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"divlaws/internal/hashkey"
+	"divlaws/internal/plan"
+	"divlaws/internal/pred"
+	"divlaws/internal/relation"
+)
+
+// These tests pin the tentpole invariant: the vectorized batch path
+// is an exact drop-in for the tuple path. Every plan is compiled
+// twice — BatchOff (the tuple-at-a-time oracle) and BatchForce — and
+// compared tuple-for-tuple: ordered plans by sequence, unordered by
+// multiset-free set equality. Both drain styles are exercised: the
+// Iterator surface (Next, through FromBatch where the root is
+// batch-only) and the raw BatchIterator surface (NextBatch).
+
+// drainSeq collects the full output sequence through the Iterator
+// surface.
+func drainSeq(t *testing.T, it Iterator) []relation.Tuple {
+	t.Helper()
+	if err := it.Open(context.Background()); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer it.Close()
+	var out []relation.Tuple
+	for {
+		tup, ok, err := it.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !ok {
+			return out
+		}
+		out = append(out, tup)
+	}
+}
+
+// drainBatchSeq collects the full output sequence through NextBatch,
+// copying each batch before the next call (the ownership contract:
+// a batch is valid only until the producer's next call).
+func drainBatchSeq(t *testing.T, b BatchIterator) []relation.Tuple {
+	t.Helper()
+	if err := b.OpenBatch(context.Background()); err != nil {
+		t.Fatalf("OpenBatch: %v", err)
+	}
+	defer b.Close()
+	var out []relation.Tuple
+	for {
+		batch, err := b.NextBatch()
+		if err != nil {
+			t.Fatalf("NextBatch: %v", err)
+		}
+		if batch == nil {
+			return out
+		}
+		if batch.Len() == 0 {
+			t.Fatal("NextBatch returned an empty non-nil batch")
+		}
+		for _, tup := range batch.Tuples() {
+			if tup == nil {
+				t.Fatal("NextBatch returned a batch containing a nil tuple")
+			}
+			out = append(out, tup)
+		}
+	}
+}
+
+func seqKeys(ts []relation.Tuple) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Key()
+	}
+	return out
+}
+
+func sameSeq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// equivPlans is the operator-pair matrix: one entry per physical
+// operator with a batch counterpart or batch drain, plus unbatchable
+// operators (whose compile must be unaffected by BatchForce) and
+// mixed batchable/unbatchable trees crossing the adapter boundary.
+func equivPlans(rng *rand.Rand) []struct {
+	name    string
+	node    plan.Node
+	ordered bool
+} {
+	r1 := plan.NewScan("r1", randRelation(rng, []string{"a", "b"}, 5+rng.Intn(60), 6))
+	r2 := plan.NewScan("r2", randRelation(rng, []string{"b"}, 1+rng.Intn(4), 6))
+	r2g := plan.NewScan("r2g", randRelation(rng, []string{"b", "c"}, 1+rng.Intn(8), 6))
+	u := plan.NewScan("u", randRelation(rng, []string{"a", "b"}, 5+rng.Intn(40), 6))
+	p := pred.Compare(pred.Attr("a"), pred.Gt, pred.ConstInt(int64(rng.Intn(6))))
+	div := &plan.Divide{Dividend: r1, Divisor: r2}
+	keysA := []plan.SortKey{{Attr: "a"}, {Attr: "b", Desc: true}}
+	return []struct {
+		name    string
+		node    plan.Node
+		ordered bool
+	}{
+		{"scan", r1, false},
+		{"filter", &plan.Select{Input: r1, Pred: p}, false},
+		{"project", &plan.Project{Input: r1, Attrs: []string{"a"}}, false},
+		{"rename", &plan.Rename{Input: r1, From: "a", To: "x"}, false},
+		{"limit", &plan.Limit{Input: r1, N: int64(rng.Intn(12))}, false},
+		{"divide", div, false},
+		{"greatdivide", &plan.GreatDivide{Dividend: r1, Divisor: r2g}, false},
+		{"group", &plan.Group{Input: r1, By: []string{"a"}}, false},
+		{"sort", &plan.Sort{Input: r1, Keys: keysA}, true},
+		{"topk", &plan.TopK{Input: r1, Keys: keysA, K: int64(1 + rng.Intn(10))}, true},
+		{"paralleldivide", &plan.ParallelDivide{Dividend: r1, Divisor: r2, Workers: 3}, false},
+		{"parallelgreatdivide", &plan.ParallelGreatDivide{Dividend: r1, Divisor: r2g, Workers: 3}, false},
+		{"topk-over-parallel", &plan.TopK{
+			Input: &plan.ParallelDivide{Dividend: r1, Divisor: r2, Workers: 3},
+			Keys:  []plan.SortKey{{Attr: "a"}}, K: 3,
+		}, true},
+		{"pipeline-over-divide", &plan.Limit{
+			Input: &plan.Project{Input: &plan.Select{Input: div, Pred: p}, Attrs: []string{"a"}},
+			N:     int64(1 + rng.Intn(6)),
+		}, false},
+		// Unbatchable roots and mixed trees: the adapter boundary.
+		{"union", plan.Union(r1, u), false},
+		{"join", &plan.Join{Left: r1, Right: r2g}, false},
+		{"filter-over-union", &plan.Select{Input: plan.Union(r1, u), Pred: p}, false},
+		{"sort-over-union", &plan.Sort{Input: plan.Union(r1, u), Keys: keysA}, true},
+	}
+}
+
+// TestBatchMatchesTuplePath is the per-operator-pair equivalence
+// sweep: for every plan shape, the forced batch path must produce
+// exactly what the tuple path produces — the same sequence for
+// ordered plans, the same set otherwise — through both drain styles,
+// across batch sizes chosen to hit window boundaries (1, a prime
+// smaller than most outputs, and the default).
+func TestBatchMatchesTuplePath(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		for _, c := range equivPlans(rng) {
+			want := seqKeys(drainSeq(t, CompileWith(c.node, nil, CompileOptions{Batch: BatchOff})))
+			for _, size := range []int{1, 7, 0} {
+				opts := CompileOptions{Batch: BatchForce, BatchSize: size}
+				got := seqKeys(drainSeq(t, CompileWith(c.node, nil, opts)))
+				check := func(got []string, via string) {
+					t.Helper()
+					if c.ordered && !sameSeq(got, want) {
+						t.Fatalf("trial %d %s (size %d, %s): sequence diverges\ngot  %v\nwant %v",
+							trial, c.name, size, via, got, want)
+					}
+					if !c.ordered && sortedKeys(append([]string(nil), got...)) != sortedKeys(append([]string(nil), want...)) {
+						t.Fatalf("trial %d %s (size %d, %s): set diverges\ngot  %v\nwant %v",
+							trial, c.name, size, via, got, want)
+					}
+				}
+				check(got, "Next")
+				if b, ok := CompileWith(c.node, nil, opts).(BatchIterator); ok {
+					check(seqKeys(drainBatchSeq(t, b)), "NextBatch")
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMatchesTupleUnderForcedCollisions repeats the sweep with
+// 3-bit hashes, so every hash-table probe in the batch drains and the
+// batch projection dedup runs its collision-verification logic.
+func TestBatchMatchesTupleUnderForcedCollisions(t *testing.T) {
+	restore := hashkey.SetMaskForTesting(0x7)
+	defer restore()
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 15; trial++ {
+		for _, c := range equivPlans(rng) {
+			want := seqKeys(drainSeq(t, CompileWith(c.node, nil, CompileOptions{Batch: BatchOff})))
+			got := seqKeys(drainSeq(t, CompileWith(c.node, nil, CompileOptions{Batch: BatchForce, BatchSize: 3})))
+			if c.ordered && !sameSeq(got, want) {
+				t.Fatalf("trial %d %s: sequence diverges under collisions\ngot  %v\nwant %v",
+					trial, c.name, got, want)
+			}
+			if !c.ordered && sortedKeys(append([]string(nil), got...)) != sortedKeys(append([]string(nil), want...)) {
+				t.Fatalf("trial %d %s: set diverges under collisions\ngot  %v\nwant %v",
+					trial, c.name, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchStatsParity: both paths label operators identically, so a
+// compiled plan reports the same per-operator tuple counts whichever
+// path ran it.
+func TestBatchStatsParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	r1 := plan.NewScan("r1", randRelation(rng, []string{"a", "b"}, 50, 6))
+	r2 := plan.NewScan("r2", randRelation(rng, []string{"b"}, 3, 6))
+	node := &plan.Project{
+		Input: &plan.Select{
+			Input: &plan.Divide{Dividend: r1, Divisor: r2},
+			Pred:  pred.Compare(pred.Attr("a"), pred.Ge, pred.ConstInt(0)),
+		},
+		Attrs: []string{"a"},
+	}
+	tupleStats, batchStats := NewStats(), NewStats()
+	drainSeq(t, CompileWith(node, tupleStats, CompileOptions{Batch: BatchOff}))
+	drainSeq(t, CompileWith(node, batchStats, CompileOptions{Batch: BatchForce}))
+	want := tupleStats.Snapshot()
+	got := batchStats.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("label sets diverge:\nbatch %v\ntuple %v", got, want)
+	}
+	for label, n := range want {
+		if got[label] != n {
+			t.Errorf("stats[%q] = %d on the batch path, %d on the tuple path", label, got[label], n)
+		}
+	}
+}
+
+// TestBatchMixedNextThenBatch pins the dual-mode shared-cursor
+// contract: consuming a few tuples via Next and then switching to
+// NextBatch continues from the same cursor without loss or repeats.
+func TestBatchMixedNextThenBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	rel := randRelation(rng, []string{"a", "b"}, 100, 25)
+	node := plan.NewScan("r", rel)
+	want := seqKeys(drainSeq(t, CompileWith(node, nil, CompileOptions{Batch: BatchOff})))
+
+	it := CompileWith(node, nil, CompileOptions{Batch: BatchForce, BatchSize: 8})
+	b, ok := it.(BatchIterator)
+	if !ok {
+		t.Fatalf("forced batch compile of a scan is %T, want a dual-mode BatchIterator", it)
+	}
+	if err := it.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for i := 0; i < 5; i++ {
+		tup, ok, err := it.Next()
+		if err != nil || !ok {
+			t.Fatalf("Next %d = (%t, %v)", i, ok, err)
+		}
+		got = append(got, tup.Key())
+	}
+	for {
+		batch, err := b.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch == nil {
+			break
+		}
+		got = append(got, seqKeys(batch.Tuples())...)
+	}
+	if !sameSeq(got, want) {
+		t.Fatalf("mixed Next/NextBatch lost or repeated tuples:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestBatchGoroutineLeaks mirrors TestExchangeGoroutineLeaks for the
+// batch surface: the exchange workers behind a parallel division
+// must die on every teardown path when the consumer drives NextBatch
+// instead of Next.
+func TestBatchGoroutineLeaks(t *testing.T) {
+	node, _ := streamFixture()
+	opts := CompileOptions{ExchangeBuffer: 2, Batch: BatchForce}
+
+	openBatchRoot := func(t *testing.T, ctx context.Context) BatchIterator {
+		t.Helper()
+		b, ok := CompileWith(node, nil, opts).(BatchIterator)
+		if !ok {
+			t.Fatal("forced batch compile of a parallel divide must be a BatchIterator")
+		}
+		if err := b.OpenBatch(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	t.Run("CloseMidStream", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		b := openBatchRoot(t, context.Background())
+		for i := 0; i < 3; i++ {
+			if batch, err := b.NextBatch(); err != nil || batch == nil {
+				t.Fatalf("NextBatch %d = (%v, %v)", i, batch, err)
+			}
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		waitGoroutines(t, baseline)
+	})
+
+	t.Run("CancelMidBatch", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		b := openBatchRoot(t, ctx)
+		if batch, err := b.NextBatch(); err != nil || batch == nil {
+			t.Fatalf("NextBatch = (%v, %v)", batch, err)
+		}
+		cancel()
+		// Drain to the cancellation error or end of stream; the
+		// workers must die either way.
+		for {
+			batch, err := b.NextBatch()
+			if err != nil || batch == nil {
+				break
+			}
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		waitGoroutines(t, baseline)
+	})
+
+	t.Run("LimitOverBatchExchange", func(t *testing.T) {
+		// The LIMIT early-exit above a batch exchange: the limit closes
+		// the subtree after the first batch; no workers may survive,
+		// and the served batch must stay intact past the child Close.
+		baseline := runtime.NumGoroutine()
+		lim := &plan.Limit{Input: node, N: 1}
+		b, ok := CompileWith(lim, nil, opts).(BatchIterator)
+		if !ok {
+			t.Fatal("forced batch compile of limit-over-parallel must be a BatchIterator")
+		}
+		if err := b.OpenBatch(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		batch, err := b.NextBatch()
+		if err != nil || batch == nil || batch.Len() != 1 {
+			t.Fatalf("NextBatch = (%v, %v), want one surviving tuple", batch, err)
+		}
+		if batch.Tuple(0) == nil {
+			t.Fatal("limit served a recycled (nil) tuple after closing its child")
+		}
+		if batch, err := b.NextBatch(); err != nil || batch != nil {
+			t.Fatalf("second NextBatch = (%v, %v), want end of stream", batch, err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		waitGoroutines(t, baseline)
+	})
+}

@@ -33,9 +33,9 @@ func (c *countdownCtx) Err() error {
 }
 
 // bigDividePlan builds a division plan whose dividend spans many
-// checkEvery intervals, so blocking drains must poll repeatedly.
+// DefaultCheckEvery intervals, so blocking drains must poll repeatedly.
 func bigDividePlan(parallel bool) plan.Node {
-	n := 8 * checkEvery
+	n := 8 * DefaultCheckEvery
 	rows := make([][]int64, 0, n)
 	for i := 0; i < n; i++ {
 		// i is unique per row so set-semantics dedup keeps all n.
@@ -79,7 +79,7 @@ func TestRunPropagatesCancellation(t *testing.T) {
 // BenchmarkCancellationOverhead measures the cost of the cooperative
 // cancellation designs the context plumbing chose between: polling
 // ctx.Err() on every tuple of a blocking drain versus polling once
-// per checkEvery tuples (the shipped design). The batched variant is
+// per DefaultCheckEvery tuples (the shipped design). The batched variant is
 // indistinguishable from no check at all, which is why the engine
 // batches instead of threading a per-Next context check through
 // every iterator.

@@ -2,17 +2,70 @@ package exec
 
 import (
 	"fmt"
+	"os"
+	"sync"
 
 	"divlaws/internal/division"
 	"divlaws/internal/plan"
 	"divlaws/internal/relation"
 )
 
-// CompileOptions tunes physical operator construction.
+// BatchMode selects how the compiler uses the batch-at-a-time fast
+// path.
+type BatchMode int
+
+const (
+	// BatchAuto (the zero value) selects the batch path for every
+	// maximal subtree whose operators are all batch-capable, leaving
+	// mixed subtrees on the tuple path — no adapter cost anywhere.
+	BatchAuto BatchMode = iota
+	// BatchOff compiles everything tuple-at-a-time; the correctness
+	// oracle for equivalence tests.
+	BatchOff
+	// BatchForce compiles every batch-capable operator onto the batch
+	// path, inserting ToBatch adapters over tuple-only children. Used
+	// by the CI leg that runs the whole suite batch-first.
+	BatchForce
+)
+
+// forceBatchEnv reports whether DIVLAWS_FORCE_BATCH=1 is set; it
+// upgrades BatchAuto to BatchForce (an explicit BatchOff still wins,
+// so equivalence oracles hold even under the forced-batch CI leg).
+var forceBatchEnv = sync.OnceValue(func() bool {
+	return os.Getenv("DIVLAWS_FORCE_BATCH") == "1"
+})
+
+// CompileOptions tunes physical operator construction. It unifies the
+// engine's sizing knobs — emission batch size, context-poll interval,
+// exchange buffering — which are independently tunable and all
+// default to their package constants when zero.
 type CompileOptions struct {
-	// ExchangeBuffer is the bounded-channel capacity of streaming
-	// parallel exchange operators; 0 means DefaultExchangeBuffer.
+	// ExchangeBuffer is the bounded-channel capacity, in batches, of
+	// streaming parallel exchange operators; 0 means
+	// DefaultExchangeBuffer. It governs backpressure: how far workers
+	// may run ahead of the consumer.
 	ExchangeBuffer int
+	// BatchSize is the tuple capacity of batch-path batches and the
+	// emission batch size of parallel exchange workers; 0 means
+	// relation.DefaultBatchCap (== parallel.EmitBatchSize). It governs
+	// amortization: how many tuples share one interface call.
+	BatchSize int
+	// CheckEvery is the cooperative ctx-poll interval of blocking
+	// drains and parallel worker feeds, in tuples; 0 means
+	// DefaultCheckEvery. It governs cancellation latency.
+	CheckEvery int
+	// Batch selects the batch-path policy; the zero value is
+	// BatchAuto.
+	Batch BatchMode
+}
+
+// mode resolves the effective batch policy, including the
+// DIVLAWS_FORCE_BATCH environment upgrade of Auto to Force.
+func (o CompileOptions) mode() BatchMode {
+	if o.Batch == BatchAuto && forceBatchEnv() {
+		return BatchForce
+	}
+	return o.Batch
 }
 
 // Compile lowers a logical plan to a physical iterator tree with
@@ -27,10 +80,198 @@ func CompileWith(n plan.Node, stats *Stats, opts CompileOptions) Iterator {
 	return compile(n, stats, "root", opts)
 }
 
+// batchCapable reports whether one plan node has a batch-native (or
+// dual-mode) physical operator. The set-algebra and join operators
+// stay tuple-only: their streaming probe phases interleave lookups
+// with emission per tuple, so batching buys nothing there yet.
+func batchCapable(n plan.Node) bool {
+	switch t := n.(type) {
+	case *plan.Scan, *plan.Select, *plan.Project, *plan.Limit, *plan.Rename,
+		*plan.GreatDivide, *plan.Sort, *plan.TopK, *plan.Group,
+		*plan.ParallelDivide, *plan.ParallelGreatDivide:
+		return true
+	case *plan.Divide:
+		// The merge-sort algorithm lowers to the pipelined
+		// MergeGroupDivideIter, which emits per group boundary and
+		// stays tuple-only.
+		return t.Algo != division.AlgoMergeSort
+	default:
+		return false
+	}
+}
+
+// autoBatchable reports whether compiling n on the batch path needs
+// no adapter anywhere: streaming operators require a batchable child,
+// while blocking emitters (sorts, divisions, groupings, exchanges)
+// are batch sources regardless of their children — the children are
+// drained during Open, not composed into the emitting pipeline.
+func autoBatchable(n plan.Node) bool {
+	if !batchCapable(n) {
+		return false
+	}
+	switch t := n.(type) {
+	case *plan.Select:
+		return autoBatchable(t.Input)
+	case *plan.Project:
+		return autoBatchable(t.Input)
+	case *plan.Limit:
+		return autoBatchable(t.Input)
+	case *plan.Rename:
+		return autoBatchable(t.Input)
+	}
+	return true
+}
+
+// onBatchPath reports whether the given options compile n's root onto
+// the batch path.
+func onBatchPath(n plan.Node, opts CompileOptions) bool {
+	switch opts.mode() {
+	case BatchAuto:
+		return autoBatchable(n)
+	case BatchForce:
+		return batchCapable(n)
+	}
+	return false
+}
+
+// BatchNodes returns the set of plan nodes the given options would
+// execute batch-at-a-time, by replaying the compiler's selection
+// rule over the tree. Explain uses it to annotate plans with
+// [batch].
+func BatchNodes(n plan.Node, opts CompileOptions) map[plan.Node]bool {
+	out := make(map[plan.Node]bool)
+	markBatch(n, opts, out)
+	return out
+}
+
+// markBatch mirrors compile: enter the batch pipeline where the root
+// qualifies, recurse tuple-wise otherwise.
+func markBatch(n plan.Node, opts CompileOptions, out map[plan.Node]bool) {
+	if onBatchPath(n, opts) {
+		markBatchPipeline(n, opts, out)
+		return
+	}
+	for _, c := range n.Children() {
+		markBatch(c, opts, out)
+	}
+}
+
+// markBatchPipeline mirrors compileBatch: streaming operators extend
+// the pipeline through batchable children; emitters restart the
+// selection below themselves.
+func markBatchPipeline(n plan.Node, opts CompileOptions, out map[plan.Node]bool) {
+	out[n] = true
+	switch n.(type) {
+	case *plan.Select, *plan.Project, *plan.Limit, *plan.Rename:
+		c := n.Children()[0]
+		if onBatchPath(c, opts) {
+			markBatchPipeline(c, opts, out)
+		} else {
+			// Forced mode only: a ToBatch adapter bridges to the tuple
+			// compilation of the child.
+			markBatch(c, opts, out)
+		}
+	default:
+		for _, c := range n.Children() {
+			markBatch(c, opts, out)
+		}
+	}
+}
+
+// compile dispatches between the batch and tuple paths, then lowers
+// the node. Dual-mode operators satisfy both interfaces, so choosing
+// the batch path never forces an adapter above it: consumers that
+// want tuples call Next, batch drains call NextBatch.
 func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Iterator {
+	if onBatchPath(n, opts) {
+		return asIterator(compileBatch(n, stats, label, opts))
+	}
+	it := compileNode(n, stats, label, opts)
+	if opts.mode() == BatchOff {
+		it = tupleOnly{it}
+	}
+	return it
+}
+
+// tupleOnly hides the batch surface of a dual-mode operator. Drains
+// discover NextBatch by type assertion at runtime, so without this
+// wrapper an explicit BatchOff compile would still be batch-drained
+// wherever a dual-mode operator sits under a drain — leaving the
+// correctness oracle and benchmark baseline partially vectorized.
+// Wrapping every node of a BatchOff tree keeps it pure Volcano.
+type tupleOnly struct{ Iterator }
+
+// asIterator exposes a batch pipeline to a tuple consumer: dual-mode
+// operators pass through, pure batch operators get a FromBatch.
+func asIterator(b BatchIterator) Iterator {
+	if it, ok := b.(Iterator); ok {
+		return it
+	}
+	return &FromBatch{Input: b}
+}
+
+// compileBatch lowers a batch-path subtree rooted at a batch-capable
+// node. Streaming operators get their batch-native forms; blocking
+// emitters reuse the dual-mode lowering of compileNode.
+func compileBatch(n plan.Node, stats *Stats, label string, opts CompileOptions) BatchIterator {
+	switch t := n.(type) {
+	case *plan.Select:
+		return &FilterBatch{
+			Label: label + "/filter",
+			Input: compileBatchChild(t.Input, stats, label+".0", opts),
+			Pred:  t.Pred,
+			Stats: stats,
+		}
+	case *plan.Project:
+		return &ProjectBatch{
+			Label: label + "/project",
+			Input: compileBatchChild(t.Input, stats, label+".0", opts),
+			Attrs: t.Attrs,
+			Stats: stats,
+		}
+	case *plan.Limit:
+		return &LimitBatch{
+			Label:         label + "/limit",
+			Input:         compileBatchChild(t.Input, stats, label+".0", opts),
+			N:             t.N,
+			Stats:         stats,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
+		}
+	case *plan.Rename:
+		return &RenameBatch{
+			Input: compileBatchChild(t.Input, stats, label+".0", opts),
+			From:  t.From,
+			To:    t.To,
+		}
+	default:
+		// Blocking emitters and scans are dual-mode; their tuple
+		// lowering IS the batch lowering.
+		return compileNode(n, stats, label, opts).(BatchIterator)
+	}
+}
+
+// compileBatchChild compiles a batch operator's input: the batch
+// pipeline continues through qualifying children; otherwise (forced
+// mode over a tuple-only subtree) a ToBatch adapter bridges the gap.
+func compileBatchChild(n plan.Node, stats *Stats, label string, opts CompileOptions) BatchIterator {
+	if onBatchPath(n, opts) {
+		return compileBatch(n, stats, label, opts)
+	}
+	return &ToBatch{Input: compile(n, stats, label, opts), BatchSize: opts.BatchSize}
+}
+
+// compileNode lowers one plan node tuple-wise (producing dual-mode
+// operators where they exist), recursing through compile so batchable
+// subtrees below tuple-only operators still take the batch path.
+func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) Iterator {
 	switch t := n.(type) {
 	case *plan.Scan:
-		return &ScanIter{Label: label + "/scan(" + t.Name + ")", Rel: t.Rel, Stats: stats}
+		return &ScanIter{
+			Label:         label + "/scan(" + t.Name + ")",
+			Rel:           t.Rel,
+			Stats:         stats,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
+		}
 	case *plan.Select:
 		return &FilterIter{
 			Label: label + "/filter",
@@ -55,11 +296,13 @@ func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Itera
 	case *plan.Sort:
 		pos, desc := resolveSortKeys(t.Input.Schema(), t.Keys)
 		return &SortIter{
-			Label: label + "/sort",
-			Input: compile(t.Input, stats, label+".0", opts),
-			ByPos: pos,
-			Desc:  desc,
-			Stats: stats,
+			Label:         label + "/sort",
+			Input:         compile(t.Input, stats, label+".0", opts),
+			ByPos:         pos,
+			Desc:          desc,
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.TopK:
 		pos, desc := resolveSortKeys(t.Input.Schema(), t.Keys)
@@ -72,39 +315,45 @@ func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Itera
 			switch c := t.Input.(type) {
 			case *plan.ParallelDivide:
 				return &ParallelDivideIter{
-					Label:    label + "/topk-paralleldivide",
-					Dividend: compile(c.Dividend, stats, label+".0.0", opts),
-					Divisor:  compile(c.Divisor, stats, label+".0.1", opts),
-					Algo:     c.Algo,
-					Workers:  c.Workers,
-					Buffer:   opts.ExchangeBuffer,
-					TopKN:    t.K,
-					TopKPos:  pos,
-					TopKDesc: desc,
-					Stats:    stats,
+					Label:         label + "/topk-paralleldivide",
+					Dividend:      compile(c.Dividend, stats, label+".0.0", opts),
+					Divisor:       compile(c.Divisor, stats, label+".0.1", opts),
+					Algo:          c.Algo,
+					Workers:       c.Workers,
+					Buffer:        opts.ExchangeBuffer,
+					TopKN:         t.K,
+					TopKPos:       pos,
+					TopKDesc:      desc,
+					Stats:         stats,
+					Every:         opts.CheckEvery,
+					windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 				}
 			case *plan.ParallelGreatDivide:
 				return &ParallelGreatDivideIter{
-					Label:    label + "/topk-parallelgreatdivide",
-					Dividend: compile(c.Dividend, stats, label+".0.0", opts),
-					Divisor:  compile(c.Divisor, stats, label+".0.1", opts),
-					Algo:     c.Algo,
-					Workers:  c.Workers,
-					Buffer:   opts.ExchangeBuffer,
-					TopKN:    t.K,
-					TopKPos:  pos,
-					TopKDesc: desc,
-					Stats:    stats,
+					Label:         label + "/topk-parallelgreatdivide",
+					Dividend:      compile(c.Dividend, stats, label+".0.0", opts),
+					Divisor:       compile(c.Divisor, stats, label+".0.1", opts),
+					Algo:          c.Algo,
+					Workers:       c.Workers,
+					Buffer:        opts.ExchangeBuffer,
+					TopKN:         t.K,
+					TopKPos:       pos,
+					TopKDesc:      desc,
+					Stats:         stats,
+					Every:         opts.CheckEvery,
+					windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 				}
 			}
 		}
 		return &TopKIter{
-			Label: label + "/topk",
-			Input: compile(t.Input, stats, label+".0", opts),
-			ByPos: pos,
-			Desc:  desc,
-			K:     t.K,
-			Stats: stats,
+			Label:         label + "/topk",
+			Input:         compile(t.Input, stats, label+".0", opts),
+			ByPos:         pos,
+			Desc:          desc,
+			K:             t.K,
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.Set:
 		l := compile(t.Left, stats, label+".0", opts)
@@ -113,9 +362,9 @@ func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Itera
 		case plan.UnionOp:
 			return &UnionIter{Label: label + "/union", Left: l, Right: r, Stats: stats}
 		case plan.IntersectOp:
-			return &HashSetOpIter{Label: label + "/intersect", Left: l, Right: r, Keep: true, Stats: stats}
+			return &HashSetOpIter{Label: label + "/intersect", Left: l, Right: r, Keep: true, Stats: stats, Every: opts.CheckEvery}
 		default:
-			return &HashSetOpIter{Label: label + "/diff", Left: l, Right: r, Keep: false, Stats: stats}
+			return &HashSetOpIter{Label: label + "/diff", Left: l, Right: r, Keep: false, Stats: stats, Every: opts.CheckEvery}
 		}
 	case *plan.Product:
 		return &ProductIter{
@@ -123,6 +372,7 @@ func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Itera
 			Left:  compile(t.Left, stats, label+".0", opts),
 			Right: compile(t.Right, stats, label+".1", opts),
 			Stats: stats,
+			Every: opts.CheckEvery,
 		}
 	case *plan.Join:
 		return &HashJoinIter{
@@ -130,6 +380,7 @@ func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Itera
 			Left:  compile(t.Left, stats, label+".0", opts),
 			Right: compile(t.Right, stats, label+".1", opts),
 			Stats: stats,
+			Every: opts.CheckEvery,
 		}
 	case *plan.ThetaJoin:
 		return &ThetaJoinIter{
@@ -138,6 +389,7 @@ func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Itera
 			Right: compile(t.Right, stats, label+".1", opts),
 			Pred:  t.Pred,
 			Stats: stats,
+			Every: opts.CheckEvery,
 		}
 	case *plan.SemiJoin:
 		return &SemiJoinIter{
@@ -146,6 +398,7 @@ func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Itera
 			Right: compile(t.Right, stats, label+".1", opts),
 			Keep:  true,
 			Stats: stats,
+			Every: opts.CheckEvery,
 		}
 	case *plan.AntiSemiJoin:
 		return &SemiJoinIter{
@@ -154,6 +407,7 @@ func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Itera
 			Right: compile(t.Right, stats, label+".1", opts),
 			Keep:  false,
 			Stats: stats,
+			Every: opts.CheckEvery,
 		}
 	case *plan.Divide:
 		dividend := compile(t.Dividend, stats, label+".0", opts)
@@ -168,55 +422,67 @@ func compile(n plan.Node, stats *Stats, label string, opts CompileOptions) Itera
 					Input: dividend,
 					ByPos: t.Dividend.Schema().Positions(split.A.Attrs()),
 					Stats: stats,
+					Every: opts.CheckEvery,
 				}
 				return &MergeGroupDivideIter{
 					Label:    label + "/mergedivide",
 					Dividend: sorted,
 					Divisor:  divisor,
 					Stats:    stats,
+					Every:    opts.CheckEvery,
 				}
 			}
 		}
 		return &HashDivideIter{
-			Label:    label + "/hashdivide",
-			Dividend: dividend,
-			Divisor:  divisor,
-			Stats:    stats,
+			Label:         label + "/hashdivide",
+			Dividend:      dividend,
+			Divisor:       divisor,
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.GreatDivide:
 		return &GreatDivideIter{
-			Label:    label + "/greatdivide",
-			Dividend: compile(t.Dividend, stats, label+".0", opts),
-			Divisor:  compile(t.Divisor, stats, label+".1", opts),
-			Stats:    stats,
+			Label:         label + "/greatdivide",
+			Dividend:      compile(t.Dividend, stats, label+".0", opts),
+			Divisor:       compile(t.Divisor, stats, label+".1", opts),
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.ParallelDivide:
 		return &ParallelDivideIter{
-			Label:    label + "/paralleldivide",
-			Dividend: compile(t.Dividend, stats, label+".0", opts),
-			Divisor:  compile(t.Divisor, stats, label+".1", opts),
-			Algo:     t.Algo,
-			Workers:  t.Workers,
-			Buffer:   opts.ExchangeBuffer,
-			Stats:    stats,
+			Label:         label + "/paralleldivide",
+			Dividend:      compile(t.Dividend, stats, label+".0", opts),
+			Divisor:       compile(t.Divisor, stats, label+".1", opts),
+			Algo:          t.Algo,
+			Workers:       t.Workers,
+			Buffer:        opts.ExchangeBuffer,
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.ParallelGreatDivide:
 		return &ParallelGreatDivideIter{
-			Label:    label + "/parallelgreatdivide",
-			Dividend: compile(t.Dividend, stats, label+".0", opts),
-			Divisor:  compile(t.Divisor, stats, label+".1", opts),
-			Algo:     t.Algo,
-			Workers:  t.Workers,
-			Buffer:   opts.ExchangeBuffer,
-			Stats:    stats,
+			Label:         label + "/parallelgreatdivide",
+			Dividend:      compile(t.Dividend, stats, label+".0", opts),
+			Divisor:       compile(t.Divisor, stats, label+".1", opts),
+			Algo:          t.Algo,
+			Workers:       t.Workers,
+			Buffer:        opts.ExchangeBuffer,
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.Group:
 		return &GroupIter{
-			Label: label + "/group",
-			Input: compile(t.Input, stats, label+".0", opts),
-			By:    t.By,
-			Aggs:  t.Aggs,
-			Stats: stats,
+			Label:         label + "/group",
+			Input:         compile(t.Input, stats, label+".0", opts),
+			By:            t.By,
+			Aggs:          t.Aggs,
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.Rename:
 		return &RenameIter{

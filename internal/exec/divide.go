@@ -17,13 +17,16 @@ type ThetaJoinIter struct {
 	Left, Right Iterator
 	Pred        pred.Predicate
 	Stats       *Stats
-	inner       *ProductIter
-	out         schema.Schema
+	// Every is the cooperative ctx-poll interval of the inner build
+	// drain, in tuples; 0 means DefaultCheckEvery.
+	Every int
+	inner *ProductIter
+	out   schema.Schema
 }
 
 // Open implements Iterator.
 func (j *ThetaJoinIter) Open(ctx context.Context) error {
-	j.inner = &ProductIter{Label: j.Label + ".product", Left: j.Left, Right: j.Right, Stats: nil}
+	j.inner = &ProductIter{Label: j.Label + ".product", Left: j.Left, Right: j.Right, Stats: nil, Every: j.Every}
 	j.out = j.Left.Schema().Concat(j.Right.Schema())
 	return j.inner.Open(ctx)
 }
@@ -69,15 +72,21 @@ func (j *ThetaJoinIter) Schema() schema.Schema {
 // dividend consumed in one pass straight off its child iterator —
 // neither input is materialized into an intermediate relation — and
 // qualifying quotient groups emitted afterwards. It is blocking on
-// the dividend but needs no sorted inputs.
+// the dividend but needs no sorted inputs. It is dual-mode: the
+// quotient is emitted per tuple or per zero-copy batch over one
+// shared cursor, and batch-capable children are drained in batches.
 type HashDivideIter struct {
 	Label             string
 	Dividend, Divisor Iterator
 	Stats             *Stats
-	out               schema.Schema
-	results           []relation.Tuple
-	pos               int
-	opened            bool
+	// Every is the cooperative ctx-poll interval of the build drains,
+	// in tuples; 0 means DefaultCheckEvery.
+	Every int
+	windowBatcher
+	out     schema.Schema
+	results []relation.Tuple
+	pos     int
+	opened  bool
 }
 
 // Open implements Iterator.
@@ -92,10 +101,10 @@ func (h *HashDivideIter) Open(ctx context.Context) error {
 	if err := h.Divisor.Open(ctx); err != nil {
 		return err
 	}
-	if err := drain(ctx, h.Divisor, st.AddDivisor); err != nil {
+	if err := drainEvery(ctx, h.Divisor, h.Every, st.AddDivisor); err != nil {
 		return err
 	}
-	if err := drain(ctx, h.Dividend, st.AddDividend); err != nil {
+	if err := drainEvery(ctx, h.Dividend, h.Every, st.AddDividend); err != nil {
 		return err
 	}
 	h.results = st.Result().Tuples()
@@ -103,6 +112,9 @@ func (h *HashDivideIter) Open(ctx context.Context) error {
 	h.opened = true
 	return nil
 }
+
+// OpenBatch implements BatchIterator.
+func (h *HashDivideIter) OpenBatch(ctx context.Context) error { return h.Open(ctx) }
 
 // Next implements Iterator.
 func (h *HashDivideIter) Next() (relation.Tuple, bool, error) {
@@ -118,9 +130,22 @@ func (h *HashDivideIter) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchIterator.
+func (h *HashDivideIter) NextBatch() (*relation.Batch, error) {
+	if !h.opened {
+		return nil, errNotOpen("HashDivideIter")
+	}
+	b := h.window(h.results, &h.pos)
+	if b != nil {
+		h.Stats.count(h.Label, int64(b.Len()))
+	}
+	return b, nil
+}
+
 // Close implements Iterator.
 func (h *HashDivideIter) Close() error {
 	h.results, h.opened = nil, false
+	h.release()
 	err1 := h.Dividend.Close()
 	err2 := h.Divisor.Close()
 	if err1 != nil {
@@ -152,6 +177,9 @@ type MergeGroupDivideIter struct {
 	Label             string
 	Dividend, Divisor Iterator
 	Stats             *Stats
+	// Every is the cooperative ctx-poll interval of the divisor drain,
+	// in tuples; 0 means DefaultCheckEvery.
+	Every int
 
 	out      schema.Schema
 	aPos     []int
@@ -180,7 +208,7 @@ func (m *MergeGroupDivideIter) Open(ctx context.Context) error {
 		return err
 	}
 	m.divisor.Reset()
-	if err := drain(ctx, m.Divisor, func(t relation.Tuple) {
+	if err := drainEvery(ctx, m.Divisor, m.Every, func(t relation.Tuple) {
 		m.divisor.IDProj(t, bOrder)
 	}); err != nil {
 		return err
@@ -293,15 +321,21 @@ func (m *MergeGroupDivideIter) Schema() schema.Schema {
 // GreatDivideIter is the physical set-containment-division operator:
 // blocking on both inputs, hash-based counting. Both inputs are
 // consumed straight off the child iterators into the counting state,
-// which absorbs duplicates itself — no intermediate relations.
+// which absorbs duplicates itself — no intermediate relations. It is
+// dual-mode like HashDivideIter: per-tuple or per-batch emission over
+// one shared cursor, batch drains of batch-capable children.
 type GreatDivideIter struct {
 	Label             string
 	Dividend, Divisor Iterator
 	Stats             *Stats
-	out               schema.Schema
-	results           []relation.Tuple
-	pos               int
-	opened            bool
+	// Every is the cooperative ctx-poll interval of the build drains,
+	// in tuples; 0 means DefaultCheckEvery.
+	Every int
+	windowBatcher
+	out     schema.Schema
+	results []relation.Tuple
+	pos     int
+	opened  bool
 }
 
 // Open implements Iterator.
@@ -316,10 +350,10 @@ func (g *GreatDivideIter) Open(ctx context.Context) error {
 	if err := g.Divisor.Open(ctx); err != nil {
 		return err
 	}
-	if err := drain(ctx, g.Divisor, st.AddDivisor); err != nil {
+	if err := drainEvery(ctx, g.Divisor, g.Every, st.AddDivisor); err != nil {
 		return err
 	}
-	if err := drain(ctx, g.Dividend, st.AddDividend); err != nil {
+	if err := drainEvery(ctx, g.Dividend, g.Every, st.AddDividend); err != nil {
 		return err
 	}
 	g.results = st.Result().Tuples()
@@ -327,6 +361,9 @@ func (g *GreatDivideIter) Open(ctx context.Context) error {
 	g.opened = true
 	return nil
 }
+
+// OpenBatch implements BatchIterator.
+func (g *GreatDivideIter) OpenBatch(ctx context.Context) error { return g.Open(ctx) }
 
 // Next implements Iterator.
 func (g *GreatDivideIter) Next() (relation.Tuple, bool, error) {
@@ -342,9 +379,22 @@ func (g *GreatDivideIter) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchIterator.
+func (g *GreatDivideIter) NextBatch() (*relation.Batch, error) {
+	if !g.opened {
+		return nil, errNotOpen("GreatDivideIter")
+	}
+	b := g.window(g.results, &g.pos)
+	if b != nil {
+		g.Stats.count(g.Label, int64(b.Len()))
+	}
+	return b, nil
+}
+
 // Close implements Iterator.
 func (g *GreatDivideIter) Close() error {
 	g.results, g.opened = nil, false
+	g.release()
 	err1 := g.Dividend.Close()
 	err2 := g.Divisor.Close()
 	if err1 != nil {

@@ -15,14 +15,25 @@
 //
 // Open takes a context.Context which governs the whole life of the
 // pipeline: blocking operators (hash builds, sorts, divisions,
-// parallel exchanges) poll it every checkEvery tuples while they
-// drain their children, and the parallel division workers observe it
+// parallel exchanges) poll it every CheckEvery tuples (default
+// DefaultCheckEvery, tunable via CompileOptions) while they drain
+// their children, and the parallel division workers observe it
 // mid-partition, so a cancelled context tears the pipeline down
 // promptly instead of after the current blocking phase. The polling
 // is deliberately batched rather than per-tuple: a ctx.Err() call per
 // tuple costs a mutex acquisition in the hot loop, while the batched
 // check is amortized to noise (see BenchmarkCancellationOverhead for
 // the measurement that picked this design over per-Next checks).
+//
+// # Batch execution
+//
+// Beside the tuple-at-a-time Iterator protocol sits BatchIterator,
+// the batch-at-a-time fast path: operators exchange reused
+// relation.Batch slabs so per-tuple interface calls and context
+// bookkeeping are amortized across a whole batch. CompileWith selects
+// it automatically for every fully batch-capable subtree; the tuple
+// path remains intact as the correctness oracle (see the equivalence
+// tests) and for the operators that stay tuple-only.
 package exec
 
 import (
@@ -51,14 +62,33 @@ type Iterator interface {
 	Schema() schema.Schema
 }
 
-// checkEvery is the batching interval, in tuples, of the cooperative
-// context checks inside blocking drain loops. It must be a power of
-// two (the loops use a mask).
-const checkEvery = 1024
+// DefaultCheckEvery is the default interval, in tuples, of the
+// cooperative context checks inside blocking drain loops; tunable per
+// query via CompileOptions.CheckEvery.
+const DefaultCheckEvery = 1024
 
-// drain consumes child into sink, polling ctx every checkEvery
-// tuples. It is the shared inner loop of every blocking operator.
+// drain consumes child into sink with the default poll interval. It
+// is the shared inner loop of every blocking operator.
 func drain(ctx context.Context, child Iterator, sink func(relation.Tuple)) error {
+	return drainEvery(ctx, child, 0, sink)
+}
+
+// drainEvery consumes child into sink, polling ctx at least every
+// `every` tuples (DefaultCheckEvery when every <= 0). When the child
+// is batch-capable, it drains whole batches instead — the per-tuple
+// Next calls and context bookkeeping collapse to one indexed loop and
+// one counter update per batch.
+func drainEvery(ctx context.Context, child Iterator, every int, sink func(relation.Tuple)) error {
+	if b, ok := child.(BatchIterator); ok {
+		return drainBatches(ctx, b, every, func(ts []relation.Tuple) {
+			for _, t := range ts {
+				sink(t)
+			}
+		})
+	}
+	if every <= 0 {
+		every = DefaultCheckEvery
+	}
 	n := 0
 	for {
 		t, ok, err := child.Next()
@@ -69,7 +99,8 @@ func drain(ctx context.Context, child Iterator, sink func(relation.Tuple)) error
 			return nil
 		}
 		sink(t)
-		if n++; n&(checkEvery-1) == 0 {
+		if n++; n >= every {
+			n = 0
 			if err := ctx.Err(); err != nil {
 				return err
 			}

@@ -11,17 +11,23 @@ import (
 	"divlaws/internal/schema"
 )
 
-// ScanIter streams a materialized relation.
+// ScanIter streams a materialized relation. It is dual-mode: Next
+// and NextBatch share one cursor, the batches being zero-copy windows
+// over the relation's tuple slice.
 type ScanIter struct {
 	Label string
 	Rel   *relation.Relation
 	Stats *Stats
-	pos   int
-	open  bool
+	windowBatcher
+	pos  int
+	open bool
 }
 
 // Open implements Iterator.
 func (s *ScanIter) Open(ctx context.Context) error { s.pos, s.open = 0, true; return nil }
+
+// OpenBatch implements BatchIterator.
+func (s *ScanIter) OpenBatch(ctx context.Context) error { return s.Open(ctx) }
 
 // Next implements Iterator.
 func (s *ScanIter) Next() (relation.Tuple, bool, error) {
@@ -37,8 +43,20 @@ func (s *ScanIter) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchIterator.
+func (s *ScanIter) NextBatch() (*relation.Batch, error) {
+	if !s.open {
+		return nil, errNotOpen("ScanIter")
+	}
+	b := s.window(s.Rel.Tuples(), &s.pos)
+	if b != nil {
+		s.Stats.count(s.Label, int64(b.Len()))
+	}
+	return b, nil
+}
+
 // Close implements Iterator.
-func (s *ScanIter) Close() error { s.open = false; return nil }
+func (s *ScanIter) Close() error { s.open = false; s.release(); return nil }
 
 // Schema implements Iterator.
 func (s *ScanIter) Schema() schema.Schema { return s.Rel.Schema() }
@@ -203,8 +221,11 @@ type HashSetOpIter struct {
 	Left, Right Iterator
 	Keep        bool // true: intersect (keep hits); false: diff (keep misses)
 	Stats       *Stats
-	rightKeys   *relation.TupleIndex
-	emitted     *relation.TupleIndex
+	// Every is the cooperative ctx-poll interval of the build drain, in
+	// tuples; 0 means DefaultCheckEvery.
+	Every     int
+	rightKeys *relation.TupleIndex
+	emitted   *relation.TupleIndex
 }
 
 // Open implements Iterator.
@@ -220,7 +241,7 @@ func (h *HashSetOpIter) Open(ctx context.Context) error {
 	}
 	pos := h.Right.Schema().Positions(h.Left.Schema().Attrs())
 	h.rightKeys = new(relation.TupleIndex)
-	if err := drain(ctx, h.Right, func(t relation.Tuple) {
+	if err := drainEvery(ctx, h.Right, h.Every, func(t relation.Tuple) {
 		h.rightKeys.IDProj(t, pos)
 	}); err != nil {
 		return err
@@ -271,10 +292,13 @@ type ProductIter struct {
 	Label       string
 	Left, Right Iterator
 	Stats       *Stats
-	right       []relation.Tuple
-	cur         relation.Tuple
-	idx         int
-	done        bool
+	// Every is the cooperative ctx-poll interval of the build drain, in
+	// tuples; 0 means DefaultCheckEvery.
+	Every int
+	right []relation.Tuple
+	cur   relation.Tuple
+	idx   int
+	done  bool
 }
 
 // Open implements Iterator.
@@ -286,7 +310,7 @@ func (p *ProductIter) Open(ctx context.Context) error {
 		return err
 	}
 	p.right = nil
-	if err := drain(ctx, p.Right, func(t relation.Tuple) {
+	if err := drainEvery(ctx, p.Right, p.Every, func(t relation.Tuple) {
 		p.right = append(p.right, t)
 	}); err != nil {
 		return err
@@ -345,6 +369,9 @@ type HashJoinIter struct {
 	Label       string
 	Left, Right Iterator
 	Stats       *Stats
+	// Every is the cooperative ctx-poll interval of the build drain, in
+	// tuples; 0 means DefaultCheckEvery.
+	Every int
 
 	out       schema.Schema
 	leftPos   []int
@@ -365,7 +392,7 @@ func (j *HashJoinIter) Open(ctx context.Context) error {
 	if common.Len() == 0 {
 		// Degenerate to a product, as the logical definition does.
 		j.isProduct = true
-		j.prod = &ProductIter{Label: j.Label, Left: j.Left, Right: j.Right, Stats: j.Stats}
+		j.prod = &ProductIter{Label: j.Label, Left: j.Left, Right: j.Right, Stats: j.Stats, Every: j.Every}
 		j.out = j.Left.Schema().Concat(j.Right.Schema())
 		return j.prod.Open(ctx)
 	}
@@ -384,7 +411,7 @@ func (j *HashJoinIter) Open(ctx context.Context) error {
 	}
 	j.keyIx = new(relation.TupleIndex)
 	j.rows = nil
-	if err := drain(ctx, j.Right, func(t relation.Tuple) {
+	if err := drainEvery(ctx, j.Right, j.Every, func(t relation.Tuple) {
 		id, created := j.keyIx.IDProj(t, rightPos)
 		if created {
 			j.rows = append(j.rows, nil)
@@ -462,10 +489,13 @@ type SemiJoinIter struct {
 	Left, Right Iterator
 	Keep        bool
 	Stats       *Stats
-	keys        *relation.TupleIndex
-	leftPos     []int
-	degenerate  bool // no common attributes
-	rightAny    bool
+	// Every is the cooperative ctx-poll interval of the build drain, in
+	// tuples; 0 means DefaultCheckEvery.
+	Every      int
+	keys       *relation.TupleIndex
+	leftPos    []int
+	degenerate bool // no common attributes
+	rightAny   bool
 }
 
 // Open implements Iterator.
@@ -490,7 +520,7 @@ func (s *SemiJoinIter) Open(ctx context.Context) error {
 	s.degenerate = false
 	s.leftPos = s.Left.Schema().Positions(common.Attrs())
 	rightPos := s.Right.Schema().Positions(common.Attrs())
-	return drain(ctx, s.Right, func(t relation.Tuple) {
+	return drainEvery(ctx, s.Right, s.Every, func(t relation.Tuple) {
 		s.keys.IDProj(t, rightPos)
 	})
 }
@@ -533,13 +563,18 @@ func (s *SemiJoinIter) Close() error {
 func (s *SemiJoinIter) Schema() schema.Schema { return s.Left.Schema() }
 
 // GroupIter is the blocking grouping operator; it materializes its
-// input and delegates to algebra.Group.
+// input and delegates to algebra.Group. It is dual-mode: the grouped
+// result is emitted per tuple or per batch over one shared cursor.
 type GroupIter struct {
 	Label string
 	Input Iterator
 	By    []string
 	Aggs  []algebra.AggSpec
 	Stats *Stats
+	// Every is the cooperative ctx-poll interval of the input drain, in
+	// tuples; 0 means DefaultCheckEvery.
+	Every int
+	windowBatcher
 	rows  []relation.Tuple
 	pos   int
 	outSc schema.Schema
@@ -551,7 +586,7 @@ func (g *GroupIter) Open(ctx context.Context) error {
 		return err
 	}
 	in := relation.New(g.Input.Schema())
-	if err := drain(ctx, g.Input, func(t relation.Tuple) {
+	if err := drainEvery(ctx, g.Input, g.Every, func(t relation.Tuple) {
 		in.InsertOwned(t)
 	}); err != nil {
 		return err
@@ -562,6 +597,9 @@ func (g *GroupIter) Open(ctx context.Context) error {
 	g.pos = 0
 	return nil
 }
+
+// OpenBatch implements BatchIterator.
+func (g *GroupIter) OpenBatch(ctx context.Context) error { return g.Open(ctx) }
 
 // Next implements Iterator.
 func (g *GroupIter) Next() (relation.Tuple, bool, error) {
@@ -577,8 +615,20 @@ func (g *GroupIter) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchIterator.
+func (g *GroupIter) NextBatch() (*relation.Batch, error) {
+	if g.outSc.Len() == 0 && g.rows == nil {
+		return nil, errNotOpen("GroupIter")
+	}
+	b := g.window(g.rows, &g.pos)
+	if b != nil {
+		g.Stats.count(g.Label, int64(b.Len()))
+	}
+	return b, nil
+}
+
 // Close implements Iterator.
-func (g *GroupIter) Close() error { g.rows = nil; return g.Input.Close() }
+func (g *GroupIter) Close() error { g.rows = nil; g.release(); return g.Input.Close() }
 
 // Schema implements Iterator.
 func (g *GroupIter) Schema() schema.Schema {
@@ -596,7 +646,8 @@ func (g *GroupIter) Schema() schema.Schema {
 // materializes its input, sorts with the reusable keyed tuple
 // comparator (relation.KeyedCompare — per-key ASC/DESC, canonical
 // tie-break), and emits in order. It implements plan.Sort and feeds
-// the merge-group division.
+// the merge-group division. It is dual-mode: the sorted run is
+// emitted per tuple or per zero-copy batch over one shared cursor.
 type SortIter struct {
 	Label string
 	Input Iterator
@@ -606,9 +657,13 @@ type SortIter struct {
 	// ascending. When set, len(Desc) must equal len(ByPos).
 	Desc  []bool
 	Stats *Stats
-	rows  []relation.Tuple
-	pos   int
-	open  bool
+	// Every is the cooperative ctx-poll interval of the input drain, in
+	// tuples; 0 means DefaultCheckEvery.
+	Every int
+	windowBatcher
+	rows []relation.Tuple
+	pos  int
+	open bool
 }
 
 // Open implements Iterator.
@@ -618,7 +673,7 @@ func (s *SortIter) Open(ctx context.Context) error {
 	}
 	s.rows = nil
 	s.open = true
-	if err := drain(ctx, s.Input, func(t relation.Tuple) {
+	if err := drainEvery(ctx, s.Input, s.Every, func(t relation.Tuple) {
 		s.rows = append(s.rows, t)
 	}); err != nil {
 		return err
@@ -628,6 +683,9 @@ func (s *SortIter) Open(ctx context.Context) error {
 	s.pos = 0
 	return nil
 }
+
+// OpenBatch implements BatchIterator.
+func (s *SortIter) OpenBatch(ctx context.Context) error { return s.Open(ctx) }
 
 // Next implements Iterator.
 func (s *SortIter) Next() (relation.Tuple, bool, error) {
@@ -643,8 +701,24 @@ func (s *SortIter) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchIterator.
+func (s *SortIter) NextBatch() (*relation.Batch, error) {
+	if !s.open {
+		return nil, errNotOpen("SortIter")
+	}
+	b := s.window(s.rows, &s.pos)
+	if b != nil {
+		s.Stats.count(s.Label, int64(b.Len()))
+	}
+	return b, nil
+}
+
 // Close implements Iterator.
-func (s *SortIter) Close() error { s.rows, s.open = nil, false; return s.Input.Close() }
+func (s *SortIter) Close() error {
+	s.rows, s.open = nil, false
+	s.release()
+	return s.Input.Close()
+}
 
 // Schema implements Iterator.
 func (s *SortIter) Schema() schema.Schema { return s.Input.Schema() }

@@ -87,6 +87,27 @@ func (ex *exchange) next() (t relation.Tuple, ok bool, err error) {
 	return t, true, nil
 }
 
+// nextBatch pulls one worker batch off the exchange untouched — the
+// batch pass-through of the batch execution path: the workers' tuple
+// slices flow to the consumer without re-tuplifying. A batch
+// partially consumed by next is served as its remainder first. nil
+// tuples mark end of stream, with err reporting how the workers
+// finished.
+func (ex *exchange) nextBatch() ([]relation.Tuple, error) {
+	if ex.pos < len(ex.cur) {
+		ts := ex.cur[ex.pos:]
+		ex.cur, ex.pos = nil, 0
+		return ts, nil
+	}
+	ex.cur, ex.pos = nil, 0
+	batch, ok := <-ex.ch
+	if !ok {
+		<-ex.done
+		return nil, ex.err
+	}
+	return batch, nil
+}
+
 // stop cancels the fan-out and waits for every worker to exit, so
 // callers get deterministic teardown with no goroutine leaks. It is
 // idempotent.
@@ -103,10 +124,13 @@ func (ex *exchange) stop() {
 // merged result through the usual bounded channel. The merge is
 // inherently a barrier — any partition may hold the global minimum —
 // but it touches at most k·workers tuples instead of the quotient.
-func startTopKExchange(ctx context.Context, buffer int, pos []int, desc []bool, k int64, label string, stats *Stats,
+func startTopKExchange(ctx context.Context, buffer, batch int, pos []int, desc []bool, k int64, label string, stats *Stats,
 	stream func(ctx context.Context, bound parallel.TopKBound, emit parallel.EmitFunc) error) *exchange {
 	cmp := relation.KeyedCompare(pos, desc)
 	bound := parallel.TopKBound{K: int(k), Cmp: cmp}
+	if batch <= 0 {
+		batch = parallel.EmitBatchSize
+	}
 	return startExchange(ctx, buffer, func(exCtx context.Context, send func([]relation.Tuple) error) error {
 		// Partitions emit their (tiny, ≤k) runs concurrently; the mutex
 		// guards the map, not the hot tuple path.
@@ -127,8 +151,8 @@ func startTopKExchange(ctx context.Context, buffer int, pos []int, desc []bool, 
 			ordered = append(ordered, run)
 		}
 		merged := mergeRuns(ordered, cmp, k)
-		for start := 0; start < len(merged); start += parallel.EmitBatchSize {
-			end := start + parallel.EmitBatchSize
+		for start := 0; start < len(merged); start += batch {
+			end := start + batch
 			if end > len(merged) {
 				end = len(merged)
 			}
@@ -172,9 +196,18 @@ type ParallelDivideIter struct {
 	TopKPos  []int
 	TopKDesc []bool
 	Stats    *Stats
+	// Every is the cooperative ctx-poll interval of the input drains
+	// and worker feed loops, in tuples; 0 means DefaultCheckEvery.
+	Every int
+	windowBatcher
 
 	out schema.Schema
 	ex  *exchange
+}
+
+// tuning bundles the iterator's knobs for the parallel fan-out.
+func (p *ParallelDivideIter) tuning() parallel.Tuning {
+	return parallel.Tuning{BatchSize: p.BatchSize, CheckEvery: p.Every}
 }
 
 // Open implements Iterator.
@@ -183,11 +216,11 @@ func (p *ParallelDivideIter) Open(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	dividend, err := drainChild(ctx, p.Dividend)
+	dividend, err := drainChild(ctx, p.Dividend, p.Every)
 	if err != nil {
 		return err
 	}
-	divisor, err := drainChild(ctx, p.Divisor)
+	divisor, err := drainChild(ctx, p.Divisor, p.Every)
 	if err != nil {
 		return err
 	}
@@ -197,14 +230,14 @@ func (p *ParallelDivideIter) Open(ctx context.Context) error {
 	}
 	p.out = split.A
 	if p.TopKN > 0 {
-		p.ex = startTopKExchange(ctx, p.Buffer, p.TopKPos, p.TopKDesc, p.TopKN, p.Label, p.Stats,
+		p.ex = startTopKExchange(ctx, p.Buffer, p.BatchSize, p.TopKPos, p.TopKDesc, p.TopKN, p.Label, p.Stats,
 			func(runCtx context.Context, bound parallel.TopKBound, emit parallel.EmitFunc) error {
-				return parallel.DivideStreamTopK(runCtx, algo, dividend, divisor, p.Workers, bound, emit)
+				return parallel.DivideStreamTopK(runCtx, algo, dividend, divisor, p.Workers, bound, p.tuning(), emit)
 			})
 		return nil
 	}
 	p.ex = startExchange(ctx, p.Buffer, func(exCtx context.Context, send func([]relation.Tuple) error) error {
-		return parallel.DivideStream(exCtx, algo, dividend, divisor, p.Workers,
+		return parallel.DivideStream(exCtx, algo, dividend, divisor, p.Workers, p.tuning(),
 			func(part int, batch []relation.Tuple) error {
 				if err := send(batch); err != nil {
 					return err
@@ -215,6 +248,9 @@ func (p *ParallelDivideIter) Open(ctx context.Context) error {
 	})
 	return nil
 }
+
+// OpenBatch implements BatchIterator.
+func (p *ParallelDivideIter) OpenBatch(ctx context.Context) error { return p.Open(ctx) }
 
 // Next implements Iterator.
 func (p *ParallelDivideIter) Next() (relation.Tuple, bool, error) {
@@ -229,6 +265,20 @@ func (p *ParallelDivideIter) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchIterator: the workers' emission batches
+// flow through untouched.
+func (p *ParallelDivideIter) NextBatch() (*relation.Batch, error) {
+	if p.ex == nil {
+		return nil, errNotOpen("ParallelDivideIter")
+	}
+	ts, err := p.ex.nextBatch()
+	if ts == nil {
+		return nil, err
+	}
+	p.Stats.count(p.Label, int64(len(ts)))
+	return p.adopt(ts), nil
+}
+
 // Close implements Iterator. It cancels the exchange and blocks until
 // every partition worker has exited, so mid-stream teardown leaves no
 // goroutines behind.
@@ -237,6 +287,7 @@ func (p *ParallelDivideIter) Close() error {
 		p.ex.stop()
 		p.ex = nil
 	}
+	p.release()
 	err1 := p.Dividend.Close()
 	err2 := p.Divisor.Close()
 	if err1 != nil {
@@ -279,9 +330,18 @@ type ParallelGreatDivideIter struct {
 	TopKPos  []int
 	TopKDesc []bool
 	Stats    *Stats
+	// Every is the cooperative ctx-poll interval of the input drains
+	// and worker feed loops, in tuples; 0 means DefaultCheckEvery.
+	Every int
+	windowBatcher
 
 	out schema.Schema
 	ex  *exchange
+}
+
+// tuning bundles the iterator's knobs for the parallel fan-out.
+func (g *ParallelGreatDivideIter) tuning() parallel.Tuning {
+	return parallel.Tuning{BatchSize: g.BatchSize, CheckEvery: g.Every}
 }
 
 // Open implements Iterator.
@@ -290,11 +350,11 @@ func (g *ParallelGreatDivideIter) Open(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	dividend, err := drainChild(ctx, g.Dividend)
+	dividend, err := drainChild(ctx, g.Dividend, g.Every)
 	if err != nil {
 		return err
 	}
-	divisor, err := drainChild(ctx, g.Divisor)
+	divisor, err := drainChild(ctx, g.Divisor, g.Every)
 	if err != nil {
 		return err
 	}
@@ -304,14 +364,14 @@ func (g *ParallelGreatDivideIter) Open(ctx context.Context) error {
 	}
 	g.out = split.A.Concat(split.C)
 	if g.TopKN > 0 {
-		g.ex = startTopKExchange(ctx, g.Buffer, g.TopKPos, g.TopKDesc, g.TopKN, g.Label, g.Stats,
+		g.ex = startTopKExchange(ctx, g.Buffer, g.BatchSize, g.TopKPos, g.TopKDesc, g.TopKN, g.Label, g.Stats,
 			func(runCtx context.Context, bound parallel.TopKBound, emit parallel.EmitFunc) error {
-				return parallel.GreatDivideStreamTopK(runCtx, algo, dividend, divisor, g.Workers, bound, emit)
+				return parallel.GreatDivideStreamTopK(runCtx, algo, dividend, divisor, g.Workers, bound, g.tuning(), emit)
 			})
 		return nil
 	}
 	g.ex = startExchange(ctx, g.Buffer, func(exCtx context.Context, send func([]relation.Tuple) error) error {
-		return parallel.GreatDivideStream(exCtx, algo, dividend, divisor, g.Workers,
+		return parallel.GreatDivideStream(exCtx, algo, dividend, divisor, g.Workers, g.tuning(),
 			func(part int, batch []relation.Tuple) error {
 				if err := send(batch); err != nil {
 					return err
@@ -322,6 +382,9 @@ func (g *ParallelGreatDivideIter) Open(ctx context.Context) error {
 	})
 	return nil
 }
+
+// OpenBatch implements BatchIterator.
+func (g *ParallelGreatDivideIter) OpenBatch(ctx context.Context) error { return g.Open(ctx) }
 
 // Next implements Iterator.
 func (g *ParallelGreatDivideIter) Next() (relation.Tuple, bool, error) {
@@ -336,12 +399,27 @@ func (g *ParallelGreatDivideIter) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch implements BatchIterator: the workers' emission batches
+// flow through untouched.
+func (g *ParallelGreatDivideIter) NextBatch() (*relation.Batch, error) {
+	if g.ex == nil {
+		return nil, errNotOpen("ParallelGreatDivideIter")
+	}
+	ts, err := g.ex.nextBatch()
+	if ts == nil {
+		return nil, err
+	}
+	g.Stats.count(g.Label, int64(len(ts)))
+	return g.adopt(ts), nil
+}
+
 // Close implements Iterator; see ParallelDivideIter.Close.
 func (g *ParallelGreatDivideIter) Close() error {
 	if g.ex != nil {
 		g.ex.stop()
 		g.ex = nil
 	}
+	g.release()
 	err1 := g.Dividend.Close()
 	err2 := g.Divisor.Close()
 	if err1 != nil {
@@ -364,13 +442,14 @@ func (g *ParallelGreatDivideIter) Schema() schema.Schema {
 }
 
 // drainChild opens a child iterator and materializes it, honoring
-// ctx cancellation via the shared drain loop.
-func drainChild(ctx context.Context, it Iterator) (*relation.Relation, error) {
+// ctx cancellation via the shared drain loop (batch drains for
+// batch-capable children).
+func drainChild(ctx context.Context, it Iterator, every int) (*relation.Relation, error) {
 	if err := it.Open(ctx); err != nil {
 		return nil, err
 	}
 	out := relation.New(it.Schema())
-	if err := drain(ctx, it, func(t relation.Tuple) { out.InsertOwned(t) }); err != nil {
+	if err := drainEvery(ctx, it, every, func(t relation.Tuple) { out.InsertOwned(t) }); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -27,6 +27,8 @@ func resolveSortKeys(sch schema.Schema, keys []plan.SortKey) (pos []int, desc []
 // boundary — closes the child the moment it is exhausted, so
 // blocking and streaming subtrees release their resources before the
 // first result tuple is served. K <= 0 never opens the child at all.
+// It is dual-mode: the top-k run is emitted per tuple or per
+// zero-copy batch over one shared cursor.
 type TopKIter struct {
 	Label string
 	Input Iterator
@@ -36,6 +38,10 @@ type TopKIter struct {
 	Desc  []bool
 	K     int64
 	Stats *Stats
+	// Every is the cooperative ctx-poll interval of the input drain, in
+	// tuples; 0 means DefaultCheckEvery.
+	Every int
+	windowBatcher
 
 	rows   []relation.Tuple
 	pos    int
@@ -53,7 +59,7 @@ func (t *TopKIter) Open(ctx context.Context) error {
 		return err
 	}
 	heap := relation.NewTopKHeap(int(t.K), relation.KeyedCompare(t.ByPos, t.Desc))
-	if err := drain(ctx, t.Input, func(tup relation.Tuple) { heap.Add(tup) }); err != nil {
+	if err := drainEvery(ctx, t.Input, t.Every, func(tup relation.Tuple) { heap.Add(tup) }); err != nil {
 		return err
 	}
 	// Child exhausted: release the subtree now, before any tuple is
@@ -64,6 +70,9 @@ func (t *TopKIter) Open(ctx context.Context) error {
 	t.rows = heap.Sorted()
 	return nil
 }
+
+// OpenBatch implements BatchIterator.
+func (t *TopKIter) OpenBatch(ctx context.Context) error { return t.Open(ctx) }
 
 // Next implements Iterator.
 func (t *TopKIter) Next() (relation.Tuple, bool, error) {
@@ -79,9 +88,22 @@ func (t *TopKIter) Next() (relation.Tuple, bool, error) {
 	return tup, true, nil
 }
 
+// NextBatch implements BatchIterator.
+func (t *TopKIter) NextBatch() (*relation.Batch, error) {
+	if !t.opened {
+		return nil, errNotOpen("TopKIter")
+	}
+	b := t.window(t.rows, &t.pos)
+	if b != nil {
+		t.Stats.count(t.Label, int64(b.Len()))
+	}
+	return b, nil
+}
+
 // Close implements Iterator.
 func (t *TopKIter) Close() error {
 	t.rows, t.opened = nil, false
+	t.release()
 	return t.Input.Close()
 }
 

@@ -36,10 +36,10 @@ func (c *countdownCtx) Err() error {
 }
 
 // bigDividePair builds a dividend large enough that every partition
-// spans many checkEvery poll intervals.
+// spans many DefaultCheckEvery poll intervals.
 func bigDividePair() (r1, r2 *relation.Relation) {
 	groups := 64
-	per := 40 * checkEvery / groups
+	per := 40 * DefaultCheckEvery / groups
 	rows := make([][]int64, 0, groups*per)
 	for a := 0; a < groups; a++ {
 		for b := 0; b < per; b++ {
@@ -77,7 +77,7 @@ func TestDividePartitionedCtxPreCancelled(t *testing.T) {
 func TestGreatDividePartitionedCtxStopsWorkersMidPartition(t *testing.T) {
 	// Great divide partitions the divisor; give it groups to split
 	// and a dividend long enough to poll repeatedly.
-	n := 8 * checkEvery
+	n := 8 * DefaultCheckEvery
 	rows := make([][]int64, 0, n)
 	for i := 0; i < n; i++ {
 		rows = append(rows, []int64{int64(i % 512), int64(i % 64)})

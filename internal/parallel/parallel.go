@@ -25,9 +25,38 @@ import (
 	"divlaws/internal/relation"
 )
 
-// checkEvery is the batching interval, in tuples, of the cooperative
-// context polls inside parallel division workers. Power of two.
-const checkEvery = 1024
+// DefaultCheckEvery is the default interval, in tuples, of the
+// cooperative context polls inside parallel division workers;
+// tunable per stream via Tuning.CheckEvery.
+const DefaultCheckEvery = 1024
+
+// Tuning carries the per-stream knobs of the partition fan-out; the
+// zero value means defaults everywhere, so callers without an opinion
+// pass Tuning{}.
+type Tuning struct {
+	// BatchSize is the number of quotient tuples a partition worker
+	// accumulates per EmitFunc call; 0 means EmitBatchSize.
+	BatchSize int
+	// CheckEvery is the cooperative ctx-poll interval of the worker
+	// feed loops, in tuples; 0 means DefaultCheckEvery.
+	CheckEvery int
+}
+
+// batch resolves the emission batch size.
+func (t Tuning) batch() int {
+	if t.BatchSize > 0 {
+		return t.BatchSize
+	}
+	return EmitBatchSize
+}
+
+// every resolves the ctx-poll interval.
+func (t Tuning) every() int {
+	if t.CheckEvery > 0 {
+		return t.CheckEvery
+	}
+	return DefaultCheckEvery
+}
 
 // DefaultWorkers is used when a worker count of 0 is given.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
@@ -110,8 +139,9 @@ func DividePartitioned(algo division.Algorithm, r1, r2 *relation.Relation, worke
 }
 
 // DividePartitionedCtx is DividePartitioned under a context: every
-// worker polls ctx while it streams its partition (every checkEvery
-// tuples for the default hash algorithm, between phases for the
+// worker polls ctx while it streams its partition (every
+// Tuning.CheckEvery tuples for the default hash algorithm, between
+// phases for the
 // others), so a cancelled context tears the whole fan-out down
 // promptly — mid-partition, not after it. The first cancellation
 // error observed is returned; partial quotients are discarded.
@@ -133,7 +163,7 @@ func DividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1, r2 *
 	}
 	// Each worker emits only under its own part index, so the slot
 	// writes are goroutine-local.
-	if err := divideParts(ctx, algo, parts, r2, nil, func(part int, batch []relation.Tuple) error {
+	if err := divideParts(ctx, algo, parts, r2, nil, Tuning{}, func(part int, batch []relation.Tuple) error {
 		for _, t := range batch {
 			results[part].InsertOwned(t)
 		}
@@ -151,11 +181,11 @@ func DividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1, r2 *
 // operators. It returns after every worker has finished; the first
 // error observed (context cancellation or an emit rejection) stops
 // the fan-out and is returned.
-func DivideStream(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int, emit EmitFunc) error {
+func DivideStream(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int, tune Tuning, emit EmitFunc) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return divideParts(ctx, algo, smallParts(r1, r2, workers), r2, nil, emit)
+	return divideParts(ctx, algo, smallParts(r1, r2, workers), r2, nil, tune, emit)
 }
 
 // smallParts plans the dividend partitioning of r1 ÷ r2: a single
@@ -175,9 +205,9 @@ func smallParts(r1, r2 *relation.Relation, workers int) []*relation.Relation {
 // divideParts runs one small-divide worker per partition; a non-nil
 // bound caps each worker's emission at its k smallest quotient
 // tuples.
-func divideParts(ctx context.Context, algo division.Algorithm, parts []*relation.Relation, r2 *relation.Relation, bound *TopKBound, emit EmitFunc) error {
+func divideParts(ctx context.Context, algo division.Algorithm, parts []*relation.Relation, r2 *relation.Relation, bound *TopKBound, tune Tuning, emit EmitFunc) error {
 	return runWorkers(ctx, len(parts), func(ctx context.Context, i int) error {
-		return divideStreamPart(ctx, algo, i, parts[i], r2, bound, emit)
+		return divideStreamPart(ctx, algo, i, parts[i], r2, bound, tune, emit)
 	})
 }
 
@@ -225,13 +255,18 @@ type divisionState interface {
 }
 
 // feedCtx streams (divisor, then dividend) into a division state,
-// polling ctx every checkEvery dividend tuples.
-func feedCtx(ctx context.Context, st divisionState, r1, r2 *relation.Relation) error {
+// polling ctx every `every` dividend tuples.
+func feedCtx(ctx context.Context, st divisionState, r1, r2 *relation.Relation, every int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	for _, t := range r2.Tuples() {
 		st.AddDivisor(t)
 	}
-	for i, t := range r1.Tuples() {
-		if i&(checkEvery-1) == 0 {
+	n := 0
+	for _, t := range r1.Tuples() {
+		if n++; n >= every {
+			n = 0
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -242,12 +277,13 @@ func feedCtx(ctx context.Context, st divisionState, r1, r2 *relation.Relation) e
 }
 
 // batcher accumulates one partition's quotient tuples and flushes
-// them downstream every EmitBatchSize, polling ctx at each flush so
-// emission loops observe cancellation even when the sink itself
-// cannot block on it.
+// them downstream every `size` tuples (EmitBatchSize by default),
+// polling ctx at each flush so emission loops observe cancellation
+// even when the sink itself cannot block on it.
 type batcher struct {
 	ctx  context.Context
 	part int
+	size int
 	emit EmitFunc
 	buf  []relation.Tuple
 }
@@ -255,10 +291,10 @@ type batcher struct {
 // add buffers one tuple, flushing a full batch.
 func (b *batcher) add(t relation.Tuple) error {
 	if b.buf == nil {
-		b.buf = make([]relation.Tuple, 0, EmitBatchSize)
+		b.buf = make([]relation.Tuple, 0, b.size)
 	}
 	b.buf = append(b.buf, t)
-	if len(b.buf) >= EmitBatchSize {
+	if len(b.buf) >= b.size {
 		return b.flush()
 	}
 	return nil
@@ -288,12 +324,12 @@ type tupleSink interface {
 
 // partSink builds the sink for one partition worker: a plain batcher,
 // or a k-bounded heap when a top-k bound is pushed down.
-func partSink(ctx context.Context, part int, bound *TopKBound, emit EmitFunc) tupleSink {
-	out := &batcher{ctx: ctx, part: part, emit: emit}
+func partSink(ctx context.Context, part int, bound *TopKBound, tune Tuning, emit EmitFunc) tupleSink {
+	out := &batcher{ctx: ctx, part: part, size: tune.batch(), emit: emit}
 	if bound == nil {
 		return out
 	}
-	return &topkSink{ctx: ctx, heap: relation.NewTopKHeap(bound.K, bound.Cmp), out: out}
+	return &topkSink{ctx: ctx, heap: relation.NewTopKHeap(bound.K, bound.Cmp), out: out, every: tune.every()}
 }
 
 // emitRelation streams a materialized quotient downstream; the path
@@ -310,14 +346,14 @@ func emitRelation(ctx context.Context, sink tupleSink, q *relation.Relation) err
 
 // divideStreamPart divides one partition cooperatively, streaming its
 // quotient tuples out. The default hash algorithm streams through
-// division.DivideState with a ctx poll every checkEvery tuples; other
-// algorithms are opaque relational computations, so they poll only
-// before starting and while emitting.
-func divideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1, r2 *relation.Relation, bound *TopKBound, emit EmitFunc) error {
+// division.DivideState with a ctx poll every Tuning.CheckEvery
+// tuples; other algorithms are opaque relational computations, so
+// they poll only before starting and while emitting.
+func divideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1, r2 *relation.Relation, bound *TopKBound, tune Tuning, emit EmitFunc) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	sink := partSink(ctx, part, bound, emit)
+	sink := partSink(ctx, part, bound, tune, emit)
 	if algo != division.AlgoHash {
 		return emitRelation(ctx, sink, division.DivideWith(algo, r1, r2))
 	}
@@ -325,7 +361,7 @@ func divideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1
 	if err != nil {
 		panic(err) // parity with DivideWith's schema panic
 	}
-	if err := feedCtx(ctx, st, r1, r2); err != nil {
+	if err := feedCtx(ctx, st, r1, r2, tune.every()); err != nil {
 		return err
 	}
 	if err := st.EachResult(sink.add); err != nil {
@@ -371,7 +407,7 @@ func GreatDividePartitioned(algo division.Algorithm, r1, r2 *relation.Relation, 
 
 // GreatDividePartitionedCtx is GreatDividePartitioned under a
 // context, with the same cooperative-cancellation contract as
-// DividePartitionedCtx: hash workers poll every checkEvery dividend
+// DividePartitionedCtx: hash workers poll every Tuning.CheckEvery dividend
 // tuples, other algorithms between phases.
 func GreatDividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int) ([]*relation.Relation, error) {
 	if err := ctx.Err(); err != nil {
@@ -386,7 +422,7 @@ func GreatDividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1,
 	for i := range results {
 		results[i] = relation.New(split.A.Concat(split.C))
 	}
-	if err := greatDivideParts(ctx, algo, r1, parts, nil, func(part int, batch []relation.Tuple) error {
+	if err := greatDivideParts(ctx, algo, r1, parts, nil, Tuning{}, func(part int, batch []relation.Tuple) error {
 		for _, t := range batch {
 			results[part].InsertOwned(t)
 		}
@@ -401,11 +437,11 @@ func GreatDividePartitionedCtx(ctx context.Context, algo division.Algorithm, r1,
 // 13), streaming each divisor partition's quotient tuples to emit as
 // soon as that partition resolves; the great-divide counterpart of
 // DivideStream, with the same contract.
-func GreatDivideStream(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int, emit EmitFunc) error {
+func GreatDivideStream(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int, tune Tuning, emit EmitFunc) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return greatDivideParts(ctx, algo, r1, greatParts(r1, r2, workers), nil, emit)
+	return greatDivideParts(ctx, algo, r1, greatParts(r1, r2, workers), nil, tune, emit)
 }
 
 // greatParts plans the divisor partitioning of r1 ÷* r2: the divisor
@@ -430,20 +466,20 @@ func greatParts(r1, r2 *relation.Relation, workers int) []*relation.Relation {
 // greatDivideParts runs one great-divide worker per divisor
 // partition; a non-nil bound caps each worker's emission at its k
 // smallest quotient tuples.
-func greatDivideParts(ctx context.Context, algo division.Algorithm, r1 *relation.Relation, parts []*relation.Relation, bound *TopKBound, emit EmitFunc) error {
+func greatDivideParts(ctx context.Context, algo division.Algorithm, r1 *relation.Relation, parts []*relation.Relation, bound *TopKBound, tune Tuning, emit EmitFunc) error {
 	return runWorkers(ctx, len(parts), func(ctx context.Context, i int) error {
-		return greatDivideStreamPart(ctx, algo, i, r1, parts[i], bound, emit)
+		return greatDivideStreamPart(ctx, algo, i, r1, parts[i], bound, tune, emit)
 	})
 }
 
 // greatDivideStreamPart great-divides one divisor partition
 // cooperatively, streaming its quotient tuples out; see
 // divideStreamPart.
-func greatDivideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1, r2 *relation.Relation, bound *TopKBound, emit EmitFunc) error {
+func greatDivideStreamPart(ctx context.Context, algo division.Algorithm, part int, r1, r2 *relation.Relation, bound *TopKBound, tune Tuning, emit EmitFunc) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	sink := partSink(ctx, part, bound, emit)
+	sink := partSink(ctx, part, bound, tune, emit)
 	if algo != division.GreatAlgoHash {
 		return emitRelation(ctx, sink, division.GreatDivideWith(algo, r1, r2))
 	}
@@ -451,7 +487,7 @@ func greatDivideStreamPart(ctx context.Context, algo division.Algorithm, part in
 	if err != nil {
 		panic(err) // parity with GreatDivideWith's schema panic
 	}
-	if err := feedCtx(ctx, st, r1, r2); err != nil {
+	if err := feedCtx(ctx, st, r1, r2, tune.every()); err != nil {
 		return err
 	}
 	if err := st.EachResult(sink.add); err != nil {

@@ -43,15 +43,17 @@ func (b TopKBound) validate() error {
 // through the regular batcher, so bounded emission rides the exact
 // same channel plumbing as the unbounded stream.
 type topkSink struct {
-	ctx  context.Context
-	heap *relation.TopKHeap
-	out  *batcher
-	n    int
+	ctx   context.Context
+	heap  *relation.TopKHeap
+	out   *batcher
+	every int
+	n     int
 }
 
 // add implements tupleSink.
 func (s *topkSink) add(t relation.Tuple) error {
-	if s.n++; s.n&(checkEvery-1) == 0 {
+	if s.n++; s.n >= s.every {
+		s.n = 0
 		if err := s.ctx.Err(); err != nil {
 			return err
 		}
@@ -76,24 +78,24 @@ func (s *topkSink) flush() error {
 // and emits them, sorted, when its partition resolves. Batches of
 // one partition arrive in ascending Cmp order, so the consumer can
 // k-way merge the per-partition runs into the global top k.
-func DivideStreamTopK(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int, bound TopKBound, emit EmitFunc) error {
+func DivideStreamTopK(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int, bound TopKBound, tune Tuning, emit EmitFunc) error {
 	if err := bound.validate(); err != nil {
 		return err
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return divideParts(ctx, algo, smallParts(r1, r2, workers), r2, &bound, emit)
+	return divideParts(ctx, algo, smallParts(r1, r2, workers), r2, &bound, tune, emit)
 }
 
 // GreatDivideStreamTopK is GreatDivideStream under a top-k bound;
 // see DivideStreamTopK for the contract.
-func GreatDivideStreamTopK(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int, bound TopKBound, emit EmitFunc) error {
+func GreatDivideStreamTopK(ctx context.Context, algo division.Algorithm, r1, r2 *relation.Relation, workers int, bound TopKBound, tune Tuning, emit EmitFunc) error {
 	if err := bound.validate(); err != nil {
 		return err
 	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	return greatDivideParts(ctx, algo, r1, greatParts(r1, r2, workers), &bound, emit)
+	return greatDivideParts(ctx, algo, r1, greatParts(r1, r2, workers), &bound, tune, emit)
 }

@@ -1,0 +1,126 @@
+package relation
+
+import "sync"
+
+// DefaultBatchCap is the tuple capacity a Batch is slab-allocated
+// with when no explicit capacity is requested. It matches the
+// parallel exchanges' emission batch size, so a batch pipeline
+// consumes worker batches without re-slicing.
+const DefaultBatchCap = 64
+
+// Batch is a reusable slab of tuples, the unit of the batch-at-a-time
+// execution path. A Batch either owns its slab (Append fills it up to
+// capacity, Reset truncates without releasing) or temporarily adopts
+// a foreign window (SetTuples aliases an existing slice — a relation
+// segment, an exchange batch — without copying).
+//
+// Ownership contract: a Batch returned by a producer (an iterator's
+// NextBatch, for example) remains valid only until the producer's
+// next call — the producer reuses the slab. The tuples themselves are
+// immutable and may be retained freely; only the slice is recycled.
+type Batch struct {
+	tuples []Tuple
+	// slab is the owned backing array, kept across SetTuples calls so
+	// adopting a window does not leak the allocation.
+	slab []Tuple
+	// adopted marks tuples as a SetTuples view rather than the slab.
+	adopted bool
+}
+
+// NewBatch returns an empty batch with the given tuple capacity
+// (DefaultBatchCap when n <= 0).
+func NewBatch(n int) *Batch {
+	if n <= 0 {
+		n = DefaultBatchCap
+	}
+	slab := make([]Tuple, 0, n)
+	return &Batch{tuples: slab, slab: slab}
+}
+
+// Len returns the number of tuples in the batch.
+func (b *Batch) Len() int { return len(b.tuples) }
+
+// Cap returns the capacity of the owned slab.
+func (b *Batch) Cap() int { return cap(b.slab) }
+
+// Full reports whether the owned slab is at capacity.
+func (b *Batch) Full() bool { return len(b.tuples) >= cap(b.slab) }
+
+// Tuples returns the batch's tuples. The slice is only valid until
+// the producing operator's next call; the tuples themselves are
+// immutable and may be retained.
+func (b *Batch) Tuples() []Tuple { return b.tuples }
+
+// Tuple returns the i-th tuple.
+func (b *Batch) Tuple(i int) Tuple { return b.tuples[i] }
+
+// Append adds a tuple to the owned slab. After SetTuples, Append
+// first reverts to the owned slab (dropping the adopted window).
+func (b *Batch) Append(t Tuple) {
+	if b.adopted {
+		b.tuples = b.slab[:0]
+		b.adopted = false
+	}
+	b.tuples = append(b.tuples, t)
+	b.slab = b.tuples
+}
+
+// Reset empties the batch, keeping the owned slab for reuse.
+func (b *Batch) Reset() {
+	b.slab = b.slab[:0]
+	b.tuples = b.slab
+	b.adopted = false
+}
+
+// SetTuples makes the batch a zero-copy view over ts (which the
+// caller must keep immutable while the view is alive). The owned slab
+// is retained for later Reset/Append reuse.
+func (b *Batch) SetTuples(ts []Tuple) {
+	b.tuples = ts
+	b.adopted = true
+}
+
+// batchPool is the free-list behind GetBatch/PutBatch: batch slabs
+// are recycled across queries so steady-state batch execution
+// allocates nothing per batch.
+var batchPool = sync.Pool{New: func() any { return NewBatch(DefaultBatchCap) }}
+
+// GetBatch takes an empty batch from the free-list, growing its slab
+// to at least n tuples (DefaultBatchCap when n <= 0). Return it with
+// PutBatch when the pipeline is done with it.
+func GetBatch(n int) *Batch {
+	b := batchPool.Get().(*Batch)
+	if n <= 0 {
+		n = DefaultBatchCap
+	}
+	if cap(b.slab) < n {
+		b.slab = make([]Tuple, 0, n)
+	}
+	b.Reset()
+	return b
+}
+
+// PutBatch returns a batch to the free-list. The caller must not use
+// b afterwards. Nil is ignored.
+func PutBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	// Drop tuple references so the pool does not pin query data.
+	b.slab = b.slab[:cap(b.slab)]
+	for i := range b.slab {
+		b.slab[i] = nil
+	}
+	b.Reset()
+	batchPool.Put(b)
+}
+
+// Hash64ProjBatch appends Hash64Proj(pos) of every tuple in ts to
+// dst — the batch-at-a-time form of the zero-alloc probe-hash
+// computation, amortizing the per-call overhead across a batch.
+func Hash64ProjBatch(ts []Tuple, pos []int, dst []uint64) []uint64 {
+	for _, t := range ts {
+		dst = append(dst, t.Hash64Proj(pos))
+	}
+	return dst
+}

@@ -1,0 +1,113 @@
+package relation
+
+import (
+	"testing"
+
+	"divlaws/internal/value"
+)
+
+func batchTuple(xs ...int64) Tuple {
+	t := make(Tuple, len(xs))
+	for i, x := range xs {
+		t[i] = value.Int(x)
+	}
+	return t
+}
+
+func TestBatchAppendResetReuse(t *testing.T) {
+	b := NewBatch(4)
+	if b.Len() != 0 || b.Cap() != 4 || b.Full() {
+		t.Fatalf("fresh batch: len=%d cap=%d full=%t", b.Len(), b.Cap(), b.Full())
+	}
+	for i := int64(0); i < 4; i++ {
+		b.Append(batchTuple(i))
+	}
+	if !b.Full() || b.Len() != 4 {
+		t.Fatalf("after 4 appends: len=%d full=%t", b.Len(), b.Full())
+	}
+	if !b.Tuple(2).Equal(batchTuple(2)) {
+		t.Fatalf("Tuple(2) = %v", b.Tuple(2))
+	}
+	first := &b.Tuples()[0]
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("after Reset: len=%d", b.Len())
+	}
+	b.Append(batchTuple(9))
+	if &b.Tuples()[0] != first {
+		t.Fatal("Reset did not retain the slab")
+	}
+}
+
+func TestBatchSetTuplesAdoptsWindow(t *testing.T) {
+	b := NewBatch(2)
+	b.Append(batchTuple(1))
+	window := []Tuple{batchTuple(10), batchTuple(11), batchTuple(12)}
+	b.SetTuples(window)
+	if b.Len() != 3 || !b.Tuple(0).Equal(batchTuple(10)) {
+		t.Fatalf("adopted window: len=%d first=%v", b.Len(), b.Tuple(0))
+	}
+	if &b.Tuples()[0] != &window[0] {
+		t.Fatal("SetTuples copied instead of aliasing")
+	}
+	// Append after adoption reverts to the owned slab.
+	b.Append(batchTuple(7))
+	if b.Len() != 1 || !b.Tuple(0).Equal(batchTuple(7)) {
+		t.Fatalf("append after adoption: len=%d first=%v", b.Len(), b.Tuple(0))
+	}
+	if !window[0].Equal(batchTuple(10)) {
+		t.Fatal("append after adoption mutated the adopted slice")
+	}
+}
+
+func TestBatchPoolRecycles(t *testing.T) {
+	b := GetBatch(8)
+	if b.Len() != 0 || b.Cap() < 8 {
+		t.Fatalf("GetBatch(8): len=%d cap=%d", b.Len(), b.Cap())
+	}
+	b.Append(batchTuple(1))
+	PutBatch(b)
+	c := GetBatch(4)
+	if c.Len() != 0 {
+		t.Fatalf("recycled batch not empty: len=%d", c.Len())
+	}
+	PutBatch(c)
+	PutBatch(nil) // must not panic
+}
+
+func TestHash64ProjBatch(t *testing.T) {
+	ts := []Tuple{batchTuple(1, 2, 3), batchTuple(4, 5, 6)}
+	pos := []int{2, 0}
+	got := Hash64ProjBatch(ts, pos, nil)
+	if len(got) != 2 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, t2 := range ts {
+		if got[i] != t2.Hash64Proj(pos) {
+			t.Fatalf("hash %d mismatch", i)
+		}
+	}
+}
+
+func TestTupleIndexBatchHelpers(t *testing.T) {
+	ts := []Tuple{batchTuple(1, 10), batchTuple(2, 20), batchTuple(1, 10)}
+	var ix TupleIndex
+	ids, created := ix.IDBatch(ts, nil, nil)
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 0 {
+		t.Fatalf("IDBatch ids = %v", ids)
+	}
+	if !created[0] || !created[1] || created[2] {
+		t.Fatalf("IDBatch created = %v", created)
+	}
+
+	var proj TupleIndex
+	pos := []int{0}
+	pids, pcreated := proj.IDProjBatch(ts, pos, nil, nil)
+	if pids[0] != 0 || pids[1] != 1 || pids[2] != 0 || pcreated[2] {
+		t.Fatalf("IDProjBatch = %v %v", pids, pcreated)
+	}
+	look := proj.LookupProjBatch([]Tuple{batchTuple(2, 99), batchTuple(3, 99)}, pos, nil)
+	if look[0] != 1 || look[1] != -1 {
+		t.Fatalf("LookupProjBatch = %v", look)
+	}
+}

@@ -89,6 +89,40 @@ func (ix *TupleIndex) Lookup(t Tuple) int {
 	}
 }
 
+// IDBatch assigns ids to every tuple of ts in order, appending each
+// tuple's (id, created) to ids and created — the batch-at-a-time form
+// of ID, amortizing the per-call overhead across a batch. The index
+// aliases newly inserted tuples, so the caller must not mutate them.
+func (ix *TupleIndex) IDBatch(ts []Tuple, ids []int, created []bool) ([]int, []bool) {
+	for _, t := range ts {
+		id, c := ix.ID(t)
+		ids = append(ids, id)
+		created = append(created, c)
+	}
+	return ids, created
+}
+
+// IDProjBatch is IDBatch for the projections ts[i][pos...]; a
+// projection is materialized only when it is new.
+func (ix *TupleIndex) IDProjBatch(ts []Tuple, pos []int, ids []int, created []bool) ([]int, []bool) {
+	for _, t := range ts {
+		id, c := ix.IDProj(t, pos)
+		ids = append(ids, id)
+		created = append(created, c)
+	}
+	return ids, created
+}
+
+// LookupProjBatch appends the id of every projection ts[i][pos...]
+// (or -1) to ids — the batch probe behind batch hash operators. It
+// allocates nothing beyond growing ids.
+func (ix *TupleIndex) LookupProjBatch(ts []Tuple, pos []int, ids []int) []int {
+	for _, t := range ts {
+		ids = append(ids, ix.LookupProj(t, pos))
+	}
+	return ids
+}
+
 // LookupProj returns the id of the projection t[pos...], or -1. It
 // allocates nothing.
 func (ix *TupleIndex) LookupProj(t Tuple, pos []int) int {

@@ -2,6 +2,7 @@ package sql
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"divlaws/internal/algebra"
@@ -71,11 +72,11 @@ func (db *DB) Bind(q *Query) (plan.Node, error) {
 // — so ORDER BY + LIMIT binds to Limit∘Sort, which the optimizer
 // fuses into the single plan.TopK operator.
 func (db *DB) bindQuery(q *Query) (plan.Node, error) {
-	node, err := db.bindQueryBody(q)
+	node, pre, err := db.bindQueryBody(q)
 	if err != nil {
 		return nil, err
 	}
-	node, err = db.bindOrderBy(q, node)
+	node, err = db.bindOrderBy(q, node, pre)
 	if err != nil {
 		return nil, err
 	}
@@ -88,38 +89,91 @@ func (db *DB) bindQuery(q *Query) (plan.Node, error) {
 	return node, nil
 }
 
+// preProjection records the schema context a query block's SELECT
+// list projected away — the node beneath the projection plus the
+// projected attributes and their output names — so ORDER BY can
+// reach back to columns the projection dropped.
+type preProjection struct {
+	input     plan.Node
+	fromAttrs []string
+	outNames  []string
+}
+
 // bindOrderBy is the single sort-binding path of the binder: it
 // resolves every ORDER BY item against the query block's output
 // schema (projection aliases included, since renames are already
 // applied) and wraps the plan in a Sort node carrying the resolved
-// keys. Unresolvable sort columns are errors — ordering is a
-// physical operator now, not a presentation-level hint.
-func (db *DB) bindOrderBy(q *Query, node plan.Node) (plan.Node, error) {
+// keys.
+//
+// A sort column absent from the output schema is resolved against
+// the pre-projection schema instead: the projection is widened to
+// carry the column through the Sort, and a final projection strips
+// it again (order-preserving — first-seen semantics), so
+//
+//	SELECT city FROM t ORDER BY pop DESC
+//
+// binds to Project[city](Sort[pop desc](Project[city,pop](t))).
+// Columns found in neither schema are errors — ordering is a
+// physical operator, not a presentation-level hint.
+func (db *DB) bindOrderBy(q *Query, node plan.Node, pre *preProjection) (plan.Node, error) {
 	if len(q.OrderBy) == 0 {
 		return node, nil
 	}
 	keys := make([]plan.SortKey, len(q.OrderBy))
+	var extras []string
 	for i, o := range q.OrderBy {
 		c := o.Col
 		attr, err := resolveColumn(node.Schema(), &c)
 		if err != nil {
-			return nil, fmt.Errorf("sql: ORDER BY: %w", err)
+			if pre == nil {
+				return nil, fmt.Errorf("sql: ORDER BY: %w", err)
+			}
+			c2 := o.Col
+			preAttr, preErr := resolveColumn(pre.input.Schema(), &c2)
+			if preErr != nil {
+				return nil, fmt.Errorf("sql: ORDER BY: %w", err)
+			}
+			if j := slices.Index(pre.fromAttrs, preAttr); j >= 0 {
+				// The column is projected, just under an alias: sort on
+				// its output name, no widening needed.
+				attr = pre.outNames[j]
+			} else if slices.Contains(pre.outNames, preAttr) {
+				// Widening would collide with an output alias of the
+				// same name; keep the strict error.
+				return nil, fmt.Errorf("sql: ORDER BY: %w", err)
+			} else {
+				attr = preAttr
+				if !slices.Contains(extras, preAttr) {
+					extras = append(extras, preAttr)
+				}
+			}
 		}
 		keys[i] = plan.SortKey{Attr: attr, Desc: o.Desc}
 	}
-	return &plan.Sort{Input: node, Keys: keys}, nil
+	if len(extras) == 0 {
+		return &plan.Sort{Input: node, Keys: keys}, nil
+	}
+	// Widen the projection with the extra sort columns, apply the
+	// output renames, sort, then strip back down to the output names.
+	wide := append(append([]string(nil), pre.fromAttrs...), extras...)
+	widened := renameOutputs(&plan.Project{Input: pre.input, Attrs: wide}, pre.fromAttrs, pre.outNames)
+	sorted := &plan.Sort{Input: widened, Keys: keys}
+	return &plan.Project{Input: sorted, Attrs: pre.outNames}, nil
 }
 
-// bindQueryBody lowers one query block up to (but excluding) LIMIT.
-func (db *DB) bindQueryBody(q *Query) (plan.Node, error) {
+// bindQueryBody lowers one query block up to (but excluding) ORDER
+// BY and LIMIT. The second result is the pre-projection context for
+// ORDER BY widening; it is nil for SELECT *, whose output schema is
+// the full input schema.
+func (db *DB) bindQueryBody(q *Query) (plan.Node, *preProjection, error) {
 	node, err := db.bindFrom(q.From)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if q.Where != nil {
 		p, err := db.toPred(q.Where, node.Schema(), false)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		node = &plan.Select{Input: node, Pred: p}
 	}
@@ -129,7 +183,7 @@ func (db *DB) bindQueryBody(q *Query) (plan.Node, error) {
 		return db.bindGrouped(q, node, aggs)
 	}
 	if q.Having != nil {
-		return nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
+		return nil, nil, fmt.Errorf("sql: HAVING requires GROUP BY or aggregates")
 	}
 	return db.bindProjection(q, node)
 }
@@ -251,39 +305,40 @@ func (db *DB) bindDivide(r *DivideTable) (plan.Node, error) {
 // bindProjection applies the SELECT list of a non-aggregating query.
 // ORDER BY is bound later, by bindQuery, against the projected
 // output schema.
-func (db *DB) bindProjection(q *Query, node plan.Node) (plan.Node, error) {
+func (db *DB) bindProjection(q *Query, node plan.Node) (plan.Node, *preProjection, error) {
 	if q.Star {
-		return node, nil
+		return node, nil, nil
 	}
 	var fromAttrs []string
 	var outNames []string
 	for _, item := range q.Select {
 		col, ok := item.Expr.(*ColumnRef)
 		if !ok {
-			return nil, fmt.Errorf("sql: select item %q requires GROUP BY context", item.Expr)
+			return nil, nil, fmt.Errorf("sql: select item %q requires GROUP BY context", item.Expr)
 		}
 		attr, err := resolveColumn(node.Schema(), col)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fromAttrs = append(fromAttrs, attr)
 		outNames = append(outNames, outputName(item))
 	}
 	if err := checkDistinctNames(outNames); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return renameOutputs(&plan.Project{Input: node, Attrs: fromAttrs}, fromAttrs, outNames), nil
+	pre := &preProjection{input: node, fromAttrs: fromAttrs, outNames: outNames}
+	return renameOutputs(&plan.Project{Input: node, Attrs: fromAttrs}, fromAttrs, outNames), pre, nil
 }
 
 // bindGrouped applies GROUP BY / HAVING / aggregate select lists.
-func (db *DB) bindGrouped(q *Query, node plan.Node, aggs []*AggCall) (plan.Node, error) {
+func (db *DB) bindGrouped(q *Query, node plan.Node, aggs []*AggCall) (plan.Node, *preProjection, error) {
 	inSchema := node.Schema()
 	by := make([]string, len(q.GroupBy))
 	for i, col := range q.GroupBy {
 		c := col
 		attr, err := resolveColumn(inSchema, &c)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		by[i] = attr
 	}
@@ -304,17 +359,17 @@ func (db *DB) bindGrouped(q *Query, node plan.Node, aggs []*AggCall) (plan.Node,
 			if !call.Star {
 				attr, err := resolveColumn(inSchema, call.Arg)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				spec.Attr = attr
 			}
 		case "sum", "min", "max", "avg":
 			if call.Star {
-				return nil, fmt.Errorf("sql: %s(*) is not valid", call.Func)
+				return nil, nil, fmt.Errorf("sql: %s(*) is not valid", call.Func)
 			}
 			attr, err := resolveColumn(inSchema, call.Arg)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			spec.Attr = attr
 			switch call.Func {
@@ -328,7 +383,7 @@ func (db *DB) bindGrouped(q *Query, node plan.Node, aggs []*AggCall) (plan.Node,
 				spec.Func = algebra.Avg
 			}
 		default:
-			return nil, fmt.Errorf("sql: unknown aggregate %q", call.Func)
+			return nil, nil, fmt.Errorf("sql: unknown aggregate %q", call.Func)
 		}
 		internal[key] = name
 		specs = append(specs, spec)
@@ -339,13 +394,13 @@ func (db *DB) bindGrouped(q *Query, node plan.Node, aggs []*AggCall) (plan.Node,
 	if q.Having != nil {
 		p, err := db.havingPred(q.Having, grouped.Schema(), internal)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		grouped = &plan.Select{Input: grouped, Pred: p}
 	}
 
 	if q.Star {
-		return nil, fmt.Errorf("sql: SELECT * is not valid with GROUP BY")
+		return nil, nil, fmt.Errorf("sql: SELECT * is not valid with GROUP BY")
 	}
 	var fromAttrs, outNames []string
 	for _, item := range q.Select {
@@ -353,24 +408,25 @@ func (db *DB) bindGrouped(q *Query, node plan.Node, aggs []*AggCall) (plan.Node,
 		case *ColumnRef:
 			attr, err := resolveColumn(grouped.Schema(), e)
 			if err != nil {
-				return nil, fmt.Errorf("sql: select column %q must appear in GROUP BY: %w", e, err)
+				return nil, nil, fmt.Errorf("sql: select column %q must appear in GROUP BY: %w", e, err)
 			}
 			fromAttrs = append(fromAttrs, attr)
 		case *AggCall:
 			name, ok := internal[e.String()]
 			if !ok {
-				return nil, fmt.Errorf("sql: unresolved aggregate %q", e)
+				return nil, nil, fmt.Errorf("sql: unresolved aggregate %q", e)
 			}
 			fromAttrs = append(fromAttrs, name)
 		default:
-			return nil, fmt.Errorf("sql: unsupported select item %q", item.Expr)
+			return nil, nil, fmt.Errorf("sql: unsupported select item %q", item.Expr)
 		}
 		outNames = append(outNames, outputName(item))
 	}
 	if err := checkDistinctNames(outNames); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return renameOutputs(&plan.Project{Input: grouped, Attrs: fromAttrs}, fromAttrs, outNames), nil
+	pre := &preProjection{input: grouped, fromAttrs: fromAttrs, outNames: outNames}
+	return renameOutputs(&plan.Project{Input: grouped, Attrs: fromAttrs}, fromAttrs, outNames), pre, nil
 }
 
 // havingPred converts a HAVING expression over the grouped schema,

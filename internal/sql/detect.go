@@ -66,7 +66,10 @@ func (db *DB) DetectDivision(q *Query) (plan.Node, bool) {
 		return nil, false
 	}
 	if len(q.OrderBy) > 0 {
-		sorted, err := db.bindOrderBy(q, node)
+		// The detected quotient plan has no SELECT-list projection to
+		// widen, so sort columns must live in the quotient schema (nil
+		// pre-projection).
+		sorted, err := db.bindOrderBy(q, node, nil)
 		if err != nil {
 			return nil, false
 		}

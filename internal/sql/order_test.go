@@ -51,6 +51,93 @@ func TestOrderByResolvesOutputAlias(t *testing.T) {
 	}
 }
 
+// TestOrderByNonOutputColumn is the widening path: a sort column the
+// SELECT list projected away binds against the pre-projection schema
+// — the projection is widened to carry it through the Sort and a
+// final projection strips it, so the output schema is unchanged.
+func TestOrderByNonOutputColumn(t *testing.T) {
+	db := suppliersDB()
+	node, err := db.Plan("SELECT p# FROM parts ORDER BY color DESC, p#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, ok := node.(*plan.Project)
+	if !ok {
+		t.Fatalf("plan root = %T, want the stripping *plan.Project\n%s", node, plan.Format(node))
+	}
+	if len(proj.Attrs) != 1 || proj.Attrs[0] != "p#" {
+		t.Fatalf("strip attrs = %v, want [p#]", proj.Attrs)
+	}
+	srt, ok := proj.Input.(*plan.Sort)
+	if !ok {
+		t.Fatalf("strip input = %T, want *plan.Sort\n%s", proj.Input, plan.Format(node))
+	}
+	want := []plan.SortKey{{Attr: "parts.color", Desc: true}, {Attr: "p#"}}
+	for i, k := range srt.Keys {
+		if k != want[i] {
+			t.Fatalf("key %d = %v, want %v", i, k, want[i])
+		}
+	}
+	got, err := db.Query("SELECT p# FROM parts ORDER BY color DESC, p#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"p1", "p2", "p5", "p3", "p4"} // red, red, green, blue, blue
+	for i, tup := range got.Tuples() {
+		if tup[0].AsString() != order[i] {
+			t.Fatalf("row %d = %v, want %s", i, tup, order[i])
+		}
+	}
+}
+
+// TestOrderByNonOutputAliasedSource: referencing a projected column
+// by its source name when the SELECT list renamed it sorts on the
+// output alias — no widening, the Sort stays the plan root.
+func TestOrderByNonOutputAliasedSource(t *testing.T) {
+	db := suppliersDB()
+	node, err := db.Plan("SELECT p# AS part FROM parts ORDER BY p#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srt, ok := node.(*plan.Sort)
+	if !ok {
+		t.Fatalf("plan root = %T, want *plan.Sort (no widening)\n%s", node, plan.Format(node))
+	}
+	if srt.Keys[0].Attr != "part" {
+		t.Fatalf("key = %v, want the output alias part", srt.Keys[0])
+	}
+}
+
+// TestOrderByUnknownColumnStillErrors: widening reaches back to the
+// pre-projection schema only; a column in neither schema is still a
+// binding error.
+func TestOrderByUnknownColumnStillErrors(t *testing.T) {
+	db := suppliersDB()
+	if _, err := db.Plan("SELECT p# FROM parts ORDER BY nosuch"); err == nil {
+		t.Fatal("ORDER BY on an unknown column must fail to bind")
+	}
+}
+
+// TestOrderByNonOutputGrouped: the widening path through the grouped
+// binder — sort on a grouping column the SELECT list dropped.
+func TestOrderByNonOutputGrouped(t *testing.T) {
+	db := suppliersDB()
+	got, err := db.Query("SELECT count(*) AS n FROM parts GROUP BY color ORDER BY color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// blue=2, green=1, red=2 in color order; set semantics collapse
+	// the two count-2 groups after the strip, preserving first-seen
+	// order: [2, 1].
+	tuples := got.Tuples()
+	if len(tuples) != 2 {
+		t.Fatalf("%d rows, want 2 after set-semantics strip\n%v", len(tuples), tuples)
+	}
+	if tuples[0][0].AsInt() != 2 || tuples[1][0].AsInt() != 1 {
+		t.Fatalf("rows = %v, want counts [2 1]", tuples)
+	}
+}
+
 // TestOrderByGroupedQuery exercises the unified path through the
 // grouped binder: sort on a projected aggregate output name.
 func TestOrderByGroupedQuery(t *testing.T) {
@@ -162,7 +249,8 @@ func TestDetectionPreservesOrderByWithLimit(t *testing.T) {
 // TestDetectionDeclinesNonQuotientOrderBy: a sort column outside the
 // quotient schema (the dividend's element column p#, whose
 // multiplicity division does not preserve) must decline the rewrite
-// and fall back to nested iteration, which can order by it.
+// and fall back to nested iteration, which widens its projection to
+// order by it.
 func TestDetectionDeclinesNonQuotientOrderBy(t *testing.T) {
 	db := suppliersDB()
 	q := `
@@ -184,10 +272,33 @@ WHERE NOT EXISTS (
 	if node, detected := db.DetectDivision(parsed); detected {
 		t.Fatalf("ORDER BY on a non-quotient column must decline the rewrite\n%s", plan.Format(node))
 	}
-	// The fallback is just as strict: ordering runs over the output
-	// schema, so the whole statement is an ORDER BY binding error.
-	if _, _, err := db.PlanWithDetection(q); err == nil {
-		t.Fatal("ORDER BY over a non-output column must fail to bind")
+	// The fallback binds the non-output sort column against the
+	// pre-projection schema: widen, sort, strip. The stripped result
+	// is the same quotient set the unordered statement computes.
+	node, detected, err := db.PlanWithDetection(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detected {
+		t.Fatalf("fallback plan unexpectedly detected as a division\n%s", plan.Format(node))
+	}
+	proj, ok := node.(*plan.Project)
+	if !ok {
+		t.Fatalf("plan root = %T, want the stripping *plan.Project\n%s", node, plan.Format(node))
+	}
+	srt, ok := proj.Input.(*plan.Sort)
+	if !ok {
+		t.Fatalf("strip input = %T, want *plan.Sort\n%s", proj.Input, plan.Format(node))
+	}
+	if len(srt.Keys) != 1 || srt.Keys[0].Attr != "p1.color" {
+		t.Fatalf("sort keys = %v, want [p1.color]", srt.Keys)
+	}
+	want, err := db.Query(strings.TrimSuffix(strings.TrimSpace(q), "ORDER BY p1.color"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Eval(node); !got.EquivalentTo(want) {
+		t.Fatalf("widened ordered plan wrong:\n%v\nwant\n%v", got, want)
 	}
 }
 
