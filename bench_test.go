@@ -771,8 +771,10 @@ func BenchmarkQueryLimitOne(b *testing.B) {
 // the vectorized batch path per operator class: the streaming trio
 // (scan, filter, project) where the per-Next interface overhead
 // dominates, the blocking hash-division drains, the parallel
-// exchange, ordered operators, and an unbatchable union as the
-// within-noise control (both modes compile it tuple-at-a-time).
+// exchange, ordered operators, and — since PR 7 — the probe-side
+// operators (hash join, semijoin, set ops, product, theta join,
+// merge division), whose probe phases stream whole input batches
+// through batched hash-table lookups instead of per-tuple Next.
 func BenchmarkBatchVsTuple(b *testing.B) {
 	r1, r2 := datagen.DividePair{
 		Groups: 2000, GroupSize: 4, DivisorSize: 4,
@@ -788,6 +790,18 @@ func BenchmarkBatchVsTuple(b *testing.B) {
 		Groups: 2000, GroupSize: 4, DivisorSize: 4,
 		Domain: 40, HitRate: 0.9, Seed: 13,
 	}.Generate()
+	// Join build side: (b, c) covering half the b domain, so the
+	// probe phase mixes hits and misses.
+	jr := relation.New(schema.New("b", "c"))
+	for i := 0; i < 20; i++ {
+		jr.Insert(relation.Tuple{value.Int(int64(i)), value.Int(int64(i % 3))})
+	}
+	jrs := plan.NewScan("jr", jr)
+	// Product right side: small and schema-disjoint from r1.
+	pr := relation.New(schema.New("d"))
+	for i := 0; i < 2; i++ {
+		pr.Insert(relation.Tuple{value.Int(int64(i))})
+	}
 	classes := []struct {
 		name string
 		node plan.Node
@@ -803,10 +817,15 @@ func BenchmarkBatchVsTuple(b *testing.B) {
 			N: 500,
 		}},
 		{"hash-divide", &plan.Divide{Dividend: r1s, Divisor: r2s}},
+		{"merge-divide", &plan.Divide{Dividend: r1s, Divisor: r2s, Algo: division.AlgoMergeSort}},
 		{"great-divide", &plan.GreatDivide{Dividend: plan.NewScan("g1", g1), Divisor: plan.NewScan("g2", g2)}},
 		{"parallel-divide", &plan.ParallelDivide{Dividend: r1s, Divisor: r2s, Workers: 4}},
 		{"topk", &plan.TopK{Input: r1s, Keys: []plan.SortKey{{Attr: "b"}, {Attr: "a", Desc: true}}, K: 100}},
-		{"union-unbatchable", plan.Union(r1s, plan.NewScan("u1", u1))},
+		{"union", plan.Union(r1s, plan.NewScan("u1", u1))},
+		{"intersect", plan.Intersect(r1s, plan.NewScan("u1", u1))},
+		{"hash-join", &plan.Join{Left: r1s, Right: jrs}},
+		{"semijoin", &plan.SemiJoin{Left: r1s, Right: jrs}},
+		{"product", &plan.Product{Left: r1s, Right: plan.NewScan("pr", pr)}},
 	}
 	for _, c := range classes {
 		for _, mode := range []struct {

@@ -22,11 +22,15 @@ import (
 	"time"
 
 	"divlaws/internal/datagen"
+	"divlaws/internal/division"
 	"divlaws/internal/exec"
 	"divlaws/internal/optimizer"
 	"divlaws/internal/plan"
 	"divlaws/internal/pred"
+	"divlaws/internal/relation"
 	"divlaws/internal/scenarios"
+	"divlaws/internal/schema"
+	"divlaws/internal/value"
 )
 
 // result is one measured plan side, the unit of the committed
@@ -245,8 +249,10 @@ func measureExecPair(n plan.Node, reps int) (tup, bat measurement) {
 
 // execClasses builds one paired workload per streaming operator
 // class: the vectorized trio (scan, filter, project), the blocking
-// hash-division drains, the parallel exchange, top-k, and an
-// unbatchable union as the within-noise control.
+// hash-division drains, the parallel exchange, top-k, and the
+// probe-side operators batched in PR 7 — joins, semijoins, set
+// operations, products, and the merge-sort division, whose probe
+// phases stream whole batches through batched hash-table lookups.
 func execClasses(scale int, seed int64, workers int) []struct {
 	name string
 	node plan.Node
@@ -263,10 +269,6 @@ func execClasses(scale int, seed int64, workers int) []struct {
 		Groups: groups, GroupSize: 4, DivisorGroups: 4, DivisorGroupSize: 4,
 		Domain: 40, HitRate: 0.9, Seed: seed,
 	}.Generate()
-	u1, _ := datagen.DividePair{
-		Groups: groups, GroupSize: 4, DivisorSize: 4,
-		Domain: 40, HitRate: 0.9, Seed: seed + 1,
-	}.Generate()
 	if workers < 1 {
 		workers = 1
 	}
@@ -276,6 +278,39 @@ func execClasses(scale int, seed int64, workers int) []struct {
 	}
 	r1s := plan.NewScan("r1", r1)
 	r2s := plan.NewScan("r2", r2)
+	// Join build side: (b, c) keyed on one in-domain and one
+	// out-of-domain b value, so the probe drain dominates — mostly
+	// misses against a tiny cache-hot table, with enough matches to
+	// keep the emit path hot without the output's allocation noise
+	// swamping the probe timing.
+	jr := relation.New(schema.New("b", "c"))
+	for _, b := range []int64{0, 40} {
+		jr.Insert(relation.Tuple{value.Int(b), value.Int(b % 3)})
+	}
+	jrs := plan.NewScan("jr", jr)
+	// Intersect build side: a small same-schema relation, so the
+	// class measures the probe drain over r1 rather than the
+	// identical-in-both-paths build of a large right input.
+	i1, _ := datagen.DividePair{
+		Groups: groups/50 + 1, GroupSize: 4, DivisorSize: 4,
+		Domain: 40, HitRate: 0.9, Seed: seed,
+	}.Generate()
+	i1s := plan.NewScan("i1", i1)
+	// Union overlap side: 95% of r1's own rows, so the second input
+	// mostly dedups away and the class times the probe drain on top of
+	// the left input's unavoidable insert phase.
+	d1 := relation.New(r1.Schema())
+	for i, t := range r1.Tuples() {
+		if i%20 != 0 {
+			d1.Insert(t)
+		}
+	}
+	d1s := plan.NewScan("d1", d1)
+	// Product right side: tiny and schema-disjoint from r1.
+	pr := relation.New(schema.New("d"))
+	for i := 0; i < 2; i++ {
+		pr.Insert(relation.Tuple{value.Int(int64(i))})
+	}
 	return []struct {
 		name string
 		node plan.Node
@@ -284,9 +319,15 @@ func execClasses(scale int, seed int64, workers int) []struct {
 		{"exec filter", &plan.Select{Input: r1s, Pred: pred.Compare(pred.Attr("a"), pred.Gt, pred.ConstInt(int64(groups/2)))}},
 		{"exec project", &plan.Project{Input: r1s, Attrs: []string{"b"}}},
 		{"exec hash-divide", &plan.Divide{Dividend: r1s, Divisor: r2s}},
+		{"exec merge-divide", &plan.Divide{Dividend: r1s, Divisor: r2s, Algo: division.AlgoMergeSort}},
 		{"exec great-divide", &plan.GreatDivide{Dividend: plan.NewScan("g1", g1), Divisor: plan.NewScan("g2", g2)}},
 		{"exec parallel-divide", &plan.ParallelDivide{Dividend: r1s, Divisor: r2s, Workers: pworkers}},
 		{"exec topk", &plan.TopK{Input: r1s, Keys: []plan.SortKey{{Attr: "b"}, {Attr: "a", Desc: true}}, K: 100}},
-		{"exec union (unbatchable)", plan.Union(r1s, plan.NewScan("u1", u1))},
+		{"exec union", plan.Union(r1s, d1s)},
+		{"exec intersect", plan.Intersect(r1s, i1s)},
+		{"exec diff", plan.Diff(r1s, i1s)},
+		{"exec hash-join", &plan.Join{Left: r1s, Right: jrs}},
+		{"exec semijoin", &plan.SemiJoin{Left: r1s, Right: r2s}},
+		{"exec product", &plan.Product{Left: r1s, Right: plan.NewScan("pr", pr)}},
 	}
 }

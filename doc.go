@@ -124,16 +124,26 @@
 //
 // The executor is vectorized: alongside the classic tuple-at-a-time
 // Volcano surface, every scan, filter, projection, limit, rename,
-// sort, grouping, and division operator also implements a
-// batch-at-a-time surface that moves tuples in pooled, slab-allocated
-// batches (64 tuples by default), amortizing per-tuple interface
-// calls and context polls across a whole batch. The compiler selects
-// the batch path automatically for every maximal subtree whose
-// operators are all batch-capable and leaves mixed subtrees on the
-// tuple path, so no adapter cost is ever paid silently; both paths
-// produce identical results, identical Stats, and identical ordering
-// guarantees. Explain marks each operator the executor will run
-// batch-at-a-time with a [batch] annotation.
+// sort, grouping, division, join, semijoin, set, and product
+// operator also implements a batch-at-a-time surface that moves
+// tuples in pooled, slab-allocated batches (64 tuples by default),
+// amortizing per-tuple interface calls and context polls across a
+// whole batch. Blocking operators drain their build side
+// batch-at-a-time and stream their probe side batch-native, so a
+// division over a join over a union runs as one contiguous batch
+// region. The compiler selects the batch path automatically for
+// every maximal subtree whose operators are all batch-capable and
+// leaves mixed subtrees on the tuple path, so no adapter cost is
+// ever paid silently; both paths produce identical results,
+// identical Stats, and identical ordering guarantees. Explain marks
+// each operator the executor will run batch-at-a-time with a [batch]
+// annotation.
+//
+// LIMIT keeps its exact consumption discipline on the batch path: a
+// limit (or fused top-k) arms a row budget on its input, producers
+// emit partial batches sized to what the consumer still needs, and a
+// LIMIT 1 over a batched scan reads exactly one row — batching never
+// drains past what the query consumes.
 //
 // WithBatchSize tunes the batch capacity (which is also the emission
 // batch size of parallel exchange workers, so worker batches flow

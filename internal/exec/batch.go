@@ -39,15 +39,48 @@ type BatchIterator interface {
 	Schema() schema.Schema
 }
 
+// rowBudgeter is the optional row-budget hint of the batch path: a
+// bounded consumer (LimitBatch, a fused top-k) arms its child with the
+// number of rows it still needs before each NextBatch pull, and a
+// budget-aware child emits a batch no larger than that instead of
+// draining a full slab past the limit. The budget is a cap, not a
+// promise — smaller batches stay legal — and it persists until
+// re-armed, so an operator that re-pulls (a selective filter) keeps
+// its own child bounded. A hint of n <= 0 clears the budget.
+type rowBudgeter interface {
+	SetRowBudget(n int64)
+}
+
+// setRowBudget arms x with a row budget when it understands the hint;
+// budget-unaware operators are left alone (the consumer's own
+// truncation still bounds what it emits, just not what the child
+// produced).
+func setRowBudget(x any, n int64) {
+	if rb, ok := x.(rowBudgeter); ok {
+		rb.SetRowBudget(n)
+	}
+}
+
 // windowBatcher equips an operator holding (or receiving) tuple
 // slices with zero-copy batch emission: window serves consecutive
 // BatchSize-capped views over a results slice, adopt wraps a foreign
 // slice (an exchange batch) as-is. The *relation.Batch comes from the
-// shared free-list and is returned to it by release.
+// shared free-list and is returned to it by release. It also carries
+// the operator's row budget (see rowBudgeter), so every embedder is
+// budget-aware: armed windows shrink to the budget.
 type windowBatcher struct {
 	// BatchSize caps emitted windows; 0 means relation.DefaultBatchCap.
 	BatchSize int
 	wb        *relation.Batch
+	budget    int64
+}
+
+// SetRowBudget implements rowBudgeter for every embedder.
+func (w *windowBatcher) SetRowBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	w.budget = n
 }
 
 // batchCap resolves the configured window capacity.
@@ -58,13 +91,22 @@ func (w *windowBatcher) batchCap() int {
 	return relation.DefaultBatchCap
 }
 
-// window serves the next view of up to batchCap tuples of rows
+// effectiveCap is batchCap further bounded by the armed row budget.
+func (w *windowBatcher) effectiveCap() int {
+	c := w.batchCap()
+	if w.budget > 0 && w.budget < int64(c) {
+		c = int(w.budget)
+	}
+	return c
+}
+
+// window serves the next view of up to effectiveCap tuples of rows
 // starting at *pos, advancing *pos; nil when rows are exhausted.
 func (w *windowBatcher) window(rows []relation.Tuple, pos *int) *relation.Batch {
 	if *pos >= len(rows) {
 		return nil
 	}
-	end := *pos + w.batchCap()
+	end := *pos + w.effectiveCap()
 	if end > len(rows) {
 		end = len(rows)
 	}
@@ -82,10 +124,93 @@ func (w *windowBatcher) adopt(ts []relation.Tuple) *relation.Batch {
 	return w.wb
 }
 
-// release returns the batch to the free-list; called from Close.
+// outBatch returns the reusable owned output batch, reset and ready
+// for Append — the emission mode of operators that build batches
+// (joins, set ops) rather than windowing a materialized slice.
+func (w *windowBatcher) outBatch() *relation.Batch {
+	if w.wb == nil {
+		w.wb = relation.GetBatch(w.batchCap())
+	}
+	w.wb.Reset()
+	return w.wb
+}
+
+// release returns the batch to the free-list and disarms any budget;
+// called from Close.
 func (w *windowBatcher) release() {
 	relation.PutBatch(w.wb)
 	w.wb = nil
+	w.budget = 0
+}
+
+// batchFeed pulls probe-side input a batch at a time from a child
+// that may or may not expose the batch surface: batch-capable
+// children stream their own batches through (budget hint forwarded),
+// tuple-only children are accumulated into a pooled slab. It is the
+// probe-side twin of drainEvery's build-side batch upgrade, letting
+// one NextBatch implementation serve both child kinds without an
+// adapter seam.
+type batchFeed struct {
+	child Iterator
+	// size caps accumulated fallback batches; 0 means
+	// relation.DefaultBatchCap.
+	size int
+
+	bi      BatchIterator
+	checked bool
+	acc     *relation.Batch
+}
+
+// next serves the child's next non-empty tuple window, nil at end of
+// stream. budget > 0 caps the window (and is forwarded to
+// batch-capable children); the returned slice is valid only until the
+// following next call.
+func (f *batchFeed) next(budget int64) ([]relation.Tuple, error) {
+	if !f.checked {
+		f.checked = true
+		f.bi, _ = f.child.(BatchIterator)
+	}
+	if f.bi != nil {
+		setRowBudget(f.bi, budget)
+		b, err := f.bi.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		return b.Tuples(), nil
+	}
+	bound := int64(f.size)
+	if bound <= 0 {
+		bound = relation.DefaultBatchCap
+	}
+	if budget > 0 && budget < bound {
+		bound = budget
+	}
+	if f.acc == nil {
+		f.acc = relation.GetBatch(f.size)
+	}
+	f.acc.Reset()
+	for int64(f.acc.Len()) < bound {
+		t, ok, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		f.acc.Append(t)
+	}
+	if f.acc.Len() == 0 {
+		return nil, nil
+	}
+	return f.acc.Tuples(), nil
+}
+
+// release returns the fallback slab to the free-list and resets the
+// type check; called from Close.
+func (f *batchFeed) release() {
+	relation.PutBatch(f.acc)
+	f.acc = nil
+	f.bi, f.checked = nil, false
 }
 
 // ToBatch adapts a tuple-at-a-time Iterator to the batch protocol by
@@ -99,14 +224,24 @@ type ToBatch struct {
 	// relation.DefaultBatchCap.
 	BatchSize int
 
-	out  *relation.Batch
-	open bool
+	out    *relation.Batch
+	open   bool
+	budget int64
 }
 
 // OpenBatch implements BatchIterator.
 func (a *ToBatch) OpenBatch(ctx context.Context) error {
 	a.open = true
 	return a.Input.Open(ctx)
+}
+
+// SetRowBudget implements rowBudgeter: accumulation stops at the
+// budget, so the tuple-only subtree below is not over-pulled either.
+func (a *ToBatch) SetRowBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	a.budget = n
 }
 
 // NextBatch implements BatchIterator.
@@ -119,6 +254,9 @@ func (a *ToBatch) NextBatch() (*relation.Batch, error) {
 	}
 	a.out.Reset()
 	for !a.out.Full() {
+		if a.budget > 0 && int64(a.out.Len()) >= a.budget {
+			break
+		}
 		t, ok, err := a.Input.Next()
 		if err != nil {
 			return nil, err
@@ -137,6 +275,7 @@ func (a *ToBatch) NextBatch() (*relation.Batch, error) {
 // Close implements BatchIterator.
 func (a *ToBatch) Close() error {
 	a.open = false
+	a.budget = 0
 	relation.PutBatch(a.out)
 	a.out = nil
 	return a.Input.Close()
@@ -185,12 +324,22 @@ func (f *FromBatch) Next() (relation.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// SetRowBudget implements rowBudgeter: the hint bounds remainder
+// windows and flows through to the child.
+func (f *FromBatch) SetRowBudget(n int64) {
+	f.windowBatcher.SetRowBudget(n)
+	setRowBudget(f.Input, n)
+}
+
 // NextBatch implements BatchIterator: the remainder of a partially
-// consumed batch first, then the child's batches untouched.
+// consumed batch first (budget-capped windows), then the child's
+// batches untouched.
 func (f *FromBatch) NextBatch() (*relation.Batch, error) {
 	if f.pos < len(f.cur) {
-		b := f.adopt(f.cur[f.pos:])
-		f.cur, f.pos = nil, 0
+		b := f.window(f.cur, &f.pos)
+		if f.pos >= len(f.cur) {
+			f.cur, f.pos = nil, 0
+		}
 		return b, nil
 	}
 	f.cur, f.pos = nil, 0
@@ -217,14 +366,25 @@ type FilterBatch struct {
 	Pred  pred.Predicate
 	Stats *Stats
 
-	out  *relation.Batch
-	open bool
+	out    *relation.Batch
+	open   bool
+	budget int64
 }
 
 // OpenBatch implements BatchIterator.
 func (f *FilterBatch) OpenBatch(ctx context.Context) error {
 	f.open = true
 	return f.Input.OpenBatch(ctx)
+}
+
+// SetRowBudget implements rowBudgeter: each child pull is armed with
+// the hint (a filter emits at most as many rows as it reads, so the
+// child's bound is ours).
+func (f *FilterBatch) SetRowBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	f.budget = n
 }
 
 // NextBatch implements BatchIterator.
@@ -234,6 +394,7 @@ func (f *FilterBatch) NextBatch() (*relation.Batch, error) {
 	}
 	sch := f.Input.Schema()
 	for {
+		setRowBudget(f.Input, f.budget)
 		in, err := f.Input.NextBatch()
 		if err != nil {
 			return nil, err
@@ -260,6 +421,7 @@ func (f *FilterBatch) NextBatch() (*relation.Batch, error) {
 // Close implements BatchIterator.
 func (f *FilterBatch) Close() error {
 	f.open = false
+	f.budget = 0
 	relation.PutBatch(f.out)
 	f.out = nil
 	return f.Input.Close()
@@ -278,10 +440,11 @@ type ProjectBatch struct {
 	Attrs []string
 	Stats *Stats
 
-	pos  []int
-	out  schema.Schema
-	seen *relation.TupleIndex
-	ob   *relation.Batch
+	pos    []int
+	out    schema.Schema
+	seen   *relation.TupleIndex
+	ob     *relation.Batch
+	budget int64
 }
 
 // OpenBatch implements BatchIterator.
@@ -291,12 +454,22 @@ func (p *ProjectBatch) OpenBatch(ctx context.Context) error {
 	return p.Input.OpenBatch(ctx)
 }
 
+// SetRowBudget implements rowBudgeter: each child pull is armed with
+// the hint (dedup only shrinks batches, so the child's bound is ours).
+func (p *ProjectBatch) SetRowBudget(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	p.budget = n
+}
+
 // NextBatch implements BatchIterator.
 func (p *ProjectBatch) NextBatch() (*relation.Batch, error) {
 	if p.seen == nil {
 		return nil, errNotOpen("ProjectBatch")
 	}
 	for {
+		setRowBudget(p.Input, p.budget)
 		in, err := p.Input.NextBatch()
 		if err != nil {
 			return nil, err
@@ -323,6 +496,7 @@ func (p *ProjectBatch) NextBatch() (*relation.Batch, error) {
 // Close implements BatchIterator.
 func (p *ProjectBatch) Close() error {
 	p.seen = nil
+	p.budget = 0
 	relation.PutBatch(p.ob)
 	p.ob = nil
 	return p.Input.Close()
@@ -340,7 +514,11 @@ func (p *ProjectBatch) Schema() schema.Schema {
 // contract as LimitIter: the child is closed the moment the n-th
 // tuple surfaces (cancelling streaming subtrees such as parallel
 // exchanges mid-stream), the final batch is truncated to the bound,
-// and a limit of zero never opens the child at all.
+// and a limit of zero never opens the child at all. Before every pull
+// it arms the child with the remaining row budget (see rowBudgeter),
+// so a budget-aware subtree produces exactly the rows the limit still
+// needs instead of draining a full slab past it — batch-path LIMIT 1
+// reads one row, as the tuple path does.
 type LimitBatch struct {
 	Label string
 	Input BatchIterator
@@ -378,6 +556,7 @@ func (l *LimitBatch) NextBatch() (*relation.Batch, error) {
 		l.stopErr = nil
 		return nil, err
 	}
+	setRowBudget(l.Input, l.N-l.seen)
 	in, err := l.Input.NextBatch()
 	if err != nil {
 		return nil, err
@@ -433,6 +612,9 @@ type RenameBatch struct {
 
 // OpenBatch implements BatchIterator.
 func (r *RenameBatch) OpenBatch(ctx context.Context) error { return r.Input.OpenBatch(ctx) }
+
+// SetRowBudget implements rowBudgeter; the hint flows through.
+func (r *RenameBatch) SetRowBudget(n int64) { setRowBudget(r.Input, n) }
 
 // NextBatch implements BatchIterator.
 func (r *RenameBatch) NextBatch() (*relation.Batch, error) { return r.Input.NextBatch() }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"testing"
 
+	"divlaws/internal/division"
 	"divlaws/internal/hashkey"
 	"divlaws/internal/plan"
 	"divlaws/internal/pred"
@@ -92,9 +93,10 @@ func sameSeq(a, b []string) bool {
 }
 
 // equivPlans is the operator-pair matrix: one entry per physical
-// operator with a batch counterpart or batch drain, plus unbatchable
-// operators (whose compile must be unaffected by BatchForce) and
-// mixed batchable/unbatchable trees crossing the adapter boundary.
+// operator with a batch counterpart or batch drain — including the
+// probe-side operators batched in PR 7 (joins, set ops, products,
+// merge division) — plus mixed trees crossing build/probe region
+// boundaries (division over a join, set ops feeding divisions).
 func equivPlans(rng *rand.Rand) []struct {
 	name    string
 	node    plan.Node
@@ -104,8 +106,10 @@ func equivPlans(rng *rand.Rand) []struct {
 	r2 := plan.NewScan("r2", randRelation(rng, []string{"b"}, 1+rng.Intn(4), 6))
 	r2g := plan.NewScan("r2g", randRelation(rng, []string{"b", "c"}, 1+rng.Intn(8), 6))
 	u := plan.NewScan("u", randRelation(rng, []string{"a", "b"}, 5+rng.Intn(40), 6))
+	rc := plan.NewScan("rc", randRelation(rng, []string{"c"}, rng.Intn(5), 6))
 	p := pred.Compare(pred.Attr("a"), pred.Gt, pred.ConstInt(int64(rng.Intn(6))))
 	div := &plan.Divide{Dividend: r1, Divisor: r2}
+	join := &plan.Join{Left: r1, Right: r2g}
 	keysA := []plan.SortKey{{Attr: "a"}, {Attr: "b", Desc: true}}
 	return []struct {
 		name    string
@@ -132,11 +136,32 @@ func equivPlans(rng *rand.Rand) []struct {
 			Input: &plan.Project{Input: &plan.Select{Input: div, Pred: p}, Attrs: []string{"a"}},
 			N:     int64(1 + rng.Intn(6)),
 		}, false},
-		// Unbatchable roots and mixed trees: the adapter boundary.
+		// The probe-side operators batched in PR 7.
 		{"union", plan.Union(r1, u), false},
-		{"join", &plan.Join{Left: r1, Right: r2g}, false},
+		{"intersect", plan.Intersect(r1, u), false},
+		{"diff", plan.Diff(r1, u), false},
+		{"join", join, false},
+		{"join-degenerate-product", &plan.Join{Left: r2, Right: rc}, false},
+		{"product", &plan.Product{Left: r1, Right: rc}, false},
+		{"thetajoin", &plan.ThetaJoin{
+			Left: r1, Right: rc,
+			Pred: pred.Compare(pred.Attr("a"), pred.Lt, pred.Attr("c")),
+		}, false},
+		{"semijoin", &plan.SemiJoin{Left: r1, Right: r2g}, false},
+		{"antisemijoin", &plan.AntiSemiJoin{Left: r1, Right: r2g}, false},
+		{"mergedivide", &plan.Divide{Dividend: r1, Divisor: r2, Algo: division.AlgoMergeSort}, false},
+		// Mixed trees: probe pipelines feeding and fed by divisions.
+		{"divide-over-join", &plan.Divide{Dividend: join, Divisor: r2}, false},
+		{"divide-over-union", &plan.Divide{Dividend: plan.Union(r1, u), Divisor: r2}, false},
+		{"mergedivide-over-union", &plan.Divide{
+			Dividend: plan.Union(r1, u), Divisor: r2, Algo: division.AlgoMergeSort,
+		}, false},
+		{"limit-over-join", &plan.Limit{Input: join, N: int64(1 + rng.Intn(8))}, false},
 		{"filter-over-union", &plan.Select{Input: plan.Union(r1, u), Pred: p}, false},
 		{"sort-over-union", &plan.Sort{Input: plan.Union(r1, u), Keys: keysA}, true},
+		{"project-over-semijoin", &plan.Project{
+			Input: &plan.SemiJoin{Left: r1, Right: r2g}, Attrs: []string{"a"},
+		}, false},
 	}
 }
 
@@ -323,6 +348,29 @@ func TestBatchGoroutineLeaks(t *testing.T) {
 		waitGoroutines(t, baseline)
 	})
 
+	t.Run("JoinOverExchangeCloseMidStream", func(t *testing.T) {
+		// A hash join probing a batch exchange natively: Close after the
+		// first probe batch must kill the workers even though the join's
+		// feed still holds a retained exchange window.
+		baseline := runtime.NumGoroutine()
+		rng := rand.New(rand.NewSource(61))
+		join := &plan.Join{Left: node, Right: plan.NewScan("w", randRelation(rng, []string{"a", "c"}, 120, 50))}
+		b, ok := CompileWith(join, nil, opts).(BatchIterator)
+		if !ok {
+			t.Fatal("forced batch compile of join-over-parallel must be a BatchIterator")
+		}
+		if err := b.OpenBatch(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if batch, err := b.NextBatch(); err != nil || batch == nil {
+			t.Fatalf("NextBatch = (%v, %v), want a first batch of join matches", batch, err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		waitGoroutines(t, baseline)
+	})
+
 	t.Run("LimitOverBatchExchange", func(t *testing.T) {
 		// The LIMIT early-exit above a batch exchange: the limit closes
 		// the subtree after the first batch; no workers may survive,
@@ -350,5 +398,82 @@ func TestBatchGoroutineLeaks(t *testing.T) {
 			t.Fatal(err)
 		}
 		waitGoroutines(t, baseline)
+	})
+}
+
+// TestBatchLimitNoOvershoot pins the row-budget protocol: LIMIT on
+// the batch path must not drain a full slab past the limit. Before
+// PR 7, LIMIT 1 over a 64-tuple batch scan pulled all 64 rows and
+// truncated after the fact; with budgets threaded through NextBatch,
+// the child serves a partial window and stops at row N — the same
+// consumption the tuple-path LimitIter has always had.
+func TestBatchLimitNoOvershoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	scan := plan.NewScan("r", randRelation(rng, []string{"a", "b"}, 200, 50))
+
+	t.Run("LimitOneReadsOneRow", func(t *testing.T) {
+		for _, size := range []int{1, 7, 0} {
+			stats := NewStats()
+			out := drainSeq(t, CompileWith(&plan.Limit{Input: scan, N: 1}, stats,
+				CompileOptions{Batch: BatchForce, BatchSize: size}))
+			if len(out) != 1 {
+				t.Fatalf("size %d: LIMIT 1 returned %d tuples", size, len(out))
+			}
+			if n := stats.Get("root.0/scan(r)"); n != 1 {
+				t.Errorf("size %d: scan emitted %d rows under LIMIT 1, want exactly 1", size, n)
+			}
+		}
+	})
+
+	t.Run("LimitNOverScanReadsNRows", func(t *testing.T) {
+		stats := NewStats()
+		out := drainSeq(t, CompileWith(&plan.Limit{Input: scan, N: 5}, stats,
+			CompileOptions{Batch: BatchForce}))
+		if len(out) != 5 {
+			t.Fatalf("LIMIT 5 returned %d tuples", len(out))
+		}
+		if n := stats.Get("root.0/scan(r)"); n != 5 {
+			t.Errorf("scan emitted %d rows under LIMIT 5, want exactly 5", n)
+		}
+	})
+
+	t.Run("StatsMatchTuplePathUnderLimitOne", func(t *testing.T) {
+		// With a budget of 1 every window is one row, so child
+		// consumption matches the tuple path exactly — even through a
+		// selective filter, where larger budgets may legitimately
+		// overscan inside the final window.
+		p := pred.Compare(pred.Attr("a"), pred.Gt, pred.ConstInt(30))
+		node := &plan.Limit{Input: &plan.Select{Input: scan, Pred: p}, N: 1}
+		tupleStats := NewStats()
+		drainSeq(t, CompileWith(node, tupleStats, CompileOptions{Batch: BatchOff}))
+		for _, size := range []int{1, 7, 0} {
+			batchStats := NewStats()
+			drainSeq(t, CompileWith(node, batchStats, CompileOptions{Batch: BatchForce, BatchSize: size}))
+			want, got := tupleStats.Snapshot(), batchStats.Snapshot()
+			for label, n := range want {
+				if got[label] != n {
+					t.Errorf("size %d: stats[%q] = %d on the batch path, %d on the tuple path",
+						size, label, got[label], n)
+				}
+			}
+		}
+	})
+
+	t.Run("BatchDrainServesTruncatedBatch", func(t *testing.T) {
+		// The raw NextBatch surface under LIMIT 1: one single-tuple
+		// batch, then end of stream — not a truncated 64-row slab.
+		stats := NewStats()
+		b, ok := CompileWith(&plan.Limit{Input: scan, N: 1}, stats,
+			CompileOptions{Batch: BatchForce}).(BatchIterator)
+		if !ok {
+			t.Fatal("forced batch compile of a limit must be a BatchIterator")
+		}
+		out := drainBatchSeq(t, b)
+		if len(out) != 1 {
+			t.Fatalf("NextBatch drain of LIMIT 1 yielded %d tuples", len(out))
+		}
+		if n := stats.Get("root.0/scan(r)"); n != 1 {
+			t.Errorf("scan emitted %d rows under batch-drained LIMIT 1, want exactly 1", n)
+		}
 	})
 }

@@ -81,30 +81,34 @@ func CompileWith(n plan.Node, stats *Stats, opts CompileOptions) Iterator {
 }
 
 // batchCapable reports whether one plan node has a batch-native (or
-// dual-mode) physical operator. The set-algebra and join operators
-// stay tuple-only: their streaming probe phases interleave lookups
-// with emission per tuple, so batching buys nothing there yet.
+// dual-mode) physical operator. Since the probe-side operators (joins,
+// set ops, products, merge division) grew NextBatch, every plan node
+// qualifies — the switch stays explicit so a future tuple-only node
+// fails safe.
 func batchCapable(n plan.Node) bool {
-	switch t := n.(type) {
+	switch n.(type) {
 	case *plan.Scan, *plan.Select, *plan.Project, *plan.Limit, *plan.Rename,
 		*plan.GreatDivide, *plan.Sort, *plan.TopK, *plan.Group,
-		*plan.ParallelDivide, *plan.ParallelGreatDivide:
+		*plan.ParallelDivide, *plan.ParallelGreatDivide,
+		*plan.Divide, *plan.Set, *plan.Product, *plan.Join,
+		*plan.ThetaJoin, *plan.SemiJoin, *plan.AntiSemiJoin:
 		return true
-	case *plan.Divide:
-		// The merge-sort algorithm lowers to the pipelined
-		// MergeGroupDivideIter, which emits per group boundary and
-		// stays tuple-only.
-		return t.Algo != division.AlgoMergeSort
 	default:
 		return false
 	}
 }
 
 // autoBatchable reports whether compiling n on the batch path needs
-// no adapter anywhere: streaming operators require a batchable child,
-// while blocking emitters (sorts, divisions, groupings, exchanges)
-// are batch sources regardless of their children — the children are
-// drained during Open, not composed into the emitting pipeline.
+// no adapter (and no per-tuple probe accumulation) anywhere:
+// streaming operators require a batchable child, while blocking
+// emitters (sorts, divisions, groupings, exchanges) are batch sources
+// regardless of their children — the children are drained during
+// Open, not composed into the emitting pipeline. The probe-side
+// operators sit in between: their build side is an Open-time drain
+// (batch-upgraded when possible, never an adapter), but their probe
+// side streams, so they join the batch path only when the probe child
+// does. Merge-sort division is a batch source: its probe is the
+// compiler-inserted SortIter.
 func autoBatchable(n plan.Node) bool {
 	if !batchCapable(n) {
 		return false
@@ -118,6 +122,22 @@ func autoBatchable(n plan.Node) bool {
 		return autoBatchable(t.Input)
 	case *plan.Rename:
 		return autoBatchable(t.Input)
+	case *plan.Set:
+		if t.Op == plan.UnionOp {
+			// Both sides stream through a union.
+			return autoBatchable(t.Left) && autoBatchable(t.Right)
+		}
+		return autoBatchable(t.Left)
+	case *plan.Product:
+		return autoBatchable(t.Left)
+	case *plan.Join:
+		return autoBatchable(t.Left)
+	case *plan.ThetaJoin:
+		return autoBatchable(t.Left)
+	case *plan.SemiJoin:
+		return autoBatchable(t.Left)
+	case *plan.AntiSemiJoin:
+		return autoBatchable(t.Left)
 	}
 	return true
 }
@@ -157,20 +177,45 @@ func markBatch(n plan.Node, opts CompileOptions, out map[plan.Node]bool) {
 }
 
 // markBatchPipeline mirrors compileBatch: streaming operators extend
-// the pipeline through batchable children; emitters restart the
-// selection below themselves.
+// the pipeline through batchable children — for the probe-side
+// operators that is the probe (left, or both union sides) child,
+// while build children restart the selection (they are drained at
+// Open, a separate region) — and emitters restart it below
+// themselves.
 func markBatchPipeline(n plan.Node, opts CompileOptions, out map[plan.Node]bool) {
 	out[n] = true
-	switch n.(type) {
-	case *plan.Select, *plan.Project, *plan.Limit, *plan.Rename:
-		c := n.Children()[0]
-		if onBatchPath(c, opts) {
-			markBatchPipeline(c, opts, out)
+	probeThrough := func(probe plan.Node, builds ...plan.Node) {
+		if onBatchPath(probe, opts) {
+			markBatchPipeline(probe, opts, out)
 		} else {
-			// Forced mode only: a ToBatch adapter bridges to the tuple
+			// Forced mode only: the probe feed accumulates the tuple
 			// compilation of the child.
-			markBatch(c, opts, out)
+			markBatch(probe, opts, out)
 		}
+		for _, b := range builds {
+			markBatch(b, opts, out)
+		}
+	}
+	switch t := n.(type) {
+	case *plan.Select, *plan.Project, *plan.Limit, *plan.Rename:
+		probeThrough(n.Children()[0])
+	case *plan.Set:
+		if t.Op == plan.UnionOp {
+			probeThrough(t.Left)
+			probeThrough(t.Right)
+		} else {
+			probeThrough(t.Left, t.Right)
+		}
+	case *plan.Product:
+		probeThrough(t.Left, t.Right)
+	case *plan.Join:
+		probeThrough(t.Left, t.Right)
+	case *plan.ThetaJoin:
+		probeThrough(t.Left, t.Right)
+	case *plan.SemiJoin:
+		probeThrough(t.Left, t.Right)
+	case *plan.AntiSemiJoin:
+		probeThrough(t.Left, t.Right)
 	default:
 		for _, c := range n.Children() {
 			markBatch(c, opts, out)
@@ -358,56 +403,62 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 	case *plan.Set:
 		l := compile(t.Left, stats, label+".0", opts)
 		r := compile(t.Right, stats, label+".1", opts)
+		wb := windowBatcher{BatchSize: opts.BatchSize}
 		switch t.Op {
 		case plan.UnionOp:
-			return &UnionIter{Label: label + "/union", Left: l, Right: r, Stats: stats}
+			return &UnionIter{Label: label + "/union", Left: l, Right: r, Stats: stats, windowBatcher: wb}
 		case plan.IntersectOp:
-			return &HashSetOpIter{Label: label + "/intersect", Left: l, Right: r, Keep: true, Stats: stats, Every: opts.CheckEvery}
+			return &HashSetOpIter{Label: label + "/intersect", Left: l, Right: r, Keep: true, Stats: stats, Every: opts.CheckEvery, windowBatcher: wb}
 		default:
-			return &HashSetOpIter{Label: label + "/diff", Left: l, Right: r, Keep: false, Stats: stats, Every: opts.CheckEvery}
+			return &HashSetOpIter{Label: label + "/diff", Left: l, Right: r, Keep: false, Stats: stats, Every: opts.CheckEvery, windowBatcher: wb}
 		}
 	case *plan.Product:
 		return &ProductIter{
-			Label: label + "/product",
-			Left:  compile(t.Left, stats, label+".0", opts),
-			Right: compile(t.Right, stats, label+".1", opts),
-			Stats: stats,
-			Every: opts.CheckEvery,
+			Label:         label + "/product",
+			Left:          compile(t.Left, stats, label+".0", opts),
+			Right:         compile(t.Right, stats, label+".1", opts),
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.Join:
 		return &HashJoinIter{
-			Label: label + "/hashjoin",
-			Left:  compile(t.Left, stats, label+".0", opts),
-			Right: compile(t.Right, stats, label+".1", opts),
-			Stats: stats,
-			Every: opts.CheckEvery,
+			Label:         label + "/hashjoin",
+			Left:          compile(t.Left, stats, label+".0", opts),
+			Right:         compile(t.Right, stats, label+".1", opts),
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.ThetaJoin:
 		return &ThetaJoinIter{
-			Label: label + "/thetajoin",
-			Left:  compile(t.Left, stats, label+".0", opts),
-			Right: compile(t.Right, stats, label+".1", opts),
-			Pred:  t.Pred,
-			Stats: stats,
-			Every: opts.CheckEvery,
+			Label:         label + "/thetajoin",
+			Left:          compile(t.Left, stats, label+".0", opts),
+			Right:         compile(t.Right, stats, label+".1", opts),
+			Pred:          t.Pred,
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.SemiJoin:
 		return &SemiJoinIter{
-			Label: label + "/semijoin",
-			Left:  compile(t.Left, stats, label+".0", opts),
-			Right: compile(t.Right, stats, label+".1", opts),
-			Keep:  true,
-			Stats: stats,
-			Every: opts.CheckEvery,
+			Label:         label + "/semijoin",
+			Left:          compile(t.Left, stats, label+".0", opts),
+			Right:         compile(t.Right, stats, label+".1", opts),
+			Keep:          true,
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.AntiSemiJoin:
 		return &SemiJoinIter{
-			Label: label + "/antisemijoin",
-			Left:  compile(t.Left, stats, label+".0", opts),
-			Right: compile(t.Right, stats, label+".1", opts),
-			Keep:  false,
-			Stats: stats,
-			Every: opts.CheckEvery,
+			Label:         label + "/antisemijoin",
+			Left:          compile(t.Left, stats, label+".0", opts),
+			Right:         compile(t.Right, stats, label+".1", opts),
+			Keep:          false,
+			Stats:         stats,
+			Every:         opts.CheckEvery,
+			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.Divide:
 		dividend := compile(t.Dividend, stats, label+".0", opts)
@@ -418,18 +469,20 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 			split, err := division.SmallSplit(t.Dividend.Schema(), t.Divisor.Schema())
 			if err == nil {
 				sorted := &SortIter{
-					Label: label + "/sort",
-					Input: dividend,
-					ByPos: t.Dividend.Schema().Positions(split.A.Attrs()),
-					Stats: stats,
-					Every: opts.CheckEvery,
+					Label:         label + "/sort",
+					Input:         dividend,
+					ByPos:         t.Dividend.Schema().Positions(split.A.Attrs()),
+					Stats:         stats,
+					Every:         opts.CheckEvery,
+					windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 				}
 				return &MergeGroupDivideIter{
-					Label:    label + "/mergedivide",
-					Dividend: sorted,
-					Divisor:  divisor,
-					Stats:    stats,
-					Every:    opts.CheckEvery,
+					Label:         label + "/mergedivide",
+					Dividend:      sorted,
+					Divisor:       divisor,
+					Stats:         stats,
+					Every:         opts.CheckEvery,
+					windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 				}
 			}
 		}

@@ -11,7 +11,10 @@ import (
 )
 
 // ThetaJoinIter is a nested-loop join with an arbitrary predicate
-// over the concatenated schemas (which must be disjoint).
+// over the concatenated schemas (which must be disjoint). It is
+// dual-mode: NextBatch filters whole batches of the inner product
+// into a pooled output batch, the predicate evaluated per tuple but
+// all interface costs per batch.
 type ThetaJoinIter struct {
 	Label       string
 	Left, Right Iterator
@@ -20,15 +23,50 @@ type ThetaJoinIter struct {
 	// Every is the cooperative ctx-poll interval of the inner build
 	// drain, in tuples; 0 means DefaultCheckEvery.
 	Every int
+	windowBatcher
 	inner *ProductIter
 	out   schema.Schema
 }
 
 // Open implements Iterator.
 func (j *ThetaJoinIter) Open(ctx context.Context) error {
-	j.inner = &ProductIter{Label: j.Label + ".product", Left: j.Left, Right: j.Right, Stats: nil, Every: j.Every}
+	j.inner = &ProductIter{Label: j.Label + ".product", Left: j.Left, Right: j.Right, Stats: nil, Every: j.Every,
+		windowBatcher: windowBatcher{BatchSize: j.BatchSize}}
 	j.out = j.Left.Schema().Concat(j.Right.Schema())
 	return j.inner.Open(ctx)
+}
+
+// OpenBatch implements BatchIterator.
+func (j *ThetaJoinIter) OpenBatch(ctx context.Context) error { return j.Open(ctx) }
+
+// NextBatch implements BatchIterator: each inner product batch is
+// filtered through the predicate into a pooled output batch. The
+// armed row budget is re-armed on the inner product before every pull
+// (the filter only shrinks batches).
+func (j *ThetaJoinIter) NextBatch() (*relation.Batch, error) {
+	if j.inner == nil {
+		return nil, errNotOpen("ThetaJoinIter")
+	}
+	for {
+		j.inner.SetRowBudget(j.budget)
+		in, err := j.inner.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return nil, nil
+		}
+		out := j.outBatch()
+		for _, t := range in.Tuples() {
+			if j.Pred.Eval(t, j.out) {
+				out.Append(t)
+			}
+		}
+		if n := out.Len(); n > 0 {
+			j.Stats.count(j.Label, int64(n))
+			return out, nil
+		}
+	}
 }
 
 // Next implements Iterator.
@@ -51,6 +89,7 @@ func (j *ThetaJoinIter) Next() (relation.Tuple, bool, error) {
 // Close implements Iterator. It is a no-op before Open (the inner
 // product, and with it the children, only exist after Open).
 func (j *ThetaJoinIter) Close() error {
+	j.release()
 	if j.inner == nil {
 		return nil
 	}
@@ -172,7 +211,10 @@ func (h *HashDivideIter) Schema() schema.Schema {
 // attributes A and emits each qualifying quotient as soon as its
 // group ends, holding only the divisor table and the current group's
 // progress in memory. This is the operator shape that makes Law 1's
-// pipeline parallelism possible.
+// pipeline parallelism possible. It is dual-mode: NextBatch consumes
+// the sorted dividend a batch at a time, runs the same group machinery
+// over the whole batch, and emits finished quotients into a pooled
+// output batch — the group-in-progress state is shared with Next.
 type MergeGroupDivideIter struct {
 	Label             string
 	Dividend, Divisor Iterator
@@ -180,6 +222,7 @@ type MergeGroupDivideIter struct {
 	// Every is the cooperative ctx-poll interval of the divisor drain,
 	// in tuples; 0 means DefaultCheckEvery.
 	Every int
+	windowBatcher
 
 	out      schema.Schema
 	aPos     []int
@@ -192,6 +235,10 @@ type MergeGroupDivideIter struct {
 	curSeen int
 	srcDone bool
 	opened  bool
+
+	srcFeed batchFeed
+	div     []relation.Tuple
+	dPos    int
 }
 
 // Open implements Iterator.
@@ -221,7 +268,69 @@ func (m *MergeGroupDivideIter) Open(ctx context.Context) error {
 	m.curA, m.curBits, m.curSeen = nil, nil, 0
 	m.srcDone = false
 	m.opened = true
+	m.srcFeed = batchFeed{child: m.Dividend, size: m.BatchSize}
+	m.div, m.dPos = nil, 0
 	return nil
+}
+
+// OpenBatch implements BatchIterator.
+func (m *MergeGroupDivideIter) OpenBatch(ctx context.Context) error { return m.Open(ctx) }
+
+// NextBatch implements BatchIterator: the sorted dividend flows in a
+// batch at a time, the group machinery runs over whole batches, and
+// each qualifying quotient lands in a pooled output batch the moment
+// its group ends. An armed row budget bounds the output batch (the
+// dividend feed is unbounded: group sizes are unknown ahead of time).
+func (m *MergeGroupDivideIter) NextBatch() (*relation.Batch, error) {
+	if !m.opened {
+		return nil, errNotOpen("MergeGroupDivideIter")
+	}
+	out := m.outBatch()
+	bound := m.effectiveCap()
+	for out.Len() < bound {
+		if m.srcDone {
+			// Flush the final group, once.
+			if m.curA != nil {
+				q, qualifies := m.finishGroup()
+				m.curA = nil
+				if qualifies {
+					out.Append(q)
+				}
+			}
+			break
+		}
+		if m.dPos >= len(m.div) {
+			ts, err := m.srcFeed.next(0)
+			if err != nil {
+				return nil, err
+			}
+			if ts == nil {
+				m.srcDone = true
+				continue
+			}
+			m.div, m.dPos = ts, 0
+		}
+		t := m.div[m.dPos]
+		m.dPos++
+		at := t.Project(m.aPos)
+		if m.curA == nil {
+			m.startGroup(at)
+		} else if at.Compare(m.curA) != 0 {
+			q, qualifies := m.finishGroup()
+			m.startGroup(at)
+			m.absorb(t)
+			if qualifies {
+				out.Append(q)
+			}
+			continue
+		}
+		m.absorb(t)
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	m.Stats.count(m.Label, int64(out.Len()))
+	return out, nil
 }
 
 // Next implements Iterator.
@@ -297,6 +406,9 @@ func (m *MergeGroupDivideIter) finishGroup() (relation.Tuple, bool) {
 func (m *MergeGroupDivideIter) Close() error {
 	m.divisor.Reset()
 	m.opened = false
+	m.div, m.dPos = nil, 0
+	m.release()
+	m.srcFeed.release()
 	err1 := m.Dividend.Close()
 	err2 := m.Divisor.Close()
 	if err1 != nil {

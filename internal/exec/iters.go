@@ -142,20 +142,29 @@ func (p *ProjectIter) Schema() schema.Schema {
 	return p.out
 }
 
-// UnionIter streams left then right, deduplicating.
+// UnionIter streams left then right, deduplicating. It is dual-mode:
+// NextBatch dedups whole child batches into a pooled output batch
+// (batch-capable children stream their own batches through, tuple-only
+// children are accumulated), sharing the seen-set and side cursor with
+// Next.
 type UnionIter struct {
 	Label       string
 	Left, Right Iterator
 	Stats       *Stats
-	seen        *relation.TupleIndex
-	onRight     bool
-	rightPos    []int
+	windowBatcher
+	seen      *relation.TupleIndex
+	onRight   bool
+	rightPos  []int
+	leftFeed  batchFeed
+	rightFeed batchFeed
 }
 
 // Open implements Iterator.
 func (u *UnionIter) Open(ctx context.Context) error {
 	u.seen = new(relation.TupleIndex)
 	u.onRight = false
+	u.leftFeed = batchFeed{child: u.Left, size: u.BatchSize}
+	u.rightFeed = batchFeed{child: u.Right, size: u.BatchSize}
 	if !u.Left.Schema().EqualSet(u.Right.Schema()) {
 		return schemaErr("Union", u.Left.Schema(), u.Right.Schema())
 	}
@@ -164,6 +173,56 @@ func (u *UnionIter) Open(ctx context.Context) error {
 		return err
 	}
 	return u.Right.Open(ctx)
+}
+
+// OpenBatch implements BatchIterator.
+func (u *UnionIter) OpenBatch(ctx context.Context) error { return u.Open(ctx) }
+
+// NextBatch implements BatchIterator: whole child batches are probed
+// against the shared seen-set, survivors emitted into a pooled output
+// batch. The armed row budget flows to the child feeds (dedup only
+// shrinks batches, so the child's bound is ours).
+func (u *UnionIter) NextBatch() (*relation.Batch, error) {
+	if u.seen == nil {
+		return nil, errNotOpen("UnionIter")
+	}
+	for {
+		var ts []relation.Tuple
+		var err error
+		if !u.onRight {
+			ts, err = u.leftFeed.next(u.budget)
+			if err != nil {
+				return nil, err
+			}
+			if ts == nil {
+				u.onRight = true
+				continue
+			}
+		} else {
+			ts, err = u.rightFeed.next(u.budget)
+			if err != nil || ts == nil {
+				return nil, err
+			}
+		}
+		out := u.outBatch()
+		if !u.onRight {
+			for _, t := range ts {
+				if _, created := u.seen.ID(t); created {
+					out.Append(t)
+				}
+			}
+		} else {
+			for _, t := range ts {
+				if id, created := u.seen.IDProj(t, u.rightPos); created {
+					out.Append(u.seen.Key(id))
+				}
+			}
+		}
+		if n := out.Len(); n > 0 {
+			u.Stats.count(u.Label, int64(n))
+			return out, nil
+		}
+	}
 }
 
 // Next implements Iterator.
@@ -203,6 +262,9 @@ func (u *UnionIter) Next() (relation.Tuple, bool, error) {
 // Close implements Iterator.
 func (u *UnionIter) Close() error {
 	u.seen = nil
+	u.release()
+	u.leftFeed.release()
+	u.rightFeed.release()
 	err1 := u.Left.Close()
 	err2 := u.Right.Close()
 	if err1 != nil {
@@ -215,7 +277,16 @@ func (u *UnionIter) Close() error {
 func (u *UnionIter) Schema() schema.Schema { return u.Left.Schema() }
 
 // HashSetOpIter implements intersection and difference by building a
-// hash set over the right input, then streaming the left.
+// hash set over the right input, then streaming the left. It is
+// dual-mode: NextBatch probes a whole left batch against the build
+// set at once (relation.TupleIndex.LookupBatch) and emits survivors
+// into a pooled output batch, sharing the build set with Next.
+//
+// Every iterator's output is a set (the operators whose construction
+// could create duplicates — Project, Union, the divisions — dedup
+// internally), so the streamed left input is distinct and both
+// results, being subsets of it, need no output dedup — like
+// ProductIter, the emit path trusts that invariant.
 type HashSetOpIter struct {
 	Label       string
 	Left, Right Iterator
@@ -223,9 +294,11 @@ type HashSetOpIter struct {
 	Stats       *Stats
 	// Every is the cooperative ctx-poll interval of the build drain, in
 	// tuples; 0 means DefaultCheckEvery.
-	Every     int
+	Every int
+	windowBatcher
 	rightKeys *relation.TupleIndex
-	emitted   *relation.TupleIndex
+	leftFeed  batchFeed
+	ids       []int
 }
 
 // Open implements Iterator.
@@ -246,8 +319,38 @@ func (h *HashSetOpIter) Open(ctx context.Context) error {
 	}); err != nil {
 		return err
 	}
-	h.emitted = new(relation.TupleIndex)
+	h.leftFeed = batchFeed{child: h.Left, size: h.BatchSize}
 	return nil
+}
+
+// OpenBatch implements BatchIterator.
+func (h *HashSetOpIter) OpenBatch(ctx context.Context) error { return h.Open(ctx) }
+
+// NextBatch implements BatchIterator: the whole probe batch is hashed
+// against the build set in one pass, survivors emitted into a pooled
+// output batch. The armed row budget flows to the probe feed (the
+// probe phase only shrinks batches).
+func (h *HashSetOpIter) NextBatch() (*relation.Batch, error) {
+	if h.rightKeys == nil {
+		return nil, errNotOpen("HashSetOpIter")
+	}
+	for {
+		ts, err := h.leftFeed.next(h.budget)
+		if err != nil || ts == nil {
+			return nil, err
+		}
+		h.ids = h.rightKeys.LookupBatch(ts, h.ids[:0])
+		out := h.outBatch()
+		for i, t := range ts {
+			if (h.ids[i] >= 0) == h.Keep {
+				out.Append(t)
+			}
+		}
+		if n := out.Len(); n > 0 {
+			h.Stats.count(h.Label, int64(n))
+			return out, nil
+		}
+	}
 }
 
 // Next implements Iterator.
@@ -264,9 +367,6 @@ func (h *HashSetOpIter) Next() (relation.Tuple, bool, error) {
 		if hit != h.Keep {
 			continue
 		}
-		if _, created := h.emitted.ID(t); !created {
-			continue
-		}
 		h.Stats.count(h.Label, 1)
 		return t, true, nil
 	}
@@ -274,7 +374,9 @@ func (h *HashSetOpIter) Next() (relation.Tuple, bool, error) {
 
 // Close implements Iterator.
 func (h *HashSetOpIter) Close() error {
-	h.rightKeys, h.emitted = nil, nil
+	h.rightKeys, h.ids = nil, nil
+	h.release()
+	h.leftFeed.release()
 	err1 := h.Left.Close()
 	err2 := h.Right.Close()
 	if err1 != nil {
@@ -287,7 +389,11 @@ func (h *HashSetOpIter) Close() error {
 func (h *HashSetOpIter) Schema() schema.Schema { return h.Left.Schema() }
 
 // ProductIter is a blocking nested-loop Cartesian product: the right
-// input is materialized, the left streamed.
+// input is materialized, the left streamed. It is dual-mode: NextBatch
+// pulls the probe (left) side a batch at a time and fills a pooled
+// output batch with concatenations, sharing the (cur, idx) inner-loop
+// cursor with Next — an armed row budget bounds both the output batch
+// and how much probe input is pulled.
 type ProductIter struct {
 	Label       string
 	Left, Right Iterator
@@ -295,10 +401,14 @@ type ProductIter struct {
 	// Every is the cooperative ctx-poll interval of the build drain, in
 	// tuples; 0 means DefaultCheckEvery.
 	Every int
-	right []relation.Tuple
-	cur   relation.Tuple
-	idx   int
-	done  bool
+	windowBatcher
+	right    []relation.Tuple
+	cur      relation.Tuple
+	idx      int
+	done     bool
+	leftFeed batchFeed
+	probe    []relation.Tuple
+	pPos     int
 }
 
 // Open implements Iterator.
@@ -316,7 +426,60 @@ func (p *ProductIter) Open(ctx context.Context) error {
 		return err
 	}
 	p.cur, p.idx, p.done = nil, 0, false
+	p.leftFeed = batchFeed{child: p.Left, size: p.BatchSize}
+	p.probe, p.pPos = nil, 0
 	return nil
+}
+
+// OpenBatch implements BatchIterator.
+func (p *ProductIter) OpenBatch(ctx context.Context) error { return p.Open(ctx) }
+
+// NextBatch implements BatchIterator.
+func (p *ProductIter) NextBatch() (*relation.Batch, error) {
+	if p.done {
+		return nil, nil
+	}
+	if len(p.right) == 0 {
+		// Mirror Next: one probe pull decides emptiness, then done.
+		if _, err := p.leftFeed.next(1); err != nil {
+			return nil, err
+		}
+		p.done = true
+		return nil, nil
+	}
+	out := p.outBatch()
+	bound := p.effectiveCap()
+	for out.Len() < bound {
+		if p.cur == nil || p.idx >= len(p.right) {
+			if p.pPos >= len(p.probe) {
+				// The probe feed is pulled with just the rows the output
+				// still needs: every probe tuple expands by len(right).
+				var fb int64
+				if p.budget > 0 {
+					need := int64(bound - out.Len())
+					fb = (need + int64(len(p.right)) - 1) / int64(len(p.right))
+				}
+				ts, err := p.leftFeed.next(fb)
+				if err != nil {
+					return nil, err
+				}
+				if ts == nil {
+					p.done = true
+					break
+				}
+				p.probe, p.pPos = ts, 0
+			}
+			p.cur, p.idx = p.probe[p.pPos], 0
+			p.pPos++
+		}
+		out.Append(p.cur.Concat(p.right[p.idx]))
+		p.idx++
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	p.Stats.count(p.Label, int64(out.Len()))
+	return out, nil
 }
 
 // Next implements Iterator.
@@ -349,7 +512,9 @@ func (p *ProductIter) Next() (relation.Tuple, bool, error) {
 
 // Close implements Iterator.
 func (p *ProductIter) Close() error {
-	p.right = nil
+	p.right, p.probe, p.pPos = nil, nil, 0
+	p.release()
+	p.leftFeed.release()
 	err1 := p.Left.Close()
 	err2 := p.Right.Close()
 	if err1 != nil {
@@ -364,7 +529,17 @@ func (p *ProductIter) Schema() schema.Schema {
 }
 
 // HashJoinIter is a natural hash join: build on the right input's
-// common-attribute key, probe with the left.
+// common-attribute key, probe with the left. It is dual-mode: the
+// build side is drained batch-at-a-time when the child allows it, and
+// NextBatch streams whole probe batches from the left feed, probing
+// each row at its cursor advance and emitting concatenated matches
+// into a pooled output batch — the pending-match cursor is shared
+// with Next.
+//
+// The output needs no dedup: iterator outputs are sets, so left
+// tuples are distinct and each build key's extras are distinct
+// (key+extra is the whole right tuple), making every concatenation
+// distinct — the same invariant ProductIter's emit path trusts.
 type HashJoinIter struct {
 	Label       string
 	Left, Right Iterator
@@ -372,6 +547,7 @@ type HashJoinIter struct {
 	// Every is the cooperative ctx-poll interval of the build drain, in
 	// tuples; 0 means DefaultCheckEvery.
 	Every int
+	windowBatcher
 
 	out       schema.Schema
 	leftPos   []int
@@ -381,9 +557,11 @@ type HashJoinIter struct {
 	cur       relation.Tuple
 	matches   []relation.Tuple
 	mIdx      int
-	dedup     *relation.TupleIndex
 	isProduct bool
 	prod      *ProductIter
+	leftFeed  batchFeed
+	probe     []relation.Tuple
+	pPos      int
 }
 
 // Open implements Iterator.
@@ -392,7 +570,8 @@ func (j *HashJoinIter) Open(ctx context.Context) error {
 	if common.Len() == 0 {
 		// Degenerate to a product, as the logical definition does.
 		j.isProduct = true
-		j.prod = &ProductIter{Label: j.Label, Left: j.Left, Right: j.Right, Stats: j.Stats, Every: j.Every}
+		j.prod = &ProductIter{Label: j.Label, Left: j.Left, Right: j.Right, Stats: j.Stats, Every: j.Every,
+			windowBatcher: windowBatcher{BatchSize: j.BatchSize}}
 		j.out = j.Left.Schema().Concat(j.Right.Schema())
 		return j.prod.Open(ctx)
 	}
@@ -421,8 +600,78 @@ func (j *HashJoinIter) Open(ctx context.Context) error {
 		return err
 	}
 	j.cur, j.matches, j.mIdx = nil, nil, 0
-	j.dedup = new(relation.TupleIndex)
+	j.leftFeed = batchFeed{child: j.Left, size: j.BatchSize}
+	j.probe, j.pPos = nil, 0
 	return nil
+}
+
+// OpenBatch implements BatchIterator.
+func (j *HashJoinIter) OpenBatch(ctx context.Context) error { return j.Open(ctx) }
+
+// SetRowBudget implements rowBudgeter; the degenerate product carries
+// its own budget.
+func (j *HashJoinIter) SetRowBudget(n int64) {
+	j.windowBatcher.SetRowBudget(n)
+	if j.isProduct && j.prod != nil {
+		j.prod.SetRowBudget(n)
+	}
+}
+
+// NextBatch implements BatchIterator: pending matches of the current
+// probe tuple flush first, then the next probe batch streams through
+// the cursor, each row probed and its matches emitted until the
+// output batch fills. An armed row budget bounds the output batch and
+// the probe pulls.
+func (j *HashJoinIter) NextBatch() (*relation.Batch, error) {
+	if j.isProduct {
+		return j.prod.NextBatch()
+	}
+	if j.keyIx == nil {
+		return nil, errNotOpen("HashJoinIter")
+	}
+	out := j.outBatch()
+	bound := j.effectiveCap()
+	for out.Len() < bound {
+		if j.mIdx < len(j.matches) {
+			out.Append(j.cur.Concat(j.matches[j.mIdx]))
+			j.mIdx++
+			continue
+		}
+		if j.pPos >= len(j.probe) {
+			// Pull the next probe batch, row-budgeted by what the output
+			// still needs (a key can match many build rows, so this only
+			// bounds, never starves).
+			var fb int64
+			if j.budget > 0 {
+				fb = int64(bound - out.Len())
+			}
+			ts, err := j.leftFeed.next(fb)
+			if err != nil {
+				return nil, err
+			}
+			if ts == nil {
+				break
+			}
+			j.probe, j.pPos = ts, 0
+			continue
+		}
+		// Probe at the cursor advance rather than materializing an id
+		// per batch row: an id array costs a write and a re-read per
+		// row, which eats the boundary saving batching buys.
+		j.cur = j.probe[j.pPos]
+		if id := j.keyIx.LookupProj(j.cur, j.leftPos); id >= 0 {
+			j.matches = j.rows[id]
+		} else {
+			j.matches = nil
+		}
+		j.mIdx = 0
+		j.pPos++
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	j.Stats.count(j.Label, int64(out.Len()))
+	return out, nil
 }
 
 // Next implements Iterator.
@@ -450,9 +699,6 @@ func (j *HashJoinIter) Next() (relation.Tuple, bool, error) {
 		}
 		out := j.cur.Concat(j.matches[j.mIdx])
 		j.mIdx++
-		if _, created := j.dedup.ID(out); !created {
-			continue
-		}
 		j.Stats.count(j.Label, 1)
 		return out, true, nil
 	}
@@ -463,7 +709,10 @@ func (j *HashJoinIter) Close() error {
 	if j.isProduct {
 		return j.prod.Close()
 	}
-	j.keyIx, j.rows, j.dedup = nil, nil, nil
+	j.keyIx, j.rows = nil, nil
+	j.probe, j.pPos = nil, 0
+	j.release()
+	j.leftFeed.release()
 	err1 := j.Left.Close()
 	err2 := j.Right.Close()
 	if err1 != nil {
@@ -491,11 +740,14 @@ type SemiJoinIter struct {
 	Stats       *Stats
 	// Every is the cooperative ctx-poll interval of the build drain, in
 	// tuples; 0 means DefaultCheckEvery.
-	Every      int
+	Every int
+	windowBatcher
 	keys       *relation.TupleIndex
 	leftPos    []int
 	degenerate bool // no common attributes
 	rightAny   bool
+	leftFeed   batchFeed
+	ids        []int
 }
 
 // Open implements Iterator.
@@ -508,6 +760,7 @@ func (s *SemiJoinIter) Open(ctx context.Context) error {
 		return err
 	}
 	s.keys = new(relation.TupleIndex)
+	s.leftFeed = batchFeed{child: s.Left, size: s.BatchSize}
 	if common.Len() == 0 {
 		s.degenerate = true
 		_, ok, err := s.Right.Next()
@@ -523,6 +776,44 @@ func (s *SemiJoinIter) Open(ctx context.Context) error {
 	return drainEvery(ctx, s.Right, s.Every, func(t relation.Tuple) {
 		s.keys.IDProj(t, rightPos)
 	})
+}
+
+// OpenBatch implements BatchIterator.
+func (s *SemiJoinIter) OpenBatch(ctx context.Context) error { return s.Open(ctx) }
+
+// NextBatch implements BatchIterator: a whole probe batch is hashed
+// against the build keys in one pass, survivors emitted into a pooled
+// output batch. The armed row budget flows to the probe feed (a
+// semi-join only shrinks batches).
+func (s *SemiJoinIter) NextBatch() (*relation.Batch, error) {
+	if s.keys == nil {
+		return nil, errNotOpen("SemiJoinIter")
+	}
+	for {
+		ts, err := s.leftFeed.next(s.budget)
+		if err != nil || ts == nil {
+			return nil, err
+		}
+		out := s.outBatch()
+		if s.degenerate {
+			if s.rightAny == s.Keep {
+				for _, t := range ts {
+					out.Append(t)
+				}
+			}
+		} else {
+			s.ids = s.keys.LookupProjBatch(ts, s.leftPos, s.ids[:0])
+			for i, t := range ts {
+				if (s.ids[i] >= 0) == s.Keep {
+					out.Append(t)
+				}
+			}
+		}
+		if n := out.Len(); n > 0 {
+			s.Stats.count(s.Label, int64(n))
+			return out, nil
+		}
+	}
 }
 
 // Next implements Iterator.
@@ -550,7 +841,9 @@ func (s *SemiJoinIter) Next() (relation.Tuple, bool, error) {
 
 // Close implements Iterator.
 func (s *SemiJoinIter) Close() error {
-	s.keys = nil
+	s.keys, s.ids = nil, nil
+	s.release()
+	s.leftFeed.release()
 	err1 := s.Left.Close()
 	err2 := s.Right.Close()
 	if err1 != nil {

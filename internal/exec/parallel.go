@@ -90,22 +90,32 @@ func (ex *exchange) next() (t relation.Tuple, ok bool, err error) {
 // nextBatch pulls one worker batch off the exchange untouched — the
 // batch pass-through of the batch execution path: the workers' tuple
 // slices flow to the consumer without re-tuplifying. A batch
-// partially consumed by next is served as its remainder first. nil
-// tuples mark end of stream, with err reporting how the workers
-// finished.
-func (ex *exchange) nextBatch() ([]relation.Tuple, error) {
-	if ex.pos < len(ex.cur) {
-		ts := ex.cur[ex.pos:]
+// partially consumed by next is served as its remainder first. A
+// positive limit (the consumer's row budget) caps the served window,
+// keeping the rest of the worker batch as the remainder cursor — a
+// bounded consumer sees exactly the rows it asked for. nil tuples
+// mark end of stream, with err reporting how the workers finished.
+func (ex *exchange) nextBatch(limit int) ([]relation.Tuple, error) {
+	if ex.pos >= len(ex.cur) {
 		ex.cur, ex.pos = nil, 0
-		return ts, nil
+		batch, ok := <-ex.ch
+		if !ok {
+			<-ex.done
+			return nil, ex.err
+		}
+		ex.cur, ex.pos = batch, 0
 	}
-	ex.cur, ex.pos = nil, 0
-	batch, ok := <-ex.ch
-	if !ok {
-		<-ex.done
-		return nil, ex.err
+	end := len(ex.cur)
+	if limit > 0 && ex.pos+limit < end {
+		end = ex.pos + limit
 	}
-	return batch, nil
+	ts := ex.cur[ex.pos:end]
+	if end == len(ex.cur) {
+		ex.cur, ex.pos = nil, 0
+	} else {
+		ex.pos = end
+	}
+	return ts, nil
 }
 
 // stop cancels the fan-out and waits for every worker to exit, so
@@ -266,12 +276,12 @@ func (p *ParallelDivideIter) Next() (relation.Tuple, bool, error) {
 }
 
 // NextBatch implements BatchIterator: the workers' emission batches
-// flow through untouched.
+// flow through untouched, capped by any armed row budget.
 func (p *ParallelDivideIter) NextBatch() (*relation.Batch, error) {
 	if p.ex == nil {
 		return nil, errNotOpen("ParallelDivideIter")
 	}
-	ts, err := p.ex.nextBatch()
+	ts, err := p.ex.nextBatch(int(p.budget))
 	if ts == nil {
 		return nil, err
 	}
@@ -400,12 +410,12 @@ func (g *ParallelGreatDivideIter) Next() (relation.Tuple, bool, error) {
 }
 
 // NextBatch implements BatchIterator: the workers' emission batches
-// flow through untouched.
+// flow through untouched, capped by any armed row budget.
 func (g *ParallelGreatDivideIter) NextBatch() (*relation.Batch, error) {
 	if g.ex == nil {
 		return nil, errNotOpen("ParallelGreatDivideIter")
 	}
-	ts, err := g.ex.nextBatch()
+	ts, err := g.ex.nextBatch(int(g.budget))
 	if ts == nil {
 		return nil, err
 	}

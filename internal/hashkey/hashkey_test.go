@@ -19,11 +19,25 @@ func TestSum64MatchesStdlib(t *testing.T) {
 	}
 }
 
-func TestAddUint64MatchesBytes(t *testing.T) {
+func TestAddUint64Mixes(t *testing.T) {
+	// The word mixer must be deterministic, sensitive to the running
+	// state, and avalanche single-bit input differences into the low
+	// bits (the Table derives slots from them).
 	u := uint64(0x0123456789abcdef)
-	b := []byte{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef}
-	if AddUint64(New(), u) != AddBytes(New(), b) {
-		t.Error("AddUint64 does not match the big-endian byte stream")
+	if AddUint64(New(), u) != AddUint64(New(), u) {
+		t.Error("AddUint64 is not deterministic")
+	}
+	if AddUint64(New(), u) == AddUint64(AddByte(New(), 1), u) {
+		t.Error("AddUint64 ignores the running hash state")
+	}
+	const low = 0xffff
+	seen := map[uint64]uint64{}
+	for bit := 0; bit < 64; bit++ {
+		h := AddUint64(New(), uint64(1)<<bit)
+		if prev, dup := seen[h&low]; dup {
+			t.Errorf("inputs 1<<%d and %#x share low bits %#x", bit, prev, h&low)
+		}
+		seen[h&low] = uint64(1) << bit
 	}
 }
 

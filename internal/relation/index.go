@@ -1,6 +1,10 @@
 package relation
 
-import "divlaws/internal/hashkey"
+import (
+	"slices"
+
+	"divlaws/internal/hashkey"
+)
 
 // TupleIndex assigns dense integer ids (0, 1, 2, …, in first-seen
 // order) to distinct tuples — the building block behind every hash
@@ -113,10 +117,22 @@ func (ix *TupleIndex) IDProjBatch(ts []Tuple, pos []int, ids []int, created []bo
 	return ids, created
 }
 
+// LookupBatch appends the id of every tuple of ts (or -1) to ids —
+// the whole-tuple batch probe behind batch set operators. It grows
+// ids once up front and allocates nothing else.
+func (ix *TupleIndex) LookupBatch(ts []Tuple, ids []int) []int {
+	ids = slices.Grow(ids, len(ts))
+	for _, t := range ts {
+		ids = append(ids, ix.Lookup(t))
+	}
+	return ids
+}
+
 // LookupProjBatch appends the id of every projection ts[i][pos...]
 // (or -1) to ids — the batch probe behind batch hash operators. It
-// allocates nothing beyond growing ids.
+// grows ids once up front and allocates nothing else.
 func (ix *TupleIndex) LookupProjBatch(ts []Tuple, pos []int, ids []int) []int {
+	ids = slices.Grow(ids, len(ts))
 	for _, t := range ts {
 		ids = append(ids, ix.LookupProj(t, pos))
 	}

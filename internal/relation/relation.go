@@ -239,7 +239,7 @@ func (r *Relation) Contains(t Tuple) bool {
 // encoding (Tuple.Key) is present.
 func (r *Relation) ContainsKey(key string) bool {
 	var scratch [64]byte
-	p := r.seen.Probe(hashkey.Sum64String(key))
+	p := r.seen.Probe(value.HashEncodedKey(hashkey.New(), key))
 	for {
 		v, ok := p.Next()
 		if !ok {

@@ -65,6 +65,50 @@ func TestExplainSequentialHasNoPartitioning(t *testing.T) {
 	}
 }
 
+func TestExplainJoinUnderDivisionIsOneBatchRegion(t *testing.T) {
+	// PR 7 made the probe-side operators (products, joins, set ops)
+	// batch-native, so a join feeding a division no longer breaks the
+	// batch pipeline: the whole plan — join below, division above —
+	// must render as one contiguous [batch] region with no adapter
+	// boundary (i.e. no unannotated operator) anywhere in the tree.
+	db := explainDB()
+	q := `SELECT j.s#
+FROM (SELECT s1.s#, s1.p# FROM supplies AS s1, parts AS p1 WHERE s1.p# = p1.p#) AS j
+DIVIDE BY parts AS p ON j.p# = p.p#`
+	ex, err := db.Explain(q, ExplainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"Product", "Select[", "GreatDivide"} {
+		if !strings.Contains(ex.Report, op) {
+			t.Fatalf("plan lacks the expected %s operator:\n%s", op, ex.Report)
+		}
+	}
+	inPlan := false
+	for _, line := range strings.Split(ex.Report, "\n") {
+		switch {
+		case strings.HasPrefix(line, "-- logical plan --"):
+			inPlan = true
+			continue
+		case strings.TrimSpace(line) == "":
+			inPlan = false
+			continue
+		}
+		if inPlan && !strings.Contains(line, "[batch]") {
+			t.Errorf("operator outside the batch region: %s\n%s", line, ex.Report)
+		}
+	}
+
+	// The annotated plan must still return the right rows.
+	want, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.Eval(ex.Plan); !got.EquivalentTo(want) {
+		t.Errorf("explained plan returned %d rows, want %d", got.Len(), want.Len())
+	}
+}
+
 func TestExplainParallelizeOnly(t *testing.T) {
 	db := explainDB()
 	ex, err := db.Explain(explainQ1, ExplainOptions{Workers: 2, ParallelThreshold: 1})

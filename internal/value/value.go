@@ -233,13 +233,12 @@ func (v Value) AppendKey(dst []byte) []byte {
 	return dst
 }
 
-// HashKey folds v's injective AppendKey encoding into the running
-// FNV-1a hash h without materializing any bytes, so
-//
-//	HashKey(h) == hashkey.AddBytes(h, v.AppendKey(nil))
-//
-// for every value. Hash-based operators rely on this equivalence to
-// mix tuple hashing with string-keyed fallbacks.
+// HashKey folds v into the running hash h without materializing any
+// bytes: the kind tag byte-wise, 64-bit payloads word-at-a-time
+// through hashkey.AddUint64's mixer, string contents byte-wise. It
+// hashes exactly the fields AppendKey encodes, so Equal values hash
+// alike, and HashEncodedKey recomputes the identical hash from an
+// AppendKey encoding — the bridge string-keyed callers use.
 func (v Value) HashKey(h uint64) uint64 {
 	h = hashkey.AddByte(h, byte(v.kind))
 	switch v.kind {
@@ -257,6 +256,50 @@ func (v Value) HashKey(h uint64) uint64 {
 		h = hashkey.AddString(h, v.s)
 	}
 	return h
+}
+
+// HashEncodedKey folds an AppendKey-produced encoding (one value or
+// a whole tuple's concatenation) into h exactly as the corresponding
+// HashKey calls would, so a tuple's hash can be recomputed from its
+// stored string key alone. Trailing bytes that do not form a valid
+// encoding are folded byte-wise; keys produced by AppendKey never
+// have any.
+func HashEncodedKey(h uint64, key string) uint64 {
+	for len(key) > 0 {
+		kind := Kind(key[0])
+		h = hashkey.AddByte(h, key[0])
+		key = key[1:]
+		switch kind {
+		case KindNull:
+		case KindBool, KindInt, KindFloat:
+			if len(key) < 8 {
+				return hashkey.AddString(h, key)
+			}
+			h = hashkey.AddUint64(h, readUint64(key))
+			key = key[8:]
+		case KindString:
+			if len(key) < 8 {
+				return hashkey.AddString(h, key)
+			}
+			n := readUint64(key)
+			h = hashkey.AddUint64(h, n)
+			key = key[8:]
+			if uint64(len(key)) < n {
+				return hashkey.AddString(h, key)
+			}
+			h = hashkey.AddString(h, key[:n])
+			key = key[n:]
+		default:
+			return hashkey.AddString(h, key)
+		}
+	}
+	return h
+}
+
+func readUint64(s string) uint64 {
+	return uint64(s[0])<<56 | uint64(s[1])<<48 | uint64(s[2])<<40 |
+		uint64(s[3])<<32 | uint64(s[4])<<24 | uint64(s[5])<<16 |
+		uint64(s[6])<<8 | uint64(s[7])
 }
 
 func appendUint64(dst []byte, u uint64) []byte {

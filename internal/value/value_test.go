@@ -1,6 +1,8 @@
 package value
 
 import (
+	"divlaws/internal/hashkey"
+
 	"bytes"
 	"math"
 	"sort"
@@ -274,5 +276,37 @@ func TestCompareTotalOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestHashEncodedKeyMatchesHashKey(t *testing.T) {
+	vals := []Value{
+		Null, Bool(true), Bool(false), Int(0), Int(-7), Int(1 << 40),
+		Float(0), Float(-2.5), Float(math.NaN()), Float(math.Inf(1)),
+		String(""), String("ab"), String("a longer string with spaces"),
+	}
+	for _, v := range vals {
+		want := v.HashKey(hashkey.New())
+		got := HashEncodedKey(hashkey.New(), string(v.AppendKey(nil)))
+		if got != want {
+			t.Errorf("HashEncodedKey(%v) = %#x, want %#x", v, got, want)
+		}
+	}
+	// Whole-tuple concatenations must fold identically too, including
+	// with a non-initial running state.
+	for i, a := range vals {
+		b := vals[(i*7+3)%len(vals)]
+		key := string(b.AppendKey(a.AppendKey(nil)))
+		want := b.HashKey(a.HashKey(hashkey.AddByte(hashkey.New(), 42)))
+		if got := HashEncodedKey(hashkey.AddByte(hashkey.New(), 42), key); got != want {
+			t.Errorf("HashEncodedKey(%v,%v) = %#x, want %#x", a, b, got, want)
+		}
+	}
+	// Truncated encodings must not panic and must stay deterministic.
+	full := string(String("abcdef").AppendKey(Int(5).AppendKey(nil)))
+	for n := 0; n <= len(full); n++ {
+		if HashEncodedKey(hashkey.New(), full[:n]) != HashEncodedKey(hashkey.New(), full[:n]) {
+			t.Errorf("truncated key of length %d hashes nondeterministically", n)
+		}
 	}
 }
