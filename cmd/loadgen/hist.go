@@ -1,0 +1,111 @@
+package main
+
+import (
+	"math"
+	"sort"
+)
+
+// histBounds are the latency bucket upper bounds in milliseconds:
+// log-spaced (x2 per bucket) from sub-millisecond to a minute, the
+// range a query server's latencies realistically span.
+var histBounds = func() []float64 {
+	var b []float64
+	for v := 0.25; v <= 65536; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// hist is a latency recorder: log-spaced bucket counts for the
+// committed histogram plus the raw samples for exact quantiles. Not
+// safe for concurrent use — each client goroutine records into its
+// own and they are merged afterwards.
+type hist struct {
+	counts  []int64
+	samples []float64 // milliseconds
+}
+
+func newHist() *hist {
+	return &hist{counts: make([]int64, len(histBounds)+1)}
+}
+
+func (h *hist) record(ms float64) {
+	i := sort.SearchFloat64s(histBounds, ms)
+	h.counts[i]++
+	h.samples = append(h.samples, ms)
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.samples = append(h.samples, o.samples...)
+}
+
+// quantile returns the q-th (0..1) latency in ms; 0 with no samples.
+// The samples are sorted in place on first use via summarize.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// Bucket is one committed histogram bucket: count of samples with
+// latency <= LeMS (the last bucket is the overflow, LeMS = +inf
+// encoded as 0).
+type Bucket struct {
+	LeMS  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// LatencySummary is the quantile digest of one measurement cell.
+type LatencySummary struct {
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// summarize sorts the samples and produces the digest and the
+// non-empty histogram buckets.
+func (h *hist) summarize() (LatencySummary, []Bucket) {
+	sort.Float64s(h.samples)
+	var sum float64
+	for _, s := range h.samples {
+		sum += s
+	}
+	var mean float64
+	if len(h.samples) > 0 {
+		mean = sum / float64(len(h.samples))
+	}
+	s := LatencySummary{
+		P50MS:  quantile(h.samples, 0.50),
+		P95MS:  quantile(h.samples, 0.95),
+		P99MS:  quantile(h.samples, 0.99),
+		MeanMS: mean,
+	}
+	if n := len(h.samples); n > 0 {
+		s.MaxMS = h.samples[n-1]
+	}
+	var buckets []Bucket
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		le := 0.0 // overflow bucket
+		if i < len(histBounds) {
+			le = histBounds[i]
+		}
+		buckets = append(buckets, Bucket{LeMS: le, Count: c})
+	}
+	return s, buckets
+}

@@ -1,0 +1,530 @@
+// Command loadgen drives a divserve instance with concurrent clients
+// running a mixed scenario workload — full divisions, LIMIT
+// early-exits, parameterized divisor subqueries (statement-cache
+// hits), streaming top-k, and cheap scans — and records latency
+// histograms (p50/p95/p99), throughput, rejection counts, and
+// stream-integrity checks against each response's trailer.
+//
+// Two modes:
+//
+//	loadgen -url http://localhost:8080 -clients 16 -duration 5s
+//	    drive an already-running server and print one result cell.
+//
+//	loadgen -sweep -json BENCH_8.json
+//	    start in-process servers (no network flakiness, same binary)
+//	    and sweep engine workers x admission settings, emitting the
+//	    committed benchmark trajectory format. The dataset flags must
+//	    match the target server's in -url mode; in -sweep mode they
+//	    configure the in-process dataset directly.
+//
+// Every response stream is verified cheaply: the number of row lines
+// must equal the trailer's row count, ordered scenarios must carry
+// the trailer's ordered guarantee, and a stream ending in an error
+// line counts as errored — so a correctness regression shows up in
+// the load numbers, not just in unit tests.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"divlaws"
+	"divlaws/internal/datagen"
+	"divlaws/internal/server"
+)
+
+// The scenario mix. Weights are relative draw frequencies; queries
+// run against the suppliers-and-parts dataset divserve registers.
+type scenario struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+	// ordered marks scenarios whose trailer must report the
+	// physical-ordering guarantee.
+	ordered bool
+	build   func(rng *rand.Rand, colors int) server.Request
+}
+
+const qDivide = "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#"
+
+var scenarios = []scenario{
+	{Name: "divide", Weight: 3, build: func(*rand.Rand, int) server.Request {
+		return server.Request{Query: qDivide}
+	}},
+	{Name: "divide_limit", Weight: 2, build: func(*rand.Rand, int) server.Request {
+		return server.Request{Query: qDivide + " LIMIT 5"}
+	}},
+	{Name: "param_color", Weight: 3, build: func(rng *rand.Rand, colors int) server.Request {
+		return server.Request{
+			Query: "SELECT s# FROM supplies AS s DIVIDE BY (\n  SELECT p# FROM parts WHERE color = ?) AS p\nON s.p# = p.p#",
+			Args:  []any{fmt.Sprintf("color%d", rng.Intn(colors))},
+		}
+	}},
+	{Name: "topk", Weight: 1, ordered: true, build: func(*rand.Rand, int) server.Request {
+		return server.Request{Query: qDivide + " ORDER BY s# LIMIT 10"}
+	}},
+	{Name: "scan", Weight: 1, build: func(*rand.Rand, int) server.Request {
+		return server.Request{Query: "SELECT p#, color FROM parts"}
+	}},
+}
+
+// ScenarioResult is the per-scenario slice of a cell.
+type ScenarioResult struct {
+	Requests int64   `json:"requests"`
+	OK       int64   `json:"ok"`
+	Rejected int64   `json:"rejected"`
+	Errors   int64   `json:"errors"`
+	P50MS    float64 `json:"p50_ms"`
+	P99MS    float64 `json:"p99_ms"`
+}
+
+// Cell is one measurement: a (workers, admission) configuration
+// under one load shape.
+type Cell struct {
+	Workers     int `json:"workers"`
+	MaxInFlight int `json:"max_inflight"`
+	MaxQueue    int `json:"max_queue"`
+	Clients     int `json:"clients"`
+
+	DurationMS        int64   `json:"duration_ms"`
+	Requests          int64   `json:"requests"`
+	OK                int64   `json:"ok"`
+	Rejected          int64   `json:"rejected"` // 429: queue full or queue-wait timeout
+	Errors            int64   `json:"errors"`
+	IntegrityFailures int64   `json:"integrity_failures"`
+	RowsStreamed      int64   `json:"rows_streamed"`
+	ThroughputQPS     float64 `json:"throughput_qps"` // completed OK per second
+
+	Latency   LatencySummary            `json:"latency"`
+	Hist      []Bucket                  `json:"hist"`
+	Scenarios map[string]ScenarioResult `json:"scenarios"`
+
+	// ServerDelta is the change in the server's own /stats counters
+	// across the measured phase (admissions, rejections, statement
+	// cache hits/misses), when /stats was reachable.
+	ServerDelta *server.Metrics `json:"server_delta,omitempty"`
+}
+
+// Output is the committed BENCH file shape.
+type Output struct {
+	Tool   string     `json:"tool"` // "loadgen"
+	Config RunConfig  `json:"config"`
+	Mix    []scenario `json:"mix"`
+	Cells  []Cell     `json:"results"`
+}
+
+// RunConfig records the knobs a run used, for reproducibility.
+type RunConfig struct {
+	Suppliers   int   `json:"suppliers"`
+	Parts       int   `json:"parts"`
+	Colors      int   `json:"colors"`
+	AvgSupplied int   `json:"avg_supplied"`
+	Seed        int64 `json:"seed"`
+	Clients     int   `json:"clients"`
+	DurationMS  int64 `json:"duration_ms"`
+	WarmupMS    int64 `json:"warmup_ms"`
+	DeadlineMS  int64 `json:"deadline_ms"`
+}
+
+func main() {
+	var (
+		url       = flag.String("url", "", "drive an already-running divserve at this base URL (empty: use -sweep)")
+		sweep     = flag.Bool("sweep", false, "start in-process servers and sweep -sweep-workers x -admission")
+		clients   = flag.Int("clients", 16, "concurrent client goroutines")
+		duration  = flag.Duration("duration", 3*time.Second, "measured load per cell")
+		warmup    = flag.Duration("warmup", 500*time.Millisecond, "unmeasured warmup per cell")
+		requests  = flag.Int64("requests", 0, "stop each cell after this many requests (0 = duration-bound)")
+		deadline  = flag.Duration("deadline", 10*time.Second, "per-request deadline sent as deadline_ms")
+		jsonOut   = flag.String("json", "", "write results as JSON to this file ('-' = stdout)")
+		sweepWk   = flag.String("sweep-workers", "1,2,4,8", "comma-separated engine worker counts to sweep")
+		admission = flag.String("admission", "4x16,2x4,8x32", "admission settings to sweep, as inflightxqueue pairs")
+
+		// Dataset shape; must match the target server in -url mode.
+		suppliers = flag.Int("suppliers", 2000, "suppliers in the dataset")
+		parts     = flag.Int("parts", 40, "parts in the dataset")
+		colors    = flag.Int("colors", 8, "distinct colors in the dataset")
+		avg       = flag.Int("avg-supplied", 20, "mean parts supplied per supplier")
+		seed      = flag.Int64("seed", 1, "dataset generator seed")
+	)
+	flag.Parse()
+
+	cfg := RunConfig{
+		Suppliers: *suppliers, Parts: *parts, Colors: *colors,
+		AvgSupplied: *avg, Seed: *seed,
+		Clients:    *clients,
+		DurationMS: duration.Milliseconds(),
+		WarmupMS:   warmup.Milliseconds(),
+		DeadlineMS: deadline.Milliseconds(),
+	}
+
+	var cells []Cell
+	switch {
+	case *url != "":
+		cell := runCell(*url, *clients, *warmup, *duration, *requests, *deadline, *colors, *seed)
+		cells = append(cells, cell)
+	case *sweep:
+		workerList, err := parseInts(*sweepWk)
+		if err != nil {
+			log.Fatalf("loadgen: bad -sweep-workers: %v", err)
+		}
+		admList, err := parseAdmission(*admission)
+		if err != nil {
+			log.Fatalf("loadgen: bad -admission: %v", err)
+		}
+		cells = runSweep(cfg, workerList, admList, *warmup, *duration, *requests, *deadline)
+	default:
+		log.Fatal("loadgen: nothing to do; pass -url or -sweep")
+	}
+
+	out := Output{Tool: "loadgen", Config: cfg, Mix: scenarios, Cells: cells}
+	for _, c := range cells {
+		fmt.Printf("workers=%d inflight=%d queue=%d: %d req, %.0f qps ok, p50 %.2fms p95 %.2fms p99 %.2fms, %d rejected, %d errors\n",
+			c.Workers, c.MaxInFlight, c.MaxQueue, c.Requests, c.ThroughputQPS,
+			c.Latency.P50MS, c.Latency.P95MS, c.Latency.P99MS, c.Rejected, c.Errors)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatalf("loadgen: marshal: %v", err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			log.Fatalf("loadgen: write %s: %v", *jsonOut, err)
+		}
+	}
+	for _, c := range cells {
+		if c.IntegrityFailures > 0 {
+			log.Fatalf("loadgen: %d stream integrity failures", c.IntegrityFailures)
+		}
+	}
+}
+
+// runSweep measures every (workers, admission) combination against
+// an in-process server sharing this binary's dataset.
+func runSweep(cfg RunConfig, workerList []int, admList [][2]int, warmup, duration time.Duration, reqCap int64, deadline time.Duration) []Cell {
+	sup, par := datagen.SuppliersParts{
+		Suppliers: cfg.Suppliers, Parts: cfg.Parts, Colors: cfg.Colors,
+		AvgSupplied: cfg.AvgSupplied, Seed: cfg.Seed,
+	}.Generate()
+	supRel := divlaws.MustNewRelation(sup.Schema().Attrs(), sup.Rows())
+	parRel := divlaws.MustNewRelation(par.Schema().Attrs(), par.Rows())
+
+	var cells []Cell
+	for _, workers := range workerList {
+		for _, adm := range admList {
+			db := divlaws.Open(divlaws.WithWorkers(workers))
+			db.MustRegister("supplies", supRel)
+			db.MustRegister("parts", parRel)
+			srv := server.New(db, server.Config{
+				MaxInFlight: adm[0],
+				MaxQueue:    adm[1],
+			})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatalf("loadgen: listen: %v", err)
+			}
+			hs := &http.Server{Handler: srv}
+			go hs.Serve(ln)
+			url := "http://" + ln.Addr().String()
+
+			log.Printf("loadgen: cell workers=%d inflight=%d queue=%d at %s", workers, adm[0], adm[1], url)
+			cell := runCell(url, cfg.Clients, warmup, duration, reqCap, deadline, cfg.Colors, cfg.Seed)
+			cell.Workers = workers
+			cell.MaxInFlight = adm[0]
+			cell.MaxQueue = adm[1]
+
+			shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			srv.Drain(shctx)
+			hs.Shutdown(shctx)
+			cancel()
+			cells = append(cells, cell)
+		}
+	}
+	return cells
+}
+
+// runCell runs warmup then the measured phase against one server.
+func runCell(url string, clients int, warmup, duration time.Duration, reqCap int64, deadline time.Duration, colors int, seed int64) Cell {
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        clients * 2,
+		MaxIdleConnsPerHost: clients * 2,
+	}}
+	if warmup > 0 {
+		runPhase(client, url, clients, warmup, 0, deadline, colors, seed+7777)
+	}
+	before, beforeOK := fetchStats(client, url)
+	cell := runPhase(client, url, clients, duration, reqCap, deadline, colors, seed)
+	if after, afterOK := fetchStats(client, url); beforeOK && afterOK {
+		d := metricsDelta(before, after)
+		cell.ServerDelta = &d
+	}
+	client.CloseIdleConnections()
+	return cell
+}
+
+// clientStats is one goroutine's tally, merged after the phase.
+type clientStats struct {
+	hist        *hist
+	perScenario map[string]*scenarioTally
+	rows        int64
+	integrity   int64
+}
+
+type scenarioTally struct {
+	hist                   *hist
+	requests, ok, rejected int64
+	errors                 int64
+}
+
+// runPhase drives the mixed workload for d (or reqCap requests) and
+// merges the per-client tallies into one Cell.
+func runPhase(client *http.Client, url string, clients int, d time.Duration, reqCap int64, deadline time.Duration, colors int, seed int64) Cell {
+	// Weighted scenario draw table.
+	var draw []int
+	for i, sc := range scenarios {
+		for k := 0; k < sc.Weight; k++ {
+			draw = append(draw, i)
+		}
+	}
+
+	stop := time.Now().Add(d)
+	var issued atomic.Int64
+	tallies := make([]*clientStats, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		cs := &clientStats{hist: newHist(), perScenario: map[string]*scenarioTally{}}
+		for _, sc := range scenarios {
+			cs.perScenario[sc.Name] = &scenarioTally{hist: newHist()}
+		}
+		tallies[c] = cs
+		wg.Add(1)
+		go func(id int, cs *clientStats) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)*7919))
+			for time.Now().Before(stop) {
+				if reqCap > 0 && issued.Add(1) > reqCap {
+					return
+				}
+				sc := scenarios[draw[rng.Intn(len(draw))]]
+				req := sc.build(rng, colors)
+				req.DeadlineMS = deadline.Milliseconds()
+				t := cs.perScenario[sc.Name]
+				t.requests++
+				elapsed, res := doQuery(client, url, req)
+				switch res.kind {
+				case resultOK:
+					t.ok++
+					cs.rows += res.rows
+					cs.hist.record(elapsed)
+					t.hist.record(elapsed)
+					if res.rows != res.trailerRows || (sc.ordered && !res.ordered) {
+						cs.integrity++
+					}
+				case resultRejected:
+					t.rejected++
+				default:
+					t.errors++
+				}
+			}
+		}(c, cs)
+	}
+	wg.Wait()
+
+	cell := Cell{
+		Clients:    clients,
+		DurationMS: d.Milliseconds(),
+		Scenarios:  map[string]ScenarioResult{},
+	}
+	total := newHist()
+	for _, cs := range tallies {
+		total.merge(cs.hist)
+		cell.RowsStreamed += cs.rows
+		cell.IntegrityFailures += cs.integrity
+	}
+	for _, sc := range scenarios {
+		var agg scenarioTally
+		h := newHist()
+		for _, cs := range tallies {
+			t := cs.perScenario[sc.Name]
+			agg.requests += t.requests
+			agg.ok += t.ok
+			agg.rejected += t.rejected
+			agg.errors += t.errors
+			h.merge(t.hist)
+		}
+		sum, _ := h.summarize()
+		cell.Scenarios[sc.Name] = ScenarioResult{
+			Requests: agg.requests, OK: agg.ok,
+			Rejected: agg.rejected, Errors: agg.errors,
+			P50MS: sum.P50MS, P99MS: sum.P99MS,
+		}
+		cell.Requests += agg.requests
+		cell.OK += agg.ok
+		cell.Rejected += agg.rejected
+		cell.Errors += agg.errors
+	}
+	cell.Latency, cell.Hist = total.summarize()
+	if secs := d.Seconds(); secs > 0 {
+		cell.ThroughputQPS = float64(cell.OK) / secs
+	}
+	return cell
+}
+
+type resultKind int
+
+const (
+	resultOK resultKind = iota
+	resultRejected
+	resultError
+)
+
+type queryResult struct {
+	kind        resultKind
+	rows        int64
+	trailerRows int64
+	ordered     bool
+}
+
+var rowPrefix = []byte(`{"row":`)
+
+// doQuery runs one request and drains its stream, returning the
+// wall-clock latency in ms and the verified result.
+func doQuery(client *http.Client, url string, req server.Request) (float64, queryResult) {
+	body, _ := json.Marshal(req)
+	start := time.Now()
+	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return ms(start), queryResult{kind: resultError}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain the small error body so the connection is reused.
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return ms(start), queryResult{kind: resultRejected}
+		}
+		return ms(start), queryResult{kind: resultError}
+	}
+
+	res := queryResult{kind: resultError} // until a trailer proves otherwise
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.HasPrefix(line, rowPrefix) {
+			res.rows++
+			continue
+		}
+		var l server.Line
+		if err := json.Unmarshal(line, &l); err != nil {
+			return ms(start), queryResult{kind: resultError}
+		}
+		switch {
+		case l.Trailer != nil:
+			res.kind = resultOK
+			res.trailerRows = l.Trailer.Rows
+			res.ordered = l.Trailer.Ordered
+		case l.Error != "":
+			return ms(start), queryResult{kind: resultError}
+		}
+	}
+	if sc.Err() != nil {
+		return ms(start), queryResult{kind: resultError}
+	}
+	return ms(start), res
+}
+
+func ms(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+// fetchStats reads the server's /stats counters.
+func fetchStats(client *http.Client, url string) (server.Metrics, bool) {
+	var m server.Metrics
+	resp, err := client.Get(url + "/stats")
+	if err != nil {
+		return m, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return m, false
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return m, false
+	}
+	return m, true
+}
+
+// metricsDelta subtracts the monotonic counters; gauges and config
+// fields keep the after-values.
+func metricsDelta(before, after server.Metrics) server.Metrics {
+	d := after
+	d.Started -= before.Started
+	d.Completed -= before.Completed
+	d.Errored -= before.Errored
+	d.RowsSent -= before.RowsSent
+	d.Admitted -= before.Admitted
+	d.Queued -= before.Queued
+	d.Rejected -= before.Rejected
+	d.QueueTimeouts -= before.QueueTimeouts
+	d.StmtCacheHits -= before.StmtCacheHits
+	d.StmtCacheMisses -= before.StmtCacheMisses
+	d.StmtCacheEvictions -= before.StmtCacheEvictions
+	return d
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// parseAdmission parses "4x16,2x4" into {inflight, queue} pairs.
+func parseAdmission(s string) ([][2]int, error) {
+	var out [][2]int
+	for _, f := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(f), "x")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%q: want inflightxqueue", f)
+		}
+		inflight, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		queue, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, [2]int{inflight, queue})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -107,6 +107,32 @@ func Open(opts ...Option) *DB {
 	return &DB{inner: sql.NewDB(), cfg: cfg}
 }
 
+// Workers returns the configured parallelism degree: the number of
+// goroutines large divisions are partitioned across (WithWorkers).
+// 1 means sequential execution. Servers embedding a DB use this to
+// label benchmark output honestly.
+func (db *DB) Workers() int { return db.cfg.workers }
+
+// BatchSize returns the effective tuple capacity of the batches used
+// by the vectorized execution path (WithBatchSize, default
+// relation.DefaultBatchCap).
+func (db *DB) BatchSize() int {
+	if db.cfg.batchSize > 0 {
+		return db.cfg.batchSize
+	}
+	return relation.DefaultBatchCap
+}
+
+// ExchangeBuffer returns the effective bounded-channel capacity, in
+// tuple batches, between parallel division workers and the consuming
+// pipeline (WithExchangeBuffer, default exec.DefaultExchangeBuffer).
+func (db *DB) ExchangeBuffer() int {
+	if db.cfg.exchangeBuffer > 0 {
+		return db.cfg.exchangeBuffer
+	}
+	return exec.DefaultExchangeBuffer
+}
+
 // Register adds (or replaces) a named table. The relation's contents
 // are referenced, not copied; relations are immutable, so later
 // Register calls with the same name replace the table without

@@ -156,6 +156,20 @@
 // test suite batch-first; an explicit WithoutBatching still wins over
 // the environment, so oracles hold everywhere.
 //
+// # Serving
+//
+// cmd/divserve wraps an embedded database in a streaming HTTP/JSON
+// server: newline-delimited JSON responses written row-by-row off the
+// Rows cursor (never materializing the quotient), a server-side
+// prepared-statement cache over Prepare, per-request deadlines mapped
+// to the query context (so an expired deadline or a vanished client
+// cancels parallel workers mid-division), a bounded admission gate
+// that degrades bursts to queueing and fast 429s, and graceful drain
+// on SIGTERM. cmd/loadgen is its concurrent-client load harness,
+// sweeping worker counts and admission settings and recording
+// p50/p95/p99 latency (the committed BENCH_8.json). See the README's
+// Serving section for the wire protocol.
+//
 // The engine implementation lives in internal/ packages; this
 // package is the one supported embedding surface. The commands under
 // cmd/ and the programs under examples/ are runnable entry points,

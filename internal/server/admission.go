@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned by Gate.Acquire when the wait queue is
+// already full: the request is refused immediately (the fast 429)
+// instead of joining an unbounded line.
+var ErrOverloaded = errors.New("server overloaded: admission queue full")
+
+// ErrQueueWait is returned when a request was admitted to the wait
+// queue but its context expired (request deadline or the gate's
+// queue-wait cap) before an execution slot freed up.
+var ErrQueueWait = errors.New("timed out waiting for an execution slot")
+
+// Gate is the admission controller: at most maxInFlight queries
+// execute concurrently, at most maxQueue more wait for a slot, and
+// everything beyond that is rejected immediately. Under a burst of
+// heavy divisions the server therefore degrades to bounded queueing
+// — bounded memory, bounded latency — rather than admitting
+// arbitrarily many concurrent pipelines.
+type Gate struct {
+	sem       chan struct{} // execution slots; len(sem) = in-flight
+	queue     chan struct{} // wait-queue tokens; len(queue) = queued
+	queueWait time.Duration // cap on time spent queued; 0 = deadline only
+
+	admitted      atomic.Int64
+	queued        atomic.Int64
+	rejected      atomic.Int64
+	queueTimeouts atomic.Int64
+}
+
+// NewGate builds a gate with the given slot and queue bounds.
+// maxInFlight < 1 is treated as 1; maxQueue < 0 as 0 (no queueing:
+// every request past the in-flight limit is rejected outright).
+func NewGate(maxInFlight, maxQueue int, queueWait time.Duration) *Gate {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Gate{
+		sem:       make(chan struct{}, maxInFlight),
+		queue:     make(chan struct{}, maxQueue),
+		queueWait: queueWait,
+	}
+}
+
+// Acquire claims an execution slot, blocking in the bounded wait
+// queue if none is free. It returns a release function — idempotent,
+// so a defer'd release composes with an explicit early one — on
+// success. It fails fast with ErrOverloaded when the queue is full,
+// with ErrQueueWait when the gate's queue-wait cap expires first,
+// and with ctx.Err() when the caller's context does.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a slot is free right now.
+	select {
+	case g.sem <- struct{}{}:
+		g.admitted.Add(1)
+		return g.releaseFunc(), nil
+	default:
+	}
+	// Slow path: join the wait queue — if there is room.
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		g.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	g.queued.Add(1)
+	defer func() { <-g.queue }()
+
+	wait := ctx
+	if g.queueWait > 0 {
+		var cancel context.CancelFunc
+		wait, cancel = context.WithTimeout(ctx, g.queueWait)
+		defer cancel()
+	}
+	select {
+	case g.sem <- struct{}{}:
+		g.admitted.Add(1)
+		return g.releaseFunc(), nil
+	case <-wait.Done():
+		g.queueTimeouts.Add(1)
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, ErrQueueWait
+	}
+}
+
+// releaseFunc wraps the slot return in a Once so double-release is
+// harmless (it would otherwise block on — or steal from — the
+// semaphore).
+func (g *Gate) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-g.sem }) }
+}
+
+// InFlight returns the number of currently executing queries.
+func (g *Gate) InFlight() int { return len(g.sem) }
+
+// QueueDepth returns the number of requests currently waiting.
+func (g *Gate) QueueDepth() int { return len(g.queue) }
+
+// Counters returns the gate's lifetime totals: admitted, queued,
+// rejected (queue full), and queue-wait timeouts.
+func (g *Gate) Counters() (admitted, queued, rejected, queueTimeouts int64) {
+	return g.admitted.Load(), g.queued.Load(), g.rejected.Load(), g.queueTimeouts.Load()
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateFastPath(t *testing.T) {
+	g := NewGate(2, 4, 0)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+	if admitted, _, rejected, _ := g.Counters(); admitted != 2 || rejected != 0 {
+		t.Fatalf("counters = (%d admitted, %d rejected), want (2, 0)", admitted, rejected)
+	}
+}
+
+// TestGateRejectsPastQueueLimit is the fast-429 contract: with every
+// slot busy and the queue full, Acquire fails immediately instead of
+// blocking.
+func TestGateRejectsPastQueueLimit(t *testing.T) {
+	g := NewGate(1, 1, 0)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// Fill the single queue seat with a blocked waiter.
+	waiterIn := make(chan struct{})
+	waiterOut := make(chan error, 1)
+	go func() {
+		close(waiterIn)
+		r, err := g.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		waiterOut <- err
+	}()
+	<-waiterIn
+	// Wait until the waiter occupies the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.QueueDepth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Acquire past full queue = %v, want ErrOverloaded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("overload rejection took %v, want immediate", elapsed)
+	}
+	if _, _, rejected, _ := g.Counters(); rejected != 1 {
+		t.Fatalf("rejected counter = %d, want 1", rejected)
+	}
+
+	// Free the slot: the queued waiter must get it.
+	release()
+	if err := <-waiterOut; err != nil {
+		t.Fatalf("queued waiter = %v, want admission", err)
+	}
+}
+
+func TestGateQueueWaitTimeout(t *testing.T) {
+	g := NewGate(1, 4, 20*time.Millisecond)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrQueueWait) {
+		t.Fatalf("Acquire = %v, want ErrQueueWait", err)
+	}
+	if _, _, _, timeouts := g.Counters(); timeouts != 1 {
+		t.Fatalf("queueTimeouts = %d, want 1", timeouts)
+	}
+}
+
+func TestGateCtxCancelWhileQueued(t *testing.T) {
+	g := NewGate(1, 4, 0)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := g.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire = %v, want context.Canceled", err)
+	}
+	if g.QueueDepth() != 0 {
+		t.Fatalf("queue depth = %d after cancelled wait, want 0", g.QueueDepth())
+	}
+}
+
+// TestGateConcurrent churns the gate from many goroutines under the
+// race detector: the in-flight bound must hold at every instant.
+func TestGateConcurrent(t *testing.T) {
+	const slots = 3
+	g := NewGate(slots, 64, 0)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	maxSeen := 0
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				release, err := g.Acquire(context.Background())
+				if err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				mu.Lock()
+				if n := g.InFlight(); n > maxSeen {
+					maxSeen = n
+				}
+				mu.Unlock()
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen > slots {
+		t.Fatalf("observed %d in flight, bound is %d", maxSeen, slots)
+	}
+	if g.InFlight() != 0 || g.QueueDepth() != 0 {
+		t.Fatalf("gate not drained: %d in flight, %d queued", g.InFlight(), g.QueueDepth())
+	}
+}

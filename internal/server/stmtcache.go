@@ -1,0 +1,106 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"divlaws"
+)
+
+// StmtCache is the server-side prepared-statement cache: a bounded,
+// LRU-evicted map from query text to *divlaws.Stmt. Repeated queries
+// — the common shape of a server workload, where many clients send
+// the same parameterized text with different arguments — skip the
+// parse entirely.
+//
+// Evicted statements are simply dropped, never Closed: a Stmt holds
+// no resources beyond its parsed AST, and an in-flight request that
+// obtained the statement just before eviction must still be able to
+// run it. The garbage collector reclaims the AST once the last
+// reference is gone.
+type StmtCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     list.List // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	text string
+	stmt *divlaws.Stmt
+}
+
+// NewStmtCache builds a cache holding at most capacity statements.
+// capacity < 1 disables caching: every Get prepares fresh.
+func NewStmtCache(capacity int) *StmtCache {
+	return &StmtCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached statement for text, preparing and inserting
+// it on a miss. The hit return reports which path was taken. Get is
+// safe for concurrent use; a race between two misses on the same
+// text costs a redundant parse, never a wrong result (the second
+// insert finds the first and reuses it).
+func (c *StmtCache) Get(db *divlaws.DB, text string) (stmt *divlaws.Stmt, hit bool, err error) {
+	if c.cap < 1 {
+		c.misses.Add(1)
+		st, err := db.Prepare(text)
+		return st, false, err
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[text]; ok {
+		c.lru.MoveToFront(el)
+		st := el.Value.(*cacheEntry).stmt
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return st, true, nil
+	}
+	c.mu.Unlock()
+
+	// Parse outside the lock so a slow parse never serializes the
+	// hit path of other queries.
+	c.misses.Add(1)
+	st, err := db.Prepare(text)
+	if err != nil {
+		return nil, false, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[text]; ok {
+		// A concurrent miss beat us to the insert; reuse its entry.
+		c.lru.MoveToFront(el)
+		return el.Value.(*cacheEntry).stmt, false, nil
+	}
+	c.entries[text] = c.lru.PushFront(&cacheEntry{text: text, stmt: st})
+	for len(c.entries) > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).text)
+		c.evictions.Add(1)
+	}
+	return st, false, nil
+}
+
+// Len returns the number of cached statements.
+func (c *StmtCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Cap returns the cache's capacity.
+func (c *StmtCache) Cap() int { return c.cap }
+
+// Counters returns lifetime hit, miss, and eviction totals.
+func (c *StmtCache) Counters() (hits, misses, evictions int64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
+}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"divlaws"
+)
+
+func cacheDB() *divlaws.DB {
+	db := divlaws.Open()
+	db.MustRegister("parts", divlaws.MustNewRelation(
+		[]string{"p#", "color"},
+		[][]any{{"p1", "red"}, {"p2", "blue"}}))
+	return db
+}
+
+func TestStmtCacheHitMiss(t *testing.T) {
+	db := cacheDB()
+	c := NewStmtCache(4)
+	const q = "SELECT p# FROM parts"
+	st1, hit, err := c.Get(db, q)
+	if err != nil || hit {
+		t.Fatalf("first Get = (hit=%t, %v), want miss", hit, err)
+	}
+	st2, hit, err := c.Get(db, q)
+	if err != nil || !hit {
+		t.Fatalf("second Get = (hit=%t, %v), want hit", hit, err)
+	}
+	if st1 != st2 {
+		t.Fatal("hit returned a different statement")
+	}
+	if hits, misses, _ := c.Counters(); hits != 1 || misses != 1 {
+		t.Fatalf("counters = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+}
+
+func TestStmtCacheParseErrorNotCached(t *testing.T) {
+	db := cacheDB()
+	c := NewStmtCache(4)
+	for i := 0; i < 2; i++ {
+		if _, hit, err := c.Get(db, "SELECT FROM nothing WHERE"); err == nil || hit {
+			t.Fatalf("Get #%d on bad SQL = (hit=%t, err=%v), want miss+error", i, hit, err)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("bad SQL cached: len = %d", c.Len())
+	}
+}
+
+// TestStmtCacheLRUEviction fills the cache past capacity and checks
+// that the least recently used entry — not the most recent — is the
+// one evicted.
+func TestStmtCacheLRUEviction(t *testing.T) {
+	db := cacheDB()
+	c := NewStmtCache(2)
+	qa := "SELECT p# FROM parts"
+	qb := "SELECT color FROM parts"
+	qc := "SELECT p#, color FROM parts"
+	c.Get(db, qa)
+	c.Get(db, qb)
+	c.Get(db, qa) // refresh qa: qb is now LRU
+	c.Get(db, qc) // evicts qb
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, hit, _ := c.Get(db, qa); !hit {
+		t.Error("qa evicted despite being recently used")
+	}
+	if _, hit, _ := c.Get(db, qc); !hit {
+		t.Error("qc evicted despite being newest")
+	}
+	if _, hit, _ := c.Get(db, qb); hit {
+		t.Error("qb not evicted despite being LRU")
+	}
+	if _, _, evictions := c.Counters(); evictions != 2 {
+		// qc's insert evicted qb; qb's re-insert evicted qa or qc.
+		t.Fatalf("evictions = %d, want 2", evictions)
+	}
+}
+
+// TestStmtCacheEvictedStmtStillRuns pins the no-Close eviction
+// policy: a request that got its statement just before eviction must
+// still be able to execute it.
+func TestStmtCacheEvictedStmtStillRuns(t *testing.T) {
+	db := cacheDB()
+	c := NewStmtCache(1)
+	st, _, err := c.Get(db, "SELECT p# FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(db, "SELECT color FROM parts"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, evictions := c.Counters(); evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", evictions)
+	}
+	rows, err := st.Query(context.Background())
+	if err != nil {
+		t.Fatalf("evicted statement no longer runs: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if n != 2 {
+		t.Fatalf("evicted statement streamed %d rows, want 2", n)
+	}
+}
+
+func TestStmtCacheDisabled(t *testing.T) {
+	db := cacheDB()
+	c := NewStmtCache(0)
+	for i := 0; i < 3; i++ {
+		if _, hit, err := c.Get(db, "SELECT p# FROM parts"); err != nil || hit {
+			t.Fatalf("disabled cache Get = (hit=%t, %v), want fresh miss", hit, err)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("disabled cache holds %d entries", c.Len())
+	}
+}
+
+// TestStmtCacheConcurrent hammers hits, misses, and evictions from
+// many goroutines under -race; every Get must return a runnable
+// statement for its own text.
+func TestStmtCacheConcurrent(t *testing.T) {
+	db := cacheDB()
+	c := NewStmtCache(4) // smaller than the working set: constant eviction
+	texts := make([]string, 8)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("SELECT p# FROM parts WHERE color = 'c%d'", i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				text := texts[(g+j)%len(texts)]
+				st, _, err := c.Get(db, text)
+				if err != nil {
+					t.Errorf("Get(%q): %v", text, err)
+					return
+				}
+				if st.Text() != text {
+					t.Errorf("Get(%q) returned statement for %q", text, st.Text())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 4 {
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+	hits, misses, evictions := c.Counters()
+	if hits+misses != 16*50 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 16*50)
+	}
+	if evictions == 0 {
+		t.Fatal("expected evictions with working set > capacity")
+	}
+}
