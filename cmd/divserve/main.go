@@ -58,6 +58,7 @@ func main() {
 		batchSize = flag.Int("batch-size", 0, "vectorized batch capacity in tuples; 0 = engine default (divlaws.WithBatchSize)")
 		exchange  = flag.Int("exchange-buffer", 0, "parallel exchange channel capacity in batches; 0 = engine default (divlaws.WithExchangeBuffer)")
 		noBatch   = flag.Bool("no-batch", false, "disable the vectorized batch path (divlaws.WithoutBatching)")
+		memLimit  = flag.Int64("memory-limit", 0, "per-query memory budget in bytes; blocking operators spill to temp files past it, 0 = unlimited (divlaws.WithMemoryLimit)")
 
 		// Admission / memory limits: at most max-inflight pipelines
 		// hold live hash tables at once, at most max-queue requests
@@ -99,6 +100,9 @@ func main() {
 	}
 	if *noBatch {
 		opts = append(opts, divlaws.WithoutBatching())
+	}
+	if *memLimit > 0 {
+		opts = append(opts, divlaws.WithMemoryLimit(*memLimit))
 	}
 	db := divlaws.Open(opts...)
 

@@ -15,6 +15,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ import (
 	"divlaws/internal/relation"
 	"divlaws/internal/scenarios"
 	"divlaws/internal/schema"
+	"divlaws/internal/spill"
 	"divlaws/internal/value"
 )
 
@@ -45,14 +47,20 @@ type result struct {
 	BytesPerOp  int64   `json:"bytes_op"`
 	Rows        int     `json:"rows"`
 	Speedup     float64 `json:"speedup,omitempty"` // lhs/rhs, on the rhs entry
+	// SpilledBytes reports the out-of-core volume of a "spill" side.
+	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
+	// Error is set on "rejected" sides: the typed refusal of a budget
+	// smaller than the query's irreducible state.
+	Error string `json:"error,omitempty"`
 }
 
 type report struct {
-	Tool    string   `json:"tool"`
-	Scale   int      `json:"scale"`
-	Workers int      `json:"workers"`
-	Reps    int      `json:"reps"`
-	Results []result `json:"results"`
+	Tool        string   `json:"tool"`
+	Scale       int      `json:"scale"`
+	Workers     int      `json:"workers"`
+	Reps        int      `json:"reps"`
+	MemoryLimit int64    `json:"memory_limit,omitempty"`
+	Results     []result `json:"results"`
 }
 
 func main() {
@@ -63,6 +71,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		workers  = flag.Int("workers", 1, "parallelize divisions in both plan sides across this many goroutines")
 		execSw   = flag.Bool("exec", true, "append the paired tuple-vs-batch sweep over the streaming engine's operator classes")
+		spillSw  = flag.Bool("spill", true, "append the in-memory vs out-of-core sweep over the blocking operator classes")
+		memLimit = flag.Int64("memory-limit", 64<<10, "memory budget in bytes for the spill sweep's out-of-core side")
 		jsonDest = flag.String("json", "", `emit machine-readable results to this file ("-" for stdout) instead of the table`)
 	)
 	flag.Parse()
@@ -135,6 +145,43 @@ func main() {
 				fmt.Printf("%-20s %12v %12v %7.2fx  %d\n",
 					c.name, tup.best.Round(time.Microsecond), bat.best.Round(time.Microsecond),
 					speedup, tup.rows)
+			}
+		}
+	}
+
+	if *spillSw && *law == "" && *memLimit > 0 {
+		rep.MemoryLimit = *memLimit
+		if *jsonDest == "" {
+			fmt.Printf("\n%-20s %12s %12s %8s %10s  %s\n",
+				"blocking operator", "in-memory", "spilling", "slowdown", "spilled", "result-rows")
+		}
+		for _, c := range spillClasses(*scale, *seed) {
+			mem, spl, spilled := measureSpillPair(c.name, c.node, *reps, *memLimit)
+			if mem.rows != spl.rows {
+				fmt.Fprintf(os.Stderr, "%s: SPILL PATH CHANGED RESULT (%d vs %d rows)\n", c.name, mem.rows, spl.rows)
+				os.Exit(1)
+			}
+			slowdown := float64(spl.best) / float64(mem.best)
+			rep.Results = append(rep.Results,
+				result{Scenario: c.name, Side: "memory", Scale: *scale, Workers: *workers,
+					NsPerOp: mem.best.Nanoseconds(), AllocsPerOp: mem.allocs, BytesPerOp: mem.bytes, Rows: mem.rows},
+				result{Scenario: c.name, Side: "spill", Scale: *scale, Workers: *workers,
+					NsPerOp: spl.best.Nanoseconds(), AllocsPerOp: spl.allocs, BytesPerOp: spl.bytes, Rows: spl.rows,
+					Speedup: slowdown, SpilledBytes: spilled})
+			if *jsonDest == "" {
+				fmt.Printf("%-20s %12v %12v %7.2fx %9dK  %d\n",
+					c.name, mem.best.Round(time.Microsecond), spl.best.Round(time.Microsecond),
+					slowdown, spilled>>10, mem.rows)
+			}
+		}
+		// One budget-rejected probe: a budget below the divisor's own
+		// footprint cannot be saved by spilling; the engine must refuse
+		// with the typed budget error, not crash or loop.
+		if rej := rejectedProbe(*scale, *seed); rej != "" {
+			rep.Results = append(rep.Results,
+				result{Scenario: "spill divide", Side: "rejected", Scale: *scale, Workers: *workers, Error: rej})
+			if *jsonDest == "" {
+				fmt.Printf("%-20s %12s: %s\n", "spill divide", "rejected", rej)
 			}
 		}
 	}
@@ -245,6 +292,134 @@ func measureExecPair(n plan.Node, reps int) (tup, bat measurement) {
 	bat.allocs /= int64(reps)
 	bat.bytes /= int64(reps)
 	return tup, bat
+}
+
+// measureSpillPair times one blocking-operator plan with an unlimited
+// budget against the same plan under budget bytes, paired per rep so
+// machine drift hits both sides equally. A final instrumented drain
+// reports how many bytes the budgeted side spilled; zero means the
+// budget never forced the operator out of core and the pair is not
+// measuring what it claims, so that is reported for the caller's
+// sanity check rather than silently dropped.
+func measureSpillPair(name string, n plan.Node, reps int, budget int64) (mem, spl measurement, spilled int64) {
+	memOpts := exec.CompileOptions{MemoryLimit: -1}
+	splOpts := exec.CompileOptions{MemoryLimit: budget}
+	drain := func(opts exec.CompileOptions) int64 {
+		rows, err := exec.Drain(context.Background(), exec.CompileWith(n, nil, opts))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		return rows
+	}
+	start := time.Now()
+	drain(memOpts)
+	drain(splOpts)
+	warm := time.Since(start) / 2
+	iters := int(5 * time.Millisecond / (warm + 1))
+	if iters < 1 {
+		iters = 1
+	}
+	round := func(opts exec.CompileOptions, m *measurement) {
+		var rows int64
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for j := 0; j < iters; j++ {
+			rows = drain(opts)
+		}
+		d := time.Since(start) / time.Duration(iters)
+		runtime.ReadMemStats(&ms1)
+		if d < m.best {
+			m.best = d
+		}
+		m.allocs += int64(ms1.Mallocs-ms0.Mallocs) / int64(iters)
+		m.bytes += int64(ms1.TotalAlloc-ms0.TotalAlloc) / int64(iters)
+		m.rows = int(rows)
+	}
+	mem = measurement{best: time.Duration(1<<62 - 1)}
+	spl = measurement{best: time.Duration(1<<62 - 1)}
+	for i := 0; i < reps; i++ {
+		round(memOpts, &mem)
+		round(splOpts, &spl)
+	}
+	mem.allocs /= int64(reps)
+	mem.bytes /= int64(reps)
+	spl.allocs /= int64(reps)
+	spl.bytes /= int64(reps)
+
+	tr := spill.NewTracker(budget)
+	drain(exec.CompileOptions{MemoryLimit: budget, Spill: tr})
+	spilled = tr.Snapshot().Spilled
+	tr.Close()
+	return mem, spl, spilled
+}
+
+// spillClasses builds one workload per blocking operator class whose
+// working set at the default scale is several times the default
+// sweep budget: external sort, the two grace-hash divisions, the
+// grace-hash join, and the budgeted parallel exchange.
+func spillClasses(scale int, seed int64) []struct {
+	name string
+	node plan.Node
+} {
+	groups := scale / 5
+	if groups < 10 {
+		groups = 10
+	}
+	r1, r2 := datagen.DividePair{
+		Groups: groups, GroupSize: 4, DivisorSize: 4,
+		Domain: 40, HitRate: 0.9, Seed: seed,
+	}.Generate()
+	g1, g2 := datagen.GreatDividePair{
+		Groups: groups, GroupSize: 4, DivisorGroups: 4, DivisorGroupSize: 4,
+		Domain: 40, HitRate: 0.9, Seed: seed,
+	}.Generate()
+	r1s := plan.NewScan("r1", r1)
+	r2s := plan.NewScan("r2", r2)
+	// Join build side: one unique b per row, far larger than the sweep
+	// budget, so the join graces while each probe row matches at most
+	// once and the output stays comparable to the input.
+	jr := relation.New(schema.New("b", "c"))
+	for i := 0; i < groups; i++ {
+		jr.Insert(relation.Tuple{value.Int(int64(i)), value.Int(int64(i % 7))})
+	}
+	jrs := plan.NewScan("jr", jr)
+	return []struct {
+		name string
+		node plan.Node
+	}{
+		{"spill sort", &plan.Sort{Input: r1s, Keys: []plan.SortKey{{Attr: "b"}, {Attr: "a", Desc: true}}}},
+		{"spill divide", &plan.Divide{Dividend: r1s, Divisor: r2s}},
+		{"spill great-divide", &plan.GreatDivide{Dividend: plan.NewScan("g1", g1), Divisor: plan.NewScan("g2", g2)}},
+		{"spill hash-join", &plan.Join{Left: r1s, Right: jrs}},
+		{"spill parallel-divide", &plan.ParallelDivide{Dividend: r1s, Divisor: r2s, Workers: 4}},
+	}
+}
+
+// rejectedProbe runs a division under a budget smaller than its
+// divisor's footprint and returns the typed error message the engine
+// refused with; an empty return means the probe unexpectedly ran.
+func rejectedProbe(scale int, seed int64) string {
+	groups := scale / 5
+	if groups < 10 {
+		groups = 10
+	}
+	r1, r2 := datagen.DividePair{
+		Groups: groups, GroupSize: 4, DivisorSize: 4,
+		Domain: 40, HitRate: 0.9, Seed: seed,
+	}.Generate()
+	node := &plan.Divide{Dividend: plan.NewScan("r1", r1), Divisor: plan.NewScan("r2", r2)}
+	_, err := exec.Drain(context.Background(), exec.CompileWith(node, nil, exec.CompileOptions{MemoryLimit: 64}))
+	if err == nil {
+		fmt.Fprintln(os.Stderr, "spill divide: 64-byte budget unexpectedly succeeded")
+		os.Exit(1)
+	}
+	if !errors.Is(err, spill.ErrBudget) {
+		fmt.Fprintf(os.Stderr, "spill divide: want a typed budget error, got: %v\n", err)
+		os.Exit(1)
+	}
+	return err.Error()
 }
 
 // execClasses builds one paired workload per streaming operator

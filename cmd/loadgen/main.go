@@ -81,6 +81,20 @@ var scenarios = []scenario{
 	}},
 }
 
+// bigSort is the adversarial out-of-core scenario (-big-sort): a full
+// ORDER BY over the widest relation with no LIMIT, so the blocking
+// sort must buffer the entire table. Against a server running with a
+// per-query memory budget this forces every request to spill; the
+// point of the measurement is that the server survives a concurrent
+// barrage of them — complete ordered streams or typed refusals, never
+// a dead process.
+var bigSort = scenario{
+	Name: "big_sort", Weight: 3, ordered: true,
+	build: func(*rand.Rand, int) server.Request {
+		return server.Request{Query: "SELECT s#, p# FROM supplies ORDER BY p#, s#"}
+	},
+}
+
 // ScenarioResult is the per-scenario slice of a cell.
 type ScenarioResult struct {
 	Requests int64   `json:"requests"`
@@ -137,6 +151,7 @@ type RunConfig struct {
 	DurationMS  int64 `json:"duration_ms"`
 	WarmupMS    int64 `json:"warmup_ms"`
 	DeadlineMS  int64 `json:"deadline_ms"`
+	MemoryLimit int64 `json:"memory_limit,omitempty"`
 }
 
 func main() {
@@ -151,6 +166,8 @@ func main() {
 		jsonOut   = flag.String("json", "", "write results as JSON to this file ('-' = stdout)")
 		sweepWk   = flag.String("sweep-workers", "1,2,4,8", "comma-separated engine worker counts to sweep")
 		admission = flag.String("admission", "4x16,2x4,8x32", "admission settings to sweep, as inflightxqueue pairs")
+		memLimit  = flag.Int64("memory-limit", 0, "per-query memory budget for -sweep servers, in bytes (0 = unlimited)")
+		bigSorts  = flag.Bool("big-sort", false, "add the adversarial full-table ORDER BY scenario to the mix")
 
 		// Dataset shape; must match the target server in -url mode.
 		suppliers = flag.Int("suppliers", 2000, "suppliers in the dataset")
@@ -161,13 +178,17 @@ func main() {
 	)
 	flag.Parse()
 
+	if *bigSorts {
+		scenarios = append(scenarios, bigSort)
+	}
 	cfg := RunConfig{
 		Suppliers: *suppliers, Parts: *parts, Colors: *colors,
 		AvgSupplied: *avg, Seed: *seed,
-		Clients:    *clients,
-		DurationMS: duration.Milliseconds(),
-		WarmupMS:   warmup.Milliseconds(),
-		DeadlineMS: deadline.Milliseconds(),
+		Clients:     *clients,
+		DurationMS:  duration.Milliseconds(),
+		WarmupMS:    warmup.Milliseconds(),
+		DeadlineMS:  deadline.Milliseconds(),
+		MemoryLimit: *memLimit,
 	}
 
 	var cells []Cell
@@ -227,7 +248,11 @@ func runSweep(cfg RunConfig, workerList []int, admList [][2]int, warmup, duratio
 	var cells []Cell
 	for _, workers := range workerList {
 		for _, adm := range admList {
-			db := divlaws.Open(divlaws.WithWorkers(workers))
+			opts := []divlaws.Option{divlaws.WithWorkers(workers)}
+			if cfg.MemoryLimit > 0 {
+				opts = append(opts, divlaws.WithMemoryLimit(cfg.MemoryLimit))
+			}
+			db := divlaws.Open(opts...)
 			db.MustRegister("supplies", supRel)
 			db.MustRegister("parts", parRel)
 			srv := server.New(db, server.Config{
@@ -487,6 +512,10 @@ func metricsDelta(before, after server.Metrics) server.Metrics {
 	d.StmtCacheHits -= before.StmtCacheHits
 	d.StmtCacheMisses -= before.StmtCacheMisses
 	d.StmtCacheEvictions -= before.StmtCacheEvictions
+	d.BytesSpilled -= before.BytesSpilled
+	d.SpillRuns -= before.SpillRuns
+	d.SpillPartitions -= before.SpillPartitions
+	d.BudgetErrors -= before.BudgetErrors
 	return d
 }
 

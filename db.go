@@ -11,9 +11,23 @@ import (
 	"divlaws/internal/plan"
 	"divlaws/internal/relation"
 	"divlaws/internal/schema"
+	"divlaws/internal/spill"
 	"divlaws/internal/sql"
 	"divlaws/internal/value"
 )
+
+// ErrMemoryBudget is the sentinel wrapped by every failure caused by
+// a query exceeding its memory budget after all spilling recourse is
+// exhausted — for example a single key group or the divisor alone
+// outgrowing the limit. Match with errors.Is. Queries that merely
+// exceed the budget in passing spill to disk and succeed; this error
+// means the query genuinely cannot run under the configured limit.
+var ErrMemoryBudget = spill.ErrBudget
+
+// ErrSpillIO is the sentinel wrapped by spill temp-file read/write
+// failures (disk full, permissions). Match with errors.Is. It
+// surfaces as a query error through Rows.Err, never a panic.
+var ErrSpillIO = spill.ErrIO
 
 // config is the tunable behavior of a DB, set once at Open.
 type config struct {
@@ -25,6 +39,7 @@ type config struct {
 	exchangeBuffer int
 	batchSize      int
 	batch          exec.BatchMode
+	memoryLimit    int64
 }
 
 // Option configures a DB at Open time.
@@ -62,6 +77,31 @@ func WithBatchSize(n int) Option { return func(c *config) { c.batchSize = n } }
 // correctness oracle and benchmarking baseline; it also overrides the
 // DIVLAWS_FORCE_BATCH environment variable.
 func WithoutBatching() Option { return func(c *config) { c.batch = exec.BatchOff } }
+
+// WithMemoryLimit bounds, per query, the bytes of input state the
+// blocking operators may hold live in memory. Under pressure the
+// engine degrades to out-of-core execution instead of failing: sorts
+// spill sorted runs to temp files and k-way merge them back, and the
+// hash division and hash join operators grace-hash partition their
+// state to disk and recurse per partition. Results are identical to
+// unlimited execution (including ORDER BY output order). A query
+// whose irreducible state — the divisor, or a single key group after
+// maximal partitioning — cannot fit returns an error matching
+// ErrMemoryBudget rather than exhausting the process.
+//
+// n <= 0 leaves the budget unlimited (the default), except that 0
+// defers to the DIVLAWS_FORCE_SPILL environment variable (a byte
+// budget, or 64KiB for any other non-empty value) while a negative n
+// is explicitly unlimited, overriding the environment.
+func WithMemoryLimit(n int64) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.memoryLimit = n
+		} else if n < 0 {
+			c.memoryLimit = -1
+		}
+	}
+}
 
 // WithoutOptimizer disables the law-based rewrite pass, executing
 // the bound plan as written.
@@ -131,6 +171,14 @@ func (db *DB) ExchangeBuffer() int {
 		return db.cfg.exchangeBuffer
 	}
 	return exec.DefaultExchangeBuffer
+}
+
+// MemoryLimit returns the per-query memory budget in bytes
+// (WithMemoryLimit): the effective value after resolving the
+// DIVLAWS_FORCE_SPILL environment override, 0 meaning unlimited.
+// Servers embedding a DB use this to report the engine's budget.
+func (db *DB) MemoryLimit() int64 {
+	return exec.CompileOptions{MemoryLimit: db.cfg.memoryLimit}.EffectiveMemoryLimit()
 }
 
 // Register adds (or replaces) a named table. The relation's contents
@@ -260,14 +308,23 @@ func (db *DB) queryParsed(ctx context.Context, q *sql.Query, args []any) (*Rows,
 		return nil, err
 	}
 	stats := exec.NewStats()
-	it := exec.CompileWith(node, stats, exec.CompileOptions{
+	opts := exec.CompileOptions{
 		ExchangeBuffer: db.cfg.exchangeBuffer,
 		BatchSize:      db.cfg.batchSize,
 		Batch:          db.cfg.batch,
-	})
+		MemoryLimit:    db.cfg.memoryLimit,
+	}
+	// Build the tracker here rather than letting CompileWith own one,
+	// so Rows can report spill counters after the pipeline closes; the
+	// cursor closes it (removing any temp files) on release.
+	if lim := opts.EffectiveMemoryLimit(); lim > 0 {
+		opts.Spill = spill.NewTracker(lim)
+	}
+	it := exec.CompileWith(node, stats, opts)
 	qctx, cancel := context.WithCancel(ctx)
 	if err := it.Open(qctx); err != nil {
 		it.Close()
+		opts.Spill.Close()
 		cancel()
 		return nil, err
 	}
@@ -277,6 +334,7 @@ func (db *DB) queryParsed(ctx context.Context, q *sql.Query, args []any) (*Rows,
 		cancel:  cancel,
 		cols:    outputColumns(node.Schema()),
 		stats:   stats,
+		spill:   opts.Spill,
 		ordered: planOrdered(node),
 	}, nil
 }

@@ -156,6 +156,44 @@
 // test suite batch-first; an explicit WithoutBatching still wins over
 // the environment, so oracles hold everywhere.
 //
+// # Memory budgets and out-of-core execution
+//
+// WithMemoryLimit caps, per query, the bytes of input state the
+// blocking operators may hold live: the sort buffer, the hash
+// division states, the hash join's build side, and the inputs a
+// parallel exchange materializes. Streaming operators hold O(1) and
+// top-k holds O(k); neither is charged. Under pressure the engine
+// degrades to disk instead of failing: a sort past its budget spills
+// sorted runs to temp files and k-way merges them back (tie-broken by
+// the engine's canonical tuple order, so ORDER BY output is identical
+// to in-memory execution), and the hash division and join operators
+// grace-hash partition their inputs to temp files and recurse per
+// partition, re-partitioning any partition that still exceeds the
+// budget on a fresh hash split. A parallel division under a budget
+// streams its partitioned input while charging it, and falls back to
+// the sequential grace path if even the partition buffers exceed the
+// limit.
+//
+// Results are always identical to unlimited execution. A query whose
+// irreducible state — the divisor, or a single key group after
+// maximal recursive partitioning — cannot fit returns an error
+// matching ErrMemoryBudget; a temp-file failure while spilling
+// (disk full) surfaces as an error matching ErrSpillIO. Both arrive
+// through the ordinary error returns (DB.Query, Rows.Err), never as
+// a panic or a killed process. Rows.Stats reports the query's spill
+// ledger — charged peak, bytes spilled, runs written, partition
+// rounds — as QueryStats.Spill.
+//
+// Temp files live under an os.MkdirTemp directory created on first
+// spill and owned by the query: every teardown path (exhaustion,
+// early Close, cancellation, pipeline error) removes the run files,
+// and the directory itself is removed when the cursor releases. The
+// DIVLAWS_FORCE_SPILL environment variable (a byte budget, or any
+// other non-empty value for 64KiB) imposes a budget on every query
+// that does not set one explicitly, which CI uses to run the whole
+// suite out-of-core; WithMemoryLimit(-1) pins a database to unlimited
+// execution, overriding the environment.
+//
 // # Serving
 //
 // cmd/divserve wraps an embedded database in a streaming HTTP/JSON
@@ -164,8 +202,10 @@
 // prepared-statement cache over Prepare, per-request deadlines mapped
 // to the query context (so an expired deadline or a vanished client
 // cancels parallel workers mid-division), a bounded admission gate
-// that degrades bursts to queueing and fast 429s, and graceful drain
-// on SIGTERM. cmd/loadgen is its concurrent-client load harness,
+// that degrades bursts to queueing and fast 429s, a -memory-limit
+// flag bounding each query's blocking state (what even spilling
+// cannot fit is refused with HTTP 507 and a typed error code, never a
+// dead process), and graceful drain on SIGTERM. cmd/loadgen is its concurrent-client load harness,
 // sweeping worker counts and admission settings and recording
 // p50/p95/p99 latency (the committed BENCH_8.json). See the README's
 // Serving section for the wire protocol.

@@ -199,3 +199,42 @@ func ExampleDB_Query_orderBy() {
 	// s2
 	// s1
 }
+
+// ExampleDB_Query_memoryLimit shows out-of-core execution: under
+// WithMemoryLimit, a sort whose buffer would exceed the budget spills
+// sorted runs to temp files and merges them back — same rows, same
+// order as unlimited execution, with the spill volume reported in the
+// query's stats. A budget no spilling can satisfy would instead
+// surface an error matching divlaws.ErrMemoryBudget.
+func ExampleDB_Query_memoryLimit() {
+	db := divlaws.Open(divlaws.WithMemoryLimit(4 << 10)) // 4KiB per query
+	rows2 := make([][]any, 1000)
+	for i := range rows2 {
+		rows2[i] = []any{(i * 7919) % 1000, i}
+	}
+	db.MustRegister("t", divlaws.MustNewRelation([]string{"a", "b"}, rows2))
+
+	rows, err := db.Query(context.Background(), `SELECT a FROM t ORDER BY a`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	n, first := 0, -1
+	for rows.Next() {
+		var a int
+		if err := rows.Scan(&a); err != nil {
+			log.Fatal(err)
+		}
+		if n == 0 {
+			first = a
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	st := rows.Stats()
+	fmt.Println("rows:", n, "first:", first, "spilled:", st.Spill.SpilledBytes > 0)
+	// Output:
+	// rows: 1000 first: 0 spilled: true
+}

@@ -24,7 +24,27 @@ type DivideState struct {
 	bits    []hashkey.Bitset    // per candidate: divisor bits covered
 	seen    []int               // per candidate: count of set bits
 	sealed  bool
+	bytes   int64 // approximate live footprint, for memory budgets
 }
+
+// indexEntryOverhead approximates the per-entry bookkeeping of a
+// TupleIndex beyond the retained tuple itself (hash table slot, id).
+const indexEntryOverhead = 48
+
+// projFootprint approximates the heap bytes of t's projection onto
+// pos without materializing it.
+func projFootprint(t relation.Tuple, pos []int) int64 {
+	n := int64(24) // slice header
+	for _, p := range pos {
+		n += t[p].Footprint()
+	}
+	return n
+}
+
+// Bytes approximates the state's live heap footprint: retained key
+// tuples, candidate bitmaps, and counters. Operators running under a
+// memory budget charge its growth after every Add.
+func (s *DivideState) Bytes() int64 { return s.bytes }
 
 // NewDivideState validates the schemas and returns an empty state.
 func NewDivideState(dividend, divisor schema.Schema) (*DivideState, error) {
@@ -46,7 +66,9 @@ func (s *DivideState) AddDivisor(t relation.Tuple) {
 	if s.sealed {
 		panic("division: AddDivisor after AddDividend")
 	}
-	s.divisor.IDProj(t, s.bOrder)
+	if _, created := s.divisor.IDProj(t, s.bOrder); created {
+		s.bytes += projFootprint(t, s.bOrder) + indexEntryOverhead
+	}
 }
 
 // AddDividend feeds one dividend tuple. The state does not retain t.
@@ -56,7 +78,9 @@ func (s *DivideState) AddDividend(t relation.Tuple) {
 	if n == 0 {
 		// Empty divisor: every dividend group qualifies; just collect
 		// the distinct quotient candidates.
-		s.cands.IDProj(t, s.aPos)
+		if _, created := s.cands.IDProj(t, s.aPos); created {
+			s.bytes += projFootprint(t, s.aPos) + indexEntryOverhead
+		}
 		return
 	}
 	bit := s.divisor.LookupProj(t, s.bPos)
@@ -67,6 +91,7 @@ func (s *DivideState) AddDividend(t relation.Tuple) {
 	if created {
 		s.bits = append(s.bits, hashkey.NewBitset(n))
 		s.seen = append(s.seen, 0)
+		s.bytes += projFootprint(t, s.aPos) + indexEntryOverhead + int64(n/8) + 32
 	}
 	if s.bits[id].Set(bit) {
 		s.seen[id]++
@@ -120,7 +145,12 @@ type GreatDivideState struct {
 	cBits       []hashkey.Bitset    // per candidate: B ids covered
 	hits        [][]int32           // per candidate: per-group hit count
 	sealed      bool
+	bytes       int64 // approximate live footprint, for memory budgets
 }
+
+// Bytes approximates the state's live heap footprint; see
+// DivideState.Bytes.
+func (s *GreatDivideState) Bytes() int64 { return s.bytes }
 
 // NewGreatDivideState validates the schemas and returns an empty
 // state.
@@ -148,16 +178,20 @@ func (s *GreatDivideState) AddDivisor(t relation.Tuple) {
 	if _, created := s.divisorSeen.ID(t); !created {
 		return
 	}
+	s.bytes += t.Footprint() + indexEntryOverhead
 	bID, bNew := s.bIx.IDProj(t, s.b2Pos)
 	if bNew {
 		s.members = append(s.members, nil)
+		s.bytes += projFootprint(t, s.b2Pos) + indexEntryOverhead + 24
 	}
 	gID, gNew := s.gIx.IDProj(t, s.cPos)
 	if gNew {
 		s.sizes = append(s.sizes, 0)
+		s.bytes += projFootprint(t, s.cPos) + indexEntryOverhead + 4
 	}
 	s.sizes[gID]++
 	s.members[bID] = append(s.members[bID], int32(gID))
+	s.bytes += 4
 }
 
 // AddDividend feeds one dividend tuple. The state does not retain t.
@@ -171,6 +205,8 @@ func (s *GreatDivideState) AddDividend(t relation.Tuple) {
 	if created {
 		s.cBits = append(s.cBits, hashkey.NewBitset(s.bIx.Len()))
 		s.hits = append(s.hits, make([]int32, s.gIx.Len()))
+		s.bytes += projFootprint(t, s.aPos) + indexEntryOverhead +
+			int64(s.bIx.Len()/8) + 32 + int64(s.gIx.Len())*4 + 24
 	}
 	// Count each distinct B value once per candidate, even if the
 	// stream repeats (A, B) pairs.

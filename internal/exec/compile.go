@@ -8,6 +8,7 @@ import (
 	"divlaws/internal/division"
 	"divlaws/internal/plan"
 	"divlaws/internal/relation"
+	"divlaws/internal/spill"
 )
 
 // BatchMode selects how the compiler uses the batch-at-a-time fast
@@ -57,6 +58,33 @@ type CompileOptions struct {
 	// Batch selects the batch-path policy; the zero value is
 	// BatchAuto.
 	Batch BatchMode
+	// MemoryLimit bounds the bytes of input state the plan's blocking
+	// operators may hold live, in bytes. 0 defers to the
+	// DIVLAWS_FORCE_SPILL environment override (unlimited when that is
+	// unset too); negative is explicitly unlimited, overriding the
+	// environment. Under a limit, sorts spill sorted runs and the hash
+	// division/join operators grace-hash partition to temp files.
+	MemoryLimit int64
+	// Spill is the budget tracker shared by the plan's operators.
+	// Usually nil: CompileWith builds one from MemoryLimit and ties its
+	// lifetime (including temp-file cleanup) to the root iterator's
+	// Close. A caller that needs to read spill counters after the query
+	// passes its own tracker and owns its Close.
+	Spill *spill.Tracker
+}
+
+// EffectiveMemoryLimit resolves the budget in bytes after the
+// DIVLAWS_FORCE_SPILL environment override; 0 is unlimited. Callers
+// that want to own the tracker (to read its counters after the query)
+// use this to decide whether to build one before CompileWith.
+func (o CompileOptions) EffectiveMemoryLimit() int64 {
+	if o.MemoryLimit < 0 {
+		return 0
+	}
+	if o.MemoryLimit > 0 {
+		return o.MemoryLimit
+	}
+	return forceSpillEnv()
 }
 
 // mode resolves the effective batch policy, including the
@@ -77,7 +105,18 @@ func Compile(n plan.Node, stats *Stats) Iterator {
 
 // CompileWith is Compile with explicit options.
 func CompileWith(n plan.Node, stats *Stats, opts CompileOptions) Iterator {
-	return compile(n, stats, "root", opts)
+	owned := false
+	if opts.Spill == nil {
+		if lim := opts.EffectiveMemoryLimit(); lim > 0 {
+			opts.Spill = spill.NewTracker(lim)
+			owned = opts.Spill != nil
+		}
+	}
+	it := compile(n, stats, "root", opts)
+	if owned {
+		it = ownTracker(it, opts.Spill)
+	}
+	return it
 }
 
 // batchCapable reports whether one plan node has a batch-native (or
@@ -347,6 +386,7 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 			Desc:          desc,
 			Stats:         stats,
 			Every:         opts.CheckEvery,
+			Spill:         opts.Spill,
 			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.TopK:
@@ -371,6 +411,7 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 					TopKDesc:      desc,
 					Stats:         stats,
 					Every:         opts.CheckEvery,
+					Spill:         opts.Spill,
 					windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 				}
 			case *plan.ParallelGreatDivide:
@@ -386,6 +427,7 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 					TopKDesc:      desc,
 					Stats:         stats,
 					Every:         opts.CheckEvery,
+					Spill:         opts.Spill,
 					windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 				}
 			}
@@ -428,6 +470,7 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 			Right:         compile(t.Right, stats, label+".1", opts),
 			Stats:         stats,
 			Every:         opts.CheckEvery,
+			Spill:         opts.Spill,
 			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.ThetaJoin:
@@ -474,6 +517,7 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 					ByPos:         t.Dividend.Schema().Positions(split.A.Attrs()),
 					Stats:         stats,
 					Every:         opts.CheckEvery,
+					Spill:         opts.Spill,
 					windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 				}
 				return &MergeGroupDivideIter{
@@ -492,6 +536,7 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 			Divisor:       divisor,
 			Stats:         stats,
 			Every:         opts.CheckEvery,
+			Spill:         opts.Spill,
 			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.GreatDivide:
@@ -501,6 +546,7 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 			Divisor:       compile(t.Divisor, stats, label+".1", opts),
 			Stats:         stats,
 			Every:         opts.CheckEvery,
+			Spill:         opts.Spill,
 			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.ParallelDivide:
@@ -513,6 +559,7 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 			Buffer:        opts.ExchangeBuffer,
 			Stats:         stats,
 			Every:         opts.CheckEvery,
+			Spill:         opts.Spill,
 			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.ParallelGreatDivide:
@@ -525,6 +572,7 @@ func compileNode(n plan.Node, stats *Stats, label string, opts CompileOptions) I
 			Buffer:        opts.ExchangeBuffer,
 			Stats:         stats,
 			Every:         opts.CheckEvery,
+			Spill:         opts.Spill,
 			windowBatcher: windowBatcher{BatchSize: opts.BatchSize},
 		}
 	case *plan.Group:

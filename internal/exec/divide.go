@@ -8,6 +8,7 @@ import (
 	"divlaws/internal/pred"
 	"divlaws/internal/relation"
 	"divlaws/internal/schema"
+	"divlaws/internal/spill"
 )
 
 // ThetaJoinIter is a nested-loop join with an arbitrary predicate
@@ -121,16 +122,23 @@ type HashDivideIter struct {
 	// Every is the cooperative ctx-poll interval of the build drains,
 	// in tuples; 0 means DefaultCheckEvery.
 	Every int
+	// Spill, when non-nil, bounds the division state: on budget
+	// pressure the dividend grace-hash partitions to temp files and
+	// each partition is divided against the (retained) divisor.
+	Spill *spill.Tracker
 	windowBatcher
 	out     schema.Schema
 	results []relation.Tuple
 	pos     int
 	opened  bool
+	grace   *graceDivide
+	gctx    context.Context
 }
 
 // Open implements Iterator.
 func (h *HashDivideIter) Open(ctx context.Context) error {
-	st, err := division.NewDivideState(h.Dividend.Schema(), h.Divisor.Schema())
+	dividendSch, divisorSch := h.Dividend.Schema(), h.Divisor.Schema()
+	st, err := division.NewDivideState(dividendSch, divisorSch)
 	if err != nil {
 		return err
 	}
@@ -139,6 +147,28 @@ func (h *HashDivideIter) Open(ctx context.Context) error {
 	}
 	if err := h.Divisor.Open(ctx); err != nil {
 		return err
+	}
+	if h.Spill != nil {
+		split, err := division.SmallSplit(dividendSch, divisorSch)
+		if err != nil {
+			return err
+		}
+		g := newGraceDivide(h.Spill, dividendSch.Positions(split.A.Attrs()), h.Every,
+			func() (divSpillState, error) { return division.NewDivideState(dividendSch, divisorSch) })
+		h.grace, h.gctx = g, ctx
+		if err := drainEveryErr(ctx, h.Divisor, h.Every, g.addDivisor); err != nil {
+			return err
+		}
+		if err := drainEveryErr(ctx, h.Dividend, h.Every, func(t relation.Tuple) error {
+			return g.addDividend(ctx, t)
+		}); err != nil {
+			return err
+		}
+		if err := g.finish(ctx); err != nil {
+			return err
+		}
+		h.opened = true
+		return nil
 	}
 	if err := drainEvery(ctx, h.Divisor, h.Every, st.AddDivisor); err != nil {
 		return err
@@ -160,6 +190,13 @@ func (h *HashDivideIter) Next() (relation.Tuple, bool, error) {
 	if !h.opened {
 		return nil, false, errNotOpen("HashDivideIter")
 	}
+	if h.grace != nil {
+		t, ok, err := h.grace.next(h.gctx)
+		if ok {
+			h.Stats.count(h.Label, 1)
+		}
+		return t, ok, err
+	}
 	if h.pos >= len(h.results) {
 		return nil, false, nil
 	}
@@ -174,6 +211,9 @@ func (h *HashDivideIter) NextBatch() (*relation.Batch, error) {
 	if !h.opened {
 		return nil, errNotOpen("HashDivideIter")
 	}
+	if h.grace != nil {
+		return graceBatch(h.grace, h.gctx, &h.windowBatcher, h.Stats, h.Label)
+	}
 	b := h.window(h.results, &h.pos)
 	if b != nil {
 		h.Stats.count(h.Label, int64(b.Len()))
@@ -184,6 +224,10 @@ func (h *HashDivideIter) NextBatch() (*relation.Batch, error) {
 // Close implements Iterator.
 func (h *HashDivideIter) Close() error {
 	h.results, h.opened = nil, false
+	if h.grace != nil {
+		h.grace.close()
+		h.grace = nil
+	}
 	h.release()
 	err1 := h.Dividend.Close()
 	err2 := h.Divisor.Close()
@@ -443,16 +487,24 @@ type GreatDivideIter struct {
 	// Every is the cooperative ctx-poll interval of the build drains,
 	// in tuples; 0 means DefaultCheckEvery.
 	Every int
+	// Spill, when non-nil, bounds the counting state: on budget
+	// pressure the dividend grace-hash partitions on A to temp files —
+	// lossless because a candidate's (a, c) verdicts depend only on its
+	// own tuples plus the whole (retained) divisor.
+	Spill *spill.Tracker
 	windowBatcher
 	out     schema.Schema
 	results []relation.Tuple
 	pos     int
 	opened  bool
+	grace   *graceDivide
+	gctx    context.Context
 }
 
 // Open implements Iterator.
 func (g *GreatDivideIter) Open(ctx context.Context) error {
-	st, err := division.NewGreatDivideState(g.Dividend.Schema(), g.Divisor.Schema())
+	dividendSch, divisorSch := g.Dividend.Schema(), g.Divisor.Schema()
+	st, err := division.NewGreatDivideState(dividendSch, divisorSch)
 	if err != nil {
 		return err
 	}
@@ -461,6 +513,28 @@ func (g *GreatDivideIter) Open(ctx context.Context) error {
 	}
 	if err := g.Divisor.Open(ctx); err != nil {
 		return err
+	}
+	if g.Spill != nil {
+		split, err := division.GreatSplit(dividendSch, divisorSch)
+		if err != nil {
+			return err
+		}
+		gd := newGraceDivide(g.Spill, dividendSch.Positions(split.A.Attrs()), g.Every,
+			func() (divSpillState, error) { return division.NewGreatDivideState(dividendSch, divisorSch) })
+		g.grace, g.gctx = gd, ctx
+		if err := drainEveryErr(ctx, g.Divisor, g.Every, gd.addDivisor); err != nil {
+			return err
+		}
+		if err := drainEveryErr(ctx, g.Dividend, g.Every, func(t relation.Tuple) error {
+			return gd.addDividend(ctx, t)
+		}); err != nil {
+			return err
+		}
+		if err := gd.finish(ctx); err != nil {
+			return err
+		}
+		g.opened = true
+		return nil
 	}
 	if err := drainEvery(ctx, g.Divisor, g.Every, st.AddDivisor); err != nil {
 		return err
@@ -482,6 +556,13 @@ func (g *GreatDivideIter) Next() (relation.Tuple, bool, error) {
 	if !g.opened {
 		return nil, false, errNotOpen("GreatDivideIter")
 	}
+	if g.grace != nil {
+		t, ok, err := g.grace.next(g.gctx)
+		if ok {
+			g.Stats.count(g.Label, 1)
+		}
+		return t, ok, err
+	}
 	if g.pos >= len(g.results) {
 		return nil, false, nil
 	}
@@ -496,6 +577,9 @@ func (g *GreatDivideIter) NextBatch() (*relation.Batch, error) {
 	if !g.opened {
 		return nil, errNotOpen("GreatDivideIter")
 	}
+	if g.grace != nil {
+		return graceBatch(g.grace, g.gctx, &g.windowBatcher, g.Stats, g.Label)
+	}
 	b := g.window(g.results, &g.pos)
 	if b != nil {
 		g.Stats.count(g.Label, int64(b.Len()))
@@ -506,6 +590,10 @@ func (g *GreatDivideIter) NextBatch() (*relation.Batch, error) {
 // Close implements Iterator.
 func (g *GreatDivideIter) Close() error {
 	g.results, g.opened = nil, false
+	if g.grace != nil {
+		g.grace.close()
+		g.grace = nil
+	}
 	g.release()
 	err1 := g.Dividend.Close()
 	err2 := g.Divisor.Close()

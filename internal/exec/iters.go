@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -9,6 +11,7 @@ import (
 	"divlaws/internal/pred"
 	"divlaws/internal/relation"
 	"divlaws/internal/schema"
+	"divlaws/internal/spill"
 )
 
 // ScanIter streams a materialized relation. It is dual-mode: Next
@@ -547,21 +550,30 @@ type HashJoinIter struct {
 	// Every is the cooperative ctx-poll interval of the build drain, in
 	// tuples; 0 means DefaultCheckEvery.
 	Every int
+	// Spill, when non-nil, bounds the build side: on budget pressure
+	// both sides grace-hash partition to temp files and the partition
+	// pairs are joined independently. The degenerate product case is
+	// exempt (it holds only one right-side materialization the budget
+	// cannot shrink by partitioning).
+	Spill *spill.Tracker
 	windowBatcher
 
-	out       schema.Schema
-	leftPos   []int
-	extraPos  []int
-	keyIx     *relation.TupleIndex
-	rows      [][]relation.Tuple
-	cur       relation.Tuple
-	matches   []relation.Tuple
-	mIdx      int
-	isProduct bool
-	prod      *ProductIter
-	leftFeed  batchFeed
-	probe     []relation.Tuple
-	pPos      int
+	out         schema.Schema
+	leftPos     []int
+	extraPos    []int
+	keyIx       *relation.TupleIndex
+	rows        [][]relation.Tuple
+	cur         relation.Tuple
+	matches     []relation.Tuple
+	mIdx        int
+	isProduct   bool
+	prod        *ProductIter
+	leftFeed    batchFeed
+	probe       []relation.Tuple
+	pPos        int
+	grace       *graceJoin
+	graceStream bool
+	gctx        context.Context
 }
 
 // Open implements Iterator.
@@ -587,6 +599,34 @@ func (j *HashJoinIter) Open(ctx context.Context) error {
 	}
 	if err := j.Right.Open(ctx); err != nil {
 		return err
+	}
+	if j.Spill != nil {
+		g := &graceJoin{tr: j.Spill, leftPos: j.leftPos, nk: len(rightPos), every: effEvery(j.Every)}
+		j.grace = g
+		j.gctx = ctx
+		if err := drainEveryErr(ctx, j.Right, j.Every, func(t relation.Tuple) error {
+			return g.addBuild(t, rightPos, j.extraPos)
+		}); err != nil {
+			return err
+		}
+		if g.partitioned {
+			// The build side spilled: partition the probe side the same
+			// way and join the pairs lazily on Next.
+			j.graceStream = true
+			if err := drainEveryErr(ctx, j.Left, j.Every, g.addProbe); err != nil {
+				return err
+			}
+			j.cur, j.matches, j.mIdx = nil, nil, 0
+			return nil
+		}
+		// Everything fit: probe through the normal streaming path over
+		// the grace-built index; the charge is released on Close.
+		j.keyIx = &g.keyIx
+		j.rows = g.rows
+		j.cur, j.matches, j.mIdx = nil, nil, 0
+		j.leftFeed = batchFeed{child: j.Left, size: j.BatchSize}
+		j.probe, j.pPos = nil, 0
+		return nil
 	}
 	j.keyIx = new(relation.TupleIndex)
 	j.rows = nil
@@ -625,6 +665,25 @@ func (j *HashJoinIter) SetRowBudget(n int64) {
 func (j *HashJoinIter) NextBatch() (*relation.Batch, error) {
 	if j.isProduct {
 		return j.prod.NextBatch()
+	}
+	if j.graceStream {
+		out := j.outBatch()
+		bound := j.effectiveCap()
+		for out.Len() < bound {
+			t, ok, err := j.grace.next(j.gctx)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			out.Append(t)
+		}
+		if out.Len() == 0 {
+			return nil, nil
+		}
+		j.Stats.count(j.Label, int64(out.Len()))
+		return out, nil
 	}
 	if j.keyIx == nil {
 		return nil, errNotOpen("HashJoinIter")
@@ -679,6 +738,13 @@ func (j *HashJoinIter) Next() (relation.Tuple, bool, error) {
 	if j.isProduct {
 		return j.prod.Next()
 	}
+	if j.graceStream {
+		t, ok, err := j.grace.next(j.gctx)
+		if ok {
+			j.Stats.count(j.Label, 1)
+		}
+		return t, ok, err
+	}
 	if j.keyIx == nil {
 		return nil, false, errNotOpen("HashJoinIter")
 	}
@@ -708,6 +774,10 @@ func (j *HashJoinIter) Next() (relation.Tuple, bool, error) {
 func (j *HashJoinIter) Close() error {
 	if j.isProduct {
 		return j.prod.Close()
+	}
+	if j.grace != nil {
+		j.grace.close()
+		j.grace, j.graceStream = nil, false
 	}
 	j.keyIx, j.rows = nil, nil
 	j.probe, j.pPos = nil, 0
@@ -941,6 +1011,12 @@ func (g *GroupIter) Schema() schema.Schema {
 // tie-break), and emits in order. It implements plan.Sort and feeds
 // the merge-group division. It is dual-mode: the sorted run is
 // emitted per tuple or per zero-copy batch over one shared cursor.
+//
+// Under a memory budget (Spill != nil) it degrades to an external
+// merge sort: the buffer is charged against the tracker, flushed to a
+// sorted temp-file run whenever it would exceed the budget, and the
+// runs are k-way merged on Next. KeyedCompare's canonical tie-break
+// makes the merged order identical to the in-memory sort's.
 type SortIter struct {
 	Label string
 	Input Iterator
@@ -953,10 +1029,19 @@ type SortIter struct {
 	// Every is the cooperative ctx-poll interval of the input drain, in
 	// tuples; 0 means DefaultCheckEvery.
 	Every int
+	// Spill, when non-nil, bounds the sort buffer: on budget pressure
+	// sorted runs spill to temp files and are merged on emit.
+	Spill *spill.Tracker
 	windowBatcher
 	rows []relation.Tuple
 	pos  int
 	open bool
+
+	charged int64
+	runs    []*spill.Run
+	mh      *sortMerge
+	mctx    context.Context
+	pollN   int
 }
 
 // Open implements Iterator.
@@ -966,15 +1051,127 @@ func (s *SortIter) Open(ctx context.Context) error {
 	}
 	s.rows = nil
 	s.open = true
-	if err := drainEvery(ctx, s.Input, s.Every, func(t relation.Tuple) {
+	cmp := relation.KeyedCompare(s.ByPos, s.Desc)
+	if s.Spill == nil {
+		if err := drainEvery(ctx, s.Input, s.Every, func(t relation.Tuple) {
+			s.rows = append(s.rows, t)
+		}); err != nil {
+			return err
+		}
+		sort.Slice(s.rows, func(i, j int) bool { return cmp(s.rows[i], s.rows[j]) < 0 })
+		s.pos = 0
+		return nil
+	}
+	if err := drainEveryErr(ctx, s.Input, s.Every, func(t relation.Tuple) error {
+		fp := t.Footprint()
+		err := s.Spill.Charge(fp)
+		if err == nil {
+			s.charged += fp
+			s.rows = append(s.rows, t)
+			return nil
+		}
+		if !errors.Is(err, spill.ErrBudget) {
+			return err
+		}
+		if err := s.spillBuffer(cmp); err != nil {
+			return err
+		}
+		// After a flush the buffer is empty; if a single tuple still
+		// does not fit the query genuinely cannot run in the budget.
+		if err := s.Spill.Charge(fp); err != nil {
+			return err
+		}
+		s.charged += fp
 		s.rows = append(s.rows, t)
+		return nil
 	}); err != nil {
 		return err
 	}
-	cmp := relation.KeyedCompare(s.ByPos, s.Desc)
 	sort.Slice(s.rows, func(i, j int) bool { return cmp(s.rows[i], s.rows[j]) < 0 })
 	s.pos = 0
+	if len(s.runs) == 0 {
+		return nil // everything fit: serve the in-memory run
+	}
+	// K-way merge across the spilled runs plus the final in-memory
+	// buffer.
+	srcs := make([]*sortSource, 0, len(s.runs)+1)
+	for _, r := range s.runs {
+		if err := r.Rewind(); err != nil {
+			return err
+		}
+		srcs = append(srcs, &sortSource{run: r})
+	}
+	if len(s.rows) > 0 {
+		srcs = append(srcs, &sortSource{rows: s.rows})
+	}
+	live := srcs[:0]
+	for _, src := range srcs {
+		t, ok, err := src.advance()
+		if err != nil {
+			return err
+		}
+		if ok {
+			src.head = t
+			live = append(live, src)
+		}
+	}
+	s.mh = &sortMerge{srcs: live, cmp: cmp}
+	heap.Init(s.mh)
+	s.mctx = ctx
 	return nil
+}
+
+// spillBuffer sorts the in-memory buffer, writes it out as one run,
+// and releases its charge.
+func (s *SortIter) spillBuffer(cmp func(a, b relation.Tuple) int) error {
+	sort.Slice(s.rows, func(i, j int) bool { return cmp(s.rows[i], s.rows[j]) < 0 })
+	run, err := s.Spill.NewRun()
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, run)
+	for _, t := range s.rows {
+		if err := run.Append(t); err != nil {
+			return err
+		}
+	}
+	s.Spill.Release(s.charged)
+	s.charged = 0
+	s.rows = s.rows[:0]
+	return nil
+}
+
+// mergeNext pulls the next tuple off the k-way merge.
+func (s *SortIter) mergeNext() (relation.Tuple, bool, error) {
+	if s.mh.Len() == 0 {
+		return nil, false, nil
+	}
+	every := s.Every
+	if every <= 0 {
+		every = DefaultCheckEvery
+	}
+	if s.pollN++; s.pollN >= every {
+		s.pollN = 0
+		if err := s.mctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+	src := s.mh.srcs[0]
+	t := src.head
+	nt, ok, err := src.advance()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		src.head = nt
+		heap.Fix(s.mh, 0)
+	} else {
+		heap.Pop(s.mh)
+		if src.run != nil {
+			src.run.Close()
+		}
+	}
+	return t, true, nil
 }
 
 // OpenBatch implements BatchIterator.
@@ -984,6 +1181,13 @@ func (s *SortIter) OpenBatch(ctx context.Context) error { return s.Open(ctx) }
 func (s *SortIter) Next() (relation.Tuple, bool, error) {
 	if !s.open {
 		return nil, false, errNotOpen("SortIter")
+	}
+	if s.mh != nil {
+		t, ok, err := s.mergeNext()
+		if ok {
+			s.Stats.count(s.Label, 1)
+		}
+		return t, ok, err
 	}
 	if s.pos >= len(s.rows) {
 		return nil, false, nil
@@ -999,6 +1203,25 @@ func (s *SortIter) NextBatch() (*relation.Batch, error) {
 	if !s.open {
 		return nil, errNotOpen("SortIter")
 	}
+	if s.mh != nil {
+		out := s.outBatch()
+		bound := s.effectiveCap()
+		for out.Len() < bound {
+			t, ok, err := s.mergeNext()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			out.Append(t)
+		}
+		if out.Len() == 0 {
+			return nil, nil
+		}
+		s.Stats.count(s.Label, int64(out.Len()))
+		return out, nil
+	}
 	b := s.window(s.rows, &s.pos)
 	if b != nil {
 		s.Stats.count(s.Label, int64(b.Len()))
@@ -1009,6 +1232,12 @@ func (s *SortIter) NextBatch() (*relation.Batch, error) {
 // Close implements Iterator.
 func (s *SortIter) Close() error {
 	s.rows, s.open = nil, false
+	for _, r := range s.runs {
+		r.Close() // idempotent: merged-out runs are already closed
+	}
+	s.runs, s.mh = nil, nil
+	s.Spill.Release(s.charged)
+	s.charged = 0
 	s.release()
 	return s.Input.Close()
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"strconv"
 	"sync"
 
@@ -9,6 +10,7 @@ import (
 	"divlaws/internal/parallel"
 	"divlaws/internal/relation"
 	"divlaws/internal/schema"
+	"divlaws/internal/spill"
 )
 
 // DefaultExchangeBuffer is the capacity, in tuple batches of up to
@@ -209,10 +211,23 @@ type ParallelDivideIter struct {
 	// Every is the cooperative ctx-poll interval of the input drains
 	// and worker feed loops, in tuples; 0 means DefaultCheckEvery.
 	Every int
+	// Spill, when non-nil, budgets the exchange: the dividend is
+	// hash-partitioned on A while draining (streamed, charged) instead
+	// of materialized first, and if even the partitions exceed the
+	// budget the operator degrades to the sequential grace division.
+	Spill *spill.Tracker
 	windowBatcher
 
 	out schema.Schema
 	ex  *exchange
+
+	charged  int64
+	grace    *graceDivide
+	gctx     context.Context
+	fb       bool
+	fallback []relation.Tuple
+	fbTopK   bool
+	fPos     int
 }
 
 // tuning bundles the iterator's knobs for the parallel fan-out.
@@ -226,6 +241,14 @@ func (p *ParallelDivideIter) Open(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	algo := p.Algo
+	if algo == "" {
+		algo = division.AlgoHash
+	}
+	if p.Spill != nil {
+		p.out = split.A
+		return p.openBudgeted(ctx, split, algo)
+	}
 	dividend, err := drainChild(ctx, p.Dividend, p.Every)
 	if err != nil {
 		return err
@@ -233,10 +256,6 @@ func (p *ParallelDivideIter) Open(ctx context.Context) error {
 	divisor, err := drainChild(ctx, p.Divisor, p.Every)
 	if err != nil {
 		return err
-	}
-	algo := p.Algo
-	if algo == "" {
-		algo = division.AlgoHash
 	}
 	p.out = split.A
 	if p.TopKN > 0 {
@@ -259,11 +278,132 @@ func (p *ParallelDivideIter) Open(ctx context.Context) error {
 	return nil
 }
 
+// openBudgeted is Open under a memory budget: the divisor is drained
+// charged (it is replicated to every worker and must fit), the
+// dividend hash-partitioned on A straight off its child — streamed,
+// never materialized whole before partitioning — and the workers run
+// over the charged partitions. If the partitions themselves exceed the
+// budget the operator falls back to the sequential grace division,
+// which spills the dividend to temp-file runs.
+func (p *ParallelDivideIter) openBudgeted(ctx context.Context, split division.Split, algo division.Algorithm) error {
+	dividendSch, divisorSch := p.Dividend.Schema(), p.Divisor.Schema()
+	aPos := dividendSch.Positions(split.A.Attrs())
+	g := newGraceDivide(p.Spill, aPos, p.Every,
+		func() (divSpillState, error) { return division.NewDivideState(dividendSch, divisorSch) })
+	p.grace, p.gctx = g, ctx
+
+	if err := p.Divisor.Open(ctx); err != nil {
+		return err
+	}
+	if err := drainEveryErr(ctx, p.Divisor, p.Every, g.addDivisor); err != nil {
+		return err
+	}
+	if err := p.Dividend.Open(ctx); err != nil {
+		return err
+	}
+	w := p.Workers
+	if w <= 0 {
+		w = parallel.DefaultWorkers()
+	}
+	parts := make([]*relation.Relation, w)
+	for i := range parts {
+		parts[i] = relation.New(dividendSch)
+	}
+	if err := drainEveryErr(ctx, p.Dividend, p.Every, func(t relation.Tuple) error {
+		if p.fb {
+			return g.addDividend(ctx, t)
+		}
+		fp := t.Footprint()
+		err := p.Spill.Charge(fp)
+		if err == nil {
+			p.charged += fp
+			parts[int(t.Hash64Proj(aPos)%uint64(w))].InsertOwned(t)
+			return nil
+		}
+		if !errors.Is(err, spill.ErrBudget) {
+			return err
+		}
+		// Budget hit mid-partitioning: hand everything to the grace
+		// divider, which re-buffers (and spills) under its own charge.
+		p.fb = true
+		p.Spill.Release(p.charged)
+		p.charged = 0
+		for _, part := range parts {
+			for _, pt := range part.Tuples() {
+				if err := g.addDividend(ctx, pt); err != nil {
+					return err
+				}
+			}
+		}
+		parts = nil
+		return g.addDividend(ctx, t)
+	}); err != nil {
+		return err
+	}
+	if p.fb {
+		if err := g.finish(ctx); err != nil {
+			return err
+		}
+		if p.TopKN > 0 {
+			top, err := topKFromGrace(ctx, g, p.TopKPos, p.TopKDesc, p.TopKN)
+			if err != nil {
+				return err
+			}
+			p.fallback, p.fPos, p.fbTopK = top, 0, true
+		}
+		return nil
+	}
+	live := parts[:0]
+	for _, part := range parts {
+		if !part.Empty() {
+			live = append(live, part)
+		}
+	}
+	divisor := relation.New(divisorSch)
+	for _, t := range g.divisor {
+		divisor.InsertOwned(t)
+	}
+	if p.TopKN > 0 {
+		p.ex = startTopKExchange(ctx, p.Buffer, p.BatchSize, p.TopKPos, p.TopKDesc, p.TopKN, p.Label, p.Stats,
+			func(runCtx context.Context, bound parallel.TopKBound, emit parallel.EmitFunc) error {
+				return parallel.DividePartsStream(runCtx, algo, live, divisor, &bound, p.tuning(), emit)
+			})
+		return nil
+	}
+	p.ex = startExchange(ctx, p.Buffer, func(exCtx context.Context, send func([]relation.Tuple) error) error {
+		return parallel.DividePartsStream(exCtx, algo, live, divisor, nil, p.tuning(),
+			func(part int, batch []relation.Tuple) error {
+				if err := send(batch); err != nil {
+					return err
+				}
+				p.Stats.count(partLabel(p.Label, part), int64(len(batch)))
+				return nil
+			})
+	})
+	return nil
+}
+
 // OpenBatch implements BatchIterator.
 func (p *ParallelDivideIter) OpenBatch(ctx context.Context) error { return p.Open(ctx) }
 
 // Next implements Iterator.
 func (p *ParallelDivideIter) Next() (relation.Tuple, bool, error) {
+	if p.fbTopK {
+		if p.fPos >= len(p.fallback) {
+			return nil, false, nil
+		}
+		t := p.fallback[p.fPos]
+		p.fPos++
+		p.Stats.count(p.Label, 1)
+		return t, true, nil
+	}
+	if p.fb {
+		t, ok, err := p.grace.next(p.gctx)
+		if ok {
+			p.Stats.count(p.Label, 1)
+		}
+		return t, ok, err
+	}
 	if p.ex == nil {
 		return nil, false, errNotOpen("ParallelDivideIter")
 	}
@@ -278,6 +418,16 @@ func (p *ParallelDivideIter) Next() (relation.Tuple, bool, error) {
 // NextBatch implements BatchIterator: the workers' emission batches
 // flow through untouched, capped by any armed row budget.
 func (p *ParallelDivideIter) NextBatch() (*relation.Batch, error) {
+	if p.fbTopK {
+		b := p.window(p.fallback, &p.fPos)
+		if b != nil {
+			p.Stats.count(p.Label, int64(b.Len()))
+		}
+		return b, nil
+	}
+	if p.fb {
+		return graceBatch(p.grace, p.gctx, &p.windowBatcher, p.Stats, p.Label)
+	}
 	if p.ex == nil {
 		return nil, errNotOpen("ParallelDivideIter")
 	}
@@ -297,6 +447,13 @@ func (p *ParallelDivideIter) Close() error {
 		p.ex.stop()
 		p.ex = nil
 	}
+	if p.grace != nil {
+		p.grace.close()
+		p.grace = nil
+	}
+	p.Spill.Release(p.charged)
+	p.charged = 0
+	p.fallback, p.fb, p.fbTopK = nil, false, false
 	p.release()
 	err1 := p.Dividend.Close()
 	err2 := p.Divisor.Close()
@@ -343,10 +500,23 @@ type ParallelGreatDivideIter struct {
 	// Every is the cooperative ctx-poll interval of the input drains
 	// and worker feed loops, in tuples; 0 means DefaultCheckEvery.
 	Every int
+	// Spill, when non-nil, budgets the exchange: the divisor is
+	// hash-partitioned on C while draining (streamed, charged) instead
+	// of materialized first, and on budget pressure the operator
+	// degrades to the sequential grace great-division.
+	Spill *spill.Tracker
 	windowBatcher
 
 	out schema.Schema
 	ex  *exchange
+
+	charged  int64
+	grace    *graceDivide
+	gctx     context.Context
+	fb       bool
+	fallback []relation.Tuple
+	fbTopK   bool
+	fPos     int
 }
 
 // tuning bundles the iterator's knobs for the parallel fan-out.
@@ -360,6 +530,14 @@ func (g *ParallelGreatDivideIter) Open(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	algo := g.Algo
+	if algo == "" {
+		algo = division.GreatAlgoHash
+	}
+	if g.Spill != nil {
+		g.out = split.A.Concat(split.C)
+		return g.openBudgeted(ctx, split, algo)
+	}
 	dividend, err := drainChild(ctx, g.Dividend, g.Every)
 	if err != nil {
 		return err
@@ -367,10 +545,6 @@ func (g *ParallelGreatDivideIter) Open(ctx context.Context) error {
 	divisor, err := drainChild(ctx, g.Divisor, g.Every)
 	if err != nil {
 		return err
-	}
-	algo := g.Algo
-	if algo == "" {
-		algo = division.GreatAlgoHash
 	}
 	g.out = split.A.Concat(split.C)
 	if g.TopKN > 0 {
@@ -393,11 +567,163 @@ func (g *ParallelGreatDivideIter) Open(ctx context.Context) error {
 	return nil
 }
 
+// openBudgeted is Open under a memory budget: the dividend is drained
+// charged (it is replicated to every worker), the divisor
+// hash-partitioned on its group attributes C straight off its child —
+// preserving Law 13's πC-disjointness — and the workers run over the
+// charged partitions. On budget pressure the operator falls back to
+// the sequential grace great-division, which spills the dividend.
+func (g *ParallelGreatDivideIter) openBudgeted(ctx context.Context, split division.Split, algo division.Algorithm) error {
+	dividendSch, divisorSch := g.Dividend.Schema(), g.Divisor.Schema()
+	aPos := dividendSch.Positions(split.A.Attrs())
+	cPos := divisorSch.Positions(split.C.Attrs())
+	gd := newGraceDivide(g.Spill, aPos, g.Every,
+		func() (divSpillState, error) { return division.NewGreatDivideState(dividendSch, divisorSch) })
+	g.grace, g.gctx = gd, ctx
+
+	// The dividend is the replicated side here: buffer it charged, and
+	// degrade to the grace division (which spills it) on overflow.
+	if err := g.Dividend.Open(ctx); err != nil {
+		return err
+	}
+	dividend := relation.New(dividendSch)
+	if err := drainEveryErr(ctx, g.Dividend, g.Every, func(t relation.Tuple) error {
+		if g.fb {
+			return gd.addDividend(ctx, t)
+		}
+		fp := t.Footprint()
+		err := g.Spill.Charge(fp)
+		if err == nil {
+			g.charged += fp
+			dividend.InsertOwned(t)
+			return nil
+		}
+		if !errors.Is(err, spill.ErrBudget) {
+			return err
+		}
+		g.fb = true
+		g.Spill.Release(g.charged)
+		g.charged = 0
+		for _, dt := range dividend.Tuples() {
+			if err := gd.addDividend(ctx, dt); err != nil {
+				return err
+			}
+		}
+		dividend = nil
+		return gd.addDividend(ctx, t)
+	}); err != nil {
+		return err
+	}
+
+	if err := g.Divisor.Open(ctx); err != nil {
+		return err
+	}
+	w := g.Workers
+	if w <= 0 {
+		w = parallel.DefaultWorkers()
+	}
+	parts := make([]*relation.Relation, w)
+	for i := range parts {
+		parts[i] = relation.New(divisorSch)
+	}
+	if err := drainEveryErr(ctx, g.Divisor, g.Every, func(t relation.Tuple) error {
+		if g.fb {
+			return gd.addDivisor(t)
+		}
+		fp := t.Footprint()
+		err := g.Spill.Charge(fp)
+		if err == nil {
+			g.charged += fp
+			parts[int(t.Hash64Proj(cPos)%uint64(w))].InsertOwned(t)
+			return nil
+		}
+		if !errors.Is(err, spill.ErrBudget) {
+			return err
+		}
+		// Budget hit while partitioning the divisor: hand everything
+		// to the grace divider. It retains the divisor in memory, so a
+		// divisor that genuinely cannot fit fails with a budget error.
+		g.fb = true
+		g.Spill.Release(g.charged)
+		g.charged = 0
+		for _, dt := range dividend.Tuples() {
+			if err := gd.addDividend(ctx, dt); err != nil {
+				return err
+			}
+		}
+		dividend = nil
+		for _, part := range parts {
+			for _, pt := range part.Tuples() {
+				if err := gd.addDivisor(pt); err != nil {
+					return err
+				}
+			}
+		}
+		parts = nil
+		return gd.addDivisor(t)
+	}); err != nil {
+		return err
+	}
+	if g.fb {
+		if err := gd.finish(ctx); err != nil {
+			return err
+		}
+		if g.TopKN > 0 {
+			top, err := topKFromGrace(ctx, gd, g.TopKPos, g.TopKDesc, g.TopKN)
+			if err != nil {
+				return err
+			}
+			g.fallback, g.fPos, g.fbTopK = top, 0, true
+		}
+		return nil
+	}
+	live := parts[:0]
+	for _, part := range parts {
+		if !part.Empty() {
+			live = append(live, part)
+		}
+	}
+	if g.TopKN > 0 {
+		g.ex = startTopKExchange(ctx, g.Buffer, g.BatchSize, g.TopKPos, g.TopKDesc, g.TopKN, g.Label, g.Stats,
+			func(runCtx context.Context, bound parallel.TopKBound, emit parallel.EmitFunc) error {
+				return parallel.GreatDividePartsStream(runCtx, algo, dividend, live, &bound, g.tuning(), emit)
+			})
+		return nil
+	}
+	g.ex = startExchange(ctx, g.Buffer, func(exCtx context.Context, send func([]relation.Tuple) error) error {
+		return parallel.GreatDividePartsStream(exCtx, algo, dividend, live, nil, g.tuning(),
+			func(part int, batch []relation.Tuple) error {
+				if err := send(batch); err != nil {
+					return err
+				}
+				g.Stats.count(partLabel(g.Label, part), int64(len(batch)))
+				return nil
+			})
+	})
+	return nil
+}
+
 // OpenBatch implements BatchIterator.
 func (g *ParallelGreatDivideIter) OpenBatch(ctx context.Context) error { return g.Open(ctx) }
 
 // Next implements Iterator.
 func (g *ParallelGreatDivideIter) Next() (relation.Tuple, bool, error) {
+	if g.fbTopK {
+		if g.fPos >= len(g.fallback) {
+			return nil, false, nil
+		}
+		t := g.fallback[g.fPos]
+		g.fPos++
+		g.Stats.count(g.Label, 1)
+		return t, true, nil
+	}
+	if g.fb {
+		t, ok, err := g.grace.next(g.gctx)
+		if ok {
+			g.Stats.count(g.Label, 1)
+		}
+		return t, ok, err
+	}
 	if g.ex == nil {
 		return nil, false, errNotOpen("ParallelGreatDivideIter")
 	}
@@ -412,6 +738,16 @@ func (g *ParallelGreatDivideIter) Next() (relation.Tuple, bool, error) {
 // NextBatch implements BatchIterator: the workers' emission batches
 // flow through untouched, capped by any armed row budget.
 func (g *ParallelGreatDivideIter) NextBatch() (*relation.Batch, error) {
+	if g.fbTopK {
+		b := g.window(g.fallback, &g.fPos)
+		if b != nil {
+			g.Stats.count(g.Label, int64(b.Len()))
+		}
+		return b, nil
+	}
+	if g.fb {
+		return graceBatch(g.grace, g.gctx, &g.windowBatcher, g.Stats, g.Label)
+	}
 	if g.ex == nil {
 		return nil, errNotOpen("ParallelGreatDivideIter")
 	}
@@ -429,6 +765,13 @@ func (g *ParallelGreatDivideIter) Close() error {
 		g.ex.stop()
 		g.ex = nil
 	}
+	if g.grace != nil {
+		g.grace.close()
+		g.grace = nil
+	}
+	g.Spill.Release(g.charged)
+	g.charged = 0
+	g.fallback, g.fb, g.fbTopK = nil, false, false
 	g.release()
 	err1 := g.Dividend.Close()
 	err2 := g.Divisor.Close()

@@ -151,7 +151,10 @@ func topkFixture(k int64, desc bool) (node *plan.TopK, want []relation.Tuple) {
 func TestTopKExchangeMatchesSequential(t *testing.T) {
 	for _, desc := range []bool{false, true} {
 		node, want := topkFixture(17, desc)
-		it := Compile(node, nil)
+		// MemoryLimit -1 pins the unlimited path even when
+		// DIVLAWS_FORCE_SPILL is set: this test asserts the fused
+		// exchange structure, which a budget wrapper would hide.
+		it := CompileWith(node, nil, CompileOptions{MemoryLimit: -1})
 		if _, ok := it.(*ParallelDivideIter); !ok {
 			t.Fatalf("compiled to %T, want the fused ParallelDivideIter", it)
 		}
@@ -174,7 +177,9 @@ func TestTopKExchangeBoundsPartitionEmission(t *testing.T) {
 	const k = 5
 	node, _ := topkFixture(k, false)
 	stats := NewStats()
-	it := Compile(node, stats)
+	// The O(k) emission bound is a property of the partitioned
+	// exchange, so opt out of any ambient forced-spill budget.
+	it := CompileWith(node, stats, CompileOptions{MemoryLimit: -1})
 	rows := drainAll(t, it)
 	if len(rows) != k {
 		t.Fatalf("%d rows, want %d", len(rows), k)
@@ -233,7 +238,7 @@ func TestTopKGreatDivideExchange(t *testing.T) {
 		Keys: keys,
 		K:    9,
 	}
-	it := Compile(node, nil)
+	it := CompileWith(node, nil, CompileOptions{MemoryLimit: -1})
 	if _, ok := it.(*ParallelGreatDivideIter); !ok {
 		t.Fatalf("compiled to %T, want the fused ParallelGreatDivideIter", it)
 	}

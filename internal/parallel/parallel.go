@@ -188,6 +188,20 @@ func DivideStream(ctx context.Context, algo division.Algorithm, r1, r2 *relation
 	return divideParts(ctx, algo, smallParts(r1, r2, workers), r2, nil, tune, emit)
 }
 
+// DividePartsStream is DivideStream over caller-partitioned dividends:
+// one worker per partition divides it against the shared divisor r2.
+// The partitions must be A-disjoint (every quotient group whole within
+// one partition) — the budgeted exchange path partitions the dividend
+// by hash on A while draining, so it supplies the partitioning itself.
+// A non-nil bound caps each worker's emission at its k smallest
+// quotient tuples.
+func DividePartsStream(ctx context.Context, algo division.Algorithm, parts []*relation.Relation, r2 *relation.Relation, bound *TopKBound, tune Tuning, emit EmitFunc) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return divideParts(ctx, algo, parts, r2, bound, tune, emit)
+}
+
 // smallParts plans the dividend partitioning of r1 ÷ r2: a single
 // pseudo-partition (r1 itself) when the input is too small to be
 // worth partitioning, range partitions on A otherwise. At least one
@@ -442,6 +456,20 @@ func GreatDivideStream(ctx context.Context, algo division.Algorithm, r1, r2 *rel
 		return err
 	}
 	return greatDivideParts(ctx, algo, r1, greatParts(r1, r2, workers), nil, tune, emit)
+}
+
+// GreatDividePartsStream is GreatDivideStream over caller-partitioned
+// divisors: one worker per divisor partition great-divides the shared
+// dividend r1 against it. The partitions must be πC-disjoint (every
+// divisor group whole within one partition, Law 13's premise) — the
+// budgeted exchange path partitions the divisor by hash on C while
+// draining, so it supplies the partitioning itself. A non-nil bound
+// caps each worker's emission at its k smallest quotient tuples.
+func GreatDividePartsStream(ctx context.Context, algo division.Algorithm, r1 *relation.Relation, parts []*relation.Relation, bound *TopKBound, tune Tuning, emit EmitFunc) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return greatDivideParts(ctx, algo, r1, parts, bound, tune, emit)
 }
 
 // greatParts plans the divisor partitioning of r1 ÷* r2: the divisor

@@ -114,6 +114,18 @@ func (t Tuple) Project(pos []int) Tuple {
 	return out
 }
 
+// Footprint approximates the live heap bytes held by the tuple: the
+// slice header and backing array plus each value's payload. Operators
+// charge this against a memory budget, so it deliberately rounds up.
+func (t Tuple) Footprint() int64 {
+	const sliceHeader = 24
+	n := int64(sliceHeader)
+	for _, v := range t {
+		n += v.Footprint()
+	}
+	return n
+}
+
 // Compare orders tuples lexicographically by value.Compare.
 func (t Tuple) Compare(u Tuple) int {
 	n := len(t)

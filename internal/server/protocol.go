@@ -48,7 +48,24 @@ type Line struct {
 	// sent (deadline expiry mid-stream, pipeline failure). Streams
 	// refused before execution use the HTTP status instead.
 	Error string `json:"error,omitempty"`
+	// Code accompanies Error for typed failures a client can react
+	// to programmatically; see the Code* constants. Empty for
+	// untyped failures.
+	Code string `json:"code,omitempty"`
 }
+
+// Typed error codes carried by Line.Code and mirrored in the HTTP
+// status (507) when the failure happens before streaming starts.
+const (
+	// CodeMemoryBudget: the query cannot run under the engine's
+	// per-query memory budget even after spilling — its irreducible
+	// state (the divisor, or one key group after maximal recursive
+	// partitioning) exceeds the limit.
+	CodeMemoryBudget = "memory_budget"
+	// CodeSpillIO: the engine tried to spill but the temp-file I/O
+	// failed (disk full, permissions).
+	CodeSpillIO = "spill_io"
+)
 
 // Header opens every accepted query stream.
 type Header struct {
@@ -81,6 +98,10 @@ type Trailer struct {
 	// Stats is the full per-operator emission map
 	// (QueryStats.Emitted), keyed by plan position.
 	Stats map[string]int64 `json:"stats,omitempty"`
+	// SpilledBytes is the query's out-of-core volume: bytes written
+	// to spill runs under the engine's memory budget. Zero when the
+	// query ran entirely in memory.
+	SpilledBytes int64 `json:"spilled_bytes,omitempty"`
 }
 
 // Metrics is the response of GET /stats: a point-in-time snapshot of
@@ -109,8 +130,15 @@ type Metrics struct {
 	StmtCacheMisses    int64 `json:"stmt_cache_misses"`
 	StmtCacheEvictions int64 `json:"stmt_cache_evictions"`
 
+	// Out-of-core execution, aggregated across finished queries.
+	BytesSpilled    int64 `json:"bytes_spilled"`
+	SpillRuns       int64 `json:"spill_runs"`
+	SpillPartitions int64 `json:"spill_partitions"`
+	BudgetErrors    int64 `json:"budget_errors"`
+
 	// Engine configuration, for honest benchmark labeling.
-	EngineWorkers        int `json:"engine_workers"`
-	EngineBatchSize      int `json:"engine_batch_size"`
-	EngineExchangeBuffer int `json:"engine_exchange_buffer"`
+	EngineWorkers        int   `json:"engine_workers"`
+	EngineBatchSize      int   `json:"engine_batch_size"`
+	EngineExchangeBuffer int   `json:"engine_exchange_buffer"`
+	EngineMemoryLimit    int64 `json:"engine_memory_limit"`
 }

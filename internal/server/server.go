@@ -92,6 +92,12 @@ type Server struct {
 	completed atomic.Int64
 	errored   atomic.Int64
 	rowsSent  atomic.Int64
+
+	// Out-of-core activity, aggregated from each query's SpillStats.
+	bytesSpilled    atomic.Int64
+	spillRuns       atomic.Int64
+	spillPartitions atomic.Int64
+	budgetErrors    atomic.Int64
 }
 
 // New builds a Server over db. Zero-valued Config fields take the
@@ -169,10 +175,45 @@ func (s *Server) Metrics() Metrics {
 		StmtCacheMisses:    misses,
 		StmtCacheEvictions: evictions,
 
+		BytesSpilled:    s.bytesSpilled.Load(),
+		SpillRuns:       s.spillRuns.Load(),
+		SpillPartitions: s.spillPartitions.Load(),
+		BudgetErrors:    s.budgetErrors.Load(),
+
 		EngineWorkers:        s.db.Workers(),
 		EngineBatchSize:      s.db.BatchSize(),
 		EngineExchangeBuffer: s.db.ExchangeBuffer(),
+		EngineMemoryLimit:    s.db.MemoryLimit(),
 	}
+}
+
+// recordSpill folds one finished query's out-of-core ledger into the
+// server totals.
+func (s *Server) recordSpill(st divlaws.SpillStats) {
+	if st.SpilledBytes > 0 {
+		s.bytesSpilled.Add(st.SpilledBytes)
+	}
+	if st.Runs > 0 {
+		s.spillRuns.Add(st.Runs)
+	}
+	if st.Partitions > 0 {
+		s.spillPartitions.Add(st.Partitions)
+	}
+}
+
+// budgetCode classifies a pipeline error for the wire: a non-empty
+// code marks the typed out-of-core failures a client can react to
+// (shrink the query, raise the limit) without parsing prose.
+func (s *Server) budgetCode(err error) string {
+	switch {
+	case errors.Is(err, divlaws.ErrMemoryBudget):
+		s.budgetErrors.Add(1)
+		return CodeMemoryBudget
+	case errors.Is(err, divlaws.ErrSpillIO):
+		s.budgetErrors.Add(1)
+		return CodeSpillIO
+	}
+	return ""
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -232,11 +273,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	stmt, hit, err := s.cache.Get(s.db, req.Query)
+	stmt, releaseStmt, hit, err := s.cache.Get(s.db, req.Query)
 	if err != nil {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	defer releaseStmt()
 
 	s.started.Add(1)
 	start := time.Now()
@@ -244,8 +286,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.errored.Add(1)
 		status := http.StatusBadRequest
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 			status = http.StatusRequestTimeout
+		case s.budgetCode(err) != "":
+			// The query cannot run under the engine's memory budget
+			// (or spilling itself failed) before any row was
+			// produced: refuse with 507 so clients can tell capacity
+			// from syntax.
+			status = http.StatusInsufficientStorage
 		}
 		writeJSONError(w, status, err.Error())
 		return
@@ -299,11 +348,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.rowsSent.Add(n)
 	if err := rows.Err(); err != nil {
-		// Mid-stream failure (deadline expiry, pipeline error): the
-		// stream ends with an error line instead of a trailer. Flush
-		// it now — the deferred rows.Close may block reaping workers.
+		// Mid-stream failure (deadline expiry, pipeline error, budget
+		// exhaustion during a recursive repartition): the stream ends
+		// with an error line instead of a trailer — never a killed
+		// connection. Flush it now — the deferred rows.Close may block
+		// reaping workers. Budget and spill-I/O failures carry a typed
+		// code so clients can react without parsing the message.
 		s.errored.Add(1)
-		enc.Encode(Line{Error: err.Error()})
+		s.recordSpill(rows.Stats().Spill)
+		enc.Encode(Line{Error: err.Error(), Code: s.budgetCode(err)})
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -311,12 +364,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	stats := rows.Stats()
+	s.recordSpill(stats.Spill)
 	enc.Encode(Line{Trailer: &Trailer{
-		Rows:       n,
-		Ordered:    rows.Ordered(),
-		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
-		StatsTotal: stats.Total(),
-		Stats:      stats.Emitted,
+		Rows:         n,
+		Ordered:      rows.Ordered(),
+		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
+		StatsTotal:   stats.Total(),
+		Stats:        stats.Emitted,
+		SpilledBytes: stats.Spill.SpilledBytes,
 	}})
 	if flusher != nil {
 		flusher.Flush()

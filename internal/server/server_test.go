@@ -34,7 +34,11 @@ func newTestServer(t *testing.T, scale int, cfg Config, opts ...divlaws.Option) 
 	sup, par := datagen.SuppliersParts{
 		Suppliers: scale, Parts: 32, Colors: 8, AvgSupplied: 16, Seed: 11,
 	}.Generate()
-	db := divlaws.Open(opts...)
+	// Default to an explicitly unlimited budget so an ambient
+	// DIVLAWS_FORCE_SPILL does not perturb the timing- and
+	// partition-sensitive fixtures; tests exercising the budget pass
+	// their own WithMemoryLimit later in opts, which wins.
+	db := divlaws.Open(append([]divlaws.Option{divlaws.WithMemoryLimit(-1)}, opts...)...)
 	db.MustRegister("supplies", divlaws.MustNewRelation(sup.Schema().Attrs(), sup.Rows()))
 	db.MustRegister("parts", divlaws.MustNewRelation(par.Schema().Attrs(), par.Rows()))
 	srv := New(db, cfg)
@@ -76,6 +80,7 @@ type stream struct {
 	rows    int64
 	trailer *Trailer
 	errLine string
+	errCode string
 }
 
 func readStream(t *testing.T, body io.Reader) stream {
@@ -97,6 +102,7 @@ func readStream(t *testing.T, body io.Reader) stream {
 			s.trailer = l.Trailer
 		case l.Error != "":
 			s.errLine = l.Error
+			s.errCode = l.Code
 		}
 	}
 	return s
@@ -413,7 +419,11 @@ func TestLimitOneOverHTTPCancelsWorkers(t *testing.T) {
 	sup, par := datagen.SuppliersParts{
 		Suppliers: 3000, Parts: 40, Colors: 4, AvgSupplied: 20, Seed: 7,
 	}.Generate()
-	db := divlaws.Open(divlaws.WithWorkers(4), divlaws.WithParallelThreshold(1), divlaws.WithExchangeBuffer(1))
+	// WithMemoryLimit(-1): the per-partition stats asserted below only
+	// exist on the partitioned-exchange path, which a forced tiny
+	// budget from the environment would replace with inline fallback.
+	db := divlaws.Open(divlaws.WithWorkers(4), divlaws.WithParallelThreshold(1),
+		divlaws.WithExchangeBuffer(1), divlaws.WithMemoryLimit(-1))
 	db.MustRegister("supplies", divlaws.MustNewRelation(sup.Schema().Attrs(), sup.Rows()))
 	db.MustRegister("parts", divlaws.MustNewRelation(par.Schema().Attrs(), par.Rows()))
 	srv := New(db, Config{})

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"divlaws"
+)
+
+// TestQueryCompletesUnderMemoryBudget is the server-side out-of-core
+// acceptance: a division whose working set dwarfs the engine's memory
+// budget completes over the wire — same row count as the unlimited
+// server, a proper trailer reporting the spill volume — instead of a
+// 5xx or a killed process. /stats aggregates the activity.
+func TestQueryCompletesUnderMemoryBudget(t *testing.T) {
+	const scale = 2000
+	_, unlimited := newTestServer(t, scale, Config{})
+	resp := postQuery(t, unlimited.URL, Request{Query: testQ1})
+	oracle := readStream(t, resp.Body)
+	resp.Body.Close()
+	if oracle.trailer == nil || oracle.rows == 0 {
+		t.Fatalf("unlimited oracle failed: %+v", oracle)
+	}
+
+	const budget = 64 << 10
+	srv, ts := newTestServer(t, scale, Config{}, divlaws.WithMemoryLimit(budget))
+	resp = postQuery(t, ts.URL, Request{Query: testQ1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budgeted query status = %d", resp.StatusCode)
+	}
+	got := readStream(t, resp.Body)
+	resp.Body.Close()
+	if got.errLine != "" {
+		t.Fatalf("budgeted query errored: %s (code %s)", got.errLine, got.errCode)
+	}
+	if got.trailer == nil {
+		t.Fatal("budgeted stream ended without a trailer")
+	}
+	if got.rows != oracle.rows {
+		t.Fatalf("budgeted query streamed %d rows, unlimited %d", got.rows, oracle.rows)
+	}
+	if got.trailer.SpilledBytes == 0 {
+		t.Fatal("working set 10x the budget but the trailer reports no spill")
+	}
+
+	var m Metrics
+	statsResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	statsResp.Body.Close()
+	if m.BytesSpilled == 0 || m.SpillRuns == 0 {
+		t.Errorf("stats spill counters = %d bytes / %d runs, want > 0", m.BytesSpilled, m.SpillRuns)
+	}
+	if m.EngineMemoryLimit != budget {
+		t.Errorf("engine_memory_limit = %d, want %d", m.EngineMemoryLimit, budget)
+	}
+	if m.BudgetErrors != 0 {
+		t.Errorf("budget_errors = %d, want 0 — the query completed", m.BudgetErrors)
+	}
+	_ = srv
+}
+
+// TestBudgetTooSmallRefusedTyped: a budget smaller than the query's
+// irreducible state (the divisor itself) cannot be saved by spilling.
+// The server must refuse with 507 before streaming, and count it.
+func TestBudgetTooSmallRefusedTyped(t *testing.T) {
+	srv, ts := newTestServer(t, 200, Config{}, divlaws.WithMemoryLimit(256))
+	resp := postQuery(t, ts.URL, Request{Query: testQ1})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInsufficientStorage {
+		t.Fatalf("status = %d, want 507", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["error"] == "" {
+		t.Fatal("507 without an error message")
+	}
+	if m := srv.Metrics(); m.BudgetErrors != 1 {
+		t.Errorf("budget_errors = %d, want 1", m.BudgetErrors)
+	}
+}

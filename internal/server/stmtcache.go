@@ -14,11 +14,11 @@ import (
 // the same parameterized text with different arguments — skip the
 // parse entirely.
 //
-// Evicted statements are simply dropped, never Closed: a Stmt holds
-// no resources beyond its parsed AST, and an in-flight request that
-// obtained the statement just before eviction must still be able to
-// run it. The garbage collector reclaims the AST once the last
-// reference is gone.
+// Eviction is reference-counted: each Get pins the statement until
+// its release func is called, so an in-flight request that obtained
+// the statement just before eviction can still run it. The evicted
+// statement is Closed exactly once — immediately when idle, otherwise
+// by the last release to drain.
 type StmtCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -33,6 +33,11 @@ type StmtCache struct {
 type cacheEntry struct {
 	text string
 	stmt *divlaws.Stmt
+	// refs counts Gets not yet released; guarded by StmtCache.mu.
+	refs int
+	// evicted marks an entry dropped from the LRU whose statement
+	// close is deferred to the last release; guarded by StmtCache.mu.
+	evicted bool
 }
 
 // NewStmtCache builds a cache holding at most capacity statements.
@@ -45,23 +50,31 @@ func NewStmtCache(capacity int) *StmtCache {
 }
 
 // Get returns the cached statement for text, preparing and inserting
-// it on a miss. The hit return reports which path was taken. Get is
-// safe for concurrent use; a race between two misses on the same
-// text costs a redundant parse, never a wrong result (the second
-// insert finds the first and reuses it).
-func (c *StmtCache) Get(db *divlaws.DB, text string) (stmt *divlaws.Stmt, hit bool, err error) {
+// it on a miss. The caller must call release exactly once when it is
+// done executing the statement: release unpins the entry so a
+// concurrent eviction can Close it once the last in-flight query
+// drains. The hit return reports which path was taken. Get is safe
+// for concurrent use; a race between two misses on the same text
+// costs a redundant parse, never a wrong result (the second insert
+// finds the first and reuses it).
+func (c *StmtCache) Get(db *divlaws.DB, text string) (stmt *divlaws.Stmt, release func(), hit bool, err error) {
 	if c.cap < 1 {
 		c.misses.Add(1)
 		st, err := db.Prepare(text)
-		return st, false, err
+		if err != nil {
+			return nil, nil, false, err
+		}
+		// Uncached: the caller is the only holder, so release closes.
+		return st, func() { st.Close() }, false, nil
 	}
 	c.mu.Lock()
 	if el, ok := c.entries[text]; ok {
+		e := el.Value.(*cacheEntry)
 		c.lru.MoveToFront(el)
-		st := el.Value.(*cacheEntry).stmt
+		e.refs++
 		c.mu.Unlock()
 		c.hits.Add(1)
-		return st, true, nil
+		return e.stmt, func() { c.release(e) }, true, nil
 	}
 	c.mu.Unlock()
 
@@ -70,24 +83,46 @@ func (c *StmtCache) Get(db *divlaws.DB, text string) (stmt *divlaws.Stmt, hit bo
 	c.misses.Add(1)
 	st, err := db.Prepare(text)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[text]; ok {
-		// A concurrent miss beat us to the insert; reuse its entry.
+		// A concurrent miss beat us to the insert; reuse its entry and
+		// drop ours (it holds nothing an eviction would need to free).
+		e := el.Value.(*cacheEntry)
 		c.lru.MoveToFront(el)
-		return el.Value.(*cacheEntry).stmt, false, nil
+		e.refs++
+		st.Close()
+		return e.stmt, func() { c.release(e) }, false, nil
 	}
-	c.entries[text] = c.lru.PushFront(&cacheEntry{text: text, stmt: st})
+	e := &cacheEntry{text: text, stmt: st, refs: 1}
+	c.entries[text] = c.lru.PushFront(e)
 	for len(c.entries) > c.cap {
 		oldest := c.lru.Back()
 		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).text)
+		old := oldest.Value.(*cacheEntry)
+		delete(c.entries, old.text)
+		old.evicted = true
+		if old.refs == 0 {
+			old.stmt.Close()
+		}
 		c.evictions.Add(1)
 	}
-	return st, false, nil
+	return e.stmt, func() { c.release(e) }, false, nil
+}
+
+// release unpins one Get. The last release of an evicted entry closes
+// its statement; entries still cached stay open for the next hit.
+func (c *StmtCache) release(e *cacheEntry) {
+	c.mu.Lock()
+	e.refs--
+	closeNow := e.evicted && e.refs == 0
+	c.mu.Unlock()
+	if closeNow {
+		e.stmt.Close()
+	}
 }
 
 // Len returns the number of cached statements.

@@ -21,14 +21,16 @@ func TestStmtCacheHitMiss(t *testing.T) {
 	db := cacheDB()
 	c := NewStmtCache(4)
 	const q = "SELECT p# FROM parts"
-	st1, hit, err := c.Get(db, q)
+	st1, rel1, hit, err := c.Get(db, q)
 	if err != nil || hit {
 		t.Fatalf("first Get = (hit=%t, %v), want miss", hit, err)
 	}
-	st2, hit, err := c.Get(db, q)
+	rel1()
+	st2, rel2, hit, err := c.Get(db, q)
 	if err != nil || !hit {
 		t.Fatalf("second Get = (hit=%t, %v), want hit", hit, err)
 	}
+	rel2()
 	if st1 != st2 {
 		t.Fatal("hit returned a different statement")
 	}
@@ -41,7 +43,7 @@ func TestStmtCacheParseErrorNotCached(t *testing.T) {
 	db := cacheDB()
 	c := NewStmtCache(4)
 	for i := 0; i < 2; i++ {
-		if _, hit, err := c.Get(db, "SELECT FROM nothing WHERE"); err == nil || hit {
+		if _, _, hit, err := c.Get(db, "SELECT FROM nothing WHERE"); err == nil || hit {
 			t.Fatalf("Get #%d on bad SQL = (hit=%t, err=%v), want miss+error", i, hit, err)
 		}
 	}
@@ -56,23 +58,32 @@ func TestStmtCacheParseErrorNotCached(t *testing.T) {
 func TestStmtCacheLRUEviction(t *testing.T) {
 	db := cacheDB()
 	c := NewStmtCache(2)
+	get := func(q string) bool {
+		t.Helper()
+		_, release, hit, err := c.Get(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+		return hit
+	}
 	qa := "SELECT p# FROM parts"
 	qb := "SELECT color FROM parts"
 	qc := "SELECT p#, color FROM parts"
-	c.Get(db, qa)
-	c.Get(db, qb)
-	c.Get(db, qa) // refresh qa: qb is now LRU
-	c.Get(db, qc) // evicts qb
+	get(qa)
+	get(qb)
+	get(qa) // refresh qa: qb is now LRU
+	get(qc) // evicts qb
 	if c.Len() != 2 {
 		t.Fatalf("len = %d, want 2", c.Len())
 	}
-	if _, hit, _ := c.Get(db, qa); !hit {
+	if !get(qa) {
 		t.Error("qa evicted despite being recently used")
 	}
-	if _, hit, _ := c.Get(db, qc); !hit {
+	if !get(qc) {
 		t.Error("qc evicted despite being newest")
 	}
-	if _, hit, _ := c.Get(db, qb); hit {
+	if get(qb) {
 		t.Error("qb not evicted despite being LRU")
 	}
 	if _, _, evictions := c.Counters(); evictions != 2 {
@@ -81,25 +92,28 @@ func TestStmtCacheLRUEviction(t *testing.T) {
 	}
 }
 
-// TestStmtCacheEvictedStmtStillRuns pins the no-Close eviction
+// TestStmtCacheEvictedStmtStillRuns pins the refcounted eviction
 // policy: a request that got its statement just before eviction must
-// still be able to execute it.
+// still be able to execute it, and the statement is Closed only when
+// that request releases it.
 func TestStmtCacheEvictedStmtStillRuns(t *testing.T) {
 	db := cacheDB()
 	c := NewStmtCache(1)
-	st, _, err := c.Get(db, "SELECT p# FROM parts")
+	st, release, _, err := c.Get(db, "SELECT p# FROM parts")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Get(db, "SELECT color FROM parts"); err != nil {
+	_, rel2, _, err := c.Get(db, "SELECT color FROM parts")
+	if err != nil {
 		t.Fatal(err)
 	}
+	rel2()
 	if _, _, evictions := c.Counters(); evictions != 1 {
 		t.Fatalf("evictions = %d, want 1", evictions)
 	}
 	rows, err := st.Query(context.Background())
 	if err != nil {
-		t.Fatalf("evicted statement no longer runs: %v", err)
+		t.Fatalf("evicted-but-pinned statement no longer runs: %v", err)
 	}
 	n := 0
 	for rows.Next() {
@@ -109,14 +123,45 @@ func TestStmtCacheEvictedStmtStillRuns(t *testing.T) {
 	if n != 2 {
 		t.Fatalf("evicted statement streamed %d rows, want 2", n)
 	}
+	// The last release closes the evicted statement.
+	release()
+	if _, err := st.Query(context.Background()); err == nil {
+		t.Fatal("evicted statement still runnable after the last release")
+	}
+}
+
+// TestStmtCacheEvictionClosesIdle is the other half of the leak fix:
+// an evicted statement with no in-flight queries is Closed
+// immediately, not left for the garbage collector to maybe find.
+func TestStmtCacheEvictionClosesIdle(t *testing.T) {
+	db := cacheDB()
+	c := NewStmtCache(1)
+	st, release, _, err := c.Get(db, "SELECT p# FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release() // idle before the eviction below
+	_, rel2, _, err := c.Get(db, "SELECT color FROM parts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+	if _, err := st.Query(context.Background()); err == nil {
+		t.Fatal("idle evicted statement was not Closed")
+	}
 }
 
 func TestStmtCacheDisabled(t *testing.T) {
 	db := cacheDB()
 	c := NewStmtCache(0)
 	for i := 0; i < 3; i++ {
-		if _, hit, err := c.Get(db, "SELECT p# FROM parts"); err != nil || hit {
+		st, release, hit, err := c.Get(db, "SELECT p# FROM parts")
+		if err != nil || hit {
 			t.Fatalf("disabled cache Get = (hit=%t, %v), want fresh miss", hit, err)
+		}
+		release()
+		if _, err := st.Query(context.Background()); err == nil {
+			t.Fatal("uncached statement not Closed by its release")
 		}
 	}
 	if c.Len() != 0 {
@@ -141,15 +186,15 @@ func TestStmtCacheConcurrent(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 50; j++ {
 				text := texts[(g+j)%len(texts)]
-				st, _, err := c.Get(db, text)
+				st, release, _, err := c.Get(db, text)
 				if err != nil {
 					t.Errorf("Get(%q): %v", text, err)
 					return
 				}
 				if st.Text() != text {
 					t.Errorf("Get(%q) returned statement for %q", text, st.Text())
-					return
 				}
+				release()
 			}
 		}(g)
 	}
@@ -163,5 +208,53 @@ func TestStmtCacheConcurrent(t *testing.T) {
 	}
 	if evictions == 0 {
 		t.Fatal("expected evictions with working set > capacity")
+	}
+}
+
+// TestStmtCacheEvictUnderConcurrentQuery is the regression test for
+// the eviction/close race: goroutines continuously run queries
+// through statements they pinned with Get while a churn goroutine
+// forces evictions of those same entries. A pinned statement must
+// keep executing until its release; -race verifies the Close
+// handoff is properly synchronized.
+func TestStmtCacheEvictUnderConcurrentQuery(t *testing.T) {
+	db := cacheDB()
+	c := NewStmtCache(1) // every distinct text evicts the previous one
+	texts := make([]string, 4)
+	for i := range texts {
+		texts[i] = fmt.Sprintf("SELECT p# FROM parts WHERE color = 'r%d'", i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < 40; j++ {
+				st, release, _, err := c.Get(db, texts[(g+j)%len(texts)])
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				// By the time we run it, other goroutines have very
+				// likely evicted the entry; the pin must keep it alive.
+				rows, err := st.Query(context.Background())
+				if err != nil {
+					t.Errorf("pinned statement failed to run: %v", err)
+					release()
+					return
+				}
+				for rows.Next() {
+				}
+				if err := rows.Err(); err != nil {
+					t.Errorf("stream error: %v", err)
+				}
+				rows.Close()
+				release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if _, _, evictions := c.Counters(); evictions == 0 {
+		t.Fatal("fixture produced no evictions — the race went untested")
 	}
 }

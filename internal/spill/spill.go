@@ -1,0 +1,404 @@
+// Package spill is the shared memory-accounting and out-of-core layer
+// behind the engine's per-query memory budget (WithMemoryLimit).
+//
+// A Tracker holds the budget: blocking operators Charge the
+// approximate footprint of every tuple they retain and Release it when
+// the state is dropped. A Charge that would exceed the budget fails
+// with ErrBudget — the operator's cue to degrade out of core: sort
+// spills sorted runs, hash division and hash join grace-hash partition
+// their inputs to temp files and recurse per partition.
+//
+// Runs are the temp files themselves: framed sequences of tuples in
+// the engine's injective key encoding (value.AppendKey /
+// value.DecodeKey), written once and read back one or more times. All
+// runs live under a single lazily-created os.MkdirTemp directory that
+// Tracker.Close removes, so a query tears down to an empty temp
+// namespace on every exit path. I/O failures — including
+// test-injected ones via FailWriteAfter/FailReadAfter — surface as
+// errors wrapping ErrIO, never as hangs or partial results.
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"divlaws/internal/relation"
+	"divlaws/internal/value"
+)
+
+// ErrBudget is returned by Tracker.Charge when granting the request
+// would exceed the query's memory limit. Operators that can spill
+// treat it as a signal to go out of core; operators that cannot
+// propagate it, and the root API surfaces it as
+// divlaws.ErrMemoryBudget.
+var ErrBudget = errors.New("memory budget exceeded")
+
+// ErrIO wraps every spill-file I/O failure (create, write, read,
+// seek), including injected ones, so callers can classify disk
+// trouble on the spill path separately from query-logic errors.
+var ErrIO = errors.New("spill I/O error")
+
+// Stats is a point-in-time snapshot of a Tracker's accounting.
+type Stats struct {
+	// Limit is the budget in bytes (always > 0 for a live tracker).
+	Limit int64
+	// Used is the currently charged footprint.
+	Used int64
+	// Peak is the high-water mark of Used over the tracker's life.
+	Peak int64
+	// Spilled is the total bytes written to spill files.
+	Spilled int64
+	// Runs is the number of spill files created (sort runs and hash
+	// partitions alike).
+	Runs int64
+	// Partitions counts grace-hash partitioning passes: each time an
+	// operator splits an over-budget input (or re-splits an
+	// over-budget partition) this increments by one.
+	Partitions int64
+}
+
+// Tracker enforces one query's memory budget and owns its spill
+// directory. All methods are safe for concurrent use and nil-safe: a
+// nil *Tracker is the unlimited budget — Charge always succeeds,
+// Release is a no-op — so operators charge unconditionally.
+type Tracker struct {
+	limit int64
+
+	used atomic.Int64
+	peak atomic.Int64
+
+	spilled    atomic.Int64
+	runs       atomic.Int64
+	partitions atomic.Int64
+	liveRuns   atomic.Int64
+
+	failWrite atomic.Int64 // countdown to injected write failure; <=0 disabled
+	failRead  atomic.Int64 // countdown to injected read failure; <=0 disabled
+
+	mu     sync.Mutex
+	dir    string
+	closed bool
+}
+
+// NewTracker builds a tracker enforcing a budget of limit bytes.
+// limit <= 0 returns nil: the unlimited tracker.
+func NewTracker(limit int64) *Tracker {
+	if limit <= 0 {
+		return nil
+	}
+	return &Tracker{limit: limit}
+}
+
+// Limit returns the budget in bytes, or 0 for the nil (unlimited)
+// tracker.
+func (t *Tracker) Limit() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.limit
+}
+
+// Charge reserves n bytes of the budget, failing with an error
+// wrapping ErrBudget — and reserving nothing — if the reservation
+// would exceed the limit. A nil tracker always succeeds.
+func (t *Tracker) Charge(n int64) error {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	for {
+		used := t.used.Load()
+		if used+n > t.limit {
+			return fmt.Errorf("%w (limit %d bytes, %d in use, %d requested)", ErrBudget, t.limit, used, n)
+		}
+		if t.used.CompareAndSwap(used, used+n) {
+			for {
+				p := t.peak.Load()
+				if used+n <= p || t.peak.CompareAndSwap(p, used+n) {
+					return nil
+				}
+			}
+		}
+	}
+}
+
+// Release returns n previously charged bytes to the budget.
+func (t *Tracker) Release(n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.used.Add(-n)
+}
+
+// AddPartitions records grace-hash partitioning passes for Stats.
+func (t *Tracker) AddPartitions(n int64) {
+	if t != nil {
+		t.partitions.Add(n)
+	}
+}
+
+// Snapshot returns the tracker's current accounting; the zero Stats
+// for a nil tracker.
+func (t *Tracker) Snapshot() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	return Stats{
+		Limit:      t.limit,
+		Used:       t.used.Load(),
+		Peak:       t.peak.Load(),
+		Spilled:    t.spilled.Load(),
+		Runs:       t.runs.Load(),
+		Partitions: t.partitions.Load(),
+	}
+}
+
+// LiveRuns returns the number of runs created and not yet closed —
+// the invariant leak tests assert returns to zero on every teardown
+// path.
+func (t *Tracker) LiveRuns() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.liveRuns.Load()
+}
+
+// Dir returns the tracker's spill directory path, or "" if no run has
+// been created yet (the directory is made lazily on first spill).
+func (t *Tracker) Dir() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dir
+}
+
+// FailWriteAfter arms fault injection: the n-th subsequent run write
+// (1-based, counted across all runs) fails with an error wrapping
+// ErrIO. n <= 0 disarms.
+func (t *Tracker) FailWriteAfter(n int64) {
+	if t != nil {
+		t.failWrite.Store(n)
+	}
+}
+
+// FailReadAfter arms fault injection: the n-th subsequent run read
+// fails with an error wrapping ErrIO. n <= 0 disarms.
+func (t *Tracker) FailReadAfter(n int64) {
+	if t != nil {
+		t.failRead.Store(n)
+	}
+}
+
+// countdown decrements c if positive and reports whether it just hit
+// zero — i.e. whether this call is the armed n-th event.
+func countdown(c *atomic.Int64) bool {
+	for {
+		v := c.Load()
+		if v <= 0 {
+			return false
+		}
+		if c.CompareAndSwap(v, v-1) {
+			return v == 1
+		}
+	}
+}
+
+// Close removes the spill directory and everything under it.
+// Idempotent; safe to call with runs still open (on unix an unlinked
+// file stays readable through its descriptor, so racing readers fail
+// soft at worst). Returns the removal error, if any.
+func (t *Tracker) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	if t.dir == "" {
+		return nil
+	}
+	return os.RemoveAll(t.dir)
+}
+
+// runDir returns the spill directory, creating it on first use.
+func (t *Tracker) runDir() (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return "", fmt.Errorf("%w: tracker closed", ErrIO)
+	}
+	if t.dir == "" {
+		dir, err := os.MkdirTemp("", "divlaws-spill-*")
+		if err != nil {
+			return "", fmt.Errorf("%w: mkdir: %v", ErrIO, err)
+		}
+		t.dir = dir
+	}
+	return t.dir, nil
+}
+
+// runBufSize bounds the per-run buffer, keeping a k-way merge's
+// resident footprint modest even with many runs open.
+const runBufSize = 32 << 10
+
+// A Run is one spill file: a write-once, read-back sequence of tuples
+// in the injective key encoding. Typical life cycle: NewRun, Append
+// until done, Rewind, Next until io.EOF, Close (which deletes the
+// file). Rewind may be called again to re-read from the top. A Run is
+// not safe for concurrent use.
+type Run struct {
+	t      *Tracker
+	f      *os.File
+	w      *bufio.Writer
+	r      *bufio.Reader
+	buf    []byte
+	tuples int64
+	closed bool
+}
+
+// NewRun creates a fresh spill file in the tracker's directory. It
+// panics on a nil tracker: only budgeted queries spill.
+func (t *Tracker) NewRun() (*Run, error) {
+	if t == nil {
+		panic("spill: NewRun on nil Tracker")
+	}
+	dir, err := t.runDir()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(dir, "run-*")
+	if err != nil {
+		return nil, fmt.Errorf("%w: create run: %v", ErrIO, err)
+	}
+	t.runs.Add(1)
+	t.liveRuns.Add(1)
+	return &Run{t: t, f: f, w: bufio.NewWriterSize(f, runBufSize)}, nil
+}
+
+// Append writes one tuple frame:
+//
+//	uvarint(len(payload)) payload
+//	payload = uvarint(arity) value.AppendKey(v0) ... value.AppendKey(vn-1)
+//
+// The length prefix lets the reader slurp a whole frame before
+// decoding, so a torn write surfaces as a framing error rather than a
+// misparse.
+func (r *Run) Append(t relation.Tuple) error {
+	if r.closed || r.w == nil {
+		return fmt.Errorf("%w: append to closed or read-mode run", ErrIO)
+	}
+	if countdown(&r.t.failWrite) {
+		return fmt.Errorf("%w: injected write failure", ErrIO)
+	}
+	r.buf = binary.AppendUvarint(r.buf[:0], uint64(len(t)))
+	r.buf = t.AppendKey(r.buf)
+	var lenPrefix [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenPrefix[:], uint64(len(r.buf)))
+	if _, err := r.w.Write(lenPrefix[:n]); err != nil {
+		return fmt.Errorf("%w: write: %v", ErrIO, err)
+	}
+	if _, err := r.w.Write(r.buf); err != nil {
+		return fmt.Errorf("%w: write: %v", ErrIO, err)
+	}
+	r.t.spilled.Add(int64(n + len(r.buf)))
+	r.tuples++
+	return nil
+}
+
+// Len returns the number of tuples appended so far.
+func (r *Run) Len() int64 { return r.tuples }
+
+// Rewind flushes any pending writes and positions the run for reading
+// from the first tuple. After Rewind, Append is an error.
+func (r *Run) Rewind() error {
+	if r.closed {
+		return fmt.Errorf("%w: rewind closed run", ErrIO)
+	}
+	if r.w != nil {
+		if err := r.w.Flush(); err != nil {
+			return fmt.Errorf("%w: flush: %v", ErrIO, err)
+		}
+		r.w = nil
+	}
+	if _, err := r.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("%w: seek: %v", ErrIO, err)
+	}
+	if r.r == nil {
+		r.r = bufio.NewReaderSize(r.f, runBufSize)
+	} else {
+		r.r.Reset(r.f)
+	}
+	return nil
+}
+
+// Next decodes and returns the next tuple, io.EOF after the last one,
+// or an error wrapping ErrIO on read or decode failure.
+func (r *Run) Next() (relation.Tuple, error) {
+	if r.closed || r.r == nil {
+		return nil, fmt.Errorf("%w: read on closed or write-mode run", ErrIO)
+	}
+	if countdown(&r.t.failRead) {
+		return nil, fmt.Errorf("%w: injected read failure", ErrIO)
+	}
+	frameLen, err := binary.ReadUvarint(r.r)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: read frame length: %v", ErrIO, err)
+	}
+	if cap(r.buf) < int(frameLen) {
+		r.buf = make([]byte, frameLen)
+	}
+	r.buf = r.buf[:frameLen]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, fmt.Errorf("%w: read frame: %v", ErrIO, err)
+	}
+	arity, used := binary.Uvarint(r.buf)
+	if used <= 0 {
+		return nil, fmt.Errorf("%w: bad frame arity", ErrIO)
+	}
+	rest := r.buf[used:]
+	t := make(relation.Tuple, arity)
+	for i := range t {
+		var v value.Value
+		v, rest, err = value.DecodeKey(rest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: decode tuple: %v", ErrIO, err)
+		}
+		t[i] = v
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in frame", ErrIO, len(rest))
+	}
+	return t, nil
+}
+
+// Close closes and deletes the run's file. Idempotent.
+func (r *Run) Close() error {
+	if r == nil || r.closed {
+		return nil
+	}
+	r.closed = true
+	r.w, r.r = nil, nil
+	name := r.f.Name()
+	err := r.f.Close()
+	if rmErr := os.Remove(name); err == nil && rmErr != nil && !os.IsNotExist(rmErr) {
+		err = rmErr
+	}
+	r.t.liveRuns.Add(-1)
+	if err != nil {
+		return fmt.Errorf("%w: close run: %v", ErrIO, err)
+	}
+	return nil
+}

@@ -296,6 +296,59 @@ func HashEncodedKey(h uint64, key string) uint64 {
 	return h
 }
 
+// DecodeKey decodes one value from the front of an AppendKey-produced
+// encoding, returning the value and the remaining bytes. It is the
+// exact inverse of AppendKey (modulo NaN canonicalization, which
+// AppendKey already applied), which lets spilled tuples round-trip
+// through temp files using the same injective encoding that keys the
+// engine's hash maps. A truncated or unknown-kind prefix returns an
+// error rather than a partial value.
+func DecodeKey(b []byte) (Value, []byte, error) {
+	if len(b) == 0 {
+		return Value{}, b, fmt.Errorf("value: DecodeKey on empty input")
+	}
+	kind := Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case KindNull:
+		return Null, b, nil
+	case KindBool, KindInt, KindFloat:
+		if len(b) < 8 {
+			return Value{}, b, fmt.Errorf("value: DecodeKey: truncated %s payload", kind)
+		}
+		u := readUint64(string(b[:8]))
+		b = b[8:]
+		switch kind {
+		case KindBool:
+			return Bool(u != 0), b, nil
+		case KindInt:
+			return Int(int64(u)), b, nil
+		default:
+			return Float(math.Float64frombits(u)), b, nil
+		}
+	case KindString:
+		if len(b) < 8 {
+			return Value{}, b, fmt.Errorf("value: DecodeKey: truncated string length")
+		}
+		n := readUint64(string(b[:8]))
+		b = b[8:]
+		if uint64(len(b)) < n {
+			return Value{}, b, fmt.Errorf("value: DecodeKey: truncated string payload (want %d bytes, have %d)", n, len(b))
+		}
+		return String(string(b[:n])), b[n:], nil
+	default:
+		return Value{}, b, fmt.Errorf("value: DecodeKey: unknown kind %d", uint8(kind))
+	}
+}
+
+// Footprint approximates the live heap bytes held by v: the struct
+// itself plus string payload. It intentionally overestimates shared
+// string backing arrays — memory accounting rounds up, never down.
+func (v Value) Footprint() int64 {
+	const structSize = 32 // kind + padding + i + f + string header
+	return structSize + int64(len(v.s))
+}
+
 func readUint64(s string) uint64 {
 	return uint64(s[0])<<56 | uint64(s[1])<<48 | uint64(s[2])<<40 |
 		uint64(s[3])<<32 | uint64(s[4])<<24 | uint64(s[5])<<16 |

@@ -85,7 +85,10 @@ func TestLimitOneCancelsParallelWorkers(t *testing.T) {
 	supplies, parts := datagen.SuppliersParts{
 		Suppliers: 3000, Parts: 40, Colors: 4, AvgSupplied: 20, Seed: 7,
 	}.Generate()
-	full := Open(WithWorkers(4), WithParallelThreshold(1), WithExchangeBuffer(1))
+	// WithMemoryLimit(-1) pins the partitioned exchange even when the
+	// environment forces a tiny spill budget; the per-partition stats
+	// this test asserts on only exist on that path.
+	full := Open(WithWorkers(4), WithParallelThreshold(1), WithExchangeBuffer(1), WithMemoryLimit(-1))
 	full.MustRegister("supplies", MustNewRelation(supplies.Schema().Attrs(), supplies.Rows()))
 	full.MustRegister("parts", MustNewRelation(parts.Schema().Attrs(), parts.Rows()))
 

@@ -89,7 +89,10 @@ func TestQueryOrderByStreamsInOrder(t *testing.T) {
 // the per-partition stats stay bounded by k.
 func TestQueryOrderByLimitTopKOverParallel(t *testing.T) {
 	const k = 7
-	db := openDividePair(WithWorkers(4), WithParallelThreshold(1))
+	// WithMemoryLimit(-1) pins the partitioned exchange even when the
+	// environment forces a tiny spill budget: the per-partition emission
+	// bound asserted below is a property of that path.
+	db := openDividePair(WithWorkers(4), WithParallelThreshold(1), WithMemoryLimit(-1))
 	const q = "SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b ORDER BY a LIMIT 7"
 
 	// Reference: the full quotient, sorted ascending.

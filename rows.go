@@ -6,6 +6,7 @@ import (
 
 	"divlaws/internal/exec"
 	"divlaws/internal/relation"
+	"divlaws/internal/spill"
 	"divlaws/internal/value"
 )
 
@@ -31,6 +32,7 @@ type Rows struct {
 	cancel  context.CancelFunc
 	cols    []string
 	stats   *exec.Stats
+	spill   *spill.Tracker
 	ordered bool
 
 	cur    relation.Tuple
@@ -81,6 +83,10 @@ func (r *Rows) release() {
 	if cerr := r.it.Close(); cerr != nil && r.err == nil {
 		r.err = cerr
 	}
+	// The pipeline is down; close the budget tracker last so its
+	// temp-file directory outlives every spill run the plan held.
+	// Counters stay readable after Close for Stats.
+	r.spill.Close()
 }
 
 // Scan copies the current tuple into dest, one pointer per result
@@ -183,9 +189,23 @@ func (r *Rows) Close() error {
 }
 
 // Stats returns a point-in-time snapshot of the pipeline's
-// per-operator tuple counts. It is safe to call while the query is
+// per-operator tuple counts and, when the query ran under a memory
+// budget, its spill activity. It is safe to call while the query is
 // still streaming and after Close.
-func (r *Rows) Stats() QueryStats { return QueryStats{Emitted: r.stats.Snapshot()} }
+func (r *Rows) Stats() QueryStats {
+	qs := QueryStats{Emitted: r.stats.Snapshot()}
+	if r.spill != nil {
+		s := r.spill.Snapshot()
+		qs.Spill = SpillStats{
+			Limit:        s.Limit,
+			PeakBytes:    s.Peak,
+			SpilledBytes: s.Spilled,
+			Runs:         s.Runs,
+			Partitions:   s.Partitions,
+		}
+	}
+	return qs
+}
 
 // QueryStats is a snapshot of per-operator tuple counts, the public
 // re-export of the engine's exec.Stats collector: labels name the
@@ -195,6 +215,26 @@ func (r *Rows) Stats() QueryStats { return QueryStats{Emitted: r.stats.Snapshot(
 // races that direct map access would risk.
 type QueryStats struct {
 	Emitted map[string]int64
+	// Spill reports the query's out-of-core activity; the zero value
+	// when the query ran without a memory budget (WithMemoryLimit).
+	Spill SpillStats
+}
+
+// SpillStats is the memory-budget ledger of one query: how much state
+// the blocking operators held at peak, and how much overflowed to
+// temp-file runs.
+type SpillStats struct {
+	// Limit is the budget the query ran under, in bytes.
+	Limit int64
+	// PeakBytes is the high-water mark of live charged state.
+	PeakBytes int64
+	// SpilledBytes counts bytes written to spill runs.
+	SpilledBytes int64
+	// Runs counts spill run files created.
+	Runs int64
+	// Partitions counts grace-hash partitioning rounds, including
+	// recursive re-partitionings of oversized partitions.
+	Partitions int64
 }
 
 // Get returns the count for one operator label.
