@@ -440,6 +440,13 @@ func execClasses(scale int, seed int64, workers int) []struct {
 		Groups: groups, GroupSize: 4, DivisorSize: 4,
 		Domain: 40, HitRate: 0.9, Seed: seed,
 	}.Generate()
+	// String-keyed twin of (r1, r2): identical relational structure,
+	// every key a decorated identifier string — the workload class the
+	// wide-hash kernel targets.
+	s1, s2 := datagen.DividePair{
+		Groups: groups, GroupSize: 4, DivisorSize: 4,
+		Domain: 40, HitRate: 0.9, Seed: seed, Strings: true,
+	}.Generate()
 	g1, g2 := datagen.GreatDividePair{
 		Groups: groups, GroupSize: 4, DivisorGroups: 4, DivisorGroupSize: 4,
 		Domain: 40, HitRate: 0.9, Seed: seed,
@@ -463,6 +470,23 @@ func execClasses(scale int, seed int64, workers int) []struct {
 		jr.Insert(relation.Tuple{value.Int(b), value.Int(b % 3)})
 	}
 	jrs := plan.NewScan("jr", jr)
+	// String-keyed join build side, mirroring jr over s1's key domain
+	// (rendered by datagen so the keys actually match s1's).
+	js := relation.New(schema.New("b", "c"))
+	for _, b := range []int64{0, 40} {
+		js.Insert(relation.Tuple{datagen.DividePair{Strings: true}.BValue(b), value.Int(b % 3)})
+	}
+	jss := plan.NewScan("js", js)
+	// Emit-heavy join build side: every in-domain b value matches 8
+	// build rows, so each probe row concatenates 8 outputs and the
+	// drain is dominated by Tuple.Concat emission, not probing.
+	je := relation.New(schema.New("b", "c"))
+	for b := int64(0); b < 40; b++ {
+		for c := int64(0); c < 8; c++ {
+			je.Insert(relation.Tuple{value.Int(b), value.Int(c)})
+		}
+	}
+	jes := plan.NewScan("je", je)
 	// Intersect build side: a small same-schema relation, so the
 	// class measures the probe drain over r1 rather than the
 	// identical-in-both-paths build of a large right input.
@@ -504,5 +528,8 @@ func execClasses(scale int, seed int64, workers int) []struct {
 		{"exec hash-join", &plan.Join{Left: r1s, Right: jrs}},
 		{"exec semijoin", &plan.SemiJoin{Left: r1s, Right: r2s}},
 		{"exec product", &plan.Product{Left: r1s, Right: plan.NewScan("pr", pr)}},
+		{"exec hash-divide-str", &plan.Divide{Dividend: plan.NewScan("s1", s1), Divisor: plan.NewScan("s2", s2)}},
+		{"exec hash-join-str", &plan.Join{Left: plan.NewScan("s1", s1), Right: jss}},
+		{"exec join-emit", &plan.Join{Left: r1s, Right: jes}},
 	}
 }

@@ -161,6 +161,35 @@ type DividePair struct {
 	// entire divisor.
 	HitRate float64
 	Seed    int64
+	// Strings renders both attributes as composite identifier strings
+	// ("supplier-000042/region-042", "part-000007/bin-07") instead of
+	// ints — the string-keyed workloads behind the wide-hash
+	// benchmarks, shaped like the composite natural keys (entity id
+	// plus qualifiers, 18–28 bytes) that string-keyed joins and
+	// divisions see in practice. The relational structure is
+	// identical to the int form.
+	Strings bool
+}
+
+// aValue and bValue render a quotient-candidate or element id under
+// the pair's value kind.
+func (g DividePair) aValue(a int64) value.Value {
+	if g.Strings {
+		return value.String(fmt.Sprintf("supplier-%06d/region-%03d", a, a%997))
+	}
+	return value.Int(a)
+}
+
+// BValue renders an element id exactly as Generate does — for
+// harnesses that build auxiliary relations (join build sides) that
+// must share the pair's key domain.
+func (g DividePair) BValue(b int64) value.Value { return g.bValue(b) }
+
+func (g DividePair) bValue(b int64) value.Value {
+	if g.Strings {
+		return value.String(fmt.Sprintf("part-%06d/bin-%02d", b, b%89))
+	}
+	return value.Int(b)
 }
 
 // Generate produces r1(a, b) and r2(b).
@@ -170,20 +199,20 @@ func (g DividePair) Generate() (r1, r2 *relation.Relation) {
 	divisor := make([]int64, 0, g.DivisorSize)
 	for len(divisor) < g.DivisorSize {
 		b := int64(rng.Intn(g.Domain))
-		if r2.Insert(relation.Tuple{value.Int(b)}) {
+		if r2.Insert(relation.Tuple{g.bValue(b)}) {
 			divisor = append(divisor, b)
 		}
 	}
 	r1 = relation.New(schema.New("a", "b"))
 	for a := 0; a < g.Groups; a++ {
-		av := value.Int(int64(a))
+		av := g.aValue(int64(a))
 		if rng.Float64() < g.HitRate {
 			for _, b := range divisor {
-				r1.Insert(relation.Tuple{av, value.Int(b)})
+				r1.Insert(relation.Tuple{av, g.bValue(b)})
 			}
 		}
 		for i := 0; i < g.GroupSize; i++ {
-			r1.Insert(relation.Tuple{av, value.Int(int64(rng.Intn(g.Domain)))})
+			r1.Insert(relation.Tuple{av, g.bValue(int64(rng.Intn(g.Domain)))})
 		}
 	}
 	return r1, r2

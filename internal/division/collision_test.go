@@ -3,6 +3,7 @@ package division
 import (
 	"math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -152,6 +153,48 @@ func TestGreatDivideUnderForcedCollisions(t *testing.T) {
 			if got != want {
 				t.Fatalf("trial %d: %s quotient %q, reference %q\nr1=%v\nr2=%v",
 					trial, algo, got, want, r1, r2)
+			}
+		}
+	}
+}
+
+// TestDivisionUnderForcedCollisionsStringKeys re-runs the masked
+// sweeps with decorated string attributes of varying length, so every
+// collision-chain probe in both division families goes through the
+// word-at-a-time string hash kernel (chunked bodies and all tail
+// lengths) instead of the single-mix integer path.
+func TestDivisionUnderForcedCollisionsStringKeys(t *testing.T) {
+	restore := hashkey.SetMaskForTesting(0x7)
+	defer restore()
+	rng := rand.New(rand.NewSource(103))
+	sv := func(prefix string, n int) value.Value {
+		return value.String(prefix + strings.Repeat("x", n%9) + "-" + strconv.Itoa(n))
+	}
+	for trial := 0; trial < 60; trial++ {
+		r1 := relation.New(schema.New("a", "b"))
+		r2 := relation.New(schema.New("b"))
+		r2g := relation.New(schema.New("b", "c"))
+		for i := 0; i < 1+rng.Intn(5); i++ {
+			r2.Insert(relation.Tuple{sv("part-", rng.Intn(8))})
+		}
+		for i := 0; i < 2+rng.Intn(10); i++ {
+			r2g.Insert(relation.Tuple{sv("part-", rng.Intn(8)), sv("color-", rng.Intn(3))})
+		}
+		for i := 0; i < 5+rng.Intn(40); i++ {
+			r1.Insert(relation.Tuple{sv("supplier-", rng.Intn(8)), sv("part-", rng.Intn(8))})
+		}
+		want := stringKeyDivide(r1, r2)
+		for _, algo := range Algorithms() {
+			if got := keySet(DivideWith(algo, r1, r2)); got != want {
+				t.Fatalf("trial %d: %s quotient %q, reference %q\nr1=%v\nr2=%v",
+					trial, algo, got, want, r1, r2)
+			}
+		}
+		wantG := stringKeyGreatDivide(r1, r2g)
+		for _, algo := range GreatAlgorithms() {
+			if got := keySet(GreatDivideWith(algo, r1, r2g)); got != wantG {
+				t.Fatalf("trial %d: great %s quotient %q, reference %q\nr1=%v\nr2=%v",
+					trial, algo, got, wantG, r1, r2g)
 			}
 		}
 	}

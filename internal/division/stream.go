@@ -28,8 +28,12 @@ type DivideState struct {
 }
 
 // indexEntryOverhead approximates the per-entry bookkeeping of a
-// TupleIndex beyond the retained tuple itself (hash table slot, id).
-const indexEntryOverhead = 48
+// TupleIndex beyond the retained tuple itself (keys-slice slot, id).
+// The hash-table backing arrays are accounted exactly through
+// TableBytes in Bytes instead, so budget charges jump when a table
+// doubles rather than drifting behind its real capacity — and this
+// constant deliberately no longer estimates table slots.
+const indexEntryOverhead = 24
 
 // projFootprint approximates the heap bytes of t's projection onto
 // pos without materializing it.
@@ -44,7 +48,9 @@ func projFootprint(t relation.Tuple, pos []int) int64 {
 // Bytes approximates the state's live heap footprint: retained key
 // tuples, candidate bitmaps, and counters. Operators running under a
 // memory budget charge its growth after every Add.
-func (s *DivideState) Bytes() int64 { return s.bytes }
+func (s *DivideState) Bytes() int64 {
+	return s.bytes + s.divisor.TableBytes() + s.cands.TableBytes()
+}
 
 // NewDivideState validates the schemas and returns an empty state.
 func NewDivideState(dividend, divisor schema.Schema) (*DivideState, error) {
@@ -150,7 +156,10 @@ type GreatDivideState struct {
 
 // Bytes approximates the state's live heap footprint; see
 // DivideState.Bytes.
-func (s *GreatDivideState) Bytes() int64 { return s.bytes }
+func (s *GreatDivideState) Bytes() int64 {
+	return s.bytes + s.divisorSeen.TableBytes() + s.bIx.TableBytes() +
+		s.gIx.TableBytes() + s.cands.TableBytes()
+}
 
 // NewGreatDivideState validates the schemas and returns an empty
 // state.

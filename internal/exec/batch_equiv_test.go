@@ -102,11 +102,22 @@ func equivPlans(rng *rand.Rand) []struct {
 	node    plan.Node
 	ordered bool
 } {
-	r1 := plan.NewScan("r1", randRelation(rng, []string{"a", "b"}, 5+rng.Intn(60), 6))
-	r2 := plan.NewScan("r2", randRelation(rng, []string{"b"}, 1+rng.Intn(4), 6))
-	r2g := plan.NewScan("r2g", randRelation(rng, []string{"b", "c"}, 1+rng.Intn(8), 6))
-	u := plan.NewScan("u", randRelation(rng, []string{"a", "b"}, 5+rng.Intn(40), 6))
-	rc := plan.NewScan("rc", randRelation(rng, []string{"c"}, rng.Intn(5), 6))
+	return equivPlansGen(rng, randRelation)
+}
+
+// equivPlansGen is equivPlans over an arbitrary relation generator,
+// so the sweeps can run the same matrix with string-keyed inputs
+// (randWideRelation) against the wide hash kernels.
+func equivPlansGen(rng *rand.Rand, gen func(*rand.Rand, []string, int, int) *relation.Relation) []struct {
+	name    string
+	node    plan.Node
+	ordered bool
+} {
+	r1 := plan.NewScan("r1", gen(rng, []string{"a", "b"}, 5+rng.Intn(60), 6))
+	r2 := plan.NewScan("r2", gen(rng, []string{"b"}, 1+rng.Intn(4), 6))
+	r2g := plan.NewScan("r2g", gen(rng, []string{"b", "c"}, 1+rng.Intn(8), 6))
+	u := plan.NewScan("u", gen(rng, []string{"a", "b"}, 5+rng.Intn(40), 6))
+	rc := plan.NewScan("rc", gen(rng, []string{"c"}, rng.Intn(5), 6))
 	p := pred.Compare(pred.Attr("a"), pred.Gt, pred.ConstInt(int64(rng.Intn(6))))
 	div := &plan.Divide{Dividend: r1, Divisor: r2}
 	join := &plan.Join{Left: r1, Right: r2g}
@@ -207,7 +218,13 @@ func TestBatchMatchesTupleUnderForcedCollisions(t *testing.T) {
 	defer restore()
 	rng := rand.New(rand.NewSource(43))
 	for trial := 0; trial < 15; trial++ {
-		for _, c := range equivPlans(rng) {
+		// Alternate kinds: even trials probe with single-mix integer
+		// hashes, odd trials with the wide string kernel.
+		plans := equivPlans(rng)
+		if trial%2 == 1 {
+			plans = equivPlansGen(rng, randWideRelation)
+		}
+		for _, c := range plans {
 			want := seqKeys(drainSeq(t, CompileWith(c.node, nil, CompileOptions{Batch: BatchOff})))
 			got := seqKeys(drainSeq(t, CompileWith(c.node, nil, CompileOptions{Batch: BatchForce, BatchSize: 3})))
 			if c.ordered && !sameSeq(got, want) {

@@ -123,9 +123,15 @@ func TestIteratorsUnderForcedCollisions(t *testing.T) {
 	defer restore()
 	rng := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 60; trial++ {
-		r := randRelation(rng, []string{"a", "b"}, 5+rng.Intn(40), 6)
-		s := randRelation(rng, []string{"b", "c"}, 1+rng.Intn(12), 6)
-		u := randRelation(rng, []string{"a", "b"}, 5+rng.Intn(40), 6)
+		// Alternate value kinds so the masked probes exercise both the
+		// single-mix integer path and the wide string kernel.
+		gen := randRelation
+		if trial%2 == 1 {
+			gen = randWideRelation
+		}
+		r := gen(rng, []string{"a", "b"}, 5+rng.Intn(40), 6)
+		s := gen(rng, []string{"b", "c"}, 1+rng.Intn(12), 6)
+		u := gen(rng, []string{"a", "b"}, 5+rng.Intn(40), 6)
 		rs := plan.NewScan("r", r)
 		ss := plan.NewScan("s", s)
 		us := plan.NewScan("u", u)
@@ -162,9 +168,13 @@ func TestDivideItersUnderForcedCollisions(t *testing.T) {
 	defer restore()
 	rng := rand.New(rand.NewSource(79))
 	for trial := 0; trial < 60; trial++ {
-		r1 := plan.NewScan("r1", randRelation(rng, []string{"a", "b"}, 5+rng.Intn(40), 6))
-		r2 := plan.NewScan("r2", randRelation(rng, []string{"b"}, 1+rng.Intn(4), 6))
-		r2g := plan.NewScan("r2g", randRelation(rng, []string{"b", "c"}, 1+rng.Intn(8), 6))
+		gen := randRelation
+		if trial%2 == 1 {
+			gen = randWideRelation
+		}
+		r1 := plan.NewScan("r1", gen(rng, []string{"a", "b"}, 5+rng.Intn(40), 6))
+		r2 := plan.NewScan("r2", gen(rng, []string{"b"}, 1+rng.Intn(4), 6))
+		r2g := plan.NewScan("r2g", gen(rng, []string{"b", "c"}, 1+rng.Intn(8), 6))
 		for _, pl := range []plan.Node{
 			&plan.Divide{Dividend: r1, Divisor: r2},
 			&plan.GreatDivide{Dividend: r1, Divisor: r2g},

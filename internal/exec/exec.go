@@ -34,6 +34,23 @@
 // it automatically for every fully batch-capable subtree; the tuple
 // path remains intact as the correctness oracle (see the equivalence
 // tests) and for the operators that stay tuple-only.
+//
+// Two per-row costs are attacked on top of that protocol, each with
+// the structure measurement picked. Set-op and semijoin batch probes
+// hash each incoming batch in one pass through the wide hash kernel
+// (relation.Hash64ProjBatch over hashkey's word-at-a-time string
+// mixer) and then walk the table with precomputed hashes; the hash
+// join instead probes row-at-the-cursor through the fused
+// TupleIndex.LookupProj — hash plus walk in one frame — because on
+// its short-key, L1-hot probe loop a separate hash pass costs a
+// write and a re-read per row that the fusion avoids. Emit paths
+// (join, product, theta join) carve output tuples out of a
+// per-iterator relation.Slab instead of calling make per
+// concatenation; slab chunks are append-only and GC-owned, so
+// emitted tuples stay valid for as long as any consumer holds them,
+// and under a memory budget the live chunk is charged against the
+// spill tracker (see relation.Slab for the lifetime and accounting
+// rules).
 package exec
 
 import (

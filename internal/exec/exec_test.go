@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -21,6 +22,22 @@ func randRelation(rng *rand.Rand, attrs []string, n, dom int) *relation.Relation
 		t := make(relation.Tuple, len(attrs))
 		for j := range attrs {
 			t[j] = value.Int(int64(rng.Intn(dom)))
+		}
+		r.Insert(t)
+	}
+	return r
+}
+
+// randWideRelation is randRelation over decorated identifier strings
+// of varying length, so suites built on it drive the word-at-a-time
+// string hash kernel — chunked bodies and every tail length — rather
+// than the single-mix integer path.
+func randWideRelation(rng *rand.Rand, attrs []string, n, dom int) *relation.Relation {
+	r := relation.New(schema.New(attrs...))
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, len(attrs))
+		for j := range attrs {
+			t[j] = value.String("id-" + strings.Repeat("x", rng.Intn(11)) + "-" + strconv.Itoa(rng.Intn(dom)))
 		}
 		r.Insert(t)
 	}

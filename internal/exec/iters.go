@@ -412,6 +412,7 @@ type ProductIter struct {
 	leftFeed batchFeed
 	probe    []relation.Tuple
 	pPos     int
+	slab     relation.Slab // emit allocator; output tuples are sliced from it
 }
 
 // Open implements Iterator.
@@ -468,6 +469,9 @@ func (p *ProductIter) NextBatch() (*relation.Batch, error) {
 				}
 				if ts == nil {
 					p.done = true
+					// No more emissions: stop squatting on the budget
+					// (already-emitted tuples stay valid).
+					p.slab.Close()
 					break
 				}
 				p.probe, p.pPos = ts, 0
@@ -475,7 +479,7 @@ func (p *ProductIter) NextBatch() (*relation.Batch, error) {
 			p.cur, p.idx = p.probe[p.pPos], 0
 			p.pPos++
 		}
-		out.Append(p.cur.Concat(p.right[p.idx]))
+		out.Append(p.slab.Concat(p.cur, p.right[p.idx]))
 		p.idx++
 	}
 	if out.Len() == 0 {
@@ -498,15 +502,17 @@ func (p *ProductIter) Next() (relation.Tuple, bool, error) {
 			}
 			if !ok {
 				p.done = true
+				p.slab.Close()
 				return nil, false, nil
 			}
 			p.cur, p.idx = t, 0
 		}
 		if len(p.right) == 0 {
 			p.done = true
+			p.slab.Close()
 			return nil, false, nil
 		}
-		out := p.cur.Concat(p.right[p.idx])
+		out := p.slab.Concat(p.cur, p.right[p.idx])
 		p.idx++
 		p.Stats.count(p.Label, 1)
 		return out, true, nil
@@ -515,6 +521,7 @@ func (p *ProductIter) Next() (relation.Tuple, bool, error) {
 
 // Close implements Iterator.
 func (p *ProductIter) Close() error {
+	p.slab.Close()
 	p.right, p.probe, p.pPos = nil, nil, 0
 	p.release()
 	p.leftFeed.release()
@@ -574,6 +581,7 @@ type HashJoinIter struct {
 	grace       *graceJoin
 	graceStream bool
 	gctx        context.Context
+	slab        relation.Slab // emit allocator; output tuples are sliced from it
 }
 
 // Open implements Iterator.
@@ -601,7 +609,10 @@ func (j *HashJoinIter) Open(ctx context.Context) error {
 		return err
 	}
 	if j.Spill != nil {
+		// Budgeted runs account the emit slab's live chunk too.
+		j.slab.Charge, j.slab.Release = j.Spill.Charge, j.Spill.Release
 		g := &graceJoin{tr: j.Spill, leftPos: j.leftPos, nk: len(rightPos), every: effEvery(j.Every)}
+		g.slab.Charge, g.slab.Release = j.Spill.Charge, j.Spill.Release
 		j.grace = g
 		j.gctx = ctx
 		if err := drainEveryErr(ctx, j.Right, j.Every, func(t relation.Tuple) error {
@@ -692,7 +703,7 @@ func (j *HashJoinIter) NextBatch() (*relation.Batch, error) {
 	bound := j.effectiveCap()
 	for out.Len() < bound {
 		if j.mIdx < len(j.matches) {
-			out.Append(j.cur.Concat(j.matches[j.mIdx]))
+			out.Append(j.slab.Concat(j.cur, j.matches[j.mIdx]))
 			j.mIdx++
 			continue
 		}
@@ -709,14 +720,24 @@ func (j *HashJoinIter) NextBatch() (*relation.Batch, error) {
 				return nil, err
 			}
 			if ts == nil {
+				// Probe side exhausted: no more emissions, so release the
+				// emit slab's and the build index's budget charges early
+				// (already-emitted tuples stay valid; blocking consumers
+				// downstream get the budget back).
+				j.slab.Close()
+				if j.grace != nil {
+					j.grace.close()
+				}
 				break
 			}
 			j.probe, j.pPos = ts, 0
 			continue
 		}
-		// Probe at the cursor advance rather than materializing an id
-		// per batch row: an id array costs a write and a re-read per
-		// row, which eats the boundary saving batching buys.
+		// Probe at the cursor advance rather than materializing ids or
+		// hashes per batch row: a side array costs a write and a
+		// re-read per row, and the fused LookupProj (hash plus walk in
+		// one frame) measured faster than a separate batch hash pass
+		// on this loop, where the key is short and the walk is L1-hot.
 		j.cur = j.probe[j.pPos]
 		if id := j.keyIx.LookupProj(j.cur, j.leftPos); id >= 0 {
 			j.matches = j.rows[id]
@@ -752,6 +773,15 @@ func (j *HashJoinIter) Next() (relation.Tuple, bool, error) {
 		if j.mIdx >= len(j.matches) {
 			t, ok, err := j.Left.Next()
 			if err != nil || !ok {
+				if err == nil {
+					// Clean exhaustion: release the emit slab's and the
+					// build index's budget charges early (emitted tuples
+					// stay valid; Close handles the error paths).
+					j.slab.Close()
+					if j.grace != nil {
+						j.grace.close()
+					}
+				}
 				return nil, false, err
 			}
 			j.cur = t
@@ -763,7 +793,7 @@ func (j *HashJoinIter) Next() (relation.Tuple, bool, error) {
 			j.mIdx = 0
 			continue
 		}
-		out := j.cur.Concat(j.matches[j.mIdx])
+		out := j.slab.Concat(j.cur, j.matches[j.mIdx])
 		j.mIdx++
 		j.Stats.count(j.Label, 1)
 		return out, true, nil
@@ -779,6 +809,7 @@ func (j *HashJoinIter) Close() error {
 		j.grace.close()
 		j.grace, j.graceStream = nil, false
 	}
+	j.slab.Close()
 	j.keyIx, j.rows = nil, nil
 	j.probe, j.pPos = nil, 0
 	j.release()

@@ -309,7 +309,7 @@ func (p *ParallelDivideIter) openBudgeted(ctx context.Context, split division.Sp
 	for i := range parts {
 		parts[i] = relation.New(dividendSch)
 	}
-	if err := drainEveryErr(ctx, p.Dividend, p.Every, func(t relation.Tuple) error {
+	hp := &hashPartitioner{pos: aPos, emit: func(t relation.Tuple, h uint64) error {
 		if p.fb {
 			return g.addDividend(ctx, t)
 		}
@@ -317,7 +317,7 @@ func (p *ParallelDivideIter) openBudgeted(ctx context.Context, split division.Sp
 		err := p.Spill.Charge(fp)
 		if err == nil {
 			p.charged += fp
-			parts[int(t.Hash64Proj(aPos)%uint64(w))].InsertOwned(t)
+			parts[int(h%uint64(w))].InsertOwned(t)
 			return nil
 		}
 		if !errors.Is(err, spill.ErrBudget) {
@@ -337,7 +337,11 @@ func (p *ParallelDivideIter) openBudgeted(ctx context.Context, split division.Sp
 		}
 		parts = nil
 		return g.addDividend(ctx, t)
-	}); err != nil {
+	}}
+	if err := drainEveryErr(ctx, p.Dividend, p.Every, hp.add); err != nil {
+		return err
+	}
+	if err := hp.flush(); err != nil {
 		return err
 	}
 	if p.fb {
@@ -567,6 +571,45 @@ func (g *ParallelGreatDivideIter) Open(ctx context.Context) error {
 	return nil
 }
 
+// partitionChunk is the number of tuples a hashPartitioner hashes per
+// Hash64ProjBatch pass.
+const partitionChunk = 256
+
+// hashPartitioner chunks a per-tuple drain so partition hashes are
+// computed batch-at-a-time: tuples buffer until a chunk fills, the
+// whole chunk's key hashes come out of one Hash64ProjBatch pass, and
+// emit receives each (tuple, hash) pair in arrival order. The caller
+// must flush after the drain to push out the final partial chunk.
+type hashPartitioner struct {
+	pos    []int
+	emit   func(t relation.Tuple, h uint64) error
+	buf    []relation.Tuple
+	hashes []uint64
+}
+
+func (hp *hashPartitioner) add(t relation.Tuple) error {
+	hp.buf = append(hp.buf, t)
+	if len(hp.buf) >= partitionChunk {
+		return hp.flush()
+	}
+	return nil
+}
+
+func (hp *hashPartitioner) flush() error {
+	if len(hp.buf) == 0 {
+		return nil
+	}
+	hp.hashes = relation.Hash64ProjBatch(hp.buf, hp.pos, hp.hashes[:0])
+	for i, t := range hp.buf {
+		if err := hp.emit(t, hp.hashes[i]); err != nil {
+			hp.buf = hp.buf[:0]
+			return err
+		}
+	}
+	hp.buf = hp.buf[:0]
+	return nil
+}
+
 // openBudgeted is Open under a memory budget: the dividend is drained
 // charged (it is replicated to every worker), the divisor
 // hash-partitioned on its group attributes C straight off its child —
@@ -626,7 +669,7 @@ func (g *ParallelGreatDivideIter) openBudgeted(ctx context.Context, split divisi
 	for i := range parts {
 		parts[i] = relation.New(divisorSch)
 	}
-	if err := drainEveryErr(ctx, g.Divisor, g.Every, func(t relation.Tuple) error {
+	hp := &hashPartitioner{pos: cPos, emit: func(t relation.Tuple, h uint64) error {
 		if g.fb {
 			return gd.addDivisor(t)
 		}
@@ -634,7 +677,7 @@ func (g *ParallelGreatDivideIter) openBudgeted(ctx context.Context, split divisi
 		err := g.Spill.Charge(fp)
 		if err == nil {
 			g.charged += fp
-			parts[int(t.Hash64Proj(cPos)%uint64(w))].InsertOwned(t)
+			parts[int(h%uint64(w))].InsertOwned(t)
 			return nil
 		}
 		if !errors.Is(err, spill.ErrBudget) {
@@ -661,7 +704,11 @@ func (g *ParallelGreatDivideIter) openBudgeted(ctx context.Context, split divisi
 		}
 		parts = nil
 		return gd.addDivisor(t)
-	}); err != nil {
+	}}
+	if err := drainEveryErr(ctx, g.Divisor, g.Every, hp.add); err != nil {
+		return err
+	}
+	if err := hp.flush(); err != nil {
 		return err
 	}
 	if g.fb {

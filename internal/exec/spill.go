@@ -22,10 +22,16 @@ import (
 // Budget model: only the operators whose live state grows with input
 // size charge the tracker — SortIter's sort buffer, the two hash
 // division states, the hash join's build side, and the parallel
-// exchanges' materialized inputs. Streaming operators (selection,
-// projection, merge division, top-k's O(k) heap) and the degenerate
-// product join stay uncharged; the budget governs the dominant
-// spillable state, not every transient allocation.
+// exchanges' materialized inputs. Since PR 10 that accounting covers
+// the hash-table backing arrays too (division states fold TableBytes
+// into Bytes; the grace join delta-charges its index table as it
+// grows) and the emit slabs' one live chunk (charged on refill,
+// released on retire — a slab that the budget refuses degrades to
+// exact uncharged allocations, so output equivalence is unaffected).
+// Streaming operators (selection, projection, merge division, top-k's
+// O(k) heap) and the degenerate product join stay uncharged; the
+// budget governs the dominant spillable state, not every transient
+// allocation.
 
 // spillFanout is the number of partitions each grace-hash split
 // produces. It is a power of two so successive splits can consume
@@ -585,6 +591,12 @@ type graceJoin struct {
 	nk      int   // key arity
 	every   int
 	charged int64
+	// tableBytes is the index hash-table footprint already folded into
+	// charged; chargeTableDelta tops it up as the table grows.
+	tableBytes int64
+	// slab carves build and emit tuples; its live chunk is charged
+	// against tr.
+	slab relation.Slab
 
 	// in-memory build (pre-overflow)
 	keyIx relation.TupleIndex
@@ -602,21 +614,31 @@ type graceJoin struct {
 }
 
 // graceJoinOverhead approximates the per-build-tuple index bookkeeping
-// beyond the tuple itself.
-const graceJoinOverhead = 48
+// beyond the tuple itself: the keys-slice slot and the rows-slice
+// entry. The hash-table backing arrays are charged exactly through
+// chargeTableDelta, so they are deliberately not estimated here.
+const graceJoinOverhead = 24
 
 // addBuild charges and indexes one build-side (right) tuple,
 // degrading to partition runs at the first overflow. keyPos/extraPos
 // are the key and payload positions in the right schema.
 func (g *graceJoin) addBuild(t relation.Tuple, keyPos, extraPos []int) error {
 	if g.partitioned {
-		return g.writeBuild(t.Project(keyPos).ConcatProj(t, extraPos))
+		return g.writeBuild(g.stored(t, keyPos, extraPos))
 	}
 	fp := t.Footprint() + graceJoinOverhead
 	err := g.tr.Charge(fp)
 	if err == nil {
 		g.charged += fp
-		g.index(t.Project(keyPos).ConcatProj(t, extraPos))
+		g.index(g.stored(t, keyPos, extraPos))
+		if terr := g.chargeTableDelta(); terr != nil {
+			if !errors.Is(terr, spill.ErrBudget) {
+				return terr
+			}
+			// The tuple is already indexed, and flushBuild writes every
+			// indexed tuple to the partition runs — nothing is lost.
+			return g.flushBuild()
+		}
 		return nil
 	}
 	if !errors.Is(err, spill.ErrBudget) {
@@ -625,7 +647,38 @@ func (g *graceJoin) addBuild(t relation.Tuple, keyPos, extraPos []int) error {
 	if err := g.flushBuild(); err != nil {
 		return err
 	}
-	return g.writeBuild(t.Project(keyPos).ConcatProj(t, extraPos))
+	return g.writeBuild(g.stored(t, keyPos, extraPos))
+}
+
+// stored builds the reordered tuple key ◦ extra in one slab
+// allocation (Project + ConcatProj fused).
+func (g *graceJoin) stored(t relation.Tuple, keyPos, extraPos []int) relation.Tuple {
+	out := g.slab.Alloc(len(keyPos) + len(extraPos))
+	for i, p := range keyPos {
+		out[i] = t[p]
+	}
+	for i, p := range extraPos {
+		out[len(keyPos)+i] = t[p]
+	}
+	return out
+}
+
+// chargeTableDelta charges the growth of the index's hash-table
+// backing arrays since the last check. The delta joins g.charged, so
+// every site that releases the build charge drops it automatically
+// (tableBytes is re-zeroed there; a Reset table keeps its capacity
+// and is re-charged in full on reuse).
+func (g *graceJoin) chargeTableDelta() error {
+	d := g.keyIx.TableBytes() - g.tableBytes
+	if d <= 0 {
+		return nil
+	}
+	if err := g.tr.Charge(d); err != nil {
+		return err
+	}
+	g.charged += d
+	g.tableBytes += d
+	return nil
 }
 
 // index inserts one reordered build tuple (key ◦ extra) into the live
@@ -670,14 +723,15 @@ func (g *graceJoin) flushBuild() error {
 	g.partitioned = true
 	for id, key := range g.keyIx.Keys() {
 		for _, extra := range g.rows[id] {
-			if err := g.writeBuild(key.Concat(extra)); err != nil {
+			if err := g.writeBuild(g.slab.Concat(key, extra)); err != nil {
 				return err
 			}
 		}
 	}
+	g.slab.Close()
 	g.tr.Release(g.charged)
-	g.charged = 0
-	g.keyIx.Reset()
+	g.charged, g.tableBytes = 0, 0
+	g.keyIx = relation.TupleIndex{}
 	g.rows = nil
 	g.tr.AddPartitions(1)
 	return nil
@@ -701,7 +755,7 @@ func (g *graceJoin) addProbe(t relation.Tuple) error {
 func (g *graceJoin) next(ctx context.Context) (relation.Tuple, bool, error) {
 	for {
 		if g.mIdx < len(g.matches) {
-			t := g.cur.Concat(g.matches[g.mIdx])
+			t := g.slab.Concat(g.cur, g.matches[g.mIdx])
 			g.mIdx++
 			return t, true, nil
 		}
@@ -717,9 +771,10 @@ func (g *graceJoin) next(ctx context.Context) (relation.Tuple, bool, error) {
 			if err == io.EOF {
 				g.probe.Close()
 				g.probe = nil
+				g.slab.Close()
 				g.tr.Release(g.charged)
-				g.charged = 0
-				g.keyIx.Reset()
+				g.charged, g.tableBytes = 0, 0
+				g.keyIx = relation.TupleIndex{}
 				g.rows = nil
 				continue
 			}
@@ -734,6 +789,7 @@ func (g *graceJoin) next(ctx context.Context) (relation.Tuple, bool, error) {
 			continue
 		}
 		if len(g.parts) == 0 {
+			g.slab.Close()
 			return nil, false, nil
 		}
 		p := g.parts[0]
@@ -770,9 +826,10 @@ func (g *graceJoin) openPart(ctx context.Context, p *graceJoinPart) error {
 		}
 		fp := stored.Footprint() + graceJoinOverhead
 		if err := g.tr.Charge(fp); err != nil {
+			g.slab.Close()
 			g.tr.Release(g.charged)
-			g.charged = 0
-			g.keyIx.Reset()
+			g.charged, g.tableBytes = 0, 0
+			g.keyIx = relation.TupleIndex{}
 			g.rows = nil
 			if errors.Is(err, spill.ErrBudget) {
 				return g.splitPair(ctx, p)
@@ -782,6 +839,18 @@ func (g *graceJoin) openPart(ctx context.Context, p *graceJoinPart) error {
 		}
 		g.charged += fp
 		g.index(stored)
+		if err := g.chargeTableDelta(); err != nil {
+			g.slab.Close()
+			g.tr.Release(g.charged)
+			g.charged, g.tableBytes = 0, 0
+			g.keyIx = relation.TupleIndex{}
+			g.rows = nil
+			if errors.Is(err, spill.ErrBudget) {
+				return g.splitPair(ctx, p)
+			}
+			g.dropPart(p)
+			return err
+		}
 		if n++; n >= g.every {
 			n = 0
 			if err := ctx.Err(); err != nil {
@@ -829,9 +898,10 @@ func (g *graceJoin) splitPair(ctx context.Context, p *graceJoinPart) error {
 }
 
 func (g *graceJoin) dropPart(p *graceJoinPart) {
+	g.slab.Close()
 	g.tr.Release(g.charged)
-	g.charged = 0
-	g.keyIx.Reset()
+	g.charged, g.tableBytes = 0, 0
+	g.keyIx = relation.TupleIndex{}
 	g.rows = nil
 	p.build.Close()
 	p.probe.Close()
@@ -848,9 +918,10 @@ func (g *graceJoin) closePartRuns(parts []*graceJoinPart) {
 
 // close releases the outstanding charge and every temp run.
 func (g *graceJoin) close() {
+	g.slab.Close()
 	g.tr.Release(g.charged)
-	g.charged = 0
-	g.keyIx.Reset()
+	g.charged, g.tableBytes = 0, 0
+	g.keyIx = relation.TupleIndex{}
 	g.rows, g.matches = nil, nil
 	if g.probe != nil {
 		g.probe.Close()

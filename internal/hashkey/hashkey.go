@@ -1,8 +1,8 @@
-// Package hashkey is the engine's 64-bit hashing layer: FNV-1a
-// primitives that fold a tuple's injective key encoding into a uint64
-// without materializing it, an open-addressed hash table that maps
-// hashes to small integer handles, and the bitmap used by the
-// hash-division operators.
+// Package hashkey is the engine's 64-bit hashing layer: wide
+// (word-at-a-time) primitives that fold a tuple's injective key
+// encoding into a uint64 without materializing it, an open-addressed
+// hash table that maps hashes to small integer handles, and the
+// bitmap used by the hash-division operators.
 //
 // The table never stores keys. Callers keep their own tuple storage,
 // store indexes into it as table values, and verify every candidate a
@@ -11,13 +11,18 @@
 // to force collisions and exercise that verification.
 package hashkey
 
-import "sync/atomic"
-
-// FNV-1a parameters.
-const (
-	offset64 = 14695981039346656037
-	prime64  = 1099511628211
+import (
+	"encoding/binary"
+	"sync/atomic"
 )
+
+// offset64 is the FNV-1a offset basis, kept as the initial hash state
+// so an empty input hashes to a well-known nonzero constant.
+const offset64 = 14695981039346656037
+
+// prime64 is the FNV-1a prime, used only by the byte-at-a-time
+// AddByte fallback.
+const prime64 = 1099511628211
 
 // 64-bit finalizer constants (Murmur3 fmix64), used by the
 // word-at-a-time mixer in AddUint64.
@@ -26,21 +31,24 @@ const (
 	mix64b = 0xc4ceb9fe1a85ec53
 )
 
-// New returns the FNV-1a offset basis, the initial hash state.
+// New returns the initial hash state.
 func New() uint64 { return offset64 }
 
-// AddByte folds one byte into h.
+// AddByte folds one byte into h (one FNV-1a round). It survives as
+// the odd-byte fallback; the hot paths fold whole words through
+// AddUint64 instead.
 func AddByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * prime64 }
 
 // AddUint64 folds a 64-bit payload into h in one multiply–xorshift
 // round (the Murmur3 finalizer applied to h^u) instead of eight
-// serial AddByte steps. Every numeric tuple field funnels through
-// here, so its latency sets the per-row floor of every hash
-// operator's probe phase; two data-independent multiplies beat FNV's
-// eight dependent ones while mixing at least as well — the finalizer
-// avalanches every input bit into every output bit, which the
-// open-addressed Table needs because it derives slots from the low
-// bits.
+// serial AddByte steps. Every tuple field — and every string's tail
+// round — funnels through here, so its latency sets the per-row
+// floor of every hash operator's probe phase; two data-independent
+// multiplies beat FNV's eight dependent ones while mixing at least
+// as well — the finalizer avalanches every input bit into every
+// output bit, which the open-addressed Table needs because it
+// derives slots from the low bits. (Interior string chunks use the
+// cheaper chunkPrime fold; see AddString.)
 func AddUint64(h uint64, u uint64) uint64 {
 	h ^= u
 	h ^= h >> 33
@@ -51,27 +59,89 @@ func AddUint64(h uint64, u uint64) uint64 {
 	return h
 }
 
-// AddString folds the bytes of s into h.
+// chunkPrime is the odd multiplier of the interior chunk fold in
+// AddString/AddBytes (2⁶⁴/φ). Because it is odd, each chunk round
+// h′ = (h ⊕ chunk)·chunkPrime is a bijection of the state, so no
+// entropy is ever lost along a string — two strings with a differing
+// chunk keep differing states all the way to the tail round.
+const chunkPrime = 0x9E3779B97F4A7C15
+
+// AddString folds the bytes of s into h word-at-a-time: full 8-byte
+// little-endian chunks each cost one xor-multiply round, and a single
+// length-fold tail round absorbs the remaining 0–7 bytes together
+// with the byte length. The interior rounds are deliberately cheaper
+// than AddUint64 — a full finalizer per chunk triples the latency
+// chain of a long key for avalanche nobody reads, since only the
+// final state reaches a Table. The tail round IS a full AddUint64,
+// so the returned hash is always finalizer-avalanched no matter how
+// the chunks mixed, which the open-addressed Table needs because it
+// derives slots from the low bits. Folding the length into the tail
+// keeps zero-padding pairs ("a" vs "a\x00") apart: the tail word
+// carries the residual bytes in its low 56 bits and len(s) mod 256
+// in its top byte, and inputs whose lengths differ by 8 or more
+// already differ in chunk count. AddString(h, s) ==
+// AddBytes(h, []byte(s)) for equal contents, always.
 func AddString(h uint64, s string) uint64 {
-	for i := 0; i < len(s); i++ {
-		h = AddByte(h, s[i])
+	n := len(s)
+	for len(s) >= 8 {
+		h = (h ^ le64String(s)) * chunkPrime
+		s = s[8:]
 	}
-	return h
+	var tail uint64
+	switch {
+	case len(s) >= 4:
+		// Two overlapping 4-byte reads cover 4–7 residual bytes
+		// without a per-byte loop. Overlapping positions OR equal
+		// values, so the packed word reproduces the bytes exactly —
+		// injective for each length, and the length byte separates
+		// the lengths.
+		k := len(s) - 4
+		lo := uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24
+		hi := uint64(s[k]) | uint64(s[k+1])<<8 | uint64(s[k+2])<<16 | uint64(s[k+3])<<24
+		tail = lo | hi<<(8*uint(k))
+	case len(s) > 0:
+		// 1–3 bytes: first, middle, last — distinct packings per
+		// length once the length byte is folded in.
+		tail = uint64(s[0]) | uint64(s[len(s)/2])<<8 | uint64(s[len(s)-1])<<16
+	}
+	return AddUint64(h, tail|uint64(n)<<56)
 }
 
-// AddBytes folds b into h.
+// AddBytes folds b into h, chunked and tail-packed exactly like
+// AddString.
 func AddBytes(h uint64, b []byte) uint64 {
-	for _, c := range b {
-		h = AddByte(h, c)
+	n := len(b)
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * chunkPrime
+		b = b[8:]
 	}
-	return h
+	var tail uint64
+	switch {
+	case len(b) >= 4:
+		k := len(b) - 4
+		lo := uint64(binary.LittleEndian.Uint32(b))
+		hi := uint64(binary.LittleEndian.Uint32(b[k:]))
+		tail = lo | hi<<(8*uint(k))
+	case len(b) > 0:
+		tail = uint64(b[0]) | uint64(b[len(b)/2])<<8 | uint64(b[len(b)-1])<<16
+	}
+	return AddUint64(h, tail|uint64(n)<<56)
 }
 
-// Sum64 returns the FNV-1a hash of b.
+// le64String reads the first 8 bytes of s as a little-endian word —
+// the string twin of binary.LittleEndian.Uint64, written so the
+// compiler collapses it to a single load on little-endian targets.
+func le64String(s string) uint64 {
+	_ = s[7]
+	return uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+		uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+}
+
+// Sum64 returns the wide-kernel hash of b.
 func Sum64(b []byte) uint64 { return AddBytes(New(), b) }
 
-// Sum64String returns the FNV-1a hash of s, equal to Sum64 of the
-// same bytes.
+// Sum64String returns the wide-kernel hash of s, equal to Sum64 of
+// the same bytes.
 func Sum64String(s string) uint64 { return AddString(New(), s) }
 
 // testMask, when nonzero, is ANDed onto every hash entering a Table,
@@ -99,18 +169,30 @@ const minCap = 16
 
 // Table is an open-addressed, linear-probing hash table mapping
 // 64-bit hashes to caller-side integer handles (indexes into the
-// caller's storage, at most 1<<31-1). Several entries may share a
-// hash: Probe walks all of them and the caller tells equal keys
+// caller's storage, at most 1<<31-1). Only the low 32 bits of each
+// hash are stored as the slot tag — the low bits also derive the
+// slot, so growth re-slots correctly, and a narrower tag merely lets
+// the occasional unequal key through to the caller's verification,
+// which runs on every candidate anyway. Several entries may share a
+// tag: Probe walks all of them and the caller tells equal keys
 // apart. The zero Table is empty and ready to use; it grows at 3/4
 // load and never shrinks.
 type Table struct {
-	hashes []uint64
-	vals   []int32
-	n      int
+	tags []uint32
+	vals []int32
+	n    int
 }
 
 // Len returns the number of stored entries.
 func (t *Table) Len() int { return t.n }
+
+// Bytes returns the heap footprint of the table's backing arrays
+// (4 bytes per tag slot + 4 per value slot), for memory-budget
+// accounting. It jumps when the table grows and never shrinks, like
+// the arrays themselves.
+func (t *Table) Bytes() int64 {
+	return int64(len(t.tags))*4 + int64(len(t.vals))*4
+}
 
 // Reset discards all entries, keeping the allocated capacity.
 func (t *Table) Reset() {
@@ -121,7 +203,7 @@ func (t *Table) Reset() {
 }
 
 func (t *Table) alloc(c int) {
-	t.hashes = make([]uint64, c)
+	t.tags = make([]uint32, c)
 	t.vals = make([]int32, c)
 	for i := range t.vals {
 		t.vals[i] = -1
@@ -132,10 +214,10 @@ func (t *Table) alloc(c int) {
 // more candidates; Insert may then add a value under h. Probe and
 // Next allocate nothing.
 func (t *Table) Probe(h uint64) Probe {
-	h = adjust(h)
-	p := Probe{t: t, h: h}
+	tag := uint32(adjust(h))
+	p := Probe{t: t, tag: tag}
 	if len(t.vals) > 0 {
-		p.i = h & uint64(len(t.vals)-1)
+		p.i = uint64(tag) & uint64(len(t.vals)-1)
 	} else {
 		p.empty = true
 	}
@@ -146,7 +228,7 @@ func (t *Table) Probe(h uint64) Probe {
 // it must not outlive the next Insert on its table.
 type Probe struct {
 	t     *Table
-	h     uint64
+	tag   uint32
 	i     uint64
 	empty bool // table had no slots when the probe started
 }
@@ -165,7 +247,7 @@ func (p *Probe) Next() (val int, ok bool) {
 		if v < 0 {
 			return 0, false
 		}
-		match := t.hashes[p.i] == p.h
+		match := t.tags[p.i] == p.tag
 		p.i = (p.i + 1) & mask
 		if match {
 			return int(v), true
@@ -180,7 +262,7 @@ func (p *Probe) Insert(val int) {
 	t := p.t
 	if (t.n+1)*4 > len(t.vals)*3 {
 		t.grow()
-		t.insert(p.h, val)
+		t.insert(p.tag, val)
 		return
 	}
 	// Next leaves p.i one past the returned candidate, so the empty
@@ -192,19 +274,20 @@ func (p *Probe) Insert(val int) {
 	for t.vals[i] >= 0 {
 		i = (i + 1) & mask
 	}
-	t.hashes[i] = p.h
+	t.tags[i] = p.tag
 	t.vals[i] = int32(val)
 	t.n++
 }
 
-// insert places (h, val) at the first empty slot of its probe chain.
-func (t *Table) insert(h uint64, val int) {
+// insert places (tag, val) at the first empty slot of its probe
+// chain.
+func (t *Table) insert(tag uint32, val int) {
 	mask := uint64(len(t.vals) - 1)
-	i := h & mask
+	i := uint64(tag) & mask
 	for t.vals[i] >= 0 {
 		i = (i + 1) & mask
 	}
-	t.hashes[i] = h
+	t.tags[i] = tag
 	t.vals[i] = int32(val)
 	t.n++
 }
@@ -214,12 +297,12 @@ func (t *Table) grow() {
 	if c < minCap {
 		c = minCap
 	}
-	oldH, oldV := t.hashes, t.vals
+	oldT, oldV := t.tags, t.vals
 	t.alloc(c)
 	t.n = 0
 	for i, v := range oldV {
 		if v >= 0 {
-			t.insert(oldH[i], int(v))
+			t.insert(oldT[i], int(v))
 		}
 	}
 }

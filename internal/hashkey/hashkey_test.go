@@ -1,20 +1,72 @@
 package hashkey
 
 import (
-	"hash/fnv"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
-func TestSum64MatchesStdlib(t *testing.T) {
-	for _, s := range []string{"", "a", "divide", "\x00\x01\x02", "longer input with spaces"} {
-		h := fnv.New64a()
-		h.Write([]byte(s))
-		if got, want := Sum64String(s), h.Sum64(); got != want {
-			t.Errorf("Sum64String(%q) = %#x, want %#x", s, got, want)
+// TestSum64StringMatchesSum64 pins the contract the engine relies on:
+// the string and byte-slice kernels agree on every input, across all
+// tail lengths (0–7 residual bytes) and chunk counts.
+func TestSum64StringMatchesSum64(t *testing.T) {
+	inputs := []string{"", "a", "divide", "\x00\x01\x02", "longer input with spaces"}
+	for n := 0; n <= 40; n++ {
+		inputs = append(inputs, strings.Repeat("x", n), "supplier-000042"[:min(n, 15)])
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		b := make([]byte, rng.Intn(64))
+		rng.Read(b)
+		inputs = append(inputs, string(b))
+	}
+	for _, s := range inputs {
+		if got, want := Sum64String(s), Sum64([]byte(s)); got != want {
+			t.Errorf("Sum64String(%q) = %#x, Sum64 of same bytes = %#x", s, got, want)
 		}
-		if Sum64([]byte(s)) != Sum64String(s) {
-			t.Errorf("Sum64 and Sum64String disagree on %q", s)
+		if AddString(12345, s) != AddBytes(12345, []byte(s)) {
+			t.Errorf("AddString and AddBytes disagree on %q under a nonzero seed", s)
+		}
+	}
+}
+
+// TestWideKernelSeparates proves the length-fold tail keeps the
+// classic word-kernel confusables apart: zero-padding, chunk-boundary
+// splits, and permuted chunk contents.
+func TestWideKernelSeparates(t *testing.T) {
+	pairs := [][2]string{
+		{"", "\x00"},
+		{"a", "a\x00"},
+		{"a\x00\x00", "a\x00"},
+		{"12345678", "123456789"[:8] + "\x00"},
+		{"abcdefgh", "abcdefg"},
+		{"abcdefghi", "abcdefgh"},
+		{"abcdefgh12345678", "12345678abcdefgh"},
+	}
+	for _, p := range pairs {
+		if Sum64String(p[0]) == Sum64String(p[1]) {
+			t.Errorf("Sum64String(%q) == Sum64String(%q)", p[0], p[1])
+		}
+	}
+	// Distinctness over a dense corpus: short strings and all
+	// single-byte perturbations of an 8-byte block.
+	seen := map[uint64]string{}
+	check := func(s string) {
+		h := Sum64String(s)
+		if prev, dup := seen[h]; dup && prev != s {
+			t.Errorf("Sum64String collision: %q and %q both hash to %#x", prev, s, h)
+		}
+		seen[h] = s
+	}
+	for i := 0; i < 256; i++ {
+		check(string([]byte{byte(i)}))
+		check("prefix--" + string([]byte{byte(i)}))
+	}
+	for pos := 0; pos < 8; pos++ {
+		for bit := 0; bit < 8; bit++ {
+			b := []byte("abcdefgh")
+			b[pos] ^= 1 << bit
+			check(string(b))
 		}
 	}
 }
@@ -162,6 +214,29 @@ func TestBitset(t *testing.T) {
 		if b.Set(i) {
 			t.Errorf("bit %d set twice", i)
 		}
+	}
+}
+
+// benchHashSink defeats dead-code elimination in the hash benchmarks.
+var benchHashSink uint64
+
+// BenchmarkHashString times the wide string kernel across tail-only,
+// chunk+tail, and multi-chunk inputs.
+func BenchmarkHashString(b *testing.B) {
+	for _, tc := range []struct{ name, s string }{
+		{"7b", "sup-001"},
+		{"15b", "supplier-000042"},
+		{"32b", strings.Repeat("supplier", 4)},
+		{"64b", strings.Repeat("supplier", 8)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink += Sum64String(tc.s)
+			}
+			benchHashSink = sink
+		})
 	}
 }
 

@@ -561,11 +561,19 @@ func PartitionDivisor(r1, r2 *relation.Relation, workers int) []*relation.Relati
 	for i := range parts {
 		parts[i] = relation.New(r2.Schema())
 	}
-	for _, t := range r2.Tuples() {
-		// Hash the C projection in place: no key string, no projected
-		// tuple, no clone on insert (tuples stay owned by r2).
-		h := t.Hash64Proj(cPos)
-		parts[h%uint64(workers)].InsertOwned(t)
+	// Hash the C projections chunk-at-a-time through the batch kernel:
+	// no key string, no projected tuple, no clone on insert (tuples
+	// stay owned by r2).
+	const chunk = 256
+	var hashes []uint64
+	ts := r2.Tuples()
+	for len(ts) > 0 {
+		n := min(chunk, len(ts))
+		hashes = relation.Hash64ProjBatch(ts[:n], cPos, hashes[:0])
+		for i, t := range ts[:n] {
+			parts[hashes[i]%uint64(workers)].InsertOwned(t)
+		}
+		ts = ts[n:]
 	}
 	return parts
 }

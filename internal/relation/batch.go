@@ -1,6 +1,9 @@
 package relation
 
-import "sync"
+import (
+	"slices"
+	"sync"
+)
 
 // DefaultBatchCap is the tuple capacity a Batch is slab-allocated
 // with when no explicit capacity is requested. It matches the
@@ -117,10 +120,24 @@ func PutBatch(b *Batch) {
 
 // Hash64ProjBatch appends Hash64Proj(pos) of every tuple in ts to
 // dst — the batch-at-a-time form of the zero-alloc probe-hash
-// computation, amortizing the per-call overhead across a batch.
+// computation. Hashing a whole batch in one pass keeps the wide-hash
+// kernel hot and the pos slice in registers, then lets the caller run
+// a pure probe loop over precomputed hashes; the batch probe methods
+// on TupleIndex are built on it.
 func Hash64ProjBatch(ts []Tuple, pos []int, dst []uint64) []uint64 {
+	dst = slices.Grow(dst, len(ts))
 	for _, t := range ts {
 		dst = append(dst, t.Hash64Proj(pos))
+	}
+	return dst
+}
+
+// Hash64Batch appends Hash64 of every tuple in ts to dst — the
+// whole-tuple twin of Hash64ProjBatch.
+func Hash64Batch(ts []Tuple, dst []uint64) []uint64 {
+	dst = slices.Grow(dst, len(ts))
+	for _, t := range ts {
+		dst = append(dst, t.Hash64())
 	}
 	return dst
 }

@@ -1,0 +1,69 @@
+package relation
+
+import (
+	"testing"
+
+	"divlaws/internal/value"
+)
+
+// Sinks defeating dead-code elimination.
+var (
+	benchHashSink  uint64
+	benchTupleSink Tuple
+)
+
+// BenchmarkHashTupleWide times the per-row and batch hash paths over
+// a mixed string/int tuple — the shape every hash operator probes
+// with on string-keyed workloads.
+func BenchmarkHashTupleWide(b *testing.B) {
+	t := Tuple{value.String("supplier-000042"), value.Int(7), value.String("part-000007")}
+	b.Run("Hash64", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += t.Hash64()
+		}
+		benchHashSink = sink
+	})
+	b.Run("Hash64ProjBatch", func(b *testing.B) {
+		ts := make([]Tuple, DefaultBatchCap)
+		for i := range ts {
+			ts[i] = t
+		}
+		pos := []int{0, 2}
+		var dst []uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			dst = Hash64ProjBatch(ts, pos, dst[:0])
+			sink += dst[len(dst)-1]
+		}
+		benchHashSink = sink
+	})
+}
+
+// BenchmarkConcatSlab compares the join emit path's tuple
+// concatenation through a per-iterator slab against the one-make-per-
+// tuple baseline.
+func BenchmarkConcatSlab(b *testing.B) {
+	left := Tuple{value.String("supplier-000042"), value.Int(7)}
+	right := Tuple{value.String("part-000007"), value.Int(9)}
+	b.Run("make", func(b *testing.B) {
+		b.ReportAllocs()
+		var out Tuple
+		for i := 0; i < b.N; i++ {
+			out = left.Concat(right)
+		}
+		benchTupleSink = out
+	})
+	b.Run("slab", func(b *testing.B) {
+		b.ReportAllocs()
+		var s Slab
+		var out Tuple
+		for i := 0; i < b.N; i++ {
+			out = s.Concat(left, right)
+		}
+		benchTupleSink = out
+	})
+}

@@ -5,6 +5,13 @@
 // Every operator in the paper (Appendix A) has set semantics, so the
 // Relation type dedups tuples via an injective byte key and all
 // comparisons between relations are order-insensitive.
+//
+// The package also carries the engine's row-shaped performance
+// primitives: Batch (the reused slab the batch execution path
+// exchanges), the batch hash kernels Hash64Batch/Hash64ProjBatch
+// (one tight pass per batch through the wide hashkey mixer), and
+// Slab, the append-only bump allocator the join emit paths carve
+// output tuples from (see Slab for its lifetime rule).
 package relation
 
 import (

@@ -233,61 +233,89 @@ func (v Value) AppendKey(dst []byte) []byte {
 	return dst
 }
 
+// Per-kind 64-bit salts XORed into a value's payload word before the
+// single AddUint64 mix in HashKey. The salts keep same-payload values
+// of different kinds (Null, Bool(false), Int(0), Float(0)) from
+// hashing alike without spending a second mix on the kind tag; cross-
+// kind collisions are merely improbable, not impossible, which is
+// fine — every hash consumer verifies candidates against stored keys.
+// Arbitrary odd constants; indexed kind&7 to elide bounds checks.
+var kindSalt = [8]uint64{
+	KindNull:   0x9ae16a3b2f90404f,
+	KindBool:   0xc2b2ae3d27d4eb4f,
+	KindInt:    0x165667b19e3779f9,
+	KindFloat:  0x27d4eb2f165667c5,
+	KindString: 0x85ebca77c2b2ae63,
+	5:          0x2545f4914f6cdd1d,
+	6:          0x5851f42d4c957f2d,
+	7:          0x14057b7ef767814f,
+}
+
+// canonicalNaN is math.Float64bits(math.NaN()), the representative
+// every NaN payload collapses to so all NaNs hash and encode alike
+// (Equal treats them as equal).
+const canonicalNaN = 0x7ff8000000000001
+
 // HashKey folds v into the running hash h without materializing any
-// bytes: the kind tag byte-wise, 64-bit payloads word-at-a-time
-// through hashkey.AddUint64's mixer, string contents byte-wise. It
-// hashes exactly the fields AppendKey encodes, so Equal values hash
-// alike, and HashEncodedKey recomputes the identical hash from an
-// AppendKey encoding — the bridge string-keyed callers use.
+// bytes. Non-string kinds cost exactly one AddUint64 round: the
+// payload word (i and the float bits occupy disjoint fields, so their
+// XOR is whichever is set) XORed with the kind's salt. Strings salt h
+// and hand the contents to hashkey.AddString's word-at-a-time kernel,
+// which folds the length itself. Equal values hash alike (NaN is
+// canonicalized first), and HashEncodedKey recomputes the identical
+// hash from an AppendKey encoding — the bridge string-keyed callers
+// use.
 func (v Value) HashKey(h uint64) uint64 {
-	h = hashkey.AddByte(h, byte(v.kind))
 	switch v.kind {
-	case KindNull:
-	case KindBool, KindInt:
-		h = hashkey.AddUint64(h, uint64(v.i))
-	case KindFloat:
-		f := v.f
-		if math.IsNaN(f) {
-			f = math.NaN() // canonical NaN
-		}
-		h = hashkey.AddUint64(h, math.Float64bits(f))
 	case KindString:
-		h = hashkey.AddUint64(h, uint64(len(v.s)))
-		h = hashkey.AddString(h, v.s)
+		return hashkey.AddString(h^kindSalt[KindString], v.s)
+	case KindFloat:
+		bits := math.Float64bits(v.f)
+		if v.f != v.f {
+			bits = canonicalNaN
+		}
+		return hashkey.AddUint64(h, bits^kindSalt[KindFloat])
+	default:
+		// Null, Bool, Int: the integer payload word (zero for Null)
+		// under the kind's salt. The switch keeps the all-int hot path
+		// free of the float load the Float arm needs; the arms produce
+		// bit-identical hashes to a branchless payload-XOR form, so
+		// HashEncodedKey's replay is unaffected.
+		return hashkey.AddUint64(h, uint64(v.i)^kindSalt[v.kind&7])
 	}
-	return h
 }
 
 // HashEncodedKey folds an AppendKey-produced encoding (one value or
 // a whole tuple's concatenation) into h exactly as the corresponding
 // HashKey calls would, so a tuple's hash can be recomputed from its
-// stored string key alone. Trailing bytes that do not form a valid
-// encoding are folded byte-wise; keys produced by AppendKey never
-// have any.
+// stored string key alone. The string length prefix is consumed for
+// framing only — HashKey does not mix it separately (AddString folds
+// the length into its tail round). Trailing bytes that do not form a
+// valid encoding are folded through AddString; keys produced by
+// AppendKey never have any.
 func HashEncodedKey(h uint64, key string) uint64 {
 	for len(key) > 0 {
 		kind := Kind(key[0])
-		h = hashkey.AddByte(h, key[0])
 		key = key[1:]
 		switch kind {
 		case KindNull:
+			h = hashkey.AddUint64(h, kindSalt[KindNull])
 		case KindBool, KindInt, KindFloat:
 			if len(key) < 8 {
 				return hashkey.AddString(h, key)
 			}
-			h = hashkey.AddUint64(h, readUint64(key))
+			h = hashkey.AddUint64(h, readUint64(key)^kindSalt[kind&7])
 			key = key[8:]
 		case KindString:
 			if len(key) < 8 {
 				return hashkey.AddString(h, key)
 			}
 			n := readUint64(key)
-			h = hashkey.AddUint64(h, n)
 			key = key[8:]
 			if uint64(len(key)) < n {
 				return hashkey.AddString(h, key)
 			}
-			h = hashkey.AddString(h, key[:n])
+			h = hashkey.AddString(h^kindSalt[KindString], key[:n])
 			key = key[n:]
 		default:
 			return hashkey.AddString(h, key)
